@@ -1,0 +1,124 @@
+// Copyright 2026 The pkgstream Authors.
+// Ablation answering the paper's closing question (Section VIII): "can a
+// solution based on rebalancing be practical?" — key grouping plus periodic
+// hot-key migration vs PKG on the WP workload.
+//
+// For each rebalance period/threshold the table shows the balance achieved
+// *and what it cost*: migrations, keys moved, per-key state transferred,
+// and the per-key routing-table entries the sources must now hold — the
+// overheads Sections II-B and VIII argue make rebalancing unattractive.
+// PKG's row pays none of them.
+
+#include "bench/bench_util.h"
+#include "common/logging.h"
+#include "partition/consistent_hashing.h"
+#include "partition/rebalancing.h"
+#include "simulation/experiments.h"
+#include "simulation/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner(
+      "Ablation: rebalancing & consistent hashing vs PKG",
+      "Nasir et al., ICDE 2015, Sections II-B, VII and VIII", args);
+
+  const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
+  double scale = simulation::DefaultScale(wp.id, args.full) *
+                 (args.quick ? 0.1 : 1.0);
+  const uint64_t messages = workload::ScaledMessages(wp, scale);
+  const uint32_t workers = 10;
+
+  Table table({"Strategy", "avg I(t)/m", "migrations", "keys moved",
+               "state moved", "routing entries"});
+
+  // PKG baseline: no migration machinery at all.
+  {
+    auto stream = workload::MakeKeyStream(wp, scale, args.seed);
+    PKGSTREAM_CHECK_OK(stream.status());
+    simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
+    simulation::RoutingConfig config;
+    config.partitioner.technique = partition::Technique::kPkgLocal;
+    config.partitioner.sources = 5;
+    config.partitioner.workers = workers;
+    config.partitioner.seed = args.seed;
+    config.messages = messages;
+    auto result = simulation::RunRouting(config, feed);
+    PKGSTREAM_CHECK_OK(result.status());
+    table.AddRow({"PKG (L5)", FormatCompact(result->imbalance.avg_fraction),
+                  "0", "0", "0", "0"});
+  }
+
+  // Plain hashing reference.
+  {
+    auto stream = workload::MakeKeyStream(wp, scale, args.seed);
+    PKGSTREAM_CHECK_OK(stream.status());
+    simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
+    simulation::RoutingConfig config;
+    config.partitioner.technique = partition::Technique::kHashing;
+    config.partitioner.workers = workers;
+    config.partitioner.seed = args.seed;
+    config.messages = messages;
+    auto result = simulation::RunRouting(config, feed);
+    PKGSTREAM_CHECK_OK(result.status());
+    table.AddRow({"KG (no rebalance)",
+                  FormatCompact(result->imbalance.avg_fraction), "0", "0",
+                  "0", "0"});
+  }
+
+  // Rebalancing at several check periods.
+  std::vector<uint64_t> periods = args.quick
+                                      ? std::vector<uint64_t>{5000, 50000}
+                                      : std::vector<uint64_t>{2000, 10000,
+                                                              50000, 200000};
+  for (uint64_t period : periods) {
+    auto stream = workload::MakeKeyStream(wp, scale, args.seed);
+    PKGSTREAM_CHECK_OK(stream.status());
+    partition::RebalancingOptions options;
+    options.check_period = period;
+    options.imbalance_threshold = 0.05;
+    options.max_keys_per_rebalance = 32;
+    options.hash_seed = args.seed;
+    partition::RebalancingKeyGrouping rb(1, workers, options);
+    stats::ImbalanceTracker tracker(workers,
+                                    std::max<uint64_t>(1, messages / 1000));
+    for (uint64_t i = 0; i < messages; ++i) {
+      tracker.OnRoute(rb.Route(0, (*stream)->Next()));
+    }
+    auto summary = tracker.Finish();
+    table.AddRow({"KG+rebalance(T=" + FormatWithCommas(period) + ")",
+                  FormatCompact(summary.avg_fraction),
+                  FormatWithCommas(rb.stats().rebalances),
+                  FormatWithCommas(rb.stats().keys_moved),
+                  FormatWithCommas(rb.stats().state_moved),
+                  FormatWithCommas(rb.RoutingTableSize())});
+  }
+
+  // Consistent hashing: plain ring and PKG-over-ring.
+  for (uint32_t replicas : {1u, 2u}) {
+    auto stream = workload::MakeKeyStream(wp, scale, args.seed);
+    PKGSTREAM_CHECK_OK(stream.status());
+    partition::ConsistentHashOptions options;
+    options.replicas = replicas;
+    options.seed = args.seed;
+    partition::ConsistentHashGrouping ch(1, workers, options);
+    stats::ImbalanceTracker tracker(workers,
+                                    std::max<uint64_t>(1, messages / 1000));
+    for (uint64_t i = 0; i < messages; ++i) {
+      tracker.OnRoute(ch.Route(0, (*stream)->Next()));
+    }
+    auto summary = tracker.Finish();
+    table.AddRow({replicas == 1 ? "Consistent hashing (1 succ)"
+                                : "CH + PKG choice (2 succ)",
+                  FormatCompact(summary.avg_fraction), "0", "0", "0", "0"});
+  }
+
+  bench::FinishTable(table, args);
+  std::cout << "Expected shape: rebalancing narrows (not closes) the gap to\n"
+               "PKG and pays for it in migrations, transferred state and a\n"
+               "growing per-key routing table; PKG needs none of it. The\n"
+               "plain ring is no better than hashing, but PKG's two-choice\n"
+               "idea composes with it (CH + PKG choice).\n"
+            << std::endl;
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Copyright 2026 The pkgstream Authors.
+// Reproduces Figure 2: fraction of average imbalance (avg I(t) / m) for
+// TW, WP, CT, LN1, LN2; W in {5,10,50,100}; series G, L5, L10, L15, L20, H.
+//
+// Paper shape: H is orders of magnitude above everything; G and all L
+// variants sit together near the bottom (local estimation within one order
+// of magnitude of the global oracle, robust to the number of sources);
+// every series jumps up once W crosses the dataset's O(1/p1) limit.
+
+#include "bench/bench_util.h"
+#include "simulation/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner("Figure 2: local vs global load estimation",
+                     "Nasir et al., ICDE 2015, Figure 2", args);
+
+  simulation::Fig2Options options;
+  options.seed = args.seed;
+  options.full = args.full;
+  if (args.quick) {
+    options.datasets = {workload::DatasetId::kWP, workload::DatasetId::kLN2};
+    options.workers = {5, 10, 50};
+    options.sources = {5, 10};
+  }
+
+  auto cells = simulation::RunFig2(options);
+  if (!cells.ok()) {
+    std::cerr << cells.status() << "\n";
+    return 1;
+  }
+
+  std::vector<std::string> series = {"G"};
+  for (uint32_t s : options.sources) series.push_back("L" + std::to_string(s));
+  series.push_back("H");
+
+  for (auto id : options.datasets) {
+    const auto& spec = workload::GetDataset(id);
+    std::vector<std::string> header = {std::string(spec.symbol) + " / W"};
+    for (const auto& s : series) header.push_back(s);
+    Table table(header);
+    for (uint32_t w : options.workers) {
+      std::vector<std::string> row = {std::to_string(w)};
+      for (const auto& s : series) {
+        double value = -1;
+        for (const auto& cell : *cells) {
+          if (cell.dataset == spec.symbol && cell.series == s &&
+              cell.workers == w) {
+            value = cell.avg_fraction;
+          }
+        }
+        row.push_back(FormatCompact(value));
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Expected shape (paper): H orders of magnitude above the\n"
+               "G/L cluster; L within 1 order of magnitude of G for any\n"
+               "number of sources; all series jump once W > O(1/p1).\n"
+            << std::endl;
+  return 0;
+}

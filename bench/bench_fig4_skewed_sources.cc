@@ -1,0 +1,76 @@
+// Copyright 2026 The pkgstream Authors.
+// Reproduces Figure 4: robustness of PKG to skewed input splits. Graph edge
+// streams (LJ; SL1/SL2 optionally) are partitioned onto sources either
+// uniformly (shuffle) or by key grouping on the source vertex (skewed);
+// workers are keyed by destination vertex; PKG-L balances the workers.
+//
+// Paper shape: the Skewed series tracks the Uniform series closely at very
+// low absolute imbalance; imbalance grows mildly with S and W.
+
+#include "bench/bench_util.h"
+#include "simulation/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner("Figure 4: skewed vs uniform source splits (graphs)",
+                     "Nasir et al., ICDE 2015, Figure 4", args);
+
+  simulation::Fig4Options options;
+  options.seed = args.seed;
+  options.full = args.full;
+  options.datasets = {workload::DatasetId::kLJ, workload::DatasetId::kSL1,
+                      workload::DatasetId::kSL2};
+  if (args.quick) {
+    options.datasets = {workload::DatasetId::kSL1};
+    options.sources = {5, 10};
+    options.workers = {5, 10, 50};
+  }
+
+  auto cells = simulation::RunFig4(options);
+  if (!cells.ok()) {
+    std::cerr << cells.status() << "\n";
+    return 1;
+  }
+
+  for (auto id : options.datasets) {
+    const auto& spec = workload::GetDataset(id);
+    std::vector<std::string> header = {std::string(spec.symbol) +
+                                       " series / W"};
+    for (uint32_t w : options.workers) header.push_back("W=" + std::to_string(w));
+    Table table(header);
+    for (uint32_t s : options.sources) {
+      for (const std::string split : {"Uniform", "Skewed"}) {
+        std::vector<std::string> row = {split + " L" + std::to_string(s)};
+        for (uint32_t w : options.workers) {
+          double value = -1;
+          for (const auto& cell : *cells) {
+            if (cell.dataset == spec.symbol && cell.split == split &&
+                cell.sources == s && cell.workers == w) {
+              value = cell.avg_fraction;
+            }
+          }
+          row.push_back(FormatCompact(value));
+        }
+        table.AddRow(row);
+      }
+    }
+    table.Print(std::cout);
+
+    // How skewed was the source split actually? (sanity context)
+    double max_skew = 0;
+    for (const auto& cell : *cells) {
+      if (cell.dataset == spec.symbol && cell.split == "Skewed") {
+        max_skew = std::max(max_skew, cell.source_imbalance_fraction);
+      }
+    }
+    std::cout << "(max source-side imbalance fraction under keyed split: "
+              << FormatCompact(max_skew) << ")\n\n";
+  }
+  std::cout << "Expected shape (paper): Skewed ~ Uniform at every (S, W);\n"
+               "absolute worker imbalance stays tiny (~1e-7 of the stream\n"
+               "at paper scale) even though the source split is highly "
+               "skewed.\n"
+            << std::endl;
+  return 0;
+}

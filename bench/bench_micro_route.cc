@@ -1,0 +1,107 @@
+// Copyright 2026 The pkgstream Authors.
+// google-benchmark microbenchmark: the per-message cost of Route() for every
+// technique. This quantifies the paper's practicality claim — PKG is "a
+// single function and less than 20 lines of code": its routing decision
+// should cost within a small constant of plain hashing and remain a
+// negligible fraction of any realistic per-message processing budget.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "partition/factory.h"
+#include "stats/frequency.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace {
+
+constexpr uint32_t kWorkers = 16;
+constexpr uint32_t kSources = 4;
+constexpr uint64_t kKeys = 100000;
+
+/// Pre-generates a key sequence so sampling cost stays out of the loop.
+const std::vector<Key>& KeySequence() {
+  static const std::vector<Key>* keys = [] {
+    auto dist = std::make_shared<workload::StaticDistribution>(
+        workload::ZipfWeights(kKeys, 1.0), "zipf");
+    Rng rng(42);
+    auto* v = new std::vector<Key>(1 << 16);
+    for (auto& k : *v) k = dist->Sample(&rng);
+    return v;
+  }();
+  return *keys;
+}
+
+const stats::FrequencyTable& Frequencies() {
+  static const stats::FrequencyTable* table = [] {
+    auto* t = new stats::FrequencyTable();
+    for (Key k : KeySequence()) t->Add(k);
+    return t;
+  }();
+  return *table;
+}
+
+void RouteBenchmark(benchmark::State& state, partition::Technique technique) {
+  partition::PartitionerConfig config;
+  config.technique = technique;
+  config.sources = kSources;
+  config.workers = kWorkers;
+  config.seed = 42;
+  config.frequencies = &Frequencies();
+  auto partitioner = partition::MakePartitioner(config);
+  if (!partitioner.ok()) {
+    state.SkipWithError(partitioner.status().ToString().c_str());
+    return;
+  }
+  const auto& keys = KeySequence();
+  size_t i = 0;
+  SourceId source = 0;
+  for (auto _ : state) {
+    WorkerId w = (*partitioner)->Route(source, keys[i & (keys.size() - 1)]);
+    benchmark::DoNotOptimize(w);
+    ++i;
+    source = static_cast<SourceId>(i & (kSources - 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+#define PKGSTREAM_ROUTE_BENCH(name, technique)                       \
+  void BM_Route_##name(benchmark::State& state) {                    \
+    RouteBenchmark(state, partition::Technique::technique);          \
+  }                                                                  \
+  BENCHMARK(BM_Route_##name)
+
+PKGSTREAM_ROUTE_BENCH(Hashing, kHashing);
+PKGSTREAM_ROUTE_BENCH(Shuffle, kShuffle);
+PKGSTREAM_ROUTE_BENCH(Random, kRandom);
+PKGSTREAM_ROUTE_BENCH(PkgGlobal, kPkgGlobal);
+PKGSTREAM_ROUTE_BENCH(PkgLocal, kPkgLocal);
+PKGSTREAM_ROUTE_BENCH(PkgProbing, kPkgProbing);
+PKGSTREAM_ROUTE_BENCH(PotcStatic, kPotcStatic);
+PKGSTREAM_ROUTE_BENCH(OnGreedy, kOnGreedy);
+PKGSTREAM_ROUTE_BENCH(OffGreedy, kOffGreedy);
+
+/// PKG with more choices: cost grows linearly in d.
+void BM_Route_PkgChoices(benchmark::State& state) {
+  partition::PartitionerConfig config;
+  config.technique = partition::Technique::kPkgGlobal;
+  config.sources = kSources;
+  config.workers = kWorkers;
+  config.num_choices = static_cast<uint32_t>(state.range(0));
+  auto partitioner = partition::MakePartitioner(config);
+  const auto& keys = KeySequence();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*partitioner)->Route(0, keys[i & (keys.size() - 1)]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Route_PkgChoices)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace pkgstream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Copyright 2026 The pkgstream Authors.
+// Shared plumbing for the experiment binaries in bench/: flag handling,
+// banner printing, CSV export.
+
+#ifndef PKGSTREAM_BENCH_BENCH_UTIL_H_
+#define PKGSTREAM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/flags.h"
+#include "common/table.h"
+
+namespace pkgstream {
+namespace bench {
+
+/// \brief Common flags for every experiment binary.
+struct BenchArgs {
+  uint64_t seed = 42;
+  bool full = false;         ///< --full: paper-scale run (slow)
+  std::string csv;           ///< --csv=PATH: also export the table as CSV
+  bool quick = false;        ///< --quick: extra-small run (CI smoke)
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv) {
+  Flags flags;
+  Status s = Flags::Parse(argc, argv, &flags);
+  if (!s.ok()) {
+    std::cerr << "flag error: " << s << "\n";
+    std::exit(2);
+  }
+  BenchArgs args;
+  args.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  args.full = flags.GetBool("full", false);
+  args.quick = flags.GetBool("quick", false);
+  args.csv = flags.GetString("csv", "");
+  return args;
+}
+
+inline void PrintBanner(const std::string& title, const std::string& paper_ref,
+                        const BenchArgs& args) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "reproduces: " << paper_ref << "\n";
+  std::cout << "seed=" << args.seed
+            << (args.full ? "  scale=FULL (paper scale)" : "  scale=default")
+            << "\n\n";
+}
+
+inline void FinishTable(const Table& table, const BenchArgs& args) {
+  table.Print(std::cout);
+  if (!args.csv.empty()) {
+    Status s = table.WriteCsv(args.csv);
+    if (!s.ok()) {
+      std::cerr << "csv export failed: " << s << "\n";
+    } else {
+      std::cout << "\n(csv written to " << args.csv << ")\n";
+    }
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace bench
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The pkgstream Authors.
+// Section V (Q3) scenario: streaming graph mining with skew on both sides.
+//
+// Streams R-MAT edges (a LiveJournal-like graph): the source PEs receive
+// edges keyed by source vertex (skewed out-degrees!), invert each edge, and
+// route by destination vertex to workers computing in-degrees. PKG must
+// absorb skew on the workers *while its sources are themselves unevenly
+// loaded* — the robustness property Figure 4 demonstrates.
+//
+//   ./examples/graph_degree [--edges=500000] [--sources=5] [--workers=10]
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "simulation/runner.h"
+#include "stats/frequency.h"
+#include "workload/dataset.h"
+
+using namespace pkgstream;
+
+int main(int argc, char** argv) {
+  Flags flags;
+  PKGSTREAM_CHECK_OK(Flags::Parse(argc, argv, &flags));
+  const uint64_t edges = static_cast<uint64_t>(flags.GetInt("edges", 500000));
+  const uint32_t sources = static_cast<uint32_t>(flags.GetInt("sources", 5));
+  const uint32_t workers = static_cast<uint32_t>(flags.GetInt("workers", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  const auto& lj = workload::GetDataset(workload::DatasetId::kLJ);
+  std::cout << "streaming in-degree over " << FormatWithCommas(edges)
+            << " LiveJournal-like edges; " << sources << " sources keyed by\n"
+            << "src vertex (skewed), " << workers
+            << " workers keyed by dst vertex (PKG)\n\n";
+
+  Table table({"source split", "source imbalance", "worker imbalance",
+               "worker I/m"});
+  for (auto [split, label] :
+       {std::pair{simulation::SourceSplit::kShuffle, "uniform (shuffle)"},
+        std::pair{simulation::SourceSplit::kKeyed, "keyed by src (skewed)"}}) {
+    auto stream = workload::MakeEdgeStream(lj, 0.01, seed);
+    PKGSTREAM_CHECK_OK(stream.status());
+    simulation::Feed feed = simulation::MakeEdgeFeed(stream->get());
+    simulation::RoutingConfig config;
+    config.partitioner.technique = partition::Technique::kPkgLocal;
+    config.partitioner.sources = sources;
+    config.partitioner.workers = workers;
+    config.partitioner.seed = seed;
+    config.messages = edges;
+    config.source_split = split;
+    config.seed = seed;
+    auto result = simulation::RunRouting(config, feed);
+    PKGSTREAM_CHECK_OK(result.status());
+    table.AddRow(
+        {label, FormatCompact(stats::ImbalanceOf(result->source_loads)),
+         FormatCompact(result->imbalance.final_imbalance),
+         FormatCompact(result->imbalance.avg_fraction)});
+  }
+  table.Print(std::cout);
+
+  // Show the top in-degree vertices as the application output.
+  auto stream = workload::MakeEdgeStream(lj, 0.01, seed);
+  PKGSTREAM_CHECK_OK(stream.status());
+  stats::FrequencyTable in_degree;
+  for (uint64_t i = 0; i < edges; ++i) in_degree.Add((*stream)->Next().dst);
+  std::cout << "\nhottest vertices by in-degree:\n";
+  Table top({"vertex", "in-degree"});
+  for (const auto& [v, d] : in_degree.TopK(5)) {
+    top.AddRow({"v" + std::to_string(v), FormatWithCommas(d)});
+  }
+  top.Print(std::cout);
+  std::cout << "\nPKG's worker balance is unaffected by the skewed source\n"
+               "split: each source only needs to balance its own portion\n"
+               "(Section III-B), so PKG can be chained after key grouping.\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Copyright 2026 The pkgstream Authors.
+// Section VI-A scenario: streaming naïve Bayes with vertical parallelism.
+//
+// Trains a text-classification-like model whose feature frequencies are
+// skewed (few very common features), compares accuracy, worker balance,
+// counter replication and query probe cost across KG / PKG / SG.
+//
+//   ./examples/naive_bayes [--train=20000] [--test=2000] [--workers=8]
+
+#include <iostream>
+
+#include "apps/naive_bayes.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/table.h"
+#include "stats/imbalance.h"
+
+using namespace pkgstream;
+
+namespace {
+
+constexpr uint32_t kFeatures = 24;
+constexpr uint32_t kClasses = 2;
+
+/// Synthetic "document": sparse class-dependent features whose document
+/// frequency follows a Zipf-like decay — feature 0 appears in nearly every
+/// document (like "the"), later features get rare. This is the skew that
+/// makes KG's per-feature counters imbalanced (Section VI-A).
+apps::LabeledExample MakeExample(Rng* rng, uint32_t label) {
+  apps::LabeledExample ex;
+  ex.label = label;
+  for (uint32_t f = 0; f < kFeatures; ++f) {
+    double doc_frequency = 1.0 / (1.0 + 0.6 * f);
+    if (!rng->Bernoulli(doc_frequency)) {
+      ex.feature_values.push_back(apps::kAbsentFeature);
+      continue;
+    }
+    double informative = 0.55 + 0.4 / (1.0 + f * 0.3);
+    bool agree = rng->Bernoulli(informative);
+    ex.feature_values.push_back(1 + (agree ? label : 1 - label));
+  }
+  return ex;
+}
+
+struct NbOutcome {
+  double accuracy = 0;
+  double load_imbalance = 0;
+  uint64_t counters = 0;
+  double probes_per_query = 0;
+};
+
+NbOutcome RunOnce(partition::Technique technique, uint32_t workers,
+                  int train, int test, uint64_t seed) {
+  partition::PartitionerConfig config;
+  config.technique = technique;
+  config.sources = 1;
+  config.workers = workers;
+  config.seed = seed;
+  auto nb = apps::DistributedNaiveBayes::Create(config, kFeatures, kClasses);
+  PKGSTREAM_CHECK_OK(nb.status());
+
+  Rng rng(seed);
+  for (int i = 0; i < train; ++i) {
+    (*nb)->Train(0, MakeExample(&rng, static_cast<uint32_t>(i % 2)));
+  }
+  NbOutcome out;
+  int correct = 0;
+  uint64_t probes = 0;
+  for (int i = 0; i < test; ++i) {
+    apps::LabeledExample ex = MakeExample(&rng, static_cast<uint32_t>(i % 2));
+    uint64_t q = 0;
+    if ((*nb)->Classify(ex.feature_values, &q) == ex.label) ++correct;
+    probes += q;
+  }
+  out.accuracy = static_cast<double>(correct) / test;
+  out.load_imbalance = stats::ImbalanceOf((*nb)->worker_loads());
+  out.counters = (*nb)->TotalCounters();
+  out.probes_per_query = static_cast<double>(probes) / test;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  PKGSTREAM_CHECK_OK(Flags::Parse(argc, argv, &flags));
+  const uint32_t workers = static_cast<uint32_t>(flags.GetInt("workers", 8));
+  const int train = static_cast<int>(flags.GetInt("train", 20000));
+  const int test = static_cast<int>(flags.GetInt("test", 2000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "distributed naive Bayes: " << kFeatures << " features, "
+            << train << " training examples, " << workers << " workers\n\n";
+
+  Table table({"technique", "accuracy", "train-load imbalance",
+               "counters stored", "probes / query"});
+  for (auto [technique, label] :
+       {std::pair{partition::Technique::kHashing, "KG"},
+        std::pair{partition::Technique::kPkgLocal, "PKG"},
+        std::pair{partition::Technique::kShuffle, "SG"}}) {
+    NbOutcome out = RunOnce(technique, workers, train, test, seed);
+    table.AddRow({label, FormatFixed(out.accuracy * 100, 1) + "%",
+                  FormatCompact(out.load_imbalance),
+                  FormatWithCommas(out.counters),
+                  FormatFixed(out.probes_per_query, 0)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nAll three learn the same model quality; PKG balances the\n"
+               "training load like SG but answers queries by probing only\n"
+               "two deterministic workers per feature (Section VI-A),\n"
+               "instead of broadcasting to all " << workers << ".\n";
+  return 0;
+}

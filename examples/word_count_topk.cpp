@@ -1,0 +1,114 @@
+// Copyright 2026 The pkgstream Authors.
+// The paper's running example (Section II): streaming top-k word count.
+//
+// Builds the spout -> counters -> aggregator topology on the deterministic
+// runtime, feeds it a synthetic tweet stream (Zipf-distributed words,
+// rendered as text), and prints the top-k words with per-technique
+// worker-load and memory comparisons.
+//
+//   ./examples/word_count_topk [--messages=200000] [--workers=5] [--topk=10]
+
+#include <iostream>
+
+#include "apps/wordcount.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "engine/logical_runtime.h"
+#include "workload/static_distribution.h"
+#include "workload/words.h"
+#include "workload/zipf.h"
+
+using namespace pkgstream;
+
+namespace {
+
+struct RunOutcome {
+  std::vector<std::pair<Key, uint64_t>> topk;
+  double counter_imbalance = 0;
+  uint64_t counter_memory = 0;
+};
+
+RunOutcome RunOnce(partition::Technique technique, uint64_t messages,
+                   uint32_t workers, size_t topk, uint64_t seed) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      technique, /*sources=*/2, workers, /*tick_period=*/10000, topk, seed);
+  auto rt = engine::LogicalRuntime::Create(&wc.topology);
+  PKGSTREAM_CHECK_OK(rt.status());
+
+  auto dist = std::make_shared<workload::StaticDistribution>(
+      workload::ZipfWeights(20000, 1.05), "words");
+  workload::IidKeyStream stream(dist, seed);
+  RunOutcome out;
+  for (uint64_t i = 0; i < messages; ++i) {
+    engine::Message m;
+    m.key = stream.Next();
+    m.tag = apps::kTagWord;
+    (*rt)->Inject(wc.spout, static_cast<SourceId>(i % 2), m);
+    // Sample counter memory mid-aggregation-window (right before a flush
+    // would empty the partial counters).
+    if ((i + 1) % 10000 == 9999) {
+      out.counter_memory = std::max(
+          out.counter_memory,
+          (*rt)->Metrics()[wc.counter.index].memory_counters);
+    }
+  }
+  (*rt)->Finish();
+
+  auto metrics = (*rt)->Metrics();
+  out.counter_imbalance = metrics[wc.counter.index].imbalance;
+  out.counter_memory =
+      std::max(out.counter_memory, metrics[wc.counter.index].memory_counters);
+  auto* agg = static_cast<apps::TopKAggregator*>(
+      (*rt)->GetOperator(wc.aggregator, 0));
+  out.topk = agg->TopK();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  PKGSTREAM_CHECK_OK(Flags::Parse(argc, argv, &flags));
+  const uint64_t messages =
+      static_cast<uint64_t>(flags.GetInt("messages", 200000));
+  const uint32_t workers = static_cast<uint32_t>(flags.GetInt("workers", 5));
+  const size_t topk = static_cast<size_t>(flags.GetInt("topk", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::cout << "streaming top-" << topk << " word count over "
+            << FormatWithCommas(messages) << " words, " << workers
+            << " counter instances\n\n";
+
+  auto pkg = RunOnce(partition::Technique::kPkgLocal, messages, workers,
+                     topk, seed);
+  auto kg = RunOnce(partition::Technique::kHashing, messages, workers, topk,
+                    seed);
+  auto sg = RunOnce(partition::Technique::kShuffle, messages, workers, topk,
+                    seed);
+
+  Table top({"rank", "word", "count (PKG)"});
+  for (size_t i = 0; i < pkg.topk.size(); ++i) {
+    top.AddRow({std::to_string(i + 1), workload::KeyToWord(pkg.topk[i].first),
+                FormatWithCommas(pkg.topk[i].second)});
+  }
+  top.Print(std::cout);
+
+  // All three techniques must agree on the counts (they do — the partial
+  // counts are aggregated exactly); what differs is load and memory.
+  bool agree = pkg.topk == kg.topk && pkg.topk == sg.topk;
+  std::cout << "\ntop-k agrees across PKG/KG/SG: " << (agree ? "yes" : "NO")
+            << "\n\n";
+
+  Table compare({"technique", "counter imbalance I(m)", "counter memory"});
+  compare.AddRow({"PKG", FormatCompact(pkg.counter_imbalance),
+                  FormatWithCommas(pkg.counter_memory)});
+  compare.AddRow({"KG", FormatCompact(kg.counter_imbalance),
+                  FormatWithCommas(kg.counter_memory)});
+  compare.AddRow({"SG", FormatCompact(sg.counter_imbalance),
+                  FormatWithCommas(sg.counter_memory)});
+  compare.Print(std::cout);
+  std::cout << "\nPKG: near-SG balance at near-KG memory — the paper's\n"
+               "position between the two classic groupings.\n";
+  return 0;
+}

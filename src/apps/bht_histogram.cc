@@ -1,0 +1,135 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "apps/bht_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace apps {
+
+BhtHistogram::BhtHistogram(size_t max_bins) : max_bins_(max_bins) {
+  PKGSTREAM_CHECK(max_bins >= 2);
+  bins_.reserve(max_bins + 1);
+}
+
+void BhtHistogram::InsertBin(Bin bin) {
+  auto it = std::lower_bound(
+      bins_.begin(), bins_.end(), bin.p,
+      [](const Bin& b, double p) { return b.p < p; });
+  if (it != bins_.end() && it->p == bin.p) {
+    it->m += bin.m;  // exact centroid match: just accumulate
+    return;
+  }
+  bins_.insert(it, bin);
+}
+
+void BhtHistogram::Shrink() {
+  while (bins_.size() > max_bins_) {
+    // Find the adjacent pair with minimal centroid gap.
+    size_t best = 0;
+    double best_gap = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < bins_.size(); ++i) {
+      double gap = bins_[i + 1].p - bins_[i].p;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    Bin& a = bins_[best];
+    const Bin& b = bins_[best + 1];
+    double m = a.m + b.m;
+    a = Bin{(a.p * a.m + b.p * b.m) / m, m};
+    bins_.erase(bins_.begin() + static_cast<long>(best) + 1);
+  }
+}
+
+void BhtHistogram::Update(double value) {
+  if (total_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_;
+  InsertBin(Bin{value, 1.0});
+  Shrink();
+}
+
+void BhtHistogram::Merge(const BhtHistogram& other) {
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+  for (const auto& bin : other.bins_) InsertBin(bin);
+  Shrink();
+}
+
+double BhtHistogram::Sum(double value) const {
+  if (total_ == 0) return 0.0;
+  if (value < bins_.front().p) {
+    // Below the first centroid: linearly fade in from the true minimum.
+    if (value < min_) return 0.0;
+    double span = bins_.front().p - min_;
+    double frac = span > 0 ? (value - min_) / span : 1.0;
+    return 0.5 * bins_.front().m * frac;
+  }
+  if (value >= bins_.back().p) {
+    if (value >= max_) return static_cast<double>(total_);
+    double span = max_ - bins_.back().p;
+    double frac = span > 0 ? (value - bins_.back().p) / span : 1.0;
+    return static_cast<double>(total_) -
+           0.5 * bins_.back().m * (1.0 - frac);
+  }
+  // Find i with p_i <= value < p_{i+1}. (Algorithm 3.)
+  size_t i = 0;
+  for (size_t j = 0; j + 1 < bins_.size(); ++j) {
+    if (bins_[j].p <= value && value < bins_[j + 1].p) {
+      i = j;
+      break;
+    }
+  }
+  const Bin& bi = bins_[i];
+  const Bin& bj = bins_[i + 1];
+  double gap = bj.p - bi.p;
+  double frac = gap > 0 ? (value - bi.p) / gap : 0.0;
+  // m_b: interpolated count at `value` between the two bin heights.
+  double mb = bi.m + (bj.m - bi.m) * frac;
+  double s = (bi.m + mb) * frac / 2.0;
+  for (size_t j = 0; j < i; ++j) s += bins_[j].m;
+  s += bi.m / 2.0;
+  return s;
+}
+
+std::vector<double> BhtHistogram::Uniform(size_t count) const {
+  std::vector<double> out;
+  if (total_ == 0 || count < 2 || bins_.size() < 2) return out;
+  for (size_t j = 1; j < count; ++j) {
+    double target = static_cast<double>(j) * static_cast<double>(total_) /
+                    static_cast<double>(count);
+    // Binary search the value u with Sum(u) = target between min and max.
+    double lo = min_;
+    double hi = max_;
+    for (int iter = 0; iter < 40; ++iter) {
+      double mid = 0.5 * (lo + hi);
+      if (Sum(mid) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    out.push_back(0.5 * (lo + hi));
+  }
+  return out;
+}
+
+}  // namespace apps
+}  // namespace pkgstream

@@ -1,0 +1,79 @@
+// Copyright 2026 The pkgstream Authors.
+// The Ben-Haim & Tom-Tov streaming histogram (JMLR 11, 2010) — the sketch at
+// the heart of the streaming parallel decision tree the paper discusses in
+// Section VI-B. A fixed number of (centroid, count) bins summarizes an
+// unbounded stream of reals; histograms built on different sub-streams merge
+// into a summary of the union, which is what lets PKG keep only 2 histograms
+// per feature-class-leaf triplet instead of W.
+//
+// Implements the four procedures of the original paper: update (alg. 1),
+// merge (alg. 2), sum (alg. 3) and uniform (alg. 4).
+
+#ifndef PKGSTREAM_APPS_BHT_HISTOGRAM_H_
+#define PKGSTREAM_APPS_BHT_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pkgstream {
+namespace apps {
+
+/// \brief A fixed-size mergeable histogram over doubles.
+class BhtHistogram {
+ public:
+  /// `max_bins` is the paper's B; accuracy improves with B.
+  explicit BhtHistogram(size_t max_bins);
+
+  /// Adds one observation (Algorithm 1: insert a unit bin, then shrink).
+  void Update(double value);
+
+  /// Merges another histogram (Algorithm 2). Bin caps need not match; the
+  /// result keeps this histogram's cap.
+  void Merge(const BhtHistogram& other);
+
+  /// Estimated number of observations <= value (Algorithm 3: trapezoidal
+  /// interpolation within the straddling bin pair).
+  double Sum(double value) const;
+
+  /// B~ split candidates u_1..u_{count-1} such that each interval holds
+  /// ~equal mass (Algorithm 4). Returns fewer when the histogram is small.
+  std::vector<double> Uniform(size_t count) const;
+
+  /// Total observations represented.
+  uint64_t TotalCount() const { return total_; }
+
+  /// Number of live bins (<= max_bins).
+  size_t NumBins() const { return bins_.size(); }
+  size_t max_bins() const { return max_bins_; }
+
+  /// Bin accessors for tests.
+  double BinCentroid(size_t i) const { return bins_[i].p; }
+  double BinCount(size_t i) const { return bins_[i].m; }
+
+  double MinValue() const { return min_; }
+  double MaxValue() const { return max_; }
+
+ private:
+  struct Bin {
+    double p;  // centroid
+    double m;  // count (fractional after merges)
+  };
+
+  /// Inserts a bin keeping the vector sorted by centroid.
+  void InsertBin(Bin bin);
+  /// Merges the two adjacent bins with the closest centroids until the cap
+  /// holds.
+  void Shrink();
+
+  size_t max_bins_;
+  std::vector<Bin> bins_;  // sorted by centroid
+  uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace apps
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_APPS_BHT_HISTOGRAM_H_

@@ -1,0 +1,265 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "apps/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace apps {
+
+double Entropy(const std::vector<double>& class_masses) {
+  double total = 0.0;
+  for (double m : class_masses) total += std::max(m, 0.0);
+  if (total <= 0.0) return 0.0;
+  double h = 0.0;
+  for (double m : class_masses) {
+    if (m <= 0.0) continue;
+    double p = m / total;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+DecisionTreeModel::DecisionTreeModel(uint32_t num_classes)
+    : num_classes_(num_classes) {
+  PKGSTREAM_CHECK(num_classes >= 2);
+  Node root;
+  root.class_counts.assign(num_classes, 0);
+  nodes_.push_back(std::move(root));
+}
+
+uint32_t DecisionTreeModel::LeafOf(const std::vector<double>& features) const {
+  uint32_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    const Node& n = nodes_[node];
+    PKGSTREAM_DCHECK(n.feature < features.size());
+    node = features[n.feature] <= n.threshold
+               ? static_cast<uint32_t>(n.left)
+               : static_cast<uint32_t>(n.right);
+  }
+  return node;
+}
+
+uint32_t DecisionTreeModel::Predict(const std::vector<double>& features) const {
+  const Node& leaf = nodes_[LeafOf(features)];
+  uint32_t best = 0;
+  for (uint32_t c = 1; c < num_classes_; ++c) {
+    if (leaf.class_counts[c] > leaf.class_counts[best]) best = c;
+  }
+  return best;
+}
+
+void DecisionTreeModel::Observe(uint32_t leaf, uint32_t label) {
+  PKGSTREAM_DCHECK(leaf < nodes_.size() && nodes_[leaf].is_leaf);
+  PKGSTREAM_DCHECK(label < num_classes_);
+  ++nodes_[leaf].class_counts[label];
+  ++nodes_[leaf].samples;
+}
+
+std::pair<uint32_t, uint32_t> DecisionTreeModel::Split(uint32_t leaf,
+                                                       uint32_t feature,
+                                                       double threshold) {
+  PKGSTREAM_CHECK(leaf < nodes_.size() && nodes_[leaf].is_leaf);
+  Node left;
+  left.class_counts.assign(num_classes_, 0);
+  Node right = left;
+  uint32_t left_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(left));
+  uint32_t right_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(std::move(right));
+  Node& parent = nodes_[leaf];
+  parent.is_leaf = false;
+  parent.feature = feature;
+  parent.threshold = threshold;
+  parent.left = static_cast<int32_t>(left_index);
+  parent.right = static_cast<int32_t>(right_index);
+  ++num_leaves_;
+  return {left_index, right_index};
+}
+
+uint64_t DecisionTreeModel::LeafSamples(uint32_t leaf) const {
+  PKGSTREAM_DCHECK(leaf < nodes_.size());
+  return nodes_[leaf].samples;
+}
+
+const std::vector<uint64_t>& DecisionTreeModel::LeafClassCounts(
+    uint32_t leaf) const {
+  PKGSTREAM_DCHECK(leaf < nodes_.size());
+  return nodes_[leaf].class_counts;
+}
+
+Result<std::unique_ptr<StreamingDecisionTree>> StreamingDecisionTree::Create(
+    partition::PartitionerConfig config, DecisionTreeOptions options) {
+  if (options.num_features < 1 || options.num_classes < 2) {
+    return Status::InvalidArgument(
+        "decision tree needs >= 1 feature and >= 2 classes");
+  }
+  if (config.technique == partition::Technique::kOffGreedy) {
+    return Status::InvalidArgument(
+        "Off-Greedy is not applicable to decision-tree training");
+  }
+  auto tree = std::unique_ptr<StreamingDecisionTree>(
+      new StreamingDecisionTree(config, options));
+  PKGSTREAM_ASSIGN_OR_RETURN(tree->partitioner_,
+                             partition::MakePartitioner(config));
+  return tree;
+}
+
+StreamingDecisionTree::StreamingDecisionTree(
+    partition::PartitionerConfig config, DecisionTreeOptions options)
+    : config_(config),
+      options_(options),
+      model_(options.num_classes),
+      workers_(config.workers),
+      worker_loads_(config.workers, 0) {}
+
+void StreamingDecisionTree::Train(SourceId source,
+                                  const NumericExample& example) {
+  PKGSTREAM_CHECK(example.features.size() == options_.num_features);
+  PKGSTREAM_CHECK(example.label < options_.num_classes);
+  ++examples_;
+  uint32_t leaf = model_.LeafOf(example.features);
+  model_.Observe(leaf, example.label);
+
+  const bool horizontal =
+      config_.technique == partition::Technique::kShuffle ||
+      config_.technique == partition::Technique::kRandom;
+  if (horizontal) {
+    // The original SPDT (Section VI-B): whole examples are shuffled among
+    // workers; every worker keeps histograms for *all* features of its
+    // sub-stream — W x D x C x L histograms in total.
+    WorkerId w = partitioner_->Route(source, examples_);
+    for (uint32_t f = 0; f < options_.num_features; ++f) {
+      ++worker_loads_[w];
+      UpdateHistogram(w, f, leaf, example.label, example.features[f]);
+    }
+  } else {
+    // The paper's PKG variant: one message per feature, routed by feature
+    // id, so a feature's histograms live on at most MaxWorkersPerKey()
+    // workers (2 for PKG, 1 for KG).
+    for (uint32_t f = 0; f < options_.num_features; ++f) {
+      WorkerId w = partitioner_->Route(source, f);
+      ++worker_loads_[w];
+      UpdateHistogram(w, f, leaf, example.label, example.features[f]);
+    }
+  }
+  uint64_t attempt_at = options_.min_leaf_samples;
+  auto backoff = next_split_attempt_.find(leaf);
+  if (backoff != next_split_attempt_.end()) {
+    attempt_at = backoff->second;
+  }
+  if (model_.LeafSamples(leaf) >= attempt_at &&
+      model_.num_leaves() < options_.max_leaves) {
+    TrySplit(leaf);
+  }
+}
+
+void StreamingDecisionTree::UpdateHistogram(WorkerId w, uint32_t feature,
+                                            uint32_t leaf, uint32_t label,
+                                            double value) {
+  auto key = TripletKey(feature, leaf, label);
+  auto it = workers_[w].find(key);
+  if (it == workers_[w].end()) {
+    it = workers_[w].emplace(key, BhtHistogram(options_.histogram_bins))
+             .first;
+  }
+  it->second.Update(value);
+}
+
+BhtHistogram StreamingDecisionTree::MergedHistogram(uint32_t feature,
+                                                    uint32_t leaf,
+                                                    uint32_t label) {
+  BhtHistogram merged(options_.histogram_bins);
+  auto key = TripletKey(feature, leaf, label);
+  for (auto& worker : workers_) {
+    auto it = worker.find(key);
+    if (it == worker.end()) continue;
+    merged.Merge(it->second);
+    ++merges_;
+  }
+  return merged;
+}
+
+void StreamingDecisionTree::TrySplit(uint32_t leaf) {
+  const auto& counts = model_.LeafClassCounts(leaf);
+  std::vector<double> parent_masses(counts.begin(), counts.end());
+  double parent_entropy = Entropy(parent_masses);
+  double parent_total = 0.0;
+  for (double m : parent_masses) parent_total += m;
+  if (parent_entropy <= options_.min_gain || parent_total == 0.0) return;
+
+  double best_gain = 0.0;
+  uint32_t best_feature = 0;
+  double best_threshold = 0.0;
+  bool found = false;
+
+  for (uint32_t f = 0; f < options_.num_features; ++f) {
+    // Merge per-class histograms once per feature.
+    std::vector<BhtHistogram> per_class;
+    per_class.reserve(options_.num_classes);
+    BhtHistogram all(options_.histogram_bins);
+    for (uint32_t c = 0; c < options_.num_classes; ++c) {
+      per_class.push_back(MergedHistogram(f, leaf, c));
+      all.Merge(per_class.back());
+    }
+    if (all.TotalCount() == 0) continue;
+    for (double t : all.Uniform(options_.candidate_splits)) {
+      std::vector<double> left_masses(options_.num_classes, 0.0);
+      std::vector<double> right_masses(options_.num_classes, 0.0);
+      for (uint32_t c = 0; c < options_.num_classes; ++c) {
+        double left = per_class[c].Sum(t);
+        double total = static_cast<double>(per_class[c].TotalCount());
+        left_masses[c] = left;
+        right_masses[c] = std::max(total - left, 0.0);
+      }
+      double left_total = 0.0;
+      double right_total = 0.0;
+      for (uint32_t c = 0; c < options_.num_classes; ++c) {
+        left_total += left_masses[c];
+        right_total += right_masses[c];
+      }
+      double total = left_total + right_total;
+      if (left_total <= 0.0 || right_total <= 0.0 || total <= 0.0) continue;
+      double gain = parent_entropy -
+                    (left_total / total) * Entropy(left_masses) -
+                    (right_total / total) * Entropy(right_masses);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = t;
+        found = true;
+      }
+    }
+  }
+  if (!found || best_gain < options_.min_gain) {
+    // Unsplittable right now: back off so we do not re-merge every
+    // histogram on every subsequent message (50% more samples first).
+    next_split_attempt_[leaf] =
+        model_.LeafSamples(leaf) + options_.min_leaf_samples / 2;
+    return;
+  }
+  model_.Split(leaf, best_feature, best_threshold);
+  DropLeafHistograms(leaf);
+}
+
+void StreamingDecisionTree::DropLeafHistograms(uint32_t leaf) {
+  for (auto& worker : workers_) {
+    for (uint32_t f = 0; f < options_.num_features; ++f) {
+      for (uint32_t c = 0; c < options_.num_classes; ++c) {
+        worker.erase(TripletKey(f, leaf, c));
+      }
+    }
+  }
+}
+
+uint64_t StreamingDecisionTree::TotalHistograms() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) total += w.size();
+  return total;
+}
+
+}  // namespace apps
+}  // namespace pkgstream

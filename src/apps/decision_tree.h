@@ -1,0 +1,153 @@
+// Copyright 2026 The pkgstream Authors.
+// Streaming parallel decision tree (Section VI-B), after Ben-Haim & Tom-Tov
+// (JMLR 2010): workers build fixed-size histograms per
+// (feature, class, leaf) triplet on their sub-streams; an aggregator merges
+// them, evaluates candidate thresholds, and grows the tree.
+//
+// The partitioning technique decides histogram placement by feature key:
+//   SG  — every worker may hold a partial for every triplet: W x D x C x L
+//         histograms, and each split decision merges W partials per triplet;
+//   PKG — a feature's partials live on its 2 hash candidates: 2 x D x C x L
+//         histograms and 2-way merges (the paper's memory/aggregation win);
+//   KG  — one worker per feature: no merge, but skewed feature load.
+
+#ifndef PKGSTREAM_APPS_DECISION_TREE_H_
+#define PKGSTREAM_APPS_DECISION_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/bht_histogram.h"
+#include "common/result.h"
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace apps {
+
+/// \brief A training example with real-valued features.
+struct NumericExample {
+  std::vector<double> features;
+  uint32_t label = 0;
+};
+
+/// \brief Tuning knobs for the streaming tree.
+struct DecisionTreeOptions {
+  uint32_t num_features = 2;
+  uint32_t num_classes = 2;
+  size_t histogram_bins = 32;        ///< B, the per-histogram bin cap
+  uint64_t min_leaf_samples = 2000;  ///< samples at a leaf before splitting
+  uint32_t max_leaves = 32;
+  double min_gain = 1e-3;            ///< entropy gain required to split
+  size_t candidate_splits = 10;      ///< B~ candidate thresholds per feature
+};
+
+/// \brief The tree grown by the aggregator.
+class DecisionTreeModel {
+ public:
+  explicit DecisionTreeModel(uint32_t num_classes);
+
+  /// Index of the leaf node an example falls into.
+  uint32_t LeafOf(const std::vector<double>& features) const;
+
+  /// Majority-class prediction at the example's leaf.
+  uint32_t Predict(const std::vector<double>& features) const;
+
+  /// Records a labelled example at its leaf (class counts for prediction).
+  void Observe(uint32_t leaf, uint32_t label);
+
+  /// Splits `leaf` on (feature, threshold); returns {left, right} indices.
+  std::pair<uint32_t, uint32_t> Split(uint32_t leaf, uint32_t feature,
+                                      double threshold);
+
+  uint32_t num_leaves() const { return num_leaves_; }
+  uint64_t LeafSamples(uint32_t leaf) const;
+  const std::vector<uint64_t>& LeafClassCounts(uint32_t leaf) const;
+  bool IsLeaf(uint32_t node) const { return nodes_[node].is_leaf; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    uint32_t feature = 0;
+    double threshold = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+    std::vector<uint64_t> class_counts;
+    uint64_t samples = 0;
+  };
+
+  uint32_t num_classes_;
+  uint32_t num_leaves_ = 1;
+  std::vector<Node> nodes_;
+};
+
+/// \brief The distributed trainer: partitioned histogram workers plus the
+/// split-deciding aggregator, driven synchronously.
+class StreamingDecisionTree {
+ public:
+  static Result<std::unique_ptr<StreamingDecisionTree>> Create(
+      partition::PartitionerConfig config, DecisionTreeOptions options);
+
+  /// Trains on one example: the source computes the example's leaf from the
+  /// current model, then emits one histogram update per feature, routed by
+  /// feature id. Splits happen inline when a leaf has enough samples.
+  void Train(SourceId source, const NumericExample& example);
+
+  uint32_t Predict(const std::vector<double>& features) const {
+    return model_.Predict(features.empty() ? features : features);
+  }
+
+  const DecisionTreeModel& model() const { return model_; }
+
+  /// Live histograms across workers (the paper's 2DCL vs WDCL memory).
+  uint64_t TotalHistograms() const;
+
+  /// Histogram merges performed while deciding splits (aggregation cost).
+  uint64_t merge_operations() const { return merges_; }
+
+  /// Per-worker histogram-update messages (load balance).
+  const std::vector<uint64_t>& worker_loads() const { return worker_loads_; }
+
+  uint64_t examples_trained() const { return examples_; }
+
+ private:
+  StreamingDecisionTree(partition::PartitionerConfig config,
+                        DecisionTreeOptions options);
+
+  static uint64_t TripletKey(uint32_t feature, uint32_t leaf,
+                             uint32_t label) {
+    return (static_cast<uint64_t>(feature) << 40) ^
+           (static_cast<uint64_t>(leaf) << 8) ^ label;
+  }
+
+  void TrySplit(uint32_t leaf);
+  void UpdateHistogram(WorkerId w, uint32_t feature, uint32_t leaf,
+                       uint32_t label, double value);
+  /// Merged histogram for (feature, leaf, class) across all workers.
+  BhtHistogram MergedHistogram(uint32_t feature, uint32_t leaf,
+                               uint32_t label);
+  void DropLeafHistograms(uint32_t leaf);
+
+  partition::PartitionerConfig config_;
+  DecisionTreeOptions options_;
+  partition::PartitionerPtr partitioner_;
+  DecisionTreeModel model_;
+  /// workers_[w]: (feature, leaf, class) -> histogram.
+  std::vector<std::unordered_map<uint64_t, BhtHistogram>> workers_;
+  std::vector<uint64_t> worker_loads_;
+  /// Per-leaf sample count at which the next split attempt is allowed
+  /// (backoff after an unsplittable attempt). Missing = min_leaf_samples.
+  std::unordered_map<uint32_t, uint64_t> next_split_attempt_;
+  uint64_t merges_ = 0;
+  uint64_t examples_ = 0;
+};
+
+/// \brief Entropy of a class-count vector (bits). Exposed for tests.
+double Entropy(const std::vector<double>& class_masses);
+
+}  // namespace apps
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_APPS_DECISION_TREE_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "apps/heavy_hitters.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace apps {
+
+HeavyHitterWorker::HeavyHitterWorker(size_t capacity) : summary_(capacity) {}
+
+void HeavyHitterWorker::Process(const engine::Message& msg,
+                                engine::Emitter* out) {
+  (void)out;
+  PKGSTREAM_DCHECK(msg.tag == kTagItem);
+  summary_.Add(msg.key);
+}
+
+void HeavyHitterWorker::EmitSummary(engine::Emitter* out) {
+  if (summary_.processed() == 0) return;
+  auto snapshot = std::make_shared<const SpaceSaving>(summary_);
+  engine::Message m;
+  m.key = 0;  // merger is single-instance; key is irrelevant
+  m.tag = kTagSummary;
+  engine::SetBox(&m, std::move(snapshot));
+  out->Emit(m);
+}
+
+void HeavyHitterWorker::Tick(uint64_t /*now*/, engine::Emitter* out) {
+  // Windowed flush: ship the partial summary and start a fresh window.
+  // Merging summaries of disjoint windows is sound (disjoint sub-streams).
+  EmitSummary(out);
+  summary_ = SpaceSaving(summary_.capacity());
+}
+
+void HeavyHitterWorker::Close(engine::Emitter* out) { EmitSummary(out); }
+
+HeavyHitterMerger::HeavyHitterMerger(size_t capacity) : merged_(capacity) {}
+
+void HeavyHitterMerger::Process(const engine::Message& msg,
+                                engine::Emitter* out) {
+  (void)out;
+  PKGSTREAM_DCHECK(msg.tag == kTagSummary);
+  const auto* summary = msg.BoxAs<SpaceSaving>();
+  PKGSTREAM_CHECK(summary != nullptr) << "summary message without payload";
+  merged_.Merge(*summary);
+}
+
+HeavyHitterTopology MakeHeavyHitterTopology(partition::Technique technique,
+                                            uint32_t sources, uint32_t workers,
+                                            size_t capacity, uint64_t seed) {
+  HeavyHitterTopology hh;
+  hh.spout = hh.topology.AddSpout("items", sources);
+  hh.worker = hh.topology.AddOperator(
+      "summarizer",
+      [capacity](uint32_t) {
+        return std::make_unique<HeavyHitterWorker>(capacity);
+      },
+      workers);
+  hh.merger = hh.topology.AddOperator(
+      "merger",
+      [capacity, workers](uint32_t) {
+        // The merged summary needs headroom: worker summaries can disagree
+        // on which keys matter, so give the merger W x capacity slots (it
+        // still reports only the top-k).
+        return std::make_unique<HeavyHitterMerger>(capacity * workers);
+      },
+      1);
+
+  partition::PartitionerConfig upstream;
+  upstream.technique = technique;
+  upstream.seed = seed;
+  PKGSTREAM_CHECK_OK(hh.topology.Connect(hh.spout, hh.worker, upstream));
+  PKGSTREAM_CHECK_OK(hh.topology.Connect(hh.worker, hh.merger,
+                                         partition::Technique::kHashing,
+                                         seed + 1));
+  return hh;
+}
+
+}  // namespace apps
+}  // namespace pkgstream

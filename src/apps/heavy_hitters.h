@@ -1,0 +1,83 @@
+// Copyright 2026 The pkgstream Authors.
+// Distributed heavy hitters (Section VI-C): SPACESAVING summaries built per
+// worker on sub-streams and merged downstream. Under PKG each key appears in
+// at most 2 summaries, so its merged error carries 2 terms; under shuffle
+// grouping it carries up to W (the paper's error-bound comparison).
+
+#ifndef PKGSTREAM_APPS_HEAVY_HITTERS_H_
+#define PKGSTREAM_APPS_HEAVY_HITTERS_H_
+
+#include <memory>
+#include <vector>
+
+#include "stats/space_saving.h"
+#include "engine/operator.h"
+#include "engine/topology.h"
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace apps {
+
+/// SpaceSaving lives in stats/ (it is a sketch, and the partitioner
+/// layer uses it too); aliased here for the application-facing API.
+using stats::SpaceSaving;
+using stats::SpaceSavingEntry;
+
+/// Tags on the heavy-hitter streams.
+inline constexpr uint32_t kTagItem = 0;     ///< spout -> worker
+inline constexpr uint32_t kTagSummary = 1;  ///< worker -> merger (boxed)
+
+/// \brief Worker PE: one SPACESAVING summary over its sub-stream.
+class HeavyHitterWorker final : public engine::Operator {
+ public:
+  explicit HeavyHitterWorker(size_t capacity);
+
+  void Process(const engine::Message& msg, engine::Emitter* out) override;
+  void Tick(uint64_t now, engine::Emitter* out) override;
+  void Close(engine::Emitter* out) override;
+  uint64_t MemoryCounters() const override { return summary_.size(); }
+
+  const SpaceSaving& summary() const { return summary_; }
+
+ private:
+  void EmitSummary(engine::Emitter* out);
+
+  SpaceSaving summary_;
+};
+
+/// \brief Merger PE: combines worker summaries (Berinde et al. merge).
+class HeavyHitterMerger final : public engine::Operator {
+ public:
+  explicit HeavyHitterMerger(size_t capacity);
+
+  void Process(const engine::Message& msg, engine::Emitter* out) override;
+  uint64_t MemoryCounters() const override { return merged_.size(); }
+
+  const SpaceSaving& merged() const { return merged_; }
+
+  /// Top-k heavy hitters from the merged summary.
+  std::vector<SpaceSavingEntry> TopK(size_t k) const {
+    return merged_.TopK(k);
+  }
+
+ private:
+  SpaceSaving merged_;
+};
+
+/// \brief Assembled heavy-hitter topology.
+struct HeavyHitterTopology {
+  engine::Topology topology;
+  engine::NodeId spout;
+  engine::NodeId worker;
+  engine::NodeId merger;
+};
+
+/// \brief spout --technique--> worker xW --(all to one merger)--> merger.
+HeavyHitterTopology MakeHeavyHitterTopology(partition::Technique technique,
+                                            uint32_t sources, uint32_t workers,
+                                            size_t capacity, uint64_t seed);
+
+}  // namespace apps
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_APPS_HEAVY_HITTERS_H_

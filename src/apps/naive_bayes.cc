@@ -1,0 +1,153 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "apps/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "partition/key_grouping.h"
+
+namespace pkgstream {
+namespace apps {
+
+Result<std::unique_ptr<DistributedNaiveBayes>> DistributedNaiveBayes::Create(
+    partition::PartitionerConfig config, uint32_t num_features,
+    uint32_t num_classes) {
+  if (num_features < 1 || num_classes < 2) {
+    return Status::InvalidArgument(
+        "naive Bayes needs >= 1 feature and >= 2 classes");
+  }
+  if (config.technique == partition::Technique::kOffGreedy) {
+    return Status::InvalidArgument(
+        "Off-Greedy needs a frequency table and is not meaningful here");
+  }
+  auto nb = std::unique_ptr<DistributedNaiveBayes>(
+      new DistributedNaiveBayes(config, num_features, num_classes));
+  PKGSTREAM_ASSIGN_OR_RETURN(nb->partitioner_,
+                             partition::MakePartitioner(config));
+  return nb;
+}
+
+DistributedNaiveBayes::DistributedNaiveBayes(
+    partition::PartitionerConfig config, uint32_t num_features,
+    uint32_t num_classes)
+    : config_(config),
+      num_features_(num_features),
+      num_classes_(num_classes),
+      workers_(config.workers),
+      worker_loads_(config.workers, 0),
+      class_counts_(num_classes, 0),
+      placements_(num_features) {}
+
+void DistributedNaiveBayes::Train(SourceId source,
+                                  const LabeledExample& example) {
+  PKGSTREAM_CHECK(example.feature_values.size() == num_features_);
+  PKGSTREAM_CHECK(example.label < num_classes_);
+  ++examples_;
+  ++class_counts_[example.label];
+  for (uint32_t f = 0; f < num_features_; ++f) {
+    if (example.feature_values[f] == kAbsentFeature) continue;
+    WorkerId w = partitioner_->Route(source, f);
+    ++worker_loads_[w];
+    placements_[f].insert(w);
+    ++workers_[w].counts[CounterKey(f, example.feature_values[f],
+                                    example.label)];
+  }
+}
+
+std::vector<WorkerId> DistributedNaiveBayes::ProbeSet(uint32_t feature) const {
+  std::vector<WorkerId> probes;
+  switch (config_.technique) {
+    case partition::Technique::kPkgGlobal:
+    case partition::Technique::kPkgLocal:
+    case partition::Technique::kPkgProbing: {
+      auto* pkg = static_cast<partition::PartialKeyGrouping*>(
+          partitioner_.get());
+      pkg->CandidateWorkers(feature, &probes);
+      std::sort(probes.begin(), probes.end());
+      probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+      return probes;
+    }
+    case partition::Technique::kHashing: {
+      // Stateless: replay the hash on a throwaway instance.
+      partition::KeyGrouping kg(1, config_.workers, config_.seed);
+      probes.push_back(kg.Route(0, feature));
+      return probes;
+    }
+    case partition::Technique::kPotcStatic:
+    case partition::Technique::kOnGreedy:
+    case partition::Technique::kOffGreedy:
+    case partition::Technique::kRebalancing:
+    case partition::Technique::kConsistent:
+    case partition::Technique::kWChoices: {
+      // Table-based single placement: the placement was fixed the first
+      // time the feature was routed; we recorded it during Train.
+      probes.assign(placements_[feature].begin(), placements_[feature].end());
+      if (probes.empty()) probes.push_back(0);
+      return probes;
+    }
+    case partition::Technique::kShuffle:
+    case partition::Technique::kRandom:
+      // Any worker may hold a partial: broadcast (the paper's SG downside).
+      for (WorkerId w = 0; w < workers_.size(); ++w) probes.push_back(w);
+      return probes;
+  }
+  return probes;
+}
+
+uint32_t DistributedNaiveBayes::Classify(
+    const std::vector<uint32_t>& feature_values, uint64_t* probes) const {
+  PKGSTREAM_CHECK(feature_values.size() == num_features_);
+  uint64_t probe_count = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  uint32_t best_class = 0;
+
+  // Gather per-feature per-class counts once (shared across classes).
+  // counts[f][c] = sum over probed workers of count(f, value_f, c).
+  std::vector<std::vector<uint64_t>> counts(
+      num_features_, std::vector<uint64_t>(num_classes_, 0));
+  for (uint32_t f = 0; f < num_features_; ++f) {
+    if (feature_values[f] == kAbsentFeature) continue;
+    for (WorkerId w : ProbeSet(f)) {
+      ++probe_count;
+      const auto& table = workers_[w].counts;
+      for (uint32_t c = 0; c < num_classes_; ++c) {
+        auto it = table.find(CounterKey(f, feature_values[f], c));
+        if (it != table.end()) counts[f][c] += it->second;
+      }
+    }
+  }
+  if (probes != nullptr) *probes = probe_count;
+
+  const double total = static_cast<double>(std::max<uint64_t>(examples_, 1));
+  for (uint32_t c = 0; c < num_classes_; ++c) {
+    // log P(c) + sum_f log P(x_f | c), Laplace-smoothed.
+    double prior =
+        (static_cast<double>(class_counts_[c]) + 1.0) /
+        (total + static_cast<double>(num_classes_));
+    double score = std::log(prior);
+    double class_examples = static_cast<double>(class_counts_[c]);
+    for (uint32_t f = 0; f < num_features_; ++f) {
+      if (feature_values[f] == kAbsentFeature) continue;
+      double likelihood = (static_cast<double>(counts[f][c]) + 1.0) /
+                          (class_examples + 2.0);
+      score += std::log(likelihood);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_class = c;
+    }
+  }
+  return best_class;
+}
+
+uint64_t DistributedNaiveBayes::TotalCounters() const {
+  uint64_t total = 0;
+  for (const auto& w : workers_) total += w.counts.size();
+  return total;
+}
+
+}  // namespace apps
+}  // namespace pkgstream

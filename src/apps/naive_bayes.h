@@ -1,0 +1,112 @@
+// Copyright 2026 The pkgstream Authors.
+// Distributed naïve Bayes (Section VI-A): vertical parallelism — the
+// feature-class co-occurrence counters are spread over workers keyed by
+// feature id. The partitioning technique decides where a feature's counters
+// live:
+//   KG  — one worker per feature (skewed features -> imbalance);
+//   SG  — any worker may hold a partial count, so a query must broadcast to
+//         all W workers;
+//   PKG — exactly the two hash candidates hold partials, so a query probes
+//         2 workers per feature (the paper's cheap query argument).
+//
+// This app is a request/response workload, so it is implemented as a
+// library class over the Partitioner API rather than a DAG: training routes
+// feature messages exactly like a DSPE edge would; classification probes
+// the workers a key may live on.
+
+#ifndef PKGSTREAM_APPS_NAIVE_BAYES_H_
+#define PKGSTREAM_APPS_NAIVE_BAYES_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "partition/factory.h"
+#include "partition/pkg.h"
+
+namespace pkgstream {
+namespace apps {
+
+/// \brief A training example: categorical feature values plus a class label.
+///
+/// Examples are sparse, matching the text workloads of Section VI-A: the
+/// reserved value kAbsentFeature (0) means "feature not present in this
+/// document" — absent features emit no message during training and are
+/// skipped at classification time, so the per-feature message stream
+/// follows the (typically skewed) document-frequency distribution.
+struct LabeledExample {
+  /// feature_values[f] is the (bucketed) value of feature f; 0 = absent.
+  std::vector<uint32_t> feature_values;
+  uint32_t label = 0;
+};
+
+/// Reserved feature value meaning "not present in this example".
+inline constexpr uint32_t kAbsentFeature = 0;
+
+/// \brief Distributed naïve Bayes trainer + classifier.
+class DistributedNaiveBayes {
+ public:
+  /// `config.technique` chooses the placement of feature counters.
+  /// `num_features`, `num_classes` fix the model shape.
+  static Result<std::unique_ptr<DistributedNaiveBayes>> Create(
+      partition::PartitionerConfig config, uint32_t num_features,
+      uint32_t num_classes);
+
+  /// Trains on one example: emits one message per feature, each routed by
+  /// feature id through the configured partitioner to a worker's counter
+  /// table. `source` identifies the emitting source instance.
+  void Train(SourceId source, const LabeledExample& example);
+
+  /// Classifies by probing, for every feature, the workers that may hold
+  /// its counters, summing partial counts, and applying Bayes' rule with
+  /// Laplace smoothing. `probes` (optional out) counts worker probes used.
+  uint32_t Classify(const std::vector<uint32_t>& feature_values,
+                    uint64_t* probes = nullptr) const;
+
+  /// Per-worker training messages processed (load balance measurement).
+  const std::vector<uint64_t>& worker_loads() const { return worker_loads_; }
+
+  /// Total counter entries across workers (memory measurement).
+  uint64_t TotalCounters() const;
+
+  /// Workers that can hold feature `f`'s counters under this technique.
+  std::vector<WorkerId> ProbeSet(uint32_t feature) const;
+
+  uint32_t num_classes() const { return num_classes_; }
+  uint64_t examples_trained() const { return examples_; }
+
+ private:
+  DistributedNaiveBayes(partition::PartitionerConfig config,
+                        uint32_t num_features, uint32_t num_classes);
+
+  struct WorkerState {
+    /// (feature, value, class) -> count, keyed compactly.
+    std::unordered_map<uint64_t, uint64_t> counts;
+  };
+
+  static uint64_t CounterKey(uint32_t feature, uint32_t value,
+                             uint32_t label) {
+    return (static_cast<uint64_t>(feature) << 40) ^
+           (static_cast<uint64_t>(value) << 8) ^ label;
+  }
+
+  partition::PartitionerConfig config_;
+  partition::PartitionerPtr partitioner_;
+  uint32_t num_features_;
+  uint32_t num_classes_;
+  std::vector<WorkerState> workers_;
+  std::vector<uint64_t> worker_loads_;
+  std::vector<uint64_t> class_counts_;  // priors (kept at the query layer)
+  /// Workers observed to hold each feature's counters (exact for the
+  /// table-based techniques, used by ProbeSet).
+  std::vector<std::set<WorkerId>> placements_;
+  uint64_t examples_ = 0;
+};
+
+}  // namespace apps
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_APPS_NAIVE_BAYES_H_

@@ -1,0 +1,103 @@
+// Copyright 2026 The pkgstream Authors.
+// Streaming top-k word count — the paper's running example (Section II) and
+// the application deployed on Storm for the Q4 experiments (Section V).
+//
+// Topology:  spout --[technique]--> counter xW --[key grouping]--> aggregator
+//
+// Two counter modes mirror the paper's implementations:
+//  * kRunningTotals (key grouping): each word lives on one worker, the
+//    counter keeps the total and periodically emits only its local top-k.
+//  * kPartialCounts (PKG / shuffle grouping): a word's count is split over
+//    several workers; on every tick the counter flushes *all* partial
+//    counters downstream and clears them. Memory and aggregation costs are
+//    the O(2K) vs O(WK) comparison of Section III-A.
+
+#ifndef PKGSTREAM_APPS_WORDCOUNT_H_
+#define PKGSTREAM_APPS_WORDCOUNT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/operator.h"
+#include "engine/topology.h"
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace apps {
+
+/// Message tags on the word-count streams.
+inline constexpr uint32_t kTagWord = 0;        ///< spout -> counter
+inline constexpr uint32_t kTagPartialCount = 1;  ///< counter -> aggregator
+
+/// \brief How counters manage per-word state.
+enum class CounterMode {
+  kRunningTotals,  ///< KG: never flushed; tick emits local top-k snapshots
+  kPartialCounts,  ///< PKG/SG: tick flushes and clears all partials
+};
+
+/// \brief The counter PE instance.
+class WordCountCounter final : public engine::Operator {
+ public:
+  WordCountCounter(CounterMode mode, size_t topk);
+
+  void Process(const engine::Message& msg, engine::Emitter* out) override;
+  void Tick(uint64_t now, engine::Emitter* out) override;
+  void Close(engine::Emitter* out) override;
+  uint64_t MemoryCounters() const override { return counts_.size(); }
+
+  const std::unordered_map<Key, uint64_t>& counts() const { return counts_; }
+
+ private:
+  void EmitSnapshot(engine::Emitter* out, bool flush);
+
+  CounterMode mode_;
+  size_t topk_;
+  std::unordered_map<Key, uint64_t> counts_;
+};
+
+/// \brief The single-instance aggregator computing the global top-k.
+class TopKAggregator final : public engine::Operator {
+ public:
+  TopKAggregator(CounterMode mode, size_t topk);
+
+  void Process(const engine::Message& msg, engine::Emitter* out) override;
+  void Tick(uint64_t now, engine::Emitter* out) override;
+  uint64_t MemoryCounters() const override { return totals_.size(); }
+
+  /// Current top-k (key, count), recomputed on access.
+  std::vector<std::pair<Key, uint64_t>> TopK() const;
+
+  const std::unordered_map<Key, uint64_t>& totals() const { return totals_; }
+
+ private:
+  CounterMode mode_;
+  size_t topk_;
+  /// kPartialCounts: accumulated totals; kRunningTotals: latest snapshot.
+  std::unordered_map<Key, uint64_t> totals_;
+};
+
+/// \brief Assembled word-count topology handles.
+struct WordCountTopology {
+  engine::Topology topology;
+  engine::NodeId spout;
+  engine::NodeId counter;
+  engine::NodeId aggregator;
+  CounterMode mode = CounterMode::kPartialCounts;
+};
+
+/// \brief Builds the paper's topology: `sources` spout instances, `workers`
+/// counters partitioned by `technique`, one aggregator reached by hashing.
+///
+/// `tick_period` (runtime units; 0 = only flush at Close) drives both the
+/// counter flush and the aggregator's bookkeeping. KG implies
+/// kRunningTotals; every other technique uses kPartialCounts.
+WordCountTopology MakeWordCountTopology(partition::Technique technique,
+                                        uint32_t sources, uint32_t workers,
+                                        uint64_t tick_period, size_t topk,
+                                        uint64_t seed);
+
+}  // namespace apps
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_APPS_WORDCOUNT_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The pkgstream Authors.
+// A tiny command-line flag parser for examples and benches.
+//
+// Supports --name=value and --name value forms plus boolean switches
+// (--full). Unknown flags are reported; positional arguments are collected.
+// Scope is deliberately small: binaries in this repo take a handful of
+// scalar knobs (seed, scale, workers), not nested configuration.
+
+#ifndef PKGSTREAM_COMMON_FLAGS_H_
+#define PKGSTREAM_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pkgstream {
+
+/// \brief Parsed command line: flag map plus positional arguments.
+class Flags {
+ public:
+  /// Parses argv. Returns an error for malformed flags (e.g. "--=3").
+  static Status Parse(int argc, const char* const* argv, Flags* out);
+
+  /// True if --name was present (with or without a value).
+  bool Has(const std::string& name) const;
+
+  /// String value of --name, or `def` when absent.
+  std::string GetString(const std::string& name, const std::string& def) const;
+
+  /// Integer value of --name, or `def` when absent or unparseable.
+  int64_t GetInt(const std::string& name, int64_t def) const;
+
+  /// Double value of --name, or `def` when absent or unparseable.
+  double GetDouble(const std::string& name, double def) const;
+
+  /// Boolean: present with no value or value in {1,true,yes,on} is true.
+  bool GetBool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All flag names seen (for unknown-flag warnings in binaries).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_FLAGS_H_

@@ -1,0 +1,151 @@
+// Copyright 2026 The pkgstream Authors.
+// MurmurHash3 x64 128-bit, reimplemented from the public-domain reference.
+
+#include "common/hash.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+
+namespace {
+
+inline uint64_t Rotl64(uint64_t x, int8_t r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline uint64_t GetBlock64(const uint8_t* p, size_t i) {
+  uint64_t block;
+  std::memcpy(&block, p + i * 8, sizeof(block));
+  return block;  // little-endian assumed (x86/ARM64 targets)
+}
+
+}  // namespace
+
+Hash128 Murmur3_x64_128(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const size_t nblocks = len / 16;
+
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+
+  const uint64_t c1 = 0x87c37b91114253d5ULL;
+  const uint64_t c2 = 0x4cf5ad432745937fULL;
+
+  // Body: 16-byte blocks.
+  for (size_t i = 0; i < nblocks; i++) {
+    uint64_t k1 = GetBlock64(bytes, i * 2 + 0);
+    uint64_t k2 = GetBlock64(bytes, i * 2 + 1);
+
+    k1 *= c1;
+    k1 = Rotl64(k1, 31);
+    k1 *= c2;
+    h1 ^= k1;
+
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+
+    k2 *= c2;
+    k2 = Rotl64(k2, 33);
+    k2 *= c1;
+    h2 ^= k2;
+
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  // Tail: up to 15 trailing bytes.
+  const uint8_t* tail = bytes + nblocks * 16;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]) << 0;
+      k2 *= c2;
+      k2 = Rotl64(k2, 33);
+      k2 *= c1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]) << 0;
+      k1 *= c1;
+      k1 = Rotl64(k1, 31);
+      k1 *= c2;
+      h1 ^= k1;
+  }
+
+  // Finalization.
+  h1 ^= static_cast<uint64_t>(len);
+  h2 ^= static_cast<uint64_t>(len);
+
+  h1 += h2;
+  h2 += h1;
+
+  h1 = Fmix64(h1);
+  h2 = Fmix64(h2);
+
+  h1 += h2;
+  h2 += h1;
+
+  return Hash128{h1, h2};
+}
+
+uint64_t Murmur3_64(const void* data, size_t len, uint32_t seed) {
+  return Murmur3_x64_128(data, len, seed).low;
+}
+
+uint64_t Murmur3_64(std::string_view s, uint32_t seed) {
+  return Murmur3_64(s.data(), s.size(), seed);
+}
+
+uint64_t Murmur3_64(uint64_t key, uint32_t seed) {
+  return Murmur3_64(&key, sizeof(key), seed);
+}
+
+HashFamily::HashFamily(uint32_t d, uint32_t buckets, uint64_t seed)
+    : buckets_(buckets) {
+  PKGSTREAM_CHECK(d >= 1) << "HashFamily needs at least one function";
+  PKGSTREAM_CHECK(buckets >= 1) << "HashFamily needs at least one bucket";
+  seeds_.reserve(d);
+  // Derive d well-separated 32-bit seeds from the 64-bit family seed.
+  for (uint32_t i = 0; i < d; ++i) {
+    seeds_.push_back(
+        static_cast<uint32_t>(Fmix64(seed + 0x9e3779b97f4a7c15ULL * (i + 1))));
+  }
+}
+
+uint32_t HashFamily::Bucket(uint32_t i, uint64_t key) const {
+  PKGSTREAM_DCHECK(i < seeds_.size());
+  return static_cast<uint32_t>(Murmur3_64(key, seeds_[i]) % buckets_);
+}
+
+uint32_t HashFamily::Bucket(uint32_t i, std::string_view key) const {
+  PKGSTREAM_DCHECK(i < seeds_.size());
+  return static_cast<uint32_t>(Murmur3_64(key, seeds_[i]) % buckets_);
+}
+
+void HashFamily::Candidates(uint64_t key, std::vector<uint32_t>* out) const {
+  out->clear();
+  out->reserve(seeds_.size());
+  for (uint32_t i = 0; i < seeds_.size(); ++i) {
+    out->push_back(Bucket(i, key));
+  }
+}
+
+}  // namespace pkgstream

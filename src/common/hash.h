@@ -1,0 +1,98 @@
+// Copyright 2026 The pkgstream Authors.
+// Hashing substrate: MurmurHash3 (x64, 128-bit) implemented from scratch,
+// 64-bit finalizers, and a seeded family of independent hash functions.
+//
+// The paper routes with "a 64-bit Murmur hash function to minimize the
+// probability of collision" (Section V-B). PKG's Greedy-d scheme needs d
+// independent hash functions H1..Hd : K -> [n]; we derive them from
+// Murmur3 with distinct seeds (see HashFamily).
+
+#ifndef PKGSTREAM_COMMON_HASH_H_
+#define PKGSTREAM_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pkgstream {
+
+/// \brief 128-bit hash value.
+struct Hash128 {
+  uint64_t low;
+  uint64_t high;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.low == b.low && a.high == b.high;
+  }
+};
+
+/// \brief MurmurHash3 x64 128-bit over an arbitrary byte buffer.
+///
+/// Faithful reimplementation of Austin Appleby's public-domain reference
+/// (MurmurHash3_x64_128), byte-for-byte compatible on little-endian hosts.
+Hash128 Murmur3_x64_128(const void* data, size_t len, uint32_t seed);
+
+/// \brief 64-bit convenience wrapper: low word of Murmur3_x64_128.
+uint64_t Murmur3_64(const void* data, size_t len, uint32_t seed);
+
+/// \brief Murmur3 of a string key.
+uint64_t Murmur3_64(std::string_view s, uint32_t seed);
+
+/// \brief Murmur3 of a 64-bit integer key (hashes its 8 bytes).
+uint64_t Murmur3_64(uint64_t key, uint32_t seed);
+
+/// \brief Murmur3's 64-bit finalizer (fmix64). A fast, high-quality bijective
+/// mixer; useful to decorrelate sequential integer keys.
+constexpr uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// \brief Combines two hash values (Boost-style, 64-bit).
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// \brief A family of d independent hash functions onto [0, buckets).
+///
+/// Each member function H_i is Murmur3 with a per-member seed derived from a
+/// single family seed. This is exactly the paper's H1..Hd for Greedy-d: with
+/// d = 1 the family reproduces hash-based key grouping, with d = 2 it gives
+/// PKG's two candidate workers for every key.
+class HashFamily {
+ public:
+  /// Creates a family of `d` functions mapping keys to [0, buckets).
+  /// `buckets` must be >= 1 and `d` >= 1.
+  HashFamily(uint32_t d, uint32_t buckets, uint64_t seed);
+
+  /// Number of member functions (the paper's d).
+  uint32_t d() const { return static_cast<uint32_t>(seeds_.size()); }
+
+  /// Number of buckets (the paper's n = number of workers).
+  uint32_t buckets() const { return buckets_; }
+
+  /// Value of member function `i` on an integer key.
+  uint32_t Bucket(uint32_t i, uint64_t key) const;
+
+  /// Value of member function `i` on a string key.
+  uint32_t Bucket(uint32_t i, std::string_view key) const;
+
+  /// Appends the d candidate buckets for `key` into `out` (cleared first).
+  /// Candidates may collide for small bucket counts; callers that need
+  /// distinct candidates should deduplicate (PKG keeps duplicates, matching
+  /// the theoretical Greedy-d process where H1(k) may equal H2(k)).
+  void Candidates(uint64_t key, std::vector<uint32_t>* out) const;
+
+ private:
+  std::vector<uint32_t> seeds_;
+  uint32_t buckets_;
+};
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_HASH_H_

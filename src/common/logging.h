@@ -1,0 +1,87 @@
+// Copyright 2026 The pkgstream Authors.
+// Minimal leveled logging plus CHECK/DCHECK invariants, glog-flavoured but
+// self-contained (no dependency, no global registration).
+
+#ifndef PKGSTREAM_COMMON_LOGGING_H_
+#define PKGSTREAM_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace pkgstream {
+
+/// \brief Severity levels, in increasing order of severity.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Process-wide minimum level that will actually be emitted.
+/// Defaults to kInfo. Thread-unsafe by design: set it once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style message collector that emits on destruction.
+/// Not for direct use; use the PKGSTREAM_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows everything (used for disabled DCHECKs in release).
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define PKGSTREAM_LOG(level)                                        \
+  ::pkgstream::internal::LogMessage(::pkgstream::LogLevel::k##level, \
+                                    __FILE__, __LINE__)
+
+/// CHECK aborts the process (after printing) when `cond` is false.
+/// It is active in all build types: use it for invariants whose violation
+/// means the in-memory state can no longer be trusted.
+#define PKGSTREAM_CHECK(cond)                                   \
+  if (!(cond))                                                  \
+  PKGSTREAM_LOG(Fatal) << "Check failed: " #cond " "
+
+#define PKGSTREAM_CHECK_OK(expr)                                       \
+  do {                                                                 \
+    ::pkgstream::Status _st = (expr);                                  \
+    if (!_st.ok())                                                     \
+      PKGSTREAM_LOG(Fatal) << "Check failed (status): " << _st;        \
+  } while (0)
+
+#ifdef NDEBUG
+#define PKGSTREAM_DCHECK(cond) \
+  while (false) ::pkgstream::internal::NullStream()
+#else
+#define PKGSTREAM_DCHECK(cond) PKGSTREAM_CHECK(cond)
+#endif
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_LOGGING_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The pkgstream Authors.
+// Result<T>: value-or-Status, the non-throwing analogue of arrow::Result.
+
+#ifndef PKGSTREAM_COMMON_RESULT_H_
+#define PKGSTREAM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pkgstream {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// A Result constructed from a value is OK; a Result constructed from a
+/// non-OK Status is an error. Constructing from an OK Status is a programming
+/// error (asserted in debug builds, coerced to Internal in release).
+///
+/// \code
+///   Result<ZipfDistribution> r = ZipfDistribution::Make(options);
+///   if (!r.ok()) return r.status();
+///   ZipfDistribution dist = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding a copy/move of `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Returns the value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Convenience accessors mirroring std::optional.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value when ok(), otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define PKGSTREAM_INTERNAL_CONCAT2(a, b) a##b
+#define PKGSTREAM_INTERNAL_CONCAT(a, b) PKGSTREAM_INTERNAL_CONCAT2(a, b)
+#define PKGSTREAM_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                        \
+  if (!tmp.ok()) {                                           \
+    return tmp.status();                                     \
+  }                                                          \
+  lhs = std::move(tmp).ValueOrDie();
+#define PKGSTREAM_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  PKGSTREAM_INTERNAL_ASSIGN_OR_RETURN(                                    \
+      PKGSTREAM_INTERNAL_CONCAT(_pkgstream_result_, __LINE__), lhs, rexpr)
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_RESULT_H_

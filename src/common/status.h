@@ -1,0 +1,135 @@
+// Copyright 2026 The pkgstream Authors.
+// Status-based error handling, RocksDB/Arrow style: library code never throws;
+// fallible operations return a Status (or a Result<T>, see result.h).
+
+#ifndef PKGSTREAM_COMMON_STATUS_H_
+#define PKGSTREAM_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace pkgstream {
+
+/// \brief Error categories used across the library.
+///
+/// The set mirrors the subset of RocksDB/absl codes that a partitioning and
+/// simulation library actually needs. Keep this list short: a code should only
+/// be added when callers are expected to branch on it.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kIOError = 8,
+  kInternal = 9,
+};
+
+/// \brief Returns a stable human-readable name for a status code
+/// (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief A cheap value type describing the outcome of an operation.
+///
+/// An OK status carries no allocation. Error statuses carry a code and a
+/// message. Statuses are ordinary values: copy, move, compare, and stream
+/// them freely.
+///
+/// Typical use:
+/// \code
+///   Status s = topology.Connect("counts", Grouping::kPartialKey);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. Prefer the named
+  /// factories below.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// Formats as "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// Propagates an error Status from the evaluated expression, RocksDB style.
+#define PKGSTREAM_RETURN_NOT_OK(expr)              \
+  do {                                             \
+    ::pkgstream::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_STATUS_H_

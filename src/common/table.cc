@@ -1,0 +1,135 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  PKGSTREAM_CHECK(row.size() == header_.size())
+      << "row has " << row.size() << " cells, header has " << header_.size();
+  rows_.push_back(std::move(row));
+}
+
+void Table::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      os << row[c];
+      os << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+namespace {
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+void Table::PrintCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+Status Table::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  PrintCsv(f);
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string FormatCompact(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  double a = std::fabs(v);
+  char buf[64];
+  if (a != 0.0 && (a >= 1e5 || a < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.1e", v);
+    // Canonicalize exponent form "1.6e+06" -> "1.6e6".
+    std::string s(buf);
+    auto e = s.find('e');
+    if (e == std::string::npos) return s;
+    std::string mant = s.substr(0, e);
+    std::string exp = s.substr(e + 1);
+    bool neg = !exp.empty() && exp[0] == '-';
+    size_t i = 0;
+    while (i < exp.size() && (exp[i] == '+' || exp[i] == '-' || exp[i] == '0')) {
+      ++i;
+    }
+    std::string out = mant;
+    out += 'e';
+    if (neg) out += '-';
+    out += (i < exp.size()) ? exp.substr(i) : std::string("0");
+    return out;
+  }
+  if (a >= 100 || a == std::floor(a)) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  // Keep ~2 significant digits for small magnitudes, then strip trailing
+  // zeros ("0.800" -> "0.8", "0.042" stays).
+  std::snprintf(buf, sizeof(buf), "%.*f", a < 1.0 ? 3 : 1, v);
+  std::string s(buf);
+  while (s.find('.') != std::string::npos && (s.back() == '0')) {
+    s.pop_back();
+  }
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+std::string FormatFixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatWithCommas(uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pkgstream

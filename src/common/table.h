@@ -1,0 +1,66 @@
+// Copyright 2026 The pkgstream Authors.
+// Text table rendering for experiment output: aligned ASCII tables for the
+// console (the format the benches print paper rows in) and CSV export for
+// plotting.
+
+#ifndef PKGSTREAM_COMMON_TABLE_H_
+#define PKGSTREAM_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pkgstream {
+
+/// \brief A simple column-aligned table builder.
+///
+/// \code
+///   Table t({"W", "PKG", "Hashing"});
+///   t.AddRow({"5", "0.8", "1.4e6"});
+///   t.Print(std::cout);
+/// \endcode
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows.
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumCols() const { return header_.size(); }
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(size_t i) const { return rows_[i]; }
+
+  /// Renders an aligned ASCII table with a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (fields containing comma/quote/newline are
+  /// quoted, embedded quotes doubled).
+  void PrintCsv(std::ostream& os) const;
+
+  /// Writes the CSV form to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double in compact scientific-ish form, matching the
+/// paper's table style: 0.8, 92.7, 1.6e6, 4.0e6...
+std::string FormatCompact(double v);
+
+/// \brief Formats a double with fixed precision.
+std::string FormatFixed(double v, int digits);
+
+/// \brief Formats an integer with thousands separators (1,234,567).
+std::string FormatWithCommas(uint64_t v);
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_TABLE_H_

@@ -1,0 +1,36 @@
+// Copyright 2026 The pkgstream Authors.
+// Core vocabulary types shared by every module.
+
+#ifndef PKGSTREAM_COMMON_TYPES_H_
+#define PKGSTREAM_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace pkgstream {
+
+/// Message key. Applications with string keys hash or intern them to 64-bit
+/// ids at the edge (see workload::WordSynthesizer for the reverse mapping).
+using Key = uint64_t;
+
+/// Index of a downstream processing element instance (the paper's "worker",
+/// a bin in the balls-and-bins analysis). Dense in [0, W).
+using WorkerId = uint32_t;
+
+/// Index of an upstream processing element instance (the paper's "source").
+/// Dense in [0, S).
+using SourceId = uint32_t;
+
+/// Logical timestamp: index of the message in the stream (the paper assumes
+/// one message arrives per unit of time, Section IV).
+using StreamTime = uint64_t;
+
+/// Simulated wall-clock time in microseconds (used by the cluster
+/// discrete-event simulator for the Q4 experiments).
+using SimTimeUs = uint64_t;
+
+/// Sentinel for "no worker".
+inline constexpr WorkerId kInvalidWorker = static_cast<WorkerId>(-1);
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_TYPES_H_

@@ -1,0 +1,356 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/event_sim.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// Collects messages emitted during Process/Tick so the simulator can route
+/// them after the operator call returns (keeps reentrancy out of operators).
+class EventSimulator::SimEmitter final : public Emitter {
+ public:
+  void Emit(const Message& msg) override { emitted.push_back(msg); }
+  std::vector<Message> emitted;
+};
+
+Result<std::unique_ptr<EventSimulator>> EventSimulator::Create(
+    const Topology* topology, workload::KeyStream* feed,
+    EventSimOptions options) {
+  PKGSTREAM_CHECK(topology != nullptr && feed != nullptr);
+  PKGSTREAM_RETURN_NOT_OK(topology->Validate());
+  int spouts = 0;
+  for (const auto& n : topology->nodes()) spouts += n.is_spout ? 1 : 0;
+  if (spouts != 1) {
+    return Status::InvalidArgument(
+        "EventSimulator supports exactly one spout, got " +
+        std::to_string(spouts));
+  }
+  auto sim = std::unique_ptr<EventSimulator>(
+      new EventSimulator(topology, feed, std::move(options)));
+  PKGSTREAM_RETURN_NOT_OK(sim->Init());
+  return sim;
+}
+
+EventSimulator::EventSimulator(const Topology* topology,
+                               workload::KeyStream* feed,
+                               EventSimOptions options)
+    : topology_(topology), feed_(feed), options_(std::move(options)) {}
+
+Status EventSimulator::Init() {
+  const auto& nodes = topology_->nodes();
+  options_.node_extra_service_us.resize(nodes.size(), 0);
+  for (const auto& edge : topology_->edges()) {
+    PKGSTREAM_ASSIGN_OR_RETURN(auto p,
+                               partition::MakePartitioner(edge.partitioner));
+    edge_partitioners_.push_back(std::move(p));
+  }
+  ops_.resize(nodes.size());
+  instances_.resize(nodes.size());
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    instances_[n].resize(nodes[n].parallelism);
+    if (nodes[n].is_spout) {
+      spout_node_ = n;
+      spout_parallelism_ = nodes[n].parallelism;
+      continue;
+    }
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      auto op = nodes[n].factory(i);
+      PKGSTREAM_CHECK(op != nullptr);
+      OperatorContext ctx;
+      ctx.pe_name = nodes[n].name;
+      ctx.instance = i;
+      ctx.parallelism = nodes[n].parallelism;
+      op->Open(ctx);
+      ops_[n].push_back(std::move(op));
+    }
+  }
+  in_flight_.assign(spout_parallelism_, 0);
+  source_waiting_.assign(spout_parallelism_, false);
+  source_free_at_.assign(spout_parallelism_, 0);
+  return Status::OK();
+}
+
+void EventSimulator::Push(Event e) {
+  e.seq = seq_++;
+  events_.push(std::move(e));
+}
+
+uint64_t EventSimulator::ServiceCost(uint32_t node) const {
+  return options_.worker_overhead_us + options_.node_extra_service_us[node];
+}
+
+EventSimReport EventSimulator::Run() {
+  // Prime the spout instances and the periodic machinery.
+  for (uint32_t s = 0; s < spout_parallelism_; ++s) {
+    Event e;
+    e.time = 0;
+    e.type = EventType::kSourceReady;
+    e.instance = s;
+    Push(std::move(e));
+  }
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout || nodes[n].tick_period == 0) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      Event e;
+      e.time = nodes[n].tick_period;
+      e.type = EventType::kTick;
+      e.node = n;
+      e.instance = i;
+      Push(std::move(e));
+    }
+  }
+  if (options_.memory_sample_period_us > 0) {
+    Event e;
+    e.time = options_.memory_sample_period_us;
+    e.type = EventType::kMemorySample;
+    Push(std::move(e));
+  }
+
+  while (!events_.empty()) {
+    Event e = events_.top();
+    events_.pop();
+    now_ = e.time;
+    if (now_ > options_.max_sim_time_us) {
+      timed_out_ = true;
+      break;
+    }
+    if (roots_acked_ >= options_.messages) break;
+    switch (e.type) {
+      case EventType::kSourceReady:
+        OnSourceReady(e.instance);
+        break;
+      case EventType::kDeliver:
+        OnDeliver(e);
+        break;
+      case EventType::kServiceComplete:
+        OnServiceComplete(e);
+        break;
+      case EventType::kTick:
+        OnTick(e);
+        break;
+      case EventType::kMemorySample:
+        OnMemorySample();
+        break;
+    }
+  }
+
+  EventSimReport report;
+  report.roots_emitted = roots_emitted_;
+  report.roots_acked = roots_acked_;
+  uint64_t effective_end = last_ack_time_ > 0 ? last_ack_time_ : now_;
+  report.sim_seconds = static_cast<double>(effective_end) / 1e6;
+  report.throughput_per_s =
+      report.sim_seconds > 0
+          ? static_cast<double>(roots_acked_) / report.sim_seconds
+          : 0.0;
+  report.mean_latency_us = latency_.mean();
+  report.p50_latency_us = latency_.P50();
+  report.p95_latency_us = latency_.P95();
+  report.p99_latency_us = latency_.P99();
+  report.avg_memory_counters = memory_samples_.count()
+                                   ? memory_samples_.mean()
+                                   : static_cast<double>(TotalMemoryCounters());
+  report.peak_memory_counters =
+      std::max<uint64_t>(peak_memory_, TotalMemoryCounters());
+  report.timed_out = timed_out_;
+  report.processed.resize(instances_.size());
+  report.max_utilization.resize(instances_.size(), 0.0);
+  for (uint32_t n = 0; n < instances_.size(); ++n) {
+    for (const auto& inst : instances_[n]) {
+      report.processed[n].push_back(inst.processed);
+      double util = effective_end > 0 ? static_cast<double>(inst.busy_us) /
+                                            static_cast<double>(effective_end)
+                                      : 0.0;
+      report.max_utilization[n] = std::max(report.max_utilization[n], util);
+    }
+  }
+  return report;
+}
+
+void EventSimulator::OnSourceReady(uint32_t source_instance) {
+  TryEmitRoot(source_instance);
+}
+
+void EventSimulator::TryEmitRoot(uint32_t source_instance) {
+  if (roots_emitted_ >= options_.messages) return;
+  if (in_flight_[source_instance] >= options_.max_pending) {
+    source_waiting_[source_instance] = true;
+    return;
+  }
+  source_waiting_[source_instance] = false;
+
+  Message msg;
+  msg.key = feed_->Next();
+  msg.ts = now_;
+  int64_t root_id = next_root_id_++;
+
+  uint64_t children = 0;
+  RouteFrom(spout_node_, source_instance, msg, root_id, &children);
+  if (children == 0) {
+    // Spout with no outbound edges: ack immediately (degenerate topology).
+    ++roots_emitted_;
+    ++roots_acked_;
+    last_ack_time_ = now_;
+    latency_.Record(0);
+  } else {
+    roots_[root_id] = RootState{now_, static_cast<uint32_t>(children),
+                                source_instance};
+    ++roots_emitted_;
+    ++in_flight_[source_instance];
+  }
+  ++instances_[spout_node_][source_instance].processed;
+  instances_[spout_node_][source_instance].busy_us +=
+      options_.source_service_us;
+
+  // Next emission after the spout's per-message cost.
+  source_free_at_[source_instance] = now_ + options_.source_service_us;
+  if (roots_emitted_ < options_.messages) {
+    Event e;
+    e.time = source_free_at_[source_instance];
+    e.type = EventType::kSourceReady;
+    e.instance = source_instance;
+    Push(std::move(e));
+  }
+}
+
+void EventSimulator::RouteFrom(uint32_t node, uint32_t instance,
+                               const Message& msg, int64_t root_id,
+                               uint64_t* emitted_count) {
+  const auto& edges = topology_->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from.index != node) continue;
+    WorkerId w = edge_partitioners_[e]->Route(instance, msg.key);
+    Event ev;
+    ev.time = now_ + options_.network_delay_us;
+    ev.type = EventType::kDeliver;
+    ev.node = edges[e].to.index;
+    ev.instance = w;
+    ev.job.msg = msg;
+    ev.job.root_id = root_id;
+    ev.job.service_us = ServiceCost(edges[e].to.index);
+    Push(std::move(ev));
+    if (emitted_count != nullptr) ++(*emitted_count);
+  }
+}
+
+void EventSimulator::OnDeliver(const Event& e) {
+  InstanceState& inst = instances_[e.node][e.instance];
+  inst.queue.push(e.job);
+  if (!inst.busy) StartJob(e.node, e.instance);
+}
+
+void EventSimulator::StartJob(uint32_t node, uint32_t instance) {
+  InstanceState& inst = instances_[node][instance];
+  PKGSTREAM_DCHECK(!inst.busy);
+  if (inst.queue.empty()) return;
+  inst.busy = true;
+  inst.current = inst.queue.front();
+  inst.queue.pop();
+  Event e;
+  e.time = now_ + inst.current.service_us;
+  e.type = EventType::kServiceComplete;
+  e.node = node;
+  e.instance = instance;
+  Push(std::move(e));
+}
+
+void EventSimulator::OnServiceComplete(const Event& e) {
+  InstanceState& inst = instances_[e.node][e.instance];
+  PKGSTREAM_DCHECK(inst.busy);
+  Job job = std::move(inst.current);
+  inst.busy = false;
+  inst.busy_us += job.service_us;
+  ++inst.processed;
+
+  if (!job.is_flush_work) {
+    SimEmitter emitter;
+    ops_[e.node][e.instance]->Process(job.msg, &emitter);
+    for (const auto& out : emitter.emitted) {
+      Message stamped = out;
+      stamped.ts = now_;
+      RouteFrom(e.node, e.instance, stamped, /*root_id=*/-1, nullptr);
+    }
+    if (job.root_id >= 0) AckRoot(job.root_id);
+  }
+  StartJob(e.node, e.instance);
+}
+
+void EventSimulator::AckRoot(int64_t root_id) {
+  auto it = roots_.find(root_id);
+  PKGSTREAM_DCHECK(it != roots_.end());
+  if (--it->second.refcount > 0) return;
+  latency_.Record(now_ - it->second.emit_time);
+  ++roots_acked_;
+  last_ack_time_ = now_;
+  uint32_t source = it->second.source;
+  roots_.erase(it);
+  PKGSTREAM_DCHECK(in_flight_[source] > 0);
+  --in_flight_[source];
+  if (source_waiting_[source]) {
+    Event e;
+    e.time = std::max(now_, source_free_at_[source]);
+    e.type = EventType::kSourceReady;
+    e.instance = source;
+    Push(std::move(e));
+    source_waiting_[source] = false;
+  }
+}
+
+void EventSimulator::OnTick(const Event& e) {
+  const auto& node = topology_->nodes()[e.node];
+  SimEmitter emitter;
+  ops_[e.node][e.instance]->Tick(now_, &emitter);
+  for (const auto& out : emitter.emitted) {
+    Message stamped = out;
+    stamped.ts = now_;
+    RouteFrom(e.node, e.instance, stamped, /*root_id=*/-1, nullptr);
+  }
+  // The flush itself occupies the sender: queue synthetic work.
+  if (!emitter.emitted.empty() && options_.flush_cost_us > 0) {
+    Job work;
+    work.is_flush_work = true;
+    work.service_us = options_.flush_cost_us * emitter.emitted.size();
+    InstanceState& inst = instances_[e.node][e.instance];
+    inst.queue.push(std::move(work));
+    if (!inst.busy) StartJob(e.node, e.instance);
+  }
+  // Re-arm the timer.
+  Event next;
+  next.time = now_ + node.tick_period;
+  next.type = EventType::kTick;
+  next.node = e.node;
+  next.instance = e.instance;
+  Push(std::move(next));
+}
+
+uint64_t EventSimulator::TotalMemoryCounters() const {
+  uint64_t total = 0;
+  for (const auto& node_ops : ops_) {
+    for (const auto& op : node_ops) total += op->MemoryCounters();
+  }
+  return total;
+}
+
+void EventSimulator::OnMemorySample() {
+  uint64_t mem = TotalMemoryCounters();
+  memory_samples_.Add(static_cast<double>(mem));
+  peak_memory_ = std::max(peak_memory_, mem);
+  Event e;
+  e.time = now_ + options_.memory_sample_period_us;
+  e.type = EventType::kMemorySample;
+  Push(std::move(e));
+}
+
+Operator* EventSimulator::GetOperator(NodeId node, uint32_t instance) {
+  PKGSTREAM_CHECK(node.index < ops_.size());
+  PKGSTREAM_CHECK(instance < ops_[node.index].size());
+  return ops_[node.index][instance].get();
+}
+
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,216 @@
+// Copyright 2026 The pkgstream Authors.
+// EventSimulator: a discrete-event model of a DSPE cluster, standing in for
+// the paper's 10-VM Storm deployment (Section V, Q4 / Figure 5).
+//
+// Model, mirroring how the paper's experiment was set up:
+//  * each operator instance is a single-threaded executor with a FIFO queue;
+//  * servicing a message costs a framework overhead plus a configurable
+//    per-PE "CPU delay" — the knob the paper sweeps in Figure 5(a);
+//  * spouts emit in a closed loop: at most `max_pending` unacked messages
+//    per spout instance (Storm's max.spout.pending); a message is acked when
+//    every direct-child delivery finished servicing (the tuple tree of the
+//    word-count topology);
+//  * every hop pays a network delay;
+//  * periodic operator ticks model the aggregation timer: emitted flush
+//    messages cost service time at the receiver, and the flush itself
+//    occupies the sender for flush_cost_us per emitted message — this is
+//    what makes frequent aggregation with many partial counters (shuffle
+//    grouping) expensive, reproducing Figure 5(b);
+//  * memory (live counters) is sampled periodically across all instances.
+//
+// Absolute keys/s differ from the paper's VMs; the comparative shape is the
+// reproduction target (see EXPERIMENTS.md).
+
+#ifndef PKGSTREAM_ENGINE_EVENT_SIM_H_
+#define PKGSTREAM_ENGINE_EVENT_SIM_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/topology.h"
+#include "stats/latency_histogram.h"
+#include "stats/running_stats.h"
+#include "workload/key_stream.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Cluster model parameters (all times in simulated microseconds).
+struct EventSimOptions {
+  /// Root messages to emit in total (split round-robin across spout
+  /// instances).
+  uint64_t messages = 100000;
+
+  /// Spout cost per emitted message (parse/serialize).
+  uint64_t source_service_us = 100;
+
+  /// Framework overhead per serviced message at any operator.
+  uint64_t worker_overhead_us = 50;
+
+  /// Extra per-message service cost per PE ("CPU delay"), indexed by node.
+  /// Missing entries mean 0.
+  std::vector<uint64_t> node_extra_service_us;
+
+  /// One-way network latency per hop.
+  uint64_t network_delay_us = 1000;
+
+  /// Storm's max.spout.pending: per-spout-instance unacked window.
+  uint32_t max_pending = 64;
+
+  /// Sender-side cost per message emitted from Tick (counter flushing).
+  uint64_t flush_cost_us = 10;
+
+  /// Period of the live-counter memory samples.
+  uint64_t memory_sample_period_us = 250000;
+
+  /// Safety stop; the run reports saturated=true when it hits this.
+  uint64_t max_sim_time_us = 600ULL * 1000 * 1000;
+};
+
+/// \brief Results of one simulated run.
+struct EventSimReport {
+  uint64_t roots_emitted = 0;
+  uint64_t roots_acked = 0;
+  double sim_seconds = 0.0;
+  /// Acked roots per simulated second — Figure 5's "Throughput (keys/s)".
+  double throughput_per_s = 0.0;
+  /// End-to-end emit->ack latency.
+  double mean_latency_us = 0.0;
+  uint64_t p50_latency_us = 0;
+  uint64_t p95_latency_us = 0;
+  uint64_t p99_latency_us = 0;
+  /// Average live counters across memory samples (Figure 5(b) x-axis).
+  double avg_memory_counters = 0.0;
+  /// Peak live counters observed at a sample.
+  uint64_t peak_memory_counters = 0;
+  /// Per-node per-instance messages serviced.
+  std::vector<std::vector<uint64_t>> processed;
+  /// Per-node max instance utilization (busy time / sim time).
+  std::vector<double> max_utilization;
+  /// True when the run was cut off by max_sim_time_us.
+  bool timed_out = false;
+};
+
+/// \brief Discrete-event executor for a Topology.
+///
+/// Deterministic: identical options + topology + feed produce identical
+/// reports. Tick periods on the topology are interpreted in simulated
+/// microseconds.
+class EventSimulator {
+ public:
+  /// `topology` must validate and contain exactly one spout. The feed
+  /// provides root message keys.
+  static Result<std::unique_ptr<EventSimulator>> Create(
+      const Topology* topology, workload::KeyStream* feed,
+      EventSimOptions options);
+
+  /// Runs to completion (all roots acked, or timeout) and reports.
+  EventSimReport Run();
+
+  /// Access to operator instances after Run (result extraction).
+  Operator* GetOperator(NodeId node, uint32_t instance);
+
+ private:
+  EventSimulator(const Topology* topology, workload::KeyStream* feed,
+                 EventSimOptions options);
+
+  Status Init();
+
+  enum class EventType : uint8_t {
+    kSourceReady,
+    kDeliver,
+    kServiceComplete,
+    kTick,
+    kMemorySample,
+  };
+
+  /// A unit of work queued at an instance.
+  struct Job {
+    Message msg;
+    uint64_t service_us = 0;
+    int64_t root_id = -1;   // >= 0: this job is part of a root's tuple tree
+    bool is_flush_work = false;  // synthetic sender-side flush cost
+  };
+
+  struct Event {
+    uint64_t time;
+    uint64_t seq;  // tie-breaker for determinism
+    EventType type;
+    uint32_t node = 0;
+    uint32_t instance = 0;
+    Job job;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct InstanceState {
+    std::queue<Job> queue;
+    bool busy = false;
+    Job current;
+    uint64_t busy_us = 0;
+    uint64_t processed = 0;
+  };
+
+  struct RootState {
+    uint64_t emit_time = 0;
+    uint32_t refcount = 0;
+    uint32_t source = 0;
+  };
+
+  class SimEmitter;
+
+  void Push(Event e);
+  void OnSourceReady(uint32_t source_instance);
+  void TryEmitRoot(uint32_t source_instance);
+  void OnDeliver(const Event& e);
+  void OnServiceComplete(const Event& e);
+  void OnTick(const Event& e);
+  void OnMemorySample();
+  void StartJob(uint32_t node, uint32_t instance);
+  void RouteFrom(uint32_t node, uint32_t instance, const Message& msg,
+                 int64_t root_id, uint64_t* emitted_count);
+  uint64_t ServiceCost(uint32_t node) const;
+  void AckRoot(int64_t root_id);
+  uint64_t TotalMemoryCounters() const;
+
+  const Topology* topology_;
+  workload::KeyStream* feed_;
+  EventSimOptions options_;
+
+  std::vector<std::vector<std::unique_ptr<Operator>>> ops_;
+  std::vector<partition::PartitionerPtr> edge_partitioners_;
+  std::vector<std::vector<InstanceState>> instances_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  uint64_t seq_ = 0;
+  uint64_t now_ = 0;
+
+  uint32_t spout_node_ = 0;
+  uint32_t spout_parallelism_ = 1;
+  std::vector<uint32_t> in_flight_;     // per spout instance
+  std::vector<bool> source_waiting_;    // blocked on window
+  std::vector<uint64_t> source_free_at_;
+  uint64_t roots_emitted_ = 0;
+  uint64_t roots_acked_ = 0;
+  uint64_t last_ack_time_ = 0;
+  int64_t next_root_id_ = 0;
+  std::unordered_map<int64_t, RootState> roots_;
+
+  stats::LatencyHistogram latency_;
+  stats::RunningStats memory_samples_;
+  uint64_t peak_memory_ = 0;
+  bool timed_out_ = false;
+};
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_EVENT_SIM_H_

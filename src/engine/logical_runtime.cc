@@ -1,0 +1,159 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/logical_runtime.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace engine {
+
+class LogicalRuntime::EdgeEmitter final : public Emitter {
+ public:
+  EdgeEmitter(LogicalRuntime* rt, uint32_t node, uint32_t instance)
+      : rt_(rt), node_(node), instance_(instance) {}
+
+  void Emit(const Message& msg) override {
+    Message stamped = msg;
+    stamped.ts = rt_->injected_;
+    rt_->RouteDownstream(node_, instance_, stamped);
+  }
+
+ private:
+  LogicalRuntime* rt_;
+  uint32_t node_;
+  uint32_t instance_;
+};
+
+Result<std::unique_ptr<LogicalRuntime>> LogicalRuntime::Create(
+    const Topology* topology) {
+  PKGSTREAM_CHECK(topology != nullptr);
+  PKGSTREAM_RETURN_NOT_OK(topology->Validate());
+  auto rt = std::unique_ptr<LogicalRuntime>(new LogicalRuntime(topology));
+  // Build edge partitioners.
+  for (const auto& edge : topology->edges()) {
+    PKGSTREAM_ASSIGN_OR_RETURN(auto p,
+                               partition::MakePartitioner(edge.partitioner));
+    rt->edge_partitioners_.push_back(std::move(p));
+  }
+  // Instantiate operators and open them.
+  const auto& nodes = topology->nodes();
+  rt->ops_.resize(nodes.size());
+  rt->processed_.resize(nodes.size());
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    rt->processed_[n].assign(nodes[n].parallelism, 0);
+    if (nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      auto op = nodes[n].factory(i);
+      PKGSTREAM_CHECK(op != nullptr)
+          << "factory for PE '" << nodes[n].name << "' returned null";
+      OperatorContext ctx;
+      ctx.pe_name = nodes[n].name;
+      ctx.instance = i;
+      ctx.parallelism = nodes[n].parallelism;
+      op->Open(ctx);
+      rt->ops_[n].push_back(std::move(op));
+    }
+  }
+  return rt;
+}
+
+LogicalRuntime::LogicalRuntime(const Topology* topology)
+    : topology_(topology) {}
+
+void LogicalRuntime::Inject(NodeId spout, SourceId source, Message msg) {
+  PKGSTREAM_CHECK(!finished_) << "Inject after Finish";
+  PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
+  const auto& node = topology_->nodes()[spout.index];
+  PKGSTREAM_CHECK(node.is_spout) << "Inject target must be a spout";
+  PKGSTREAM_CHECK(source < node.parallelism);
+  ++injected_;
+  msg.ts = injected_;
+  ++processed_[spout.index][source];
+  RouteDownstream(spout.index, source, msg);
+  Drain();
+  FireTicks();
+}
+
+void LogicalRuntime::FireTicks() {
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout || nodes[n].tick_period == 0) continue;
+    if (injected_ % nodes[n].tick_period != 0) continue;
+    for (uint32_t i = 0; i < ops_[n].size(); ++i) {
+      EdgeEmitter emitter(this, n, i);
+      ops_[n][i]->Tick(injected_, &emitter);
+    }
+  }
+  Drain();
+}
+
+void LogicalRuntime::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Topological order = insertion order is not guaranteed; but Close() only
+  // emits downstream and Drain() fully processes emissions, so closing in
+  // index order after draining each PE is safe for DAGs built top-down.
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < ops_[n].size(); ++i) {
+      EdgeEmitter emitter(this, n, i);
+      ops_[n][i]->Close(&emitter);
+      Drain();
+    }
+  }
+}
+
+void LogicalRuntime::Dispatch(uint32_t node_index, uint32_t instance,
+                              const Message& msg) {
+  PKGSTREAM_DCHECK(!topology_->nodes()[node_index].is_spout);
+  ++processed_[node_index][instance];
+  EdgeEmitter emitter(this, node_index, instance);
+  ops_[node_index][instance]->Process(msg, &emitter);
+}
+
+void LogicalRuntime::RouteDownstream(uint32_t node_index, uint32_t instance,
+                                     const Message& msg) {
+  const auto& edges = topology_->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from.index != node_index) continue;
+    WorkerId w = edge_partitioners_[e]->Route(instance, msg.key);
+    queue_.push_back(Pending{edges[e].to.index, w, msg});
+  }
+}
+
+void LogicalRuntime::Drain() {
+  while (!queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    Dispatch(p.node, p.instance, p.msg);
+  }
+}
+
+std::vector<NodeMetrics> LogicalRuntime::Metrics() const {
+  std::vector<NodeMetrics> out;
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    NodeMetrics m;
+    m.pe_name = nodes[n].name;
+    m.processed = processed_[n];
+    for (const auto& op : ops_[n]) m.memory_counters += op->MemoryCounters();
+    m.imbalance = stats::ImbalanceOf(processed_[n]);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Operator* LogicalRuntime::GetOperator(NodeId node, uint32_t instance) {
+  PKGSTREAM_CHECK(node.index < ops_.size());
+  PKGSTREAM_CHECK(instance < ops_[node.index].size());
+  return ops_[node.index][instance].get();
+}
+
+partition::Partitioner* LogicalRuntime::GetPartitioner(uint32_t edge_index) {
+  PKGSTREAM_CHECK(edge_index < edge_partitioners_.size());
+  return edge_partitioners_[edge_index].get();
+}
+
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,95 @@
+// Copyright 2026 The pkgstream Authors.
+// LogicalRuntime: the deterministic, single-threaded executor. Messages are
+// processed to completion in injection order; time is the message index.
+// This runtime is the reference semantics for every application (tests
+// compare EventSimulator results against it) and the engine under the
+// Q1-Q3 style application examples.
+
+#ifndef PKGSTREAM_ENGINE_LOGICAL_RUNTIME_H_
+#define PKGSTREAM_ENGINE_LOGICAL_RUNTIME_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/topology.h"
+#include "partition/partitioner.h"
+#include "stats/imbalance.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Per-PE load/memory metrics after (or during) a run.
+struct NodeMetrics {
+  std::string pe_name;
+  std::vector<uint64_t> processed;  ///< messages processed per instance
+  uint64_t memory_counters = 0;     ///< sum of MemoryCounters() per instance
+  double imbalance = 0.0;           ///< final I(m) over instances
+};
+
+/// \brief Deterministic in-process executor for a Topology.
+class LogicalRuntime {
+ public:
+  /// Instantiates operators and edge partitioners. `topology` must outlive
+  /// the runtime and Validate() must pass (checked).
+  static Result<std::unique_ptr<LogicalRuntime>> Create(
+      const Topology* topology);
+
+  /// Injects one message at `spout` instance `source` and drains the DAG:
+  /// every transitively-emitted message is fully processed before returning.
+  /// Timestamps are assigned from the global injection counter.
+  void Inject(NodeId spout, SourceId source, Message msg);
+
+  /// Fires pending ticks: any PE whose tick_period divides the injection
+  /// counter gets Tick() on all instances. Called automatically by Inject;
+  /// public for tests.
+  void FireTicks();
+
+  /// Signals end of stream: Close() on every operator (topological order),
+  /// draining emissions.
+  void Finish();
+
+  /// Messages injected so far (the logical clock).
+  uint64_t now() const { return injected_; }
+
+  /// Metrics per PE (indexed like Topology::nodes()).
+  std::vector<NodeMetrics> Metrics() const;
+
+  /// Access to an operator instance (tests / examples read results out).
+  Operator* GetOperator(NodeId node, uint32_t instance);
+
+  /// Access to an edge partitioner (diagnostics).
+  partition::Partitioner* GetPartitioner(uint32_t edge_index);
+
+ private:
+  explicit LogicalRuntime(const Topology* topology);
+
+  struct Pending {
+    uint32_t node;
+    uint32_t instance;
+    Message msg;
+  };
+
+  /// Emitter bound to (node, instance): routes on all outbound edges.
+  class EdgeEmitter;
+
+  void Dispatch(uint32_t node_index, uint32_t instance, const Message& msg);
+  void RouteDownstream(uint32_t node_index, uint32_t instance,
+                       const Message& msg);
+  void Drain();
+
+  const Topology* topology_;
+  // ops_[node][instance]; empty inner vector for spouts.
+  std::vector<std::vector<std::unique_ptr<Operator>>> ops_;
+  std::vector<partition::PartitionerPtr> edge_partitioners_;
+  std::vector<std::vector<uint64_t>> processed_;  // [node][instance]
+  std::deque<Pending> queue_;
+  uint64_t injected_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_LOGICAL_RUNTIME_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The pkgstream Authors.
+// The unit of data flow: a keyed message (the paper's m = <t, k, v>).
+
+#ifndef PKGSTREAM_ENGINE_MESSAGE_H_
+#define PKGSTREAM_ENGINE_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief A message flowing along a stream edge.
+///
+/// The fixed scalar fields cover the counting/classification workloads the
+/// paper evaluates; `box` carries structured payloads (histogram summaries,
+/// model deltas) by shared pointer, mimicking the zero-copy handoff of an
+/// in-process DSPE.
+struct Message {
+  Key key = 0;        ///< routing key (word id, feature id, vertex id, ...)
+  int64_t i64 = 0;    ///< integer payload: count, class label, ...
+  double f64 = 0.0;   ///< real payload: feature value, weight, ...
+  uint32_t tag = 0;   ///< application-defined discriminator
+  StreamTime ts = 0;  ///< logical emission time (set by the runtime)
+
+  /// Optional structured payload. Shared (immutable by convention) so that
+  /// fan-out does not copy.
+  std::shared_ptr<const void> box;
+
+  /// Typed view of `box`; the caller asserts the type.
+  template <typename T>
+  const T* BoxAs() const {
+    return static_cast<const T*>(box.get());
+  }
+};
+
+/// \brief Helper to stash a typed payload into a message.
+template <typename T>
+void SetBox(Message* msg, std::shared_ptr<const T> payload) {
+  msg->box = std::static_pointer_cast<const void>(std::move(payload));
+}
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_MESSAGE_H_

@@ -1,0 +1,72 @@
+// Copyright 2026 The pkgstream Authors.
+// The processing-element (PE) programming model. A PE runs as `parallelism`
+// independent instances (the paper's PEIs); each instance is one Operator
+// object created by the PE's OperatorFactory. Operators are written once and
+// run unchanged on both runtimes (deterministic LogicalRuntime for
+// correctness, EventSimulator for cluster behaviour).
+
+#ifndef PKGSTREAM_ENGINE_OPERATOR_H_
+#define PKGSTREAM_ENGINE_OPERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "engine/message.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Sink for messages an operator emits to its output stream.
+class Emitter {
+ public:
+  virtual ~Emitter() = default;
+  virtual void Emit(const Message& msg) = 0;
+};
+
+/// \brief Static facts an operator instance learns at Open().
+struct OperatorContext {
+  std::string pe_name;       ///< name of the PE this instance belongs to
+  uint32_t instance = 0;     ///< this instance's index in [0, parallelism)
+  uint32_t parallelism = 1;  ///< number of instances of this PE
+};
+
+/// \brief One processing element instance (PEI).
+///
+/// Lifecycle: Open -> {Process | Tick}* -> Close. All calls to a given
+/// instance are serialized by the runtime (per-instance single-threaded
+/// semantics, as in Storm executors).
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Called once before any message.
+  virtual void Open(const OperatorContext& ctx) { (void)ctx; }
+
+  /// Handles one input message; may emit any number of output messages.
+  virtual void Process(const Message& msg, Emitter* out) = 0;
+
+  /// Periodic timer callback (period configured on the topology; never
+  /// called when no period is set). `now` is the runtime's clock: message
+  /// index for LogicalRuntime, simulated microseconds for EventSimulator.
+  virtual void Tick(uint64_t now, Emitter* out) {
+    (void)now;
+    (void)out;
+  }
+
+  /// End of stream: flush any buffered state downstream.
+  virtual void Close(Emitter* out) { (void)out; }
+
+  /// Number of live per-key state entries ("counters") this instance holds.
+  /// Drives the paper's memory measurements (Figure 5b).
+  virtual uint64_t MemoryCounters() const { return 0; }
+};
+
+/// \brief Creates the operator for instance `instance` of a PE.
+using OperatorFactory = std::function<std::unique_ptr<Operator>(uint32_t)>;
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_OPERATOR_H_

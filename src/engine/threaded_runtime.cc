@@ -1,0 +1,190 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/threaded_runtime.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// Emitter bound to one instance: routes synchronously on the caller
+/// (executor) thread. Blocking on a full downstream inbox provides
+/// backpressure; DAG structure guarantees no cyclic wait.
+class ThreadedRuntime::InstanceEmitter final : public Emitter {
+ public:
+  InstanceEmitter(ThreadedRuntime* rt, uint32_t node, uint32_t instance)
+      : rt_(rt), node_(node), instance_(instance) {}
+
+  void Emit(const Message& msg) override {
+    rt_->RouteFrom(node_, instance_, msg);
+  }
+
+ private:
+  ThreadedRuntime* rt_;
+  uint32_t node_;
+  uint32_t instance_;
+};
+
+Result<std::unique_ptr<ThreadedRuntime>> ThreadedRuntime::Create(
+    const Topology* topology, ThreadedRuntimeOptions options) {
+  PKGSTREAM_CHECK(topology != nullptr);
+  if (options.queue_capacity < 1) {
+    return Status::InvalidArgument("queue capacity must be >= 1");
+  }
+  PKGSTREAM_RETURN_NOT_OK(topology->Validate());
+  for (const auto& node : topology->nodes()) {
+    if (!node.is_spout && node.tick_period != 0) {
+      return Status::InvalidArgument(
+          "ThreadedRuntime does not support tick periods (PE '" + node.name +
+          "'); flush in Close or inject punctuation messages");
+    }
+  }
+  auto rt = std::unique_ptr<ThreadedRuntime>(
+      new ThreadedRuntime(topology, options));
+  PKGSTREAM_RETURN_NOT_OK(rt->Init());
+  return rt;
+}
+
+ThreadedRuntime::ThreadedRuntime(const Topology* topology,
+                                 ThreadedRuntimeOptions options)
+    : topology_(topology), options_(options) {}
+
+Status ThreadedRuntime::Init() {
+  const auto& nodes = topology_->nodes();
+  for (const auto& edge : topology_->edges()) {
+    PKGSTREAM_ASSIGN_OR_RETURN(auto p,
+                               partition::MakePartitioner(edge.partitioner));
+    edge_partitioners_.push_back(std::move(p));
+    edge_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+  ops_.resize(nodes.size());
+  inboxes_.resize(nodes.size());
+  processed_ = std::vector<std::vector<std::atomic<uint64_t>>>(nodes.size());
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    processed_[n] = std::vector<std::atomic<uint64_t>>(nodes[n].parallelism);
+    for (auto& c : processed_[n]) c.store(0, std::memory_order_relaxed);
+    if (nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      auto op = nodes[n].factory(i);
+      PKGSTREAM_CHECK(op != nullptr);
+      OperatorContext ctx;
+      ctx.pe_name = nodes[n].name;
+      ctx.instance = i;
+      ctx.parallelism = nodes[n].parallelism;
+      op->Open(ctx);
+      ops_[n].push_back(std::move(op));
+      inboxes_[n].push_back(std::make_unique<Inbox>(options_.queue_capacity));
+    }
+  }
+  // Threads last: everything they touch is in place.
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      threads_.emplace_back([this, n, i] { RunInstance(n, i); });
+    }
+  }
+  return Status::OK();
+}
+
+ThreadedRuntime::~ThreadedRuntime() { Finish(); }
+
+uint32_t ThreadedRuntime::UpstreamInstances(uint32_t node) const {
+  uint32_t total = 0;
+  for (const auto& edge : topology_->edges()) {
+    if (edge.to.index == node) {
+      total += topology_->nodes()[edge.from.index].parallelism;
+    }
+  }
+  return total;
+}
+
+void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
+  const uint32_t expected_eos = UpstreamInstances(node);
+  uint32_t eos_seen = 0;
+  InstanceEmitter emitter(this, node, instance);
+  Inbox& inbox = *inboxes_[node][instance];
+  while (eos_seen < expected_eos) {
+    Item item = inbox.Pop();
+    if (item.eos) {
+      ++eos_seen;
+      continue;
+    }
+    processed_[node][instance].fetch_add(1, std::memory_order_relaxed);
+    ops_[node][instance]->Process(item.msg, &emitter);
+  }
+  ops_[node][instance]->Close(&emitter);
+  SendEos(node, instance);
+}
+
+void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
+                                const Message& msg) {
+  const auto& edges = topology_->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from.index != node) continue;
+    WorkerId w;
+    {
+      std::lock_guard<std::mutex> lock(*edge_mutexes_[e]);
+      w = edge_partitioners_[e]->Route(instance, msg.key);
+    }
+    Item item;
+    item.msg = msg;
+    inboxes_[edges[e].to.index][w]->Push(std::move(item));
+  }
+}
+
+void ThreadedRuntime::SendEos(uint32_t node, uint32_t instance) {
+  (void)instance;
+  const auto& edges = topology_->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from.index != node) continue;
+    const uint32_t downstream = edges[e].to.index;
+    for (uint32_t w = 0; w < topology_->nodes()[downstream].parallelism;
+         ++w) {
+      Item item;
+      item.eos = true;
+      inboxes_[downstream][w]->Push(std::move(item));
+    }
+  }
+}
+
+void ThreadedRuntime::Inject(NodeId spout, SourceId source,
+                             const Message& msg) {
+  PKGSTREAM_CHECK(!finished_) << "Inject after Finish";
+  PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
+  PKGSTREAM_CHECK(topology_->nodes()[spout.index].is_spout);
+  processed_[spout.index][source].fetch_add(1, std::memory_order_relaxed);
+  RouteFrom(spout.index, source, msg);
+}
+
+void ThreadedRuntime::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  // EOS from every spout instance; operators cascade EOS as they close.
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) SendEos(n, i);
+  }
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::vector<uint64_t> ThreadedRuntime::Processed(NodeId node) const {
+  PKGSTREAM_CHECK(node.index < processed_.size());
+  std::vector<uint64_t> out;
+  for (const auto& c : processed_[node.index]) {
+    out.push_back(c.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+Operator* ThreadedRuntime::GetOperator(NodeId node, uint32_t instance) {
+  PKGSTREAM_CHECK(finished_) << "operators are live until Finish()";
+  PKGSTREAM_CHECK(node.index < ops_.size());
+  PKGSTREAM_CHECK(instance < ops_[node.index].size());
+  return ops_[node.index][instance].get();
+}
+
+}  // namespace engine
+}  // namespace pkgstream

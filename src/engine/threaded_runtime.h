@@ -1,0 +1,138 @@
+// Copyright 2026 The pkgstream Authors.
+// ThreadedRuntime: the same operator API as LogicalRuntime, executed on
+// real threads — one executor thread per operator instance with a bounded
+// inbox, exactly Storm's executor model in-process. The deterministic
+// LogicalRuntime defines the reference semantics; this runtime exists to
+// demonstrate (and test) that the library's results do not depend on the
+// single-threaded scheduler: per-key totals, flushed aggregates and
+// routing invariants must come out identical under true concurrency.
+//
+// Concurrency model:
+//  * every operator instance runs on its own thread and drains a bounded
+//    MPMC inbox (mutex + condvar; bounded for backpressure);
+//  * edge partitioners are shared by the emitting instances of the
+//    upstream PE, so each edge's Route() is serialized by a per-edge
+//    mutex (the in-process stand-in for per-source partitioner replicas;
+//    LoadEstimator state stays consistent);
+//  * shutdown is EOS-based: Finish() sends one EOS token per upstream
+//    instance down every edge; an instance Close()s after its last
+//    upstream EOS arrives, forwards EOS, and its thread exits. This is
+//    the classic dataflow termination protocol, deadlock-free on DAGs.
+//
+// Ticks are not supported here (wall-clock timers would make runs
+// non-reproducible); operators flush via Close, or callers inject
+// app-level punctuation messages.
+
+#ifndef PKGSTREAM_ENGINE_THREADED_RUNTIME_H_
+#define PKGSTREAM_ENGINE_THREADED_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/topology.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Options for the threaded executor.
+struct ThreadedRuntimeOptions {
+  /// Inbox capacity per instance; senders block when it is full
+  /// (backpressure). Must be >= 1.
+  size_t queue_capacity = 1024;
+};
+
+/// \brief Multi-threaded executor for a Topology (no ticks; see above).
+class ThreadedRuntime {
+ public:
+  /// Instantiates operators, partitioners and threads; threads start
+  /// immediately and idle on their inboxes.
+  static Result<std::unique_ptr<ThreadedRuntime>> Create(
+      const Topology* topology, ThreadedRuntimeOptions options = {});
+
+  ~ThreadedRuntime();
+
+  /// Thread-safe: injects one message at `spout` instance `source`. May
+  /// block when a downstream inbox is full. Must not be called after
+  /// Finish().
+  void Inject(NodeId spout, SourceId source, const Message& msg);
+
+  /// Sends EOS down every spout edge, waits for all instance threads to
+  /// drain, Close() and exit. Idempotent.
+  void Finish();
+
+  /// Valid after Finish(): messages processed per instance of `node`.
+  std::vector<uint64_t> Processed(NodeId node) const;
+
+  /// Valid after Finish(): operator access for result extraction.
+  Operator* GetOperator(NodeId node, uint32_t instance);
+
+ private:
+  ThreadedRuntime(const Topology* topology, ThreadedRuntimeOptions options);
+
+  /// Inbox item: a data message or an EOS token from one upstream instance.
+  struct Item {
+    Message msg;
+    bool eos = false;
+  };
+
+  class Inbox {
+   public:
+    explicit Inbox(size_t capacity) : capacity_(capacity) {}
+
+    void Push(Item item) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity_; });
+      items_.push_back(std::move(item));
+      not_empty_.notify_one();
+    }
+
+    Item Pop() {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return !items_.empty(); });
+      Item item = std::move(items_.front());
+      items_.pop_front();
+      not_full_.notify_one();
+      return item;
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<Item> items_;
+    size_t capacity_;
+  };
+
+  class InstanceEmitter;
+
+  Status Init();
+  void RunInstance(uint32_t node, uint32_t instance);
+  /// Routes `msg` on every outbound edge of (node, instance).
+  void RouteFrom(uint32_t node, uint32_t instance, const Message& msg);
+  /// Sends one EOS token down every outbound edge of (node, instance).
+  void SendEos(uint32_t node, uint32_t instance);
+  /// Number of upstream *instances* feeding `node` (EOS tokens expected).
+  uint32_t UpstreamInstances(uint32_t node) const;
+
+  const Topology* topology_;
+  ThreadedRuntimeOptions options_;
+  std::vector<std::vector<std::unique_ptr<Operator>>> ops_;
+  std::vector<partition::PartitionerPtr> edge_partitioners_;
+  std::vector<std::unique_ptr<std::mutex>> edge_mutexes_;
+  std::vector<std::vector<std::unique_ptr<Inbox>>> inboxes_;
+  std::vector<std::vector<std::atomic<uint64_t>>> processed_;
+  std::vector<std::thread> threads_;
+  bool finished_ = false;
+};
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_THREADED_RUNTIME_H_

@@ -1,0 +1,117 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/topology.h"
+
+#include <queue>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace engine {
+
+NodeId Topology::AddSpout(std::string name, uint32_t parallelism) {
+  PKGSTREAM_CHECK(parallelism >= 1);
+  Node node;
+  node.name = std::move(name);
+  node.parallelism = parallelism;
+  node.is_spout = true;
+  nodes_.push_back(std::move(node));
+  return NodeId{static_cast<uint32_t>(nodes_.size() - 1)};
+}
+
+NodeId Topology::AddOperator(std::string name, OperatorFactory factory,
+                             uint32_t parallelism) {
+  PKGSTREAM_CHECK(parallelism >= 1);
+  PKGSTREAM_CHECK(factory != nullptr);
+  Node node;
+  node.name = std::move(name);
+  node.parallelism = parallelism;
+  node.is_spout = false;
+  node.factory = std::move(factory);
+  nodes_.push_back(std::move(node));
+  return NodeId{static_cast<uint32_t>(nodes_.size() - 1)};
+}
+
+void Topology::SetTickPeriod(NodeId node, uint64_t period) {
+  PKGSTREAM_CHECK(node.index < nodes_.size());
+  nodes_[node.index].tick_period = period;
+}
+
+Status Topology::Connect(NodeId from, NodeId to,
+                         partition::PartitionerConfig partitioner) {
+  if (from.index >= nodes_.size() || to.index >= nodes_.size()) {
+    return Status::InvalidArgument("Connect: unknown node");
+  }
+  if (nodes_[to.index].is_spout) {
+    return Status::InvalidArgument("Connect: spouts cannot receive streams");
+  }
+  partitioner.sources = nodes_[from.index].parallelism;
+  partitioner.workers = nodes_[to.index].parallelism;
+  edges_.push_back(EdgeSpec{from, to, partitioner});
+  return Status::OK();
+}
+
+Status Topology::Connect(NodeId from, NodeId to,
+                         partition::Technique technique, uint64_t seed) {
+  partition::PartitionerConfig config;
+  config.technique = technique;
+  config.seed = seed;
+  return Connect(from, to, config);
+}
+
+Status Topology::Validate() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty topology");
+  // Spouts have no inbound edges (enforced in Connect, re-checked here).
+  std::vector<uint32_t> indegree(nodes_.size(), 0);
+  for (const auto& e : edges_) {
+    if (nodes_[e.to.index].is_spout) {
+      return Status::Internal("spout has inbound edge");
+    }
+    ++indegree[e.to.index];
+  }
+  // Kahn's algorithm: the graph must be acyclic.
+  std::queue<uint32_t> ready;
+  std::vector<uint32_t> remaining = indegree;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (remaining[i] == 0) ready.push(i);
+  }
+  uint32_t visited = 0;
+  std::vector<bool> reachable(nodes_.size(), false);
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    reachable[i] = nodes_[i].is_spout;
+  }
+  while (!ready.empty()) {
+    uint32_t n = ready.front();
+    ready.pop();
+    ++visited;
+    for (const auto& e : edges_) {
+      if (e.from.index != n) continue;
+      if (reachable[n]) reachable[e.to.index] = true;
+      if (--remaining[e.to.index] == 0) ready.push(e.to.index);
+    }
+  }
+  if (visited != nodes_.size()) {
+    return Status::FailedPrecondition("topology contains a cycle");
+  }
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].is_spout && !reachable[i]) {
+      return Status::FailedPrecondition("PE '" + nodes_[i].name +
+                                        "' is not reachable from any spout");
+    }
+  }
+  bool has_spout = false;
+  for (const auto& n : nodes_) has_spout |= n.is_spout;
+  if (!has_spout) return Status::FailedPrecondition("topology has no spout");
+  return Status::OK();
+}
+
+std::vector<uint32_t> Topology::OutEdges(NodeId node) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].from == node) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,93 @@
+// Copyright 2026 The pkgstream Authors.
+// Topology: the application DAG (Section I: vertices are processing
+// elements, edges are streams, each edge carries its own partitioning
+// scheme — load balancing is performed per edge independently).
+
+#ifndef PKGSTREAM_ENGINE_TOPOLOGY_H_
+#define PKGSTREAM_ENGINE_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/operator.h"
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Handle to a PE in a topology.
+struct NodeId {
+  uint32_t index = 0;
+  friend bool operator==(NodeId a, NodeId b) { return a.index == b.index; }
+};
+
+/// \brief Builder for application DAGs.
+///
+/// \code
+///   Topology topo;
+///   NodeId src = topo.AddSpout("tweets", /*parallelism=*/5);
+///   NodeId cnt = topo.AddOperator("counter", MakeCounter, 9);
+///   NodeId agg = topo.AddOperator("aggregator", MakeAggregator, 1);
+///   PKGSTREAM_CHECK_OK(topo.Connect(src, cnt, Technique::kPkgLocal));
+///   PKGSTREAM_CHECK_OK(topo.Connect(cnt, agg, Technique::kHashing));
+/// \endcode
+class Topology {
+ public:
+  /// \brief A PE: a spout (external input, no Operator) or an operator PE.
+  struct Node {
+    std::string name;
+    uint32_t parallelism = 1;
+    bool is_spout = false;
+    OperatorFactory factory;  // null for spouts
+    /// Timer period (0 = no ticks). Units depend on the runtime: messages
+    /// for LogicalRuntime, microseconds for EventSimulator.
+    uint64_t tick_period = 0;
+  };
+
+  /// \brief A stream edge with its partitioning scheme.
+  struct EdgeSpec {
+    NodeId from;
+    NodeId to;
+    partition::PartitionerConfig partitioner;
+  };
+
+  /// Adds an external input PE (driven by the runtime's feed).
+  NodeId AddSpout(std::string name, uint32_t parallelism);
+
+  /// Adds an operator PE with `parallelism` instances.
+  NodeId AddOperator(std::string name, OperatorFactory factory,
+                     uint32_t parallelism);
+
+  /// Sets the periodic-tick period of a PE (see Node::tick_period).
+  void SetTickPeriod(NodeId node, uint64_t period);
+
+  /// Connects `from` -> `to` with the given technique (sources/workers/seed
+  /// fields of the config are filled in from the node parallelisms).
+  Status Connect(NodeId from, NodeId to,
+                 partition::PartitionerConfig partitioner);
+
+  /// Convenience overload with technique only.
+  Status Connect(NodeId from, NodeId to, partition::Technique technique,
+                 uint64_t seed = 42);
+
+  /// Validation: DAG is acyclic, spouts have no inbound edges, every
+  /// non-spout is reachable from a spout.
+  Status Validate() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+  /// Outbound edge indices of a node.
+  std::vector<uint32_t> OutEdges(NodeId node) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<EdgeSpec> edges_;
+};
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_TOPOLOGY_H_

@@ -1,0 +1,87 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/consistent_hashing.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+ConsistentHashGrouping::ConsistentHashGrouping(uint32_t sources,
+                                               uint32_t workers,
+                                               ConsistentHashOptions options)
+    : sources_(sources),
+      workers_(workers),
+      options_(options),
+      loads_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+  PKGSTREAM_CHECK(options_.virtual_nodes >= 1);
+  PKGSTREAM_CHECK(options_.replicas >= 1 && options_.replicas <= workers);
+  ring_.reserve(static_cast<size_t>(workers) * options_.virtual_nodes);
+  for (WorkerId w = 0; w < workers; ++w) {
+    for (uint32_t v = 0; v < options_.virtual_nodes; ++v) {
+      uint64_t position =
+          Murmur3_64(HashCombine(w + 1, v),
+                     static_cast<uint32_t>(options_.seed));
+      ring_.push_back(Point{position, w});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(), [](const Point& a, const Point& b) {
+    if (a.position != b.position) return a.position < b.position;
+    return a.worker < b.worker;
+  });
+}
+
+void ConsistentHashGrouping::Successors(Key key,
+                                        std::vector<WorkerId>* out) const {
+  out->clear();
+  if (ring_.empty()) return;
+  uint64_t h = Murmur3_64(key, static_cast<uint32_t>(options_.seed) ^ 0x5A5A);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const Point& p, uint64_t pos) { return p.position < pos; });
+  // Walk clockwise collecting distinct workers.
+  for (size_t step = 0; step < ring_.size() && out->size() < options_.replicas;
+       ++step) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out->begin(), out->end(), it->worker) == out->end()) {
+      out->push_back(it->worker);
+    }
+    ++it;
+  }
+}
+
+WorkerId ConsistentHashGrouping::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  std::vector<WorkerId> candidates;
+  Successors(key, &candidates);
+  PKGSTREAM_CHECK(!candidates.empty()) << "empty ring";
+  WorkerId best = candidates[0];
+  for (WorkerId w : candidates) {
+    if (loads_[w] < loads_[best]) best = w;
+  }
+  ++loads_[best];
+  return best;
+}
+
+void ConsistentHashGrouping::RemoveWorker(WorkerId worker) {
+  ring_.erase(std::remove_if(ring_.begin(), ring_.end(),
+                             [worker](const Point& p) {
+                               return p.worker == worker;
+                             }),
+              ring_.end());
+  PKGSTREAM_CHECK(!ring_.empty()) << "cannot remove the last worker";
+}
+
+std::string ConsistentHashGrouping::Name() const {
+  return options_.replicas > 1
+             ? "CH-PKG(r=" + std::to_string(options_.replicas) + ")"
+             : "CH";
+}
+
+}  // namespace partition
+}  // namespace pkgstream

@@ -1,0 +1,85 @@
+// Copyright 2026 The pkgstream Authors.
+// Technique registry: names every strategy in the evaluation and builds
+// configured Partitioner instances from a plain description. The experiment
+// harness and the benches go through this factory so each table row maps to
+// one Technique value.
+
+#ifndef PKGSTREAM_PARTITION_FACTORY_H_
+#define PKGSTREAM_PARTITION_FACTORY_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "partition/partitioner.h"
+#include "stats/frequency.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Every partitioning strategy in the paper's evaluation, plus the
+/// extensions discussed in Sections II-B / VII / VIII (rebalancing and
+/// consistent hashing).
+enum class Technique {
+  kHashing,      ///< key grouping via a single hash (baseline "H")
+  kShuffle,      ///< round-robin shuffle grouping ("SG")
+  kRandom,       ///< single uniformly random choice
+  kPkgGlobal,    ///< PKG with the global load oracle ("G")
+  kPkgLocal,     ///< PKG with local estimation ("L") — the deployable scheme
+  kPkgProbing,   ///< PKG with local estimation + periodic probing ("LP")
+  kPotcStatic,   ///< two choices without key splitting ("PoTC")
+  kOnGreedy,     ///< online greedy, full choice, routing table
+  kOffGreedy,    ///< offline LPT on true frequencies (clairvoyant)
+  kRebalancing,  ///< KG + periodic hot-key migration (§II-B / §VIII)
+  kConsistent,   ///< consistent-hashing ring; replicas>=2 = PKG-over-ring
+  kWChoices,     ///< PKG + all-worker choice for detected heavy hitters
+};
+
+/// \brief Parameters shared by all techniques (plus technique-specific ones).
+struct PartitionerConfig {
+  Technique technique = Technique::kPkgLocal;
+  uint32_t sources = 1;
+  uint32_t workers = 2;
+  uint64_t seed = 42;
+
+  /// PKG variants: the number of choices d (>= 1).
+  uint32_t num_choices = 2;
+
+  /// kPkgProbing: probe period in messages.
+  uint64_t probe_period_messages = 100000;
+
+  /// kOffGreedy: the complete key-frequency table of the stream to route.
+  /// Required for kOffGreedy, ignored otherwise.
+  const stats::FrequencyTable* frequencies = nullptr;
+
+  /// kRebalancing: messages between imbalance checks.
+  uint64_t rebalance_period = 10000;
+  /// kRebalancing: relative window imbalance that triggers migration.
+  double rebalance_threshold = 0.10;
+
+  /// kWChoices: per-source heavy-hitter sketch capacity.
+  uint32_t sketch_capacity = 256;
+  /// kWChoices: heavy threshold as a multiple of 1/workers.
+  double heavy_threshold_factor = 1.0;
+
+  /// kConsistent: virtual nodes per worker.
+  uint32_t virtual_nodes = 64;
+  /// kConsistent: replicas considered per key (num_choices is NOT reused so
+  /// plain CH stays the default; set 2 for PKG-over-ring).
+  uint32_t ring_replicas = 1;
+};
+
+/// \brief Display name used in tables ("PKG", "Hashing", ...).
+std::string TechniqueName(Technique technique);
+
+/// \brief Parses a technique name (the inverse of TechniqueName, also
+/// accepting the paper's aliases: "H", "KG", "SG", "G", "L", "LP").
+Result<Technique> ParseTechnique(const std::string& name);
+
+/// \brief Builds a configured partitioner; validates the config.
+Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config);
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_FACTORY_H_

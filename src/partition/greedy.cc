@@ -1,0 +1,61 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/greedy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+OnlineGreedy::OnlineGreedy(uint32_t sources, uint32_t workers)
+    : sources_(sources), loads_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+}
+
+WorkerId OnlineGreedy::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    WorkerId best = 0;
+    for (WorkerId w = 1; w < loads_.size(); ++w) {
+      if (loads_[w] < loads_[best]) best = w;
+    }
+    it = table_.emplace(key, best).first;
+  }
+  ++loads_[it->second];
+  return it->second;
+}
+
+OfflineGreedy::OfflineGreedy(uint32_t sources, uint32_t workers,
+                             const stats::FrequencyTable& frequencies,
+                             uint64_t seed)
+    : hash_(/*d=*/1, workers, seed),
+      sources_(sources),
+      planned_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+  // LPT: heaviest key first onto the least-loaded worker.
+  auto sorted = frequencies.TopK();
+  table_.reserve(sorted.size());
+  for (const auto& [key, count] : sorted) {
+    WorkerId best = 0;
+    for (WorkerId w = 1; w < planned_.size(); ++w) {
+      if (planned_[w] < planned_[best]) best = w;
+    }
+    planned_[best] += count;
+    table_.emplace(key, best);
+  }
+}
+
+WorkerId OfflineGreedy::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  return hash_.Bucket(0, key);
+}
+
+}  // namespace partition
+}  // namespace pkgstream

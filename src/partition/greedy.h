@@ -1,0 +1,81 @@
+// Copyright 2026 The pkgstream Authors.
+// Greedy reference baselines from Table II:
+//
+//   On-Greedy  — online: the first time a key appears it is assigned to the
+//                currently least-loaded worker (full choice among all W, not
+//                just two), and the choice is remembered. Needs a routing
+//                table and global load: impractical, but a strong online
+//                reference.
+//   Off-Greedy — offline: knows the complete key-frequency histogram in
+//                advance, sorts keys by decreasing frequency and assigns
+//                each to the least-loaded worker (LPT scheduling). An
+//                *unfair* clairvoyant baseline — the paper's headline is
+//                that PKG beats even this, because splitting a hot key over
+//                two workers can do what no unsplit assignment can.
+
+#ifndef PKGSTREAM_PARTITION_GREEDY_H_
+#define PKGSTREAM_PARTITION_GREEDY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "partition/partitioner.h"
+#include "stats/frequency.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Online greedy: new key -> currently least-loaded worker, frozen.
+class OnlineGreedy final : public Partitioner {
+ public:
+  OnlineGreedy(uint32_t sources, uint32_t workers);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override {
+    return static_cast<uint32_t>(loads_.size());
+  }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return 1; }
+  std::string Name() const override { return "On-Greedy"; }
+
+  size_t RoutingTableSize() const { return table_.size(); }
+
+ private:
+  uint32_t sources_;
+  std::vector<uint64_t> loads_;
+  std::unordered_map<Key, WorkerId> table_;
+};
+
+/// \brief Offline greedy (LPT on true frequencies).
+///
+/// Built from a FrequencyTable of the *entire* stream before routing starts.
+/// Keys absent from the table (never possible when the table matches the
+/// stream) fall back to hashing so Route is total.
+class OfflineGreedy final : public Partitioner {
+ public:
+  OfflineGreedy(uint32_t sources, uint32_t workers,
+                const stats::FrequencyTable& frequencies, uint64_t seed);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return hash_.buckets(); }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return 1; }
+  std::string Name() const override { return "Off-Greedy"; }
+
+  /// The planned (expected) load of each worker under the LPT assignment.
+  const std::vector<uint64_t>& planned_loads() const { return planned_; }
+
+ private:
+  HashFamily hash_;  // fallback for unknown keys
+  uint32_t sources_;
+  std::unordered_map<Key, WorkerId> table_;
+  std::vector<uint64_t> planned_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_GREEDY_H_

@@ -1,0 +1,101 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/heavy_hitter_pkg.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+HeavyHitterAwarePkg::HeavyHitterAwarePkg(uint32_t sources, uint32_t workers,
+                                         LoadEstimatorPtr estimator,
+                                         HeavyHitterPkgOptions options)
+    : sources_(sources),
+      workers_(workers),
+      tail_hash_(options.base_choices, workers, options.hash_seed),
+      head_hash_(options.head_choices == 0 ? 1 : options.head_choices,
+                 workers, Fmix64(options.hash_seed) | 1),
+      estimator_(std::move(estimator)),
+      options_(options) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+  PKGSTREAM_CHECK(options_.base_choices >= 1);
+  PKGSTREAM_CHECK(options_.head_choices <= workers);
+  PKGSTREAM_CHECK(options_.sketch_capacity >= 1);
+  PKGSTREAM_CHECK(estimator_ != nullptr);
+  sketches_.reserve(sources);
+  for (uint32_t s = 0; s < sources; ++s) {
+    sketches_.emplace_back(options_.sketch_capacity);
+  }
+  source_messages_.assign(sources, 0);
+}
+
+bool HeavyHitterAwarePkg::IsHeavy(SourceId source, Key key) const {
+  uint64_t seen = source_messages_[source];
+  if (seen < options_.min_messages) return false;
+  const stats::SpaceSaving& sketch = sketches_[source];
+  if (!sketch.Contains(key)) return false;
+  double share = static_cast<double>(sketch.Estimate(key)) /
+                 static_cast<double>(seen);
+  return share > options_.threshold_factor / static_cast<double>(workers_);
+}
+
+WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  sketches_[source].Add(key);
+  ++source_messages_[source];
+
+  estimator_->BeginRoute(source);
+  WorkerId best;
+  if (IsHeavy(source, key)) {
+    ++heavy_routings_;
+    if (options_.head_choices == 0) {
+      // W-Choices: full choice among all workers for the head keys.
+      best = 0;
+      uint64_t best_load = estimator_->Estimate(source, 0);
+      for (WorkerId w = 1; w < workers_; ++w) {
+        uint64_t load = estimator_->Estimate(source, w);
+        if (load < best_load) {
+          best = w;
+          best_load = load;
+        }
+      }
+    } else {
+      // D-Choices: head_choices hash candidates.
+      best = head_hash_.Bucket(0, key);
+      uint64_t best_load = estimator_->Estimate(source, best);
+      for (uint32_t i = 1; i < head_hash_.d(); ++i) {
+        WorkerId candidate = head_hash_.Bucket(i, key);
+        uint64_t load = estimator_->Estimate(source, candidate);
+        if (load < best_load) {
+          best = candidate;
+          best_load = load;
+        }
+      }
+    }
+  } else {
+    // Tail keys: plain PKG.
+    best = tail_hash_.Bucket(0, key);
+    uint64_t best_load = estimator_->Estimate(source, best);
+    for (uint32_t i = 1; i < tail_hash_.d(); ++i) {
+      WorkerId candidate = tail_hash_.Bucket(i, key);
+      uint64_t load = estimator_->Estimate(source, candidate);
+      if (load < best_load) {
+        best = candidate;
+        best_load = load;
+      }
+    }
+  }
+  estimator_->OnSend(source, best);
+  return best;
+}
+
+std::string HeavyHitterAwarePkg::Name() const {
+  if (options_.head_choices == 0) {
+    return "W-Choices-" + estimator_->Name();
+  }
+  return "D-Choices(" + std::to_string(options_.head_choices) + ")-" +
+         estimator_->Name();
+}
+
+}  // namespace partition
+}  // namespace pkgstream

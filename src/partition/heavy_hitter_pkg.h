@@ -1,0 +1,88 @@
+// Copyright 2026 The pkgstream Authors.
+// Heavy-hitter-aware PKG — the extension the paper's analysis begs for and
+// its conclusions point at ("is it possible to achieve good load balance
+// ... which other primitives can a DSPE offer?", Section VIII; the idea
+// became the authors' follow-up work on D-Choices/W-Choices).
+//
+// Section IV shows two choices cannot balance once the head probability
+// exceeds ~2/n: the hot key's two candidate workers must absorb p1/2 of the
+// stream each, above the 1/n average. The fix: give *only the heavy keys*
+// more choices. Each source detects heavy hitters in its own sub-stream
+// with a SPACESAVING sketch (no coordination — the same philosophy as local
+// load estimation) and routes them among `head_choices` candidates (or all
+// workers); the long tail keeps plain two-choice key splitting, so the
+// per-key state blow-up stays confined to the handful of keys that already
+// need aggregation everywhere.
+
+#ifndef PKGSTREAM_PARTITION_HEAVY_HITTER_PKG_H_
+#define PKGSTREAM_PARTITION_HEAVY_HITTER_PKG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/space_saving.h"
+#include "common/hash.h"
+#include "partition/load_estimator.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Tuning for HeavyHitterAwarePkg.
+struct HeavyHitterPkgOptions {
+  /// Choices for ordinary (tail) keys; 2 = plain PKG.
+  uint32_t base_choices = 2;
+  /// Choices for detected heavy hitters; 0 means all workers (the
+  /// "W-Choices" policy), otherwise d_head hash candidates ("D-Choices").
+  uint32_t head_choices = 0;
+  /// Per-source SPACESAVING capacity for the detector.
+  size_t sketch_capacity = 256;
+  /// A key is heavy when its estimated share of the source's sub-stream
+  /// exceeds threshold_factor / workers (theory: 2 choices suffice only
+  /// below ~2/n, so factor 1 flags everything near the danger zone).
+  double threshold_factor = 1.0;
+  /// Detection warm-up: no key is considered heavy before this many
+  /// messages from the source (estimates are noise at the very start).
+  uint64_t min_messages = 1000;
+  uint64_t hash_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// \brief PKG with per-source heavy-hitter detection and per-class choices.
+class HeavyHitterAwarePkg final : public Partitioner {
+ public:
+  HeavyHitterAwarePkg(uint32_t sources, uint32_t workers,
+                      LoadEstimatorPtr estimator,
+                      HeavyHitterPkgOptions options = {});
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return workers_; }
+  uint32_t sources() const override { return sources_; }
+  /// Heavy keys may touch all workers (W-Choices) or head_choices of them.
+  uint32_t MaxWorkersPerKey() const override {
+    return options_.head_choices == 0 ? workers_ : options_.head_choices;
+  }
+  std::string Name() const override;
+
+  /// Whether `source`'s detector currently classifies `key` as heavy.
+  bool IsHeavy(SourceId source, Key key) const;
+
+  /// Messages routed through the expanded-choice path (diagnostics).
+  uint64_t heavy_routings() const { return heavy_routings_; }
+
+ private:
+  uint32_t sources_;
+  uint32_t workers_;
+  HashFamily tail_hash_;  // base_choices functions
+  HashFamily head_hash_;  // head_choices functions (unused for W-Choices)
+  LoadEstimatorPtr estimator_;
+  HeavyHitterPkgOptions options_;
+  std::vector<stats::SpaceSaving> sketches_;  // one per source
+  std::vector<uint64_t> source_messages_;
+  uint64_t heavy_routings_ = 0;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_HEAVY_HITTER_PKG_H_

@@ -1,0 +1,22 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/key_grouping.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+KeyGrouping::KeyGrouping(uint32_t sources, uint32_t workers, uint64_t seed)
+    : hash_(/*d=*/1, workers, seed), sources_(sources) {
+  PKGSTREAM_CHECK(sources >= 1);
+}
+
+WorkerId KeyGrouping::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;  // routing is independent of the source: pure hashing
+  return hash_.Bucket(0, key);
+}
+
+}  // namespace partition
+}  // namespace pkgstream

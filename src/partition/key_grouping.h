@@ -1,0 +1,38 @@
+// Copyright 2026 The pkgstream Authors.
+// Key grouping (the paper's baseline "H", Section III "Single choice"):
+// P_t(k) = H1(k) mod W. Stateless, coordination-free, and the cause of the
+// load imbalance the paper sets out to fix.
+
+#ifndef PKGSTREAM_PARTITION_KEY_GROUPING_H_
+#define PKGSTREAM_PARTITION_KEY_GROUPING_H_
+
+#include <string>
+
+#include "common/hash.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Hash-based key grouping: every key maps to exactly one worker.
+class KeyGrouping final : public Partitioner {
+ public:
+  /// `seed` selects the hash function (a 64-bit Murmur hash, as in the
+  /// paper's experiments).
+  KeyGrouping(uint32_t sources, uint32_t workers, uint64_t seed);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return hash_.buckets(); }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return 1; }
+  std::string Name() const override { return "Hashing"; }
+
+ private:
+  HashFamily hash_;  // d = 1
+  uint32_t sources_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_KEY_GROUPING_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/load_estimator.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+GlobalLoadEstimator::GlobalLoadEstimator(uint32_t sources, uint32_t workers)
+    : loads_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+}
+
+LocalLoadEstimator::LocalLoadEstimator(uint32_t sources, uint32_t workers)
+    : local_(sources, std::vector<uint64_t>(workers, 0)),
+      global_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+}
+
+ProbingLoadEstimator::ProbingLoadEstimator(uint32_t sources, uint32_t workers,
+                                           uint64_t probe_period)
+    : local_(sources, std::vector<uint64_t>(workers, 0)),
+      global_(workers, 0),
+      last_probe_(sources, 0),
+      probe_period_(probe_period) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+  PKGSTREAM_CHECK(probe_period >= 1);
+}
+
+void ProbingLoadEstimator::BeginRoute(SourceId source) {
+  if (clock_ - last_probe_[source] >= probe_period_) {
+    // "When probing is executed, the local estimate vector is set to the
+    // actual load of the workers." (Section V, Q2). The probed load is
+    // normalized by the number of sources: each source is responsible for
+    // balancing its own 1/S share, so adopting the *raw* global vector
+    // would make all S sources correct the same deficit simultaneously —
+    // a stale-information herd oscillation (cf. Mitzenmacher, "How useful
+    // is old information?") that the paper's deployment evidently avoids.
+    const uint32_t sources = static_cast<uint32_t>(local_.size());
+    auto& mine = local_[source];
+    for (size_t w = 0; w < mine.size(); ++w) {
+      mine[w] = global_[w] / sources;
+    }
+    last_probe_[source] = clock_;
+    ++probes_;
+  }
+}
+
+std::string ProbingLoadEstimator::Name() const {
+  return "LP(period=" + std::to_string(probe_period_) + ")";
+}
+
+}  // namespace partition
+}  // namespace pkgstream

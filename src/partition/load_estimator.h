@@ -1,0 +1,139 @@
+// Copyright 2026 The pkgstream Authors.
+// Load estimation (Section III-B). PoTC needs the load of each candidate
+// worker at routing time. In a real DSPE that information is remote, so the
+// paper contrasts three oracles:
+//
+//   G  (GlobalLoadEstimator)  — exact global load, the idealized oracle;
+//   L  (LocalLoadEstimator)   — each source counts only the messages *it*
+//        has sent per worker. The paper's key practical insight is that this
+//        is enough: the global load is the sum of per-source loads, so if
+//        each source balances its own portion the total stays balanced
+//        (max imbalance <= sum of local imbalances);
+//   LP (ProbingLoadEstimator) — local estimates refreshed from the true
+//        global loads every probe period (the paper's L5P1 etc.), included
+//        to show probing buys nothing.
+
+#ifndef PKGSTREAM_PARTITION_LOAD_ESTIMATOR_H_
+#define PKGSTREAM_PARTITION_LOAD_ESTIMATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Per-source view of downstream worker loads.
+///
+/// Protocol, per message: the partitioner calls BeginRoute(source) once,
+/// reads Estimate(source, w) for the candidate workers, then calls
+/// OnSend(source, chosen). Implementations use BeginRoute for bookkeeping
+/// such as probing schedules.
+class LoadEstimator {
+ public:
+  virtual ~LoadEstimator() = default;
+
+  /// Called once before the estimates for a message are read.
+  virtual void BeginRoute(SourceId source) = 0;
+
+  /// Estimated load of worker `w` as seen by `source`.
+  virtual uint64_t Estimate(SourceId source, WorkerId w) const = 0;
+
+  /// Records that `source` routed one message to `w`.
+  virtual void OnSend(SourceId source, WorkerId w) = 0;
+
+  /// True global loads (available in simulation for G and for probing; a
+  /// real deployment of L never reads this).
+  virtual const std::vector<uint64_t>& GlobalLoads() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+using LoadEstimatorPtr = std::unique_ptr<LoadEstimator>;
+
+/// \brief The global oracle (the paper's G).
+class GlobalLoadEstimator final : public LoadEstimator {
+ public:
+  GlobalLoadEstimator(uint32_t sources, uint32_t workers);
+
+  void BeginRoute(SourceId) override {}
+  uint64_t Estimate(SourceId, WorkerId w) const override {
+    return loads_[w];
+  }
+  void OnSend(SourceId, WorkerId w) override { ++loads_[w]; }
+  const std::vector<uint64_t>& GlobalLoads() const override { return loads_; }
+  std::string Name() const override { return "G"; }
+
+ private:
+  std::vector<uint64_t> loads_;
+};
+
+/// \brief Purely local estimation (the paper's L): source j tracks L^j_i.
+class LocalLoadEstimator final : public LoadEstimator {
+ public:
+  LocalLoadEstimator(uint32_t sources, uint32_t workers);
+
+  void BeginRoute(SourceId) override {}
+  uint64_t Estimate(SourceId source, WorkerId w) const override {
+    return local_[source][w];
+  }
+  void OnSend(SourceId source, WorkerId w) override {
+    ++local_[source][w];
+    ++global_[w];
+  }
+  const std::vector<uint64_t>& GlobalLoads() const override { return global_; }
+  std::string Name() const override { return "L"; }
+
+  /// The local estimate vector of one source (tests, diagnostics).
+  const std::vector<uint64_t>& LocalLoads(SourceId source) const {
+    return local_[source];
+  }
+
+ private:
+  std::vector<std::vector<uint64_t>> local_;
+  std::vector<uint64_t> global_;  // maintained as ground truth for metrics
+};
+
+/// \brief Local estimation with periodic probing (the paper's LP).
+///
+/// Every `probe_period` global messages, a source's next BeginRoute replaces
+/// its local estimate vector with the true global loads — modelling Storm
+/// workers answering a load probe. The paper finds this does not improve on
+/// pure local estimation (Figure 3, L5P1 vs L5).
+class ProbingLoadEstimator final : public LoadEstimator {
+ public:
+  /// `probe_period` is in messages (the experiment driver converts the
+  /// paper's "every Tp minutes" using its stream rate).
+  ProbingLoadEstimator(uint32_t sources, uint32_t workers,
+                       uint64_t probe_period);
+
+  void BeginRoute(SourceId source) override;
+  uint64_t Estimate(SourceId source, WorkerId w) const override {
+    return local_[source][w];
+  }
+  void OnSend(SourceId source, WorkerId w) override {
+    ++local_[source][w];
+    ++global_[w];
+    ++clock_;
+  }
+  const std::vector<uint64_t>& GlobalLoads() const override { return global_; }
+  std::string Name() const override;
+
+  uint64_t probes_performed() const { return probes_; }
+
+ private:
+  std::vector<std::vector<uint64_t>> local_;
+  std::vector<uint64_t> global_;
+  std::vector<uint64_t> last_probe_;  // per source, in clock_ units
+  uint64_t probe_period_;
+  uint64_t clock_ = 0;  // total messages sent across sources
+  uint64_t probes_ = 0;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_LOAD_ESTIMATOR_H_

@@ -1,0 +1,57 @@
+// Copyright 2026 The pkgstream Authors.
+// The stream-partitioning interface (Section II): a partitioning function
+// P_t : K -> [W] that each source evaluates, online and independently, to
+// pick the downstream worker for every message. Implementations:
+//
+//   key_grouping.h      KG  — single hash (the paper's baseline "H")
+//   shuffle_grouping.h  SG  — per-source round-robin
+//   pkg.h               PKG — Greedy-d with key splitting (the contribution)
+//   potc_static.h       PoTC — two choices *without* key splitting
+//   greedy.h            On-Greedy / Off-Greedy reference baselines
+
+#ifndef PKGSTREAM_PARTITION_PARTITIONER_H_
+#define PKGSTREAM_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief A stream partitioning function, evaluated once per message.
+///
+/// Implementations may keep internal state (load estimates, routing tables,
+/// round-robin counters); all state updates happen inside Route. Route must
+/// be deterministic given the construction parameters and the call history —
+/// the whole evaluation pipeline depends on replayability.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Picks the worker for a message with key `key` emitted by `source`.
+  /// `source` must be < sources(), and the result is < workers().
+  virtual WorkerId Route(SourceId source, Key key) = 0;
+
+  /// Number of downstream workers W.
+  virtual uint32_t workers() const = 0;
+
+  /// Number of upstream sources S this instance was configured for.
+  virtual uint32_t sources() const = 0;
+
+  /// Largest number of distinct workers that may ever process the same key:
+  /// 1 for key grouping (atomic keys), d for PKG, W for shuffle grouping.
+  /// Stateful operators use this to size and merge per-key partial state.
+  virtual uint32_t MaxWorkersPerKey() const = 0;
+
+  /// Short technique name, e.g. "PKG-L" or "Hashing".
+  virtual std::string Name() const = 0;
+};
+
+using PartitionerPtr = std::unique_ptr<Partitioner>;
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_PARTITIONER_H_

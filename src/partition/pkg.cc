@@ -1,0 +1,49 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/pkg.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+PartialKeyGrouping::PartialKeyGrouping(uint32_t sources, uint32_t workers,
+                                       LoadEstimatorPtr estimator,
+                                       PkgOptions options)
+    : hash_(options.num_choices, workers, options.hash_seed),
+      sources_(sources),
+      estimator_(std::move(estimator)) {
+  PKGSTREAM_CHECK(sources >= 1);
+  PKGSTREAM_CHECK(estimator_ != nullptr) << "PKG requires a LoadEstimator";
+}
+
+WorkerId PartialKeyGrouping::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  estimator_->BeginRoute(source);
+  WorkerId best = hash_.Bucket(0, key);
+  uint64_t best_load = estimator_->Estimate(source, best);
+  for (uint32_t i = 1; i < hash_.d(); ++i) {
+    WorkerId candidate = hash_.Bucket(i, key);
+    uint64_t load = estimator_->Estimate(source, candidate);
+    if (load < best_load) {
+      best = candidate;
+      best_load = load;
+    }
+  }
+  estimator_->OnSend(source, best);
+  return best;
+}
+
+std::string PartialKeyGrouping::Name() const {
+  std::string name = "PKG-" + estimator_->Name();
+  if (hash_.d() != 2) name += "(d=" + std::to_string(hash_.d()) + ")";
+  return name;
+}
+
+void PartialKeyGrouping::CandidateWorkers(Key key,
+                                          std::vector<WorkerId>* out) const {
+  hash_.Candidates(key, out);
+}
+
+}  // namespace partition
+}  // namespace pkgstream

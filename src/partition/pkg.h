@@ -1,0 +1,76 @@
+// Copyright 2026 The pkgstream Authors.
+// PARTIAL KEY GROUPING (Section III): the paper's contribution.
+//
+// Greedy-d with key splitting: message with key k goes to the least loaded
+// worker among the d hash candidates H1(k)..Hd(k) *at this moment* — no
+// routing table, no agreement between sources, no remembered choice. Key
+// splitting means a key's state lives on (at most) d workers, so stateful
+// operators keep d partials per key instead of W (shuffle) or 1 (KG).
+//
+// The load used for the argmin comes from a pluggable LoadEstimator:
+//   GlobalLoadEstimator  -> the paper's "G" (oracle),
+//   LocalLoadEstimator   -> the paper's "L" (deployable: zero coordination),
+//   ProbingLoadEstimator -> the paper's "LP".
+//
+// The reference implementation on Storm is "a single function and less than
+// 20 lines of code"; Route() below is that function.
+
+#ifndef PKGSTREAM_PARTITION_PKG_H_
+#define PKGSTREAM_PARTITION_PKG_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "partition/load_estimator.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Configuration for PartialKeyGrouping.
+struct PkgOptions {
+  /// The number of choices d. d = 2 is the paper's setting; d = 1 degrades
+  /// to plain hashing, larger d buys only constant-factor gains (Azar et
+  /// al.) at the cost of d-way state splitting.
+  uint32_t num_choices = 2;
+
+  /// Seed for the hash family H1..Hd.
+  uint64_t hash_seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// \brief PKG: power of two (d) choices with key splitting.
+class PartialKeyGrouping final : public Partitioner {
+ public:
+  /// `estimator` supplies the per-source load view (G / L / LP). Must be
+  /// sized for the same `sources` x `workers`.
+  PartialKeyGrouping(uint32_t sources, uint32_t workers,
+                     LoadEstimatorPtr estimator, PkgOptions options = {});
+
+  /// The PKG routing decision — the paper's < 20-line core:
+  /// pick argmin_{i in 1..d} load(H_i(key)) and update the estimate.
+  WorkerId Route(SourceId source, Key key) override;
+
+  uint32_t workers() const override { return hash_.buckets(); }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return hash_.d(); }
+  std::string Name() const override;
+
+  /// The candidate workers for `key` (H1..Hd), for tests and for
+  /// applications that must know where a key's partial state can live
+  /// (e.g. naive Bayes queries probe exactly these workers).
+  void CandidateWorkers(Key key, std::vector<WorkerId>* out) const;
+
+  const LoadEstimator& estimator() const { return *estimator_; }
+
+ private:
+  HashFamily hash_;
+  uint32_t sources_;
+  LoadEstimatorPtr estimator_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_PKG_H_

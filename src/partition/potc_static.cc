@@ -1,0 +1,40 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/potc_static.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+StaticPoTC::StaticPoTC(uint32_t sources, uint32_t workers, uint64_t seed,
+                       uint32_t num_choices)
+    : hash_(num_choices, workers, seed),
+      sources_(sources),
+      loads_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1);
+}
+
+WorkerId StaticPoTC::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    // First occurrence: least loaded among the d candidates, then frozen.
+    WorkerId best = hash_.Bucket(0, key);
+    uint64_t best_load = loads_[best];
+    for (uint32_t i = 1; i < hash_.d(); ++i) {
+      WorkerId candidate = hash_.Bucket(i, key);
+      if (loads_[candidate] < best_load) {
+        best = candidate;
+        best_load = loads_[candidate];
+      }
+    }
+    it = table_.emplace(key, best).first;
+  }
+  ++loads_[it->second];
+  return it->second;
+}
+
+}  // namespace partition
+}  // namespace pkgstream

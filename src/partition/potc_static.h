@@ -1,0 +1,56 @@
+// Copyright 2026 The pkgstream Authors.
+// Static PoTC (Section III-A): the power of two choices *without* key
+// splitting. The first time a key is seen, the system picks the less loaded
+// of its two hash candidates and records the choice in a routing table;
+// every later occurrence follows the recorded choice, preserving key
+// grouping's one-key-one-worker semantics.
+//
+// The paper implements this as a straw man: it needs a per-key routing
+// table (billions of entries at web scale) and global agreement among
+// sources, and Table II shows it still balances far worse than PKG because
+// a popular key is forever pinned to one worker. We implement it fully so
+// the comparison is honest.
+
+#ifndef PKGSTREAM_PARTITION_POTC_STATIC_H_
+#define PKGSTREAM_PARTITION_POTC_STATIC_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief PoTC with a per-key routing table (no key splitting).
+///
+/// The routing table is shared by all sources, modelling the coordinated
+/// variant the paper describes (all sources must agree on each key's
+/// placement). Load is tracked globally for the same reason.
+class StaticPoTC final : public Partitioner {
+ public:
+  StaticPoTC(uint32_t sources, uint32_t workers, uint64_t seed,
+             uint32_t num_choices = 2);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return hash_.buckets(); }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return 1; }
+  std::string Name() const override { return "PoTC"; }
+
+  /// Size of the routing table (the memory cost the paper objects to).
+  size_t RoutingTableSize() const { return table_.size(); }
+
+ private:
+  HashFamily hash_;
+  uint32_t sources_;
+  std::vector<uint64_t> loads_;
+  std::unordered_map<Key, WorkerId> table_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_POTC_STATIC_H_

@@ -1,0 +1,95 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/rebalancing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+RebalancingKeyGrouping::RebalancingKeyGrouping(uint32_t sources,
+                                               uint32_t workers,
+                                               RebalancingOptions options)
+    : hash_(/*d=*/1, workers, options.hash_seed),
+      sources_(sources),
+      options_(options),
+      window_loads_(workers, 0) {
+  PKGSTREAM_CHECK(sources >= 1);
+  PKGSTREAM_CHECK(options_.check_period >= 1);
+  PKGSTREAM_CHECK(options_.imbalance_threshold >= 0.0);
+}
+
+WorkerId RebalancingKeyGrouping::Placement(Key key) const {
+  auto it = overrides_.find(key);
+  if (it != overrides_.end()) return it->second;
+  return hash_.Bucket(0, key);
+}
+
+WorkerId RebalancingKeyGrouping::Route(SourceId source, Key key) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  WorkerId w = Placement(key);
+  ++window_loads_[w];
+  ++window_key_counts_[key];
+  ++state_size_[key];
+  ++messages_;
+  if (messages_ % options_.check_period == 0) MaybeRebalance();
+  return w;
+}
+
+void RebalancingKeyGrouping::MaybeRebalance() {
+  ++stats_.checks;
+  const uint32_t n = hash_.buckets();
+  uint64_t total = 0;
+  WorkerId hottest = 0;
+  WorkerId coldest = 0;
+  for (WorkerId w = 0; w < n; ++w) {
+    total += window_loads_[w];
+    if (window_loads_[w] > window_loads_[hottest]) hottest = w;
+    if (window_loads_[w] < window_loads_[coldest]) coldest = w;
+  }
+  double avg = static_cast<double>(total) / n;
+  bool triggered =
+      avg > 0 && (static_cast<double>(window_loads_[hottest]) - avg) / avg >
+                     options_.imbalance_threshold;
+  if (triggered) {
+    ++stats_.rebalances;
+    // Keys currently placed on the hottest worker, by window rate desc.
+    std::vector<std::pair<uint64_t, Key>> candidates;
+    for (const auto& [key, count] : window_key_counts_) {
+      if (Placement(key) == hottest) candidates.push_back({count, key});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    // Moving a key with rate c from hottest to coldest narrows the spread
+    // by 2c; migrate hottest-first while that does not overshoot (the
+    // classic Flux-style heuristic).
+    uint64_t spread = window_loads_[hottest] - window_loads_[coldest];
+    uint32_t moved = 0;
+    for (const auto& [count, key] : candidates) {
+      if (moved >= options_.max_keys_per_rebalance) break;
+      if (2 * count > spread) continue;  // would overshoot: try colder keys
+      overrides_[key] = coldest;
+      spread -= 2 * count;
+      ++moved;
+      ++stats_.keys_moved;
+      stats_.state_moved += state_size_[key];
+      if (spread == 0) break;
+    }
+  }
+  // Start a fresh rate window either way.
+  std::fill(window_loads_.begin(), window_loads_.end(), 0);
+  window_key_counts_.clear();
+}
+
+std::string RebalancingKeyGrouping::Name() const {
+  return "KG+rebalance(T=" + std::to_string(options_.check_period) + ")";
+}
+
+}  // namespace partition
+}  // namespace pkgstream

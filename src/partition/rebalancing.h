@@ -1,0 +1,95 @@
+// Copyright 2026 The pkgstream Authors.
+// Key grouping with rebalancing — the alternative the paper argues against
+// (Section II-B) and asks about again in its conclusions ("can a solution
+// based on rebalancing be practical?", Section VIII). Implemented here as
+// an extension so the trade-off can be measured instead of argued:
+//
+//   * routing is hash-based, with a per-key override table built by
+//     migrations (this is exactly the routing-table state the paper
+//     objects to);
+//   * every `check_period` messages the operator compares per-worker load
+//     *within the last window* (a Flux-style rate estimate) and, when the
+//     relative imbalance exceeds a threshold, migrates the hottest keys
+//     from the most loaded to the least loaded worker;
+//   * the migration cost the paper worries about is tracked explicitly:
+//     number of migrations, keys moved, and the amount of per-key state
+//     (message counts) that would have to travel with them.
+//
+// bench_ablation_rebalance compares this against PKG: how much migration
+// does rebalancing need to approach the balance PKG gets for free?
+
+#ifndef PKGSTREAM_PARTITION_REBALANCING_H_
+#define PKGSTREAM_PARTITION_REBALANCING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Tuning for RebalancingKeyGrouping.
+struct RebalancingOptions {
+  /// Messages between imbalance checks.
+  uint64_t check_period = 10000;
+  /// Rebalance when (max - avg) / avg over the last window exceeds this.
+  double imbalance_threshold = 0.10;
+  /// At most this many keys migrate per rebalance.
+  uint32_t max_keys_per_rebalance = 16;
+  /// Hash seed for the base placement.
+  uint64_t hash_seed = 42;
+};
+
+/// \brief Migration cost accounting.
+struct RebalancingStats {
+  uint64_t checks = 0;        ///< imbalance checks performed
+  uint64_t rebalances = 0;    ///< checks that triggered migration
+  uint64_t keys_moved = 0;    ///< total key migrations
+  uint64_t state_moved = 0;   ///< cumulative per-key counts migrated
+};
+
+/// \brief Hash routing + periodic hot-key migration.
+///
+/// Keeps key-grouping semantics *between* migrations: a key is handled by
+/// exactly one worker at any instant, but its worker can change over time
+/// (with the associated state-transfer cost).
+class RebalancingKeyGrouping final : public Partitioner {
+ public:
+  RebalancingKeyGrouping(uint32_t sources, uint32_t workers,
+                         RebalancingOptions options = {});
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return hash_.buckets(); }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return 1; }
+  std::string Name() const override;
+
+  const RebalancingStats& stats() const { return stats_; }
+  /// Size of the override routing table (migrated keys).
+  size_t RoutingTableSize() const { return overrides_.size(); }
+
+ private:
+  WorkerId Placement(Key key) const;
+  void MaybeRebalance();
+
+  HashFamily hash_;  // d = 1 base placement
+  uint32_t sources_;
+  RebalancingOptions options_;
+  std::unordered_map<Key, WorkerId> overrides_;
+  /// Load and per-key counts within the current window (rate estimates).
+  std::vector<uint64_t> window_loads_;
+  std::unordered_map<Key, uint64_t> window_key_counts_;
+  /// Cumulative per-key counts: the state that must move with a key.
+  std::unordered_map<Key, uint64_t> state_size_;
+  uint64_t messages_ = 0;
+  RebalancingStats stats_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_REBALANCING_H_

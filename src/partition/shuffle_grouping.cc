@@ -1,0 +1,41 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "partition/shuffle_grouping.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace partition {
+
+ShuffleGrouping::ShuffleGrouping(uint32_t sources, uint32_t workers,
+                                 uint64_t seed)
+    : workers_(workers) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+  next_.resize(sources);
+  for (uint32_t s = 0; s < sources; ++s) {
+    next_[s] = static_cast<uint32_t>(Fmix64(seed + s) % workers);
+  }
+}
+
+WorkerId ShuffleGrouping::Route(SourceId source, Key /*key*/) {
+  PKGSTREAM_DCHECK(source < next_.size());
+  WorkerId w = next_[source];
+  next_[source] = (next_[source] + 1) % workers_;
+  return w;
+}
+
+RandomGrouping::RandomGrouping(uint32_t sources, uint32_t workers,
+                               uint64_t seed)
+    : workers_(workers), sources_(sources), rng_(seed) {
+  PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
+}
+
+WorkerId RandomGrouping::Route(SourceId source, Key /*key*/) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  return static_cast<WorkerId>(rng_.UniformInt(workers_));
+}
+
+}  // namespace partition
+}  // namespace pkgstream

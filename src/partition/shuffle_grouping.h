@@ -1,0 +1,60 @@
+// Copyright 2026 The pkgstream Authors.
+// Shuffle grouping (Section II-A): round-robin routing, irrespective of the
+// key. Perfect balance (imbalance <= 1 per source), but stateful operators
+// must replicate per-key state on all W workers and aggregate W partials.
+
+#ifndef PKGSTREAM_PARTITION_SHUFFLE_GROUPING_H_
+#define PKGSTREAM_PARTITION_SHUFFLE_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "partition/partitioner.h"
+
+namespace pkgstream {
+namespace partition {
+
+/// \brief Per-source round-robin ("sending a message to a new PEI in cyclic
+/// order"). Each source starts its cycle at a seed-derived offset so that
+/// sources do not march in lockstep.
+class ShuffleGrouping final : public Partitioner {
+ public:
+  ShuffleGrouping(uint32_t sources, uint32_t workers, uint64_t seed);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return workers_; }
+  uint32_t sources() const override {
+    return static_cast<uint32_t>(next_.size());
+  }
+  uint32_t MaxWorkersPerKey() const override { return workers_; }
+  std::string Name() const override { return "SG"; }
+
+ private:
+  uint32_t workers_;
+  std::vector<uint32_t> next_;  // per-source cursor
+};
+
+/// \brief Uniform random routing: the "single choice at random" scheme from
+/// the balls-and-bins literature. Included as a reference point; slightly
+/// worse than round-robin (imbalance Θ(sqrt(m log n / n)) vs O(1)).
+class RandomGrouping final : public Partitioner {
+ public:
+  RandomGrouping(uint32_t sources, uint32_t workers, uint64_t seed);
+
+  WorkerId Route(SourceId source, Key key) override;
+  uint32_t workers() const override { return workers_; }
+  uint32_t sources() const override { return sources_; }
+  uint32_t MaxWorkersPerKey() const override { return workers_; }
+  std::string Name() const override { return "Random"; }
+
+ private:
+  uint32_t workers_;
+  uint32_t sources_;
+  Rng rng_;
+};
+
+}  // namespace partition
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_PARTITION_SHUFFLE_GROUPING_H_

@@ -1,0 +1,410 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "simulation/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "apps/wordcount.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace simulation {
+
+using workload::DatasetId;
+
+double DefaultScale(DatasetId id, bool full) {
+  if (full) return 1.0;
+  switch (id) {
+    case DatasetId::kWP:
+      return 0.1;     // 2.2M messages, 290k keys
+    case DatasetId::kTW:
+      return 0.003;   // 3.6M messages, 93k keys
+    case DatasetId::kCT:
+      return 1.0;     // small enough to run in full
+    case DatasetId::kLN1:
+    case DatasetId::kLN2:
+      return 0.2;     // 2M messages
+    case DatasetId::kLJ:
+      return 0.02;    // 1.38M edges
+    case DatasetId::kSL1:
+    case DatasetId::kSL2:
+      return 1.0;     // ~1M edges, already small
+  }
+  return 1.0;
+}
+
+// ---------------------------------------------------------------------------
+// Table I.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Table1Row>> RunTable1(uint64_t seed, bool full) {
+  std::vector<Table1Row> rows;
+  for (const auto& spec : workload::AllDatasets()) {
+    double scale = DefaultScale(spec.id, full);
+    PKGSTREAM_ASSIGN_OR_RETURN(auto stream,
+                               workload::MakeKeyStream(spec, scale, seed));
+    uint64_t messages = workload::ScaledMessages(spec, scale);
+    workload::DatasetStats stats =
+        workload::MeasureStream(stream.get(), messages);
+    Table1Row row;
+    row.symbol = spec.symbol;
+    row.messages = stats.messages;
+    row.keys = stats.distinct_keys;
+    row.p1_percent = stats.p1 * 100.0;
+    row.paper_p1_percent = spec.paper_p1 * 100.0;
+    row.scale = scale;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// ---------------------------------------------------------------------------
+// Table II.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Table2Cell>> RunTable2(const Table2Options& options) {
+  std::vector<Table2Cell> cells;
+  const DatasetId datasets[] = {DatasetId::kWP, DatasetId::kTW};
+  for (DatasetId id : datasets) {
+    const auto& spec = workload::GetDataset(id);
+    double scale = DefaultScale(id, options.full);
+    uint64_t messages = workload::ScaledMessages(spec, scale);
+    for (uint32_t workers : options.workers) {
+      // Off-Greedy needs the exact frequencies: one extra pass.
+      PKGSTREAM_ASSIGN_OR_RETURN(
+          auto freq_stream, workload::MakeKeyStream(spec, scale, options.seed));
+      Feed freq_feed = MakeKeyFeed(freq_stream.get());
+      stats::FrequencyTable frequencies =
+          ComputeFrequencies(freq_feed, messages);
+
+      for (partition::Technique technique : options.techniques) {
+        PKGSTREAM_ASSIGN_OR_RETURN(
+            auto stream, workload::MakeKeyStream(spec, scale, options.seed));
+        Feed feed = MakeKeyFeed(stream.get());
+        RoutingConfig config;
+        config.partitioner.technique = technique;
+        config.partitioner.sources = 1;  // Table II studies the algorithms
+        config.partitioner.workers = workers;
+        config.partitioner.seed = options.seed;
+        config.partitioner.frequencies = &frequencies;
+        config.messages = messages;
+        config.seed = options.seed;
+        PKGSTREAM_ASSIGN_OR_RETURN(auto result, RunRouting(config, feed));
+        Table2Cell cell;
+        cell.dataset = spec.symbol;
+        cell.technique = partition::TechniqueName(technique);
+        cell.workers = workers;
+        cell.avg_imbalance = result.imbalance.avg_imbalance;
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Fig2Cell>> RunFig2(const Fig2Options& options) {
+  std::vector<Fig2Cell> cells;
+  for (DatasetId id : options.datasets) {
+    const auto& spec = workload::GetDataset(id);
+    double scale = DefaultScale(id, options.full);
+    uint64_t messages = workload::ScaledMessages(spec, scale);
+    for (uint32_t workers : options.workers) {
+      auto run = [&](partition::Technique technique, uint32_t sources,
+                     const std::string& label) -> Status {
+        PKGSTREAM_ASSIGN_OR_RETURN(
+            auto stream, workload::MakeKeyStream(spec, scale, options.seed));
+        Feed feed = MakeKeyFeed(stream.get());
+        RoutingConfig config;
+        config.partitioner.technique = technique;
+        config.partitioner.sources = sources;
+        config.partitioner.workers = workers;
+        config.partitioner.seed = options.seed;
+        config.messages = messages;
+        config.seed = options.seed;
+        PKGSTREAM_ASSIGN_OR_RETURN(auto result, RunRouting(config, feed));
+        Fig2Cell cell;
+        cell.dataset = spec.symbol;
+        cell.series = label;
+        cell.workers = workers;
+        cell.avg_fraction = result.imbalance.avg_fraction;
+        cells.push_back(cell);
+        return Status::OK();
+      };
+      // G: global oracle (sources immaterial; use 1).
+      PKGSTREAM_RETURN_NOT_OK(run(partition::Technique::kPkgGlobal, 1, "G"));
+      // L5..L20: local estimation with S sources.
+      for (uint32_t sources : options.sources) {
+        PKGSTREAM_RETURN_NOT_OK(run(partition::Technique::kPkgLocal, sources,
+                                    "L" + std::to_string(sources)));
+      }
+      // H: hashing baseline.
+      PKGSTREAM_RETURN_NOT_OK(run(partition::Technique::kHashing, 1, "H"));
+    }
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Downsamples an imbalance series to `points` points in dataset time.
+std::vector<Fig3Point> ToDatasetTime(
+    const std::vector<stats::ImbalancePoint>& series, uint64_t messages,
+    double duration_units, size_t points) {
+  std::vector<Fig3Point> out;
+  if (series.empty() || points == 0) return out;
+  size_t stride = std::max<size_t>(1, series.size() / points);
+  for (size_t i = 0; i < series.size(); i += stride) {
+    const auto& p = series[i];
+    double t = static_cast<double>(p.t) / static_cast<double>(messages) *
+               duration_units;
+    out.push_back(Fig3Point{t, p.fraction});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Fig3Series>> RunFig3(const Fig3Options& options) {
+  std::vector<Fig3Series> all;
+  for (DatasetId id : options.datasets) {
+    const auto& spec = workload::GetDataset(id);
+    double scale = DefaultScale(id, options.full);
+    uint64_t messages = workload::ScaledMessages(spec, scale);
+    // Dataset time: TW/WP plotted in minutes of a 40-minute window; CT in
+    // hours over its 600-hour span. We use the preset's duration.
+    bool hours = spec.duration_hours > 100;
+    double duration_units =
+        hours ? spec.duration_hours : 40.0;  // minutes for the short sets
+    uint64_t probe_messages = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(messages) /
+               (duration_units * (hours ? 60.0 : 1.0)) *
+               options.probe_minutes));
+    for (uint32_t workers : options.workers) {
+      struct SeriesSpec {
+        partition::Technique technique;
+        uint32_t sources;
+        std::string label;
+      };
+      std::vector<SeriesSpec> specs = {
+          {partition::Technique::kPkgGlobal, 1, "G"},
+          {partition::Technique::kPkgLocal, options.sources,
+           "L" + std::to_string(options.sources)},
+          {partition::Technique::kPkgProbing, options.sources,
+           "L" + std::to_string(options.sources) + "P1"},
+      };
+      for (const auto& s : specs) {
+        PKGSTREAM_ASSIGN_OR_RETURN(
+            auto stream, workload::MakeKeyStream(spec, scale, options.seed));
+        Feed feed = MakeKeyFeed(stream.get());
+        RoutingConfig config;
+        config.partitioner.technique = s.technique;
+        config.partitioner.sources = s.sources;
+        config.partitioner.workers = workers;
+        config.partitioner.seed = options.seed;
+        config.partitioner.probe_period_messages = probe_messages;
+        config.messages = messages;
+        config.seed = options.seed;
+        config.snapshot_every = std::max<uint64_t>(1, messages / 400);
+
+        // Measure agreement against the global oracle in the same pass.
+        RoutingConfig global = config;
+        global.partitioner.technique = partition::Technique::kPkgGlobal;
+        global.partitioner.sources = 1;
+        PKGSTREAM_ASSIGN_OR_RETURN(auto agreement,
+                                   RunAgreement(global, config, feed));
+        Fig3Series series;
+        series.dataset = spec.symbol;
+        series.series = s.label;
+        series.workers = workers;
+        series.points = ToDatasetTime(agreement.b.series, messages,
+                                      duration_units, options.points);
+        series.jaccard_vs_global = agreement.jaccard;
+        all.push_back(std::move(series));
+      }
+    }
+  }
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<Fig4Cell>> RunFig4(const Fig4Options& options) {
+  std::vector<Fig4Cell> cells;
+  for (DatasetId id : options.datasets) {
+    const auto& spec = workload::GetDataset(id);
+    double scale = DefaultScale(id, options.full);
+    uint64_t messages = workload::ScaledMessages(spec, scale);
+    for (uint32_t workers : options.workers) {
+      for (uint32_t sources : options.sources) {
+        for (SourceSplit split :
+             {SourceSplit::kShuffle, SourceSplit::kKeyed}) {
+          PKGSTREAM_ASSIGN_OR_RETURN(
+              auto edges, workload::MakeEdgeStream(spec, scale, options.seed));
+          Feed feed = MakeEdgeFeed(edges.get());
+          RoutingConfig config;
+          config.partitioner.technique = partition::Technique::kPkgLocal;
+          config.partitioner.sources = sources;
+          config.partitioner.workers = workers;
+          config.partitioner.seed = options.seed;
+          config.messages = messages;
+          config.source_split = split;
+          config.seed = options.seed;
+          PKGSTREAM_ASSIGN_OR_RETURN(auto result, RunRouting(config, feed));
+          Fig4Cell cell;
+          cell.dataset = spec.symbol;
+          cell.split = split == SourceSplit::kShuffle ? "Uniform" : "Skewed";
+          cell.sources = sources;
+          cell.workers = workers;
+          cell.avg_fraction = result.imbalance.avg_fraction;
+          cell.source_imbalance_fraction =
+              stats::ImbalanceOf(result.source_loads) /
+              static_cast<double>(messages);
+          cells.push_back(cell);
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5.
+// ---------------------------------------------------------------------------
+
+engine::EventSimOptions ClusterDefaults() {
+  // Calibrated so the binding constraint switches inside the Figure 5(a)
+  // sweep, as in the paper's cluster: at low CPU delay the spout rate is
+  // the bottleneck for the balanced techniques (flat region) while KG's
+  // hottest counter is already saturated; at high delay every technique is
+  // worker-bound. This yields the paper's differential declines
+  // (KG ~60%, PKG/SG ~37%) without copying Storm's absolute numbers.
+  engine::EventSimOptions options;
+  options.source_service_us = 105;   // spout cost -> ~9.5k keys/s ceiling
+  options.worker_overhead_us = 50;   // framework overhead per message
+  options.network_delay_us = 1000;   // 1 ms per hop
+  options.max_pending = 64;          // Storm max.spout.pending
+  options.flush_cost_us = 150;       // per flushed counter at the sender
+  options.memory_sample_period_us = 250000;
+  return options;
+}
+
+Result<engine::EventSimReport> RunWordCountCluster(
+    partition::Technique technique, uint32_t workers, double cpu_delay_ms,
+    uint64_t aggregation_us, uint64_t messages, workload::DatasetId dataset,
+    double scale, uint64_t seed) {
+  const auto& spec = workload::GetDataset(dataset);
+  PKGSTREAM_ASSIGN_OR_RETURN(auto stream,
+                             workload::MakeKeyStream(spec, scale, seed));
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      technique, /*sources=*/1, workers, aggregation_us, /*topk=*/10, seed);
+  engine::EventSimOptions options = ClusterDefaults();
+  options.messages = messages;
+  options.node_extra_service_us.assign(wc.topology.nodes().size(), 0);
+  // Counters pay a fixed executor overhead (0.45 ms — the Storm-like
+  // framework cost that dominated the paper's absolute numbers) plus the
+  // emulated per-key CPU delay that Figure 5(a) sweeps.
+  options.node_extra_service_us[wc.counter.index] =
+      450 + static_cast<uint64_t>(cpu_delay_ms * 1000.0);
+  options.max_sim_time_us = 3600ULL * 1000 * 1000;
+  PKGSTREAM_ASSIGN_OR_RETURN(
+      auto sim,
+      engine::EventSimulator::Create(&wc.topology, stream.get(), options));
+  return sim->Run();
+}
+
+Result<std::vector<Fig5aCell>> RunFig5a(const Fig5aOptions& options) {
+  std::vector<Fig5aCell> cells;
+  struct T {
+    partition::Technique technique;
+    const char* label;
+  };
+  const T techniques[] = {{partition::Technique::kPkgLocal, "PKG"},
+                          {partition::Technique::kShuffle, "SG"},
+                          {partition::Technique::kHashing, "KG"}};
+  for (const T& t : techniques) {
+    for (double delay : options.cpu_delay_ms) {
+      PKGSTREAM_ASSIGN_OR_RETURN(
+          auto report,
+          RunWordCountCluster(t.technique, options.workers, delay,
+                              /*aggregation_us=*/0, options.messages,
+                              options.dataset, options.scale, options.seed));
+      Fig5aCell cell;
+      cell.technique = t.label;
+      cell.cpu_delay_ms = delay;
+      cell.throughput_per_s = report.throughput_per_s;
+      cell.mean_latency_ms = report.mean_latency_us / 1000.0;
+      cell.p99_latency_ms = static_cast<double>(report.p99_latency_us) / 1000.0;
+      cell.memory_counters = report.peak_memory_counters;
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+Result<std::vector<Fig5bCell>> RunFig5b(const Fig5bOptions& options) {
+  std::vector<Fig5bCell> cells;
+  struct T {
+    partition::Technique technique;
+    const char* label;
+  };
+  const T techniques[] = {{partition::Technique::kPkgLocal, "PKG"},
+                          {partition::Technique::kShuffle, "SG"}};
+  PKGSTREAM_CHECK(options.aggregation_s.size() ==
+                  options.paper_equivalent_s.size());
+  for (const T& t : techniques) {
+    for (size_t i = 0; i < options.aggregation_s.size(); ++i) {
+      double period_s = options.aggregation_s[i];
+      // Long periods need long runs: cover at least 3 aggregation windows
+      // at an (estimated) few-k/s throughput.
+      uint64_t messages = std::max<uint64_t>(
+          options.min_messages,
+          static_cast<uint64_t>(period_s * 3.0 * 4000.0));
+      PKGSTREAM_ASSIGN_OR_RETURN(
+          auto report,
+          RunWordCountCluster(
+              t.technique, options.workers, options.cpu_delay_ms,
+              static_cast<uint64_t>(period_s * 1e6), messages,
+              options.dataset, options.scale, options.seed));
+      Fig5bCell cell;
+      cell.technique = t.label;
+      cell.aggregation_s = period_s;
+      cell.paper_equivalent_s = options.paper_equivalent_s[i];
+      cell.throughput_per_s = report.throughput_per_s;
+      cell.avg_memory_counters = report.avg_memory_counters;
+      cell.mean_latency_ms = report.mean_latency_us / 1000.0;
+      cells.push_back(cell);
+    }
+  }
+  // KG reference: running totals, no aggregation flushes.
+  PKGSTREAM_ASSIGN_OR_RETURN(
+      auto report,
+      RunWordCountCluster(partition::Technique::kHashing, options.workers,
+                          options.cpu_delay_ms, /*aggregation_us=*/0,
+                          options.min_messages, options.dataset, options.scale,
+                          options.seed));
+  Fig5bCell kg;
+  kg.technique = "KG";
+  kg.aggregation_s = 0.0;
+  kg.paper_equivalent_s = 0.0;
+  kg.throughput_per_s = report.throughput_per_s;
+  kg.avg_memory_counters = report.avg_memory_counters;
+  kg.mean_latency_ms = report.mean_latency_us / 1000.0;
+  cells.push_back(kg);
+  return cells;
+}
+
+}  // namespace simulation
+}  // namespace pkgstream

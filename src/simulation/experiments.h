@@ -1,0 +1,213 @@
+// Copyright 2026 The pkgstream Authors.
+// Canned reproductions of every table and figure in the paper's evaluation
+// (Section V). Each function runs the experiment at a configurable scale and
+// returns structured rows; the bench binaries print them in the paper's
+// layout. EXPERIMENTS.md records paper-vs-measured values.
+
+#ifndef PKGSTREAM_SIMULATION_EXPERIMENTS_H_
+#define PKGSTREAM_SIMULATION_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/event_sim.h"
+#include "partition/factory.h"
+#include "simulation/runner.h"
+#include "workload/dataset.h"
+
+namespace pkgstream {
+namespace simulation {
+
+/// \brief Default per-dataset scales chosen so each run finishes in seconds
+/// on one machine. `full` requests paper scale (slow).
+double DefaultScale(workload::DatasetId id, bool full);
+
+// ---------------------------------------------------------------------------
+// Table I — dataset statistics.
+// ---------------------------------------------------------------------------
+
+struct Table1Row {
+  std::string symbol;
+  uint64_t messages = 0;
+  uint64_t keys = 0;
+  double p1_percent = 0.0;        // measured on the generated stream
+  double paper_p1_percent = 0.0;  // published value
+  double scale = 1.0;
+};
+
+/// Generates every dataset at its default scale and measures m, K, p1.
+Result<std::vector<Table1Row>> RunTable1(uint64_t seed, bool full);
+
+// ---------------------------------------------------------------------------
+// Table II — average imbalance by technique (WP and TW, single source).
+// ---------------------------------------------------------------------------
+
+struct Table2Cell {
+  std::string dataset;
+  std::string technique;
+  uint32_t workers = 0;
+  double avg_imbalance = 0.0;
+};
+
+struct Table2Options {
+  std::vector<uint32_t> workers = {5, 10, 50, 100};
+  std::vector<partition::Technique> techniques = {
+      partition::Technique::kPkgLocal, partition::Technique::kOffGreedy,
+      partition::Technique::kOnGreedy, partition::Technique::kPotcStatic,
+      partition::Technique::kHashing};
+  uint64_t seed = 42;
+  bool full = false;
+};
+
+Result<std::vector<Table2Cell>> RunTable2(const Table2Options& options);
+
+// ---------------------------------------------------------------------------
+// Figure 2 — fraction of average imbalance: local vs global estimation.
+// ---------------------------------------------------------------------------
+
+struct Fig2Cell {
+  std::string dataset;
+  std::string series;  ///< "G", "L5".."L20", "H"
+  uint32_t workers = 0;
+  double avg_fraction = 0.0;  ///< avg imbalance / total messages
+};
+
+struct Fig2Options {
+  std::vector<workload::DatasetId> datasets = {
+      workload::DatasetId::kTW, workload::DatasetId::kWP,
+      workload::DatasetId::kCT, workload::DatasetId::kLN1,
+      workload::DatasetId::kLN2};
+  std::vector<uint32_t> workers = {5, 10, 50, 100};
+  std::vector<uint32_t> sources = {5, 10, 15, 20};  ///< the L-series
+  uint64_t seed = 42;
+  bool full = false;
+};
+
+Result<std::vector<Fig2Cell>> RunFig2(const Fig2Options& options);
+
+// ---------------------------------------------------------------------------
+// Figure 3 — imbalance through time (G vs L5 vs L5 with 1-minute probing).
+// ---------------------------------------------------------------------------
+
+struct Fig3Point {
+  double time;      ///< dataset-time units (minutes for TW/WP, hours for CT)
+  double fraction;  ///< I(t) / t
+};
+
+struct Fig3Series {
+  std::string dataset;
+  std::string series;  ///< "G", "L5", "L5P1"
+  uint32_t workers = 0;
+  std::vector<Fig3Point> points;
+  double jaccard_vs_global = 0.0;  ///< the Q2 "47% overlap" measurement
+};
+
+struct Fig3Options {
+  std::vector<workload::DatasetId> datasets = {workload::DatasetId::kTW,
+                                               workload::DatasetId::kWP,
+                                               workload::DatasetId::kCT};
+  std::vector<uint32_t> workers = {10, 50};
+  uint32_t sources = 5;
+  double probe_minutes = 1.0;
+  size_t points = 20;  ///< time-series resolution in the output
+  uint64_t seed = 42;
+  bool full = false;
+};
+
+Result<std::vector<Fig3Series>> RunFig3(const Fig3Options& options);
+
+// ---------------------------------------------------------------------------
+// Figure 4 — robustness to skewed source splits (graph datasets).
+// ---------------------------------------------------------------------------
+
+struct Fig4Cell {
+  std::string dataset;
+  std::string split;   ///< "Uniform" or "Skewed"
+  uint32_t sources = 0;
+  uint32_t workers = 0;
+  double avg_fraction = 0.0;
+  double source_imbalance_fraction = 0.0;  ///< how skewed the split was
+};
+
+struct Fig4Options {
+  std::vector<workload::DatasetId> datasets = {workload::DatasetId::kLJ};
+  std::vector<uint32_t> sources = {5, 10, 15, 20};
+  std::vector<uint32_t> workers = {5, 10, 50, 100};
+  uint64_t seed = 42;
+  bool full = false;
+};
+
+Result<std::vector<Fig4Cell>> RunFig4(const Fig4Options& options);
+
+// ---------------------------------------------------------------------------
+// Figure 5(a) — throughput vs CPU delay on the simulated cluster.
+// ---------------------------------------------------------------------------
+
+struct Fig5aCell {
+  std::string technique;  ///< "PKG", "SG", "KG"
+  double cpu_delay_ms = 0.0;
+  double throughput_per_s = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  uint64_t memory_counters = 0;  ///< end-of-run live counters
+};
+
+struct Fig5aOptions {
+  std::vector<double> cpu_delay_ms = {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  uint32_t workers = 9;  ///< the paper's 9 counters
+  uint64_t messages = 200000;
+  workload::DatasetId dataset = workload::DatasetId::kWP;
+  double scale = 0.02;
+  uint64_t seed = 42;
+};
+
+Result<std::vector<Fig5aCell>> RunFig5a(const Fig5aOptions& options);
+
+// ---------------------------------------------------------------------------
+// Figure 5(b) — throughput vs memory for aggregation periods.
+// ---------------------------------------------------------------------------
+
+struct Fig5bCell {
+  std::string technique;       ///< "PKG", "SG", "KG"
+  double aggregation_s = 0.0;  ///< simulated seconds (0 = none: the KG row)
+  double paper_equivalent_s = 0.0;  ///< the paper period this maps to
+  double throughput_per_s = 0.0;
+  double avg_memory_counters = 0.0;
+  double mean_latency_ms = 0.0;
+};
+
+struct Fig5bOptions {
+  /// Simulated aggregation periods; the paper's {10,30,60,300,600}s scale
+  /// down with the cluster speed-up (see EXPERIMENTS.md).
+  std::vector<double> aggregation_s = {4, 8, 16, 40, 80};
+  std::vector<double> paper_equivalent_s = {10, 30, 60, 300, 600};
+  double cpu_delay_ms = 0.4;  ///< the paper's KG saturation point
+  uint32_t workers = 9;
+  uint64_t min_messages = 400000;
+  workload::DatasetId dataset = workload::DatasetId::kWP;
+  double scale = 0.02;
+  uint64_t seed = 42;
+};
+
+Result<std::vector<Fig5bCell>> RunFig5b(const Fig5bOptions& options);
+
+// ---------------------------------------------------------------------------
+// Shared helpers.
+// ---------------------------------------------------------------------------
+
+/// \brief Builds the event-sim options used by the Figure 5 experiments.
+engine::EventSimOptions ClusterDefaults();
+
+/// \brief Runs one word-count cluster simulation (used by Fig 5 and by the
+/// cluster_sim example).
+Result<engine::EventSimReport> RunWordCountCluster(
+    partition::Technique technique, uint32_t workers, double cpu_delay_ms,
+    uint64_t aggregation_us, uint64_t messages, workload::DatasetId dataset,
+    double scale, uint64_t seed);
+
+}  // namespace simulation
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_SIMULATION_EXPERIMENTS_H_

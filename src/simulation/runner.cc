@@ -1,0 +1,129 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "simulation/runner.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace simulation {
+
+Feed MakeKeyFeed(workload::KeyStream* stream) {
+  auto counter = std::make_shared<uint64_t>(0);
+  return [stream, counter]() {
+    FeedItem item;
+    item.routing_key = stream->Next();
+    item.source_key = (*counter)++;
+    return item;
+  };
+}
+
+Feed MakeEdgeFeed(workload::RmatEdgeStream* stream) {
+  return [stream]() {
+    workload::Edge e = stream->Next();
+    return FeedItem{e.dst, e.src};
+  };
+}
+
+namespace {
+
+SourceId PickSource(const RoutingConfig& config, const FeedItem& item) {
+  uint32_t sources = config.partitioner.sources;
+  if (sources == 1) return 0;
+  if (config.source_split == SourceSplit::kShuffle) {
+    return static_cast<SourceId>(item.source_key % sources);
+  }
+  return static_cast<SourceId>(
+      Murmur3_64(item.source_key, static_cast<uint32_t>(config.seed)) %
+      sources);
+}
+
+uint64_t SnapshotEvery(const RoutingConfig& config) {
+  if (config.snapshot_every > 0) return config.snapshot_every;
+  return std::max<uint64_t>(1, config.messages / 1000);
+}
+
+}  // namespace
+
+Result<RoutingResult> RunRouting(const RoutingConfig& config,
+                                 const Feed& feed) {
+  if (config.messages == 0) {
+    return Status::InvalidArgument("RunRouting: messages must be > 0");
+  }
+  PKGSTREAM_ASSIGN_OR_RETURN(auto partitioner,
+                             partition::MakePartitioner(config.partitioner));
+  stats::ImbalanceTracker tracker(config.partitioner.workers,
+                                  SnapshotEvery(config));
+  std::vector<uint64_t> source_loads(config.partitioner.sources, 0);
+  for (uint64_t i = 0; i < config.messages; ++i) {
+    FeedItem item = feed();
+    SourceId s = PickSource(config, item);
+    ++source_loads[s];
+    WorkerId w = partitioner->Route(s, item.routing_key);
+    tracker.OnRoute(w);
+  }
+  RoutingResult result;
+  result.technique = partitioner->Name();
+  result.imbalance = tracker.Finish();
+  result.series = tracker.series();
+  result.loads = tracker.loads();
+  result.source_loads = std::move(source_loads);
+  return result;
+}
+
+stats::FrequencyTable ComputeFrequencies(const Feed& feed, uint64_t messages) {
+  stats::FrequencyTable table;
+  for (uint64_t i = 0; i < messages; ++i) table.Add(feed().routing_key);
+  return table;
+}
+
+Result<AgreementResult> RunAgreement(const RoutingConfig& config_a,
+                                     const RoutingConfig& config_b,
+                                     const Feed& feed) {
+  if (config_a.messages != config_b.messages) {
+    return Status::InvalidArgument("agreement runs must use equal messages");
+  }
+  PKGSTREAM_ASSIGN_OR_RETURN(
+      auto pa, partition::MakePartitioner(config_a.partitioner));
+  PKGSTREAM_ASSIGN_OR_RETURN(
+      auto pb, partition::MakePartitioner(config_b.partitioner));
+  if (pa->workers() != pb->workers()) {
+    return Status::InvalidArgument("agreement runs must use equal workers");
+  }
+  stats::ImbalanceTracker ta(config_a.partitioner.workers,
+                             SnapshotEvery(config_a));
+  stats::ImbalanceTracker tb(config_b.partitioner.workers,
+                             SnapshotEvery(config_b));
+  stats::AgreementTracker agreement;
+  std::vector<uint64_t> sa(config_a.partitioner.sources, 0);
+  std::vector<uint64_t> sb(config_b.partitioner.sources, 0);
+  for (uint64_t i = 0; i < config_a.messages; ++i) {
+    FeedItem item = feed();
+    SourceId source_a = PickSource(config_a, item);
+    SourceId source_b = PickSource(config_b, item);
+    ++sa[source_a];
+    ++sb[source_b];
+    WorkerId wa = pa->Route(source_a, item.routing_key);
+    WorkerId wb = pb->Route(source_b, item.routing_key);
+    ta.OnRoute(wa);
+    tb.OnRoute(wb);
+    agreement.OnMessage(wa, wb);
+  }
+  AgreementResult out;
+  out.a.technique = pa->Name();
+  out.a.imbalance = ta.Finish();
+  out.a.series = ta.series();
+  out.a.loads = ta.loads();
+  out.a.source_loads = std::move(sa);
+  out.b.technique = pb->Name();
+  out.b.imbalance = tb.Finish();
+  out.b.series = tb.series();
+  out.b.loads = tb.loads();
+  out.b.source_loads = std::move(sb);
+  out.jaccard = agreement.Jaccard();
+  out.match_rate = agreement.MatchRate();
+  return out;
+}
+
+}  // namespace simulation
+}  // namespace pkgstream

@@ -1,0 +1,98 @@
+// Copyright 2026 The pkgstream Authors.
+// The routing simulation of Section V (questions Q1-Q3): the Figure 1 DAG.
+// A stream of keyed messages is split across S sources (by shuffle, or —
+// for the Q3 robustness experiment — keyed by an upstream key such as the
+// graph's source vertex); each source routes its messages to W workers
+// through the partitioning strategy under test; the tracker measures the
+// worker-load imbalance through time.
+
+#ifndef PKGSTREAM_SIMULATION_RUNNER_H_
+#define PKGSTREAM_SIMULATION_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "partition/factory.h"
+#include "stats/agreement.h"
+#include "stats/frequency.h"
+#include "stats/imbalance.h"
+#include "workload/key_stream.h"
+#include "workload/rmat.h"
+
+namespace pkgstream {
+namespace simulation {
+
+/// \brief One message as seen by the splitter: the key used for worker
+/// routing, plus the upstream key that decides which source receives it.
+struct FeedItem {
+  Key routing_key;  ///< key the sources partition on (the paper's k)
+  Key source_key;   ///< key the *input* is partitioned on across sources
+};
+
+/// \brief Produces the message sequence for a run.
+using Feed = std::function<FeedItem()>;
+
+/// \brief Feed over a KeyStream: routing key from the stream; source key is
+/// the message index (so kShuffle assigns sources round-robin).
+Feed MakeKeyFeed(workload::KeyStream* stream);
+
+/// \brief Feed over a graph edge stream, modelling the Q3 setup: the source
+/// PE is keyed by the edge's source vertex, the worker key is the
+/// destination vertex (the source PE "inverts the edge").
+Feed MakeEdgeFeed(workload::RmatEdgeStream* stream);
+
+/// \brief How messages are assigned to sources.
+enum class SourceSplit {
+  kShuffle,  ///< round-robin on source_key order (uniform split)
+  kKeyed,    ///< hash of source_key (key grouping onto sources; skewed)
+};
+
+/// \brief Parameters of one routing run.
+struct RoutingConfig {
+  partition::PartitionerConfig partitioner;
+  uint64_t messages = 1000000;
+  SourceSplit source_split = SourceSplit::kShuffle;
+  /// Imbalance snapshot interval; 0 = auto (messages / 1000, min 1).
+  uint64_t snapshot_every = 0;
+  uint64_t seed = 42;
+};
+
+/// \brief Result of one routing run.
+struct RoutingResult {
+  std::string technique;
+  stats::ImbalanceSummary imbalance;
+  std::vector<stats::ImbalancePoint> series;
+  /// Final per-worker loads.
+  std::vector<uint64_t> loads;
+  /// Final per-source message counts (how skewed the split was).
+  std::vector<uint64_t> source_loads;
+};
+
+/// \brief Runs one configuration over `config.messages` items of `feed`.
+Result<RoutingResult> RunRouting(const RoutingConfig& config, const Feed& feed);
+
+/// \brief First pass helper: exact key frequencies of a feed prefix
+/// (Off-Greedy needs them; callers recreate the feed for the real run).
+stats::FrequencyTable ComputeFrequencies(const Feed& feed, uint64_t messages);
+
+/// \brief Result of a two-strategy agreement run (the Q2 Jaccard check).
+struct AgreementResult {
+  RoutingResult a;
+  RoutingResult b;
+  double jaccard = 0.0;
+  double match_rate = 0.0;
+};
+
+/// \brief Routes the same message sequence through two partitioners and
+/// measures how often they agree on the destination.
+Result<AgreementResult> RunAgreement(const RoutingConfig& config_a,
+                                     const RoutingConfig& config_b,
+                                     const Feed& feed);
+
+}  // namespace simulation
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_SIMULATION_RUNNER_H_

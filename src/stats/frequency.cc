@@ -1,0 +1,34 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "stats/frequency.h"
+
+#include <algorithm>
+
+namespace pkgstream {
+namespace stats {
+
+std::vector<std::pair<Key, uint64_t>> FrequencyTable::TopK(size_t k) const {
+  std::vector<std::pair<Key, uint64_t>> items(counts_.begin(), counts_.end());
+  auto by_count_desc = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (k > 0 && k < items.size()) {
+    std::partial_sort(items.begin(), items.begin() + static_cast<long>(k),
+                      items.end(), by_count_desc);
+    items.resize(k);
+  } else {
+    std::sort(items.begin(), items.end(), by_count_desc);
+  }
+  return items;
+}
+
+double FrequencyTable::HeadProbability() const {
+  if (total_ == 0) return 0.0;
+  uint64_t best = 0;
+  for (const auto& [_, c] : counts_) best = std::max(best, c);
+  return static_cast<double>(best) / static_cast<double>(total_);
+}
+
+}  // namespace stats
+}  // namespace pkgstream

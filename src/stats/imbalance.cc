@@ -1,0 +1,72 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "stats/imbalance.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace stats {
+
+ImbalanceTracker::ImbalanceTracker(uint32_t workers, uint64_t sample_every)
+    : loads_(workers, 0), sample_every_(sample_every) {
+  PKGSTREAM_CHECK(workers >= 1);
+  PKGSTREAM_CHECK(sample_every >= 1);
+}
+
+void ImbalanceTracker::OnRoute(WorkerId w) {
+  PKGSTREAM_DCHECK(w < loads_.size());
+  uint64_t load = ++loads_[w];
+  max_load_ = std::max(max_load_, load);
+  ++t_;
+  if (t_ % sample_every_ == 0) Sample();
+}
+
+double ImbalanceTracker::CurrentImbalance() const {
+  if (t_ == 0) return 0.0;
+  double avg = static_cast<double>(t_) / static_cast<double>(loads_.size());
+  return static_cast<double>(max_load_) - avg;
+}
+
+void ImbalanceTracker::Sample() {
+  if (t_ == 0) return;
+  double imb = CurrentImbalance();
+  imbalance_stats_.Add(imb);
+  series_.push_back(ImbalancePoint{
+      t_, imb, imb / static_cast<double>(t_), max_load_});
+}
+
+ImbalanceSummary ImbalanceTracker::Finish() {
+  if (!finished_) {
+    // Always include the final point, unless it was just sampled.
+    if (t_ % sample_every_ != 0) Sample();
+    finished_ = true;
+  }
+  ImbalanceSummary s;
+  s.messages = t_;
+  s.workers = static_cast<uint32_t>(loads_.size());
+  s.avg_imbalance = imbalance_stats_.mean();
+  s.final_imbalance = CurrentImbalance();
+  s.max_imbalance = imbalance_stats_.count() ? imbalance_stats_.max() : 0.0;
+  s.avg_fraction =
+      t_ ? s.avg_imbalance / static_cast<double>(t_) : 0.0;
+  s.max_load = max_load_;
+  s.min_load = *std::min_element(loads_.begin(), loads_.end());
+  return s;
+}
+
+double ImbalanceOf(const std::vector<uint64_t>& loads) {
+  PKGSTREAM_CHECK(!loads.empty());
+  uint64_t max = 0;
+  uint64_t sum = 0;
+  for (uint64_t l : loads) {
+    max = std::max(max, l);
+    sum += l;
+  }
+  return static_cast<double>(max) -
+         static_cast<double>(sum) / static_cast<double>(loads.size());
+}
+
+}  // namespace stats
+}  // namespace pkgstream

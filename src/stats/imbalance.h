@@ -1,0 +1,93 @@
+// Copyright 2026 The pkgstream Authors.
+// Load-imbalance accounting exactly as defined in Section II of the paper:
+//
+//   L_i(t) = number of messages routed to worker i up to time t
+//   I(t)   = max_i L_i(t) - avg_i L_i(t)
+//
+// The evaluation reports three views of I(t):
+//   * Table II:  the average of I(t) sampled at regular intervals,
+//   * Figure 2:  that average normalized by the total message count m,
+//   * Figure 3:  the instantaneous I(t) normalized by t, through time.
+// ImbalanceTracker computes all three in one pass.
+
+#ifndef PKGSTREAM_STATS_IMBALANCE_H_
+#define PKGSTREAM_STATS_IMBALANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "stats/running_stats.h"
+
+namespace pkgstream {
+namespace stats {
+
+/// \brief One sampled point of the imbalance time series.
+struct ImbalancePoint {
+  StreamTime t;        ///< messages seen when the sample was taken
+  double imbalance;    ///< I(t) = max load - avg load
+  double fraction;     ///< I(t) / t (Figure 3's y-axis)
+  uint64_t max_load;   ///< max_i L_i(t)
+};
+
+/// \brief Summary of a finished run.
+struct ImbalanceSummary {
+  uint64_t messages = 0;       ///< total messages routed (m)
+  uint32_t workers = 0;        ///< number of workers (n)
+  double avg_imbalance = 0;    ///< avg over samples of I(t)   (Table II)
+  double final_imbalance = 0;  ///< I(m)
+  double max_imbalance = 0;    ///< max over samples of I(t)
+  double avg_fraction = 0;     ///< avg_imbalance / m           (Figure 2)
+  uint64_t max_load = 0;       ///< final max_i L_i(m)
+  uint64_t min_load = 0;       ///< final min_i L_i(m)
+};
+
+/// \brief Tracks per-worker load and samples the imbalance time series.
+///
+/// Single-writer: the simulation driver calls OnRoute once per message.
+/// Sampling every message would dominate runtime at 10^8 messages, so the
+/// tracker snapshots every `sample_every` messages (and once more at Finish).
+class ImbalanceTracker {
+ public:
+  /// `workers` >= 1; `sample_every` >= 1 controls time-series resolution.
+  ImbalanceTracker(uint32_t workers, uint64_t sample_every = 1000);
+
+  /// Records that one message was routed to `w` (advances time by 1).
+  void OnRoute(WorkerId w);
+
+  /// Current loads.
+  const std::vector<uint64_t>& loads() const { return loads_; }
+
+  /// Messages routed so far.
+  StreamTime now() const { return t_; }
+
+  /// Instantaneous imbalance I(t) at the current time.
+  double CurrentImbalance() const;
+
+  /// Takes a snapshot immediately (in addition to the periodic schedule).
+  void Sample();
+
+  /// Finalizes (samples the last point) and returns the summary.
+  ImbalanceSummary Finish();
+
+  /// Sampled time series (valid any time; grows as the run proceeds).
+  const std::vector<ImbalancePoint>& series() const { return series_; }
+
+ private:
+  std::vector<uint64_t> loads_;
+  StreamTime t_ = 0;
+  uint64_t sample_every_;
+  uint64_t max_load_ = 0;  // maintained incrementally: max only grows
+  RunningStats imbalance_stats_;
+  std::vector<ImbalancePoint> series_;
+  bool finished_ = false;
+};
+
+/// \brief Computes I(t) for an explicit load vector (used by tests and by
+/// offline algorithms that build load vectors directly).
+double ImbalanceOf(const std::vector<uint64_t>& loads);
+
+}  // namespace stats
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_STATS_IMBALANCE_H_

@@ -1,0 +1,93 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "stats/latency_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace stats {
+
+LatencyHistogram::LatencyHistogram(uint64_t max_value, uint32_t sub_buckets)
+    : max_value_(max_value), sub_buckets_(sub_buckets) {
+  PKGSTREAM_CHECK(max_value >= 2);
+  PKGSTREAM_CHECK(sub_buckets >= 2 && std::has_single_bit(sub_buckets))
+      << "sub_buckets must be a power of two";
+  sub_bucket_shift_ = static_cast<uint32_t>(std::countr_zero(sub_buckets_));
+  // One log2 super-bucket per bit of max_value, each with sub_buckets cells.
+  uint32_t super = 64 - static_cast<uint32_t>(std::countl_zero(max_value_));
+  counts_.assign(static_cast<size_t>(super + 1) * sub_buckets_, 0);
+}
+
+uint32_t LatencyHistogram::BucketIndex(uint64_t value) const {
+  if (value < sub_buckets_) {
+    // Values below sub_buckets_ are exact: one cell per integer.
+    return static_cast<uint32_t>(value);
+  }
+  uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  uint32_t super = msb - sub_bucket_shift_ + 1;
+  // Top bit stripped, next `shift` bits select the linear cell.
+  uint32_t within = static_cast<uint32_t>(
+      (value >> (msb - sub_bucket_shift_)) & (sub_buckets_ - 1));
+  return super * sub_buckets_ + within;
+}
+
+uint64_t LatencyHistogram::BucketUpperBound(uint32_t index) const {
+  uint32_t super = index >> sub_bucket_shift_;
+  uint32_t within = index & (sub_buckets_ - 1);
+  if (super == 0) return within;  // exact range
+  // Reconstruct: value had msb at (super - 1 + shift), kept `within` bits.
+  uint32_t msb = super - 1 + sub_bucket_shift_;
+  uint64_t base = 1ULL << msb;
+  uint64_t step = 1ULL << (msb - sub_bucket_shift_);
+  return base + static_cast<uint64_t>(within + 1) * step - 1;
+}
+
+void LatencyHistogram::Record(uint64_t value) {
+  if (value > max_value_) {
+    value = max_value_;
+    ++saturated_;
+  }
+  uint32_t idx = BucketIndex(value);
+  PKGSTREAM_DCHECK(idx < counts_.size());
+  ++counts_[idx];
+  stats_.Add(static_cast<double>(value));
+}
+
+uint64_t LatencyHistogram::Quantile(double q) const {
+  if (stats_.count() == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Lower-quantile convention: the smallest value v such that at least
+  // ceil(q * count) observations are <= v.
+  double exact = q * static_cast<double>(stats_.count());
+  uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
+  if (rank > 0) --rank;
+  if (rank >= stats_.count()) rank = stats_.count() - 1;
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen > rank) return BucketUpperBound(i);
+  }
+  return static_cast<uint64_t>(stats_.max());
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  PKGSTREAM_CHECK(counts_.size() == other.counts_.size() &&
+                  sub_buckets_ == other.sub_buckets_)
+      << "histogram geometries differ";
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  saturated_ += other.saturated_;
+  stats_.Merge(other.stats_);
+}
+
+void LatencyHistogram::Clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  saturated_ = 0;
+  stats_ = RunningStats();
+}
+
+}  // namespace stats
+}  // namespace pkgstream

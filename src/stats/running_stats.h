@@ -1,0 +1,74 @@
+// Copyright 2026 The pkgstream Authors.
+// Streaming summary statistics (Welford) used throughout the metrics layer.
+
+#ifndef PKGSTREAM_STATS_RUNNING_STATS_H_
+#define PKGSTREAM_STATS_RUNNING_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace pkgstream {
+namespace stats {
+
+/// \brief Single-pass mean / variance / min / max accumulator.
+///
+/// Uses Welford's algorithm, numerically stable for long streams. Mergeable:
+/// two accumulators built on disjoint sub-streams combine into the exact
+/// accumulator of the union (used when sources keep per-source stats).
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void Merge(const RunningStats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  /// Mean of observations; 0 when empty.
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Population variance; 0 when fewer than 2 observations.
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  /// Min/max; +inf/-inf when empty (callers should check count()).
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stats
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_STATS_RUNNING_STATS_H_

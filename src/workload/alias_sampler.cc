@@ -1,0 +1,54 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/alias_sampler.h"
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  PKGSTREAM_CHECK(!weights.empty()) << "AliasSampler needs >= 1 weight";
+  const size_t k = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    PKGSTREAM_CHECK(w >= 0.0) << "negative weight";
+    total += w;
+  }
+  PKGSTREAM_CHECK(total > 0.0) << "all weights are zero";
+
+  norm_.resize(k);
+  for (size_t i = 0; i < k; ++i) norm_[i] = weights[i] / total;
+
+  prob_.assign(k, 0.0);
+  alias_.assign(k, 0);
+
+  // Vose's algorithm with explicit worklists. Scaled probabilities: mean 1.
+  std::vector<double> scaled(k);
+  for (size_t i = 0; i < k; ++i) scaled[i] = norm_[i] * static_cast<double>(k);
+
+  std::vector<uint32_t> small;
+  std::vector<uint32_t> large;
+  small.reserve(k);
+  large.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both lists should hold cells with scaled ~= 1.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+}  // namespace workload
+}  // namespace pkgstream

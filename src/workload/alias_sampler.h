@@ -1,0 +1,46 @@
+// Copyright 2026 The pkgstream Authors.
+// Walker/Vose alias method: O(K) construction, O(1) sampling from an
+// arbitrary discrete distribution. This is the engine under every skewed
+// workload generator; at the paper's scales (millions of keys, billions of
+// messages) inversion sampling would dominate experiment runtime.
+
+#ifndef PKGSTREAM_WORKLOAD_ALIAS_SAMPLER_H_
+#define PKGSTREAM_WORKLOAD_ALIAS_SAMPLER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Samples indices 0..K-1 proportionally to a weight vector.
+class AliasSampler {
+ public:
+  /// Builds the alias table from non-negative weights (not necessarily
+  /// normalized). At least one weight must be positive.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws one index, consuming one uniform 64-bit draw plus one double.
+  uint32_t Sample(Rng* rng) const {
+    uint32_t i = static_cast<uint32_t>(rng->UniformInt(prob_.size()));
+    return rng->UniformDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  /// Number of categories K.
+  size_t size() const { return prob_.size(); }
+
+  /// Normalized probability of index i (for tests and analytics).
+  double Probability(uint32_t i) const { return norm_[i]; }
+
+ private:
+  std::vector<double> prob_;    // acceptance probability per cell
+  std::vector<uint32_t> alias_; // alias index per cell
+  std::vector<double> norm_;    // normalized input distribution
+};
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_ALIAS_SAMPLER_H_

@@ -1,0 +1,109 @@
+// Copyright 2026 The pkgstream Authors.
+// Table I dataset presets. Each preset records the paper's published
+// statistics (messages m, keys K, head probability p1) and knows how to
+// build a synthetic stream matched on those statistics:
+//
+//   WP, TW, CT  -> fitted Zipf (exponent solved so the head probability
+//                  equals the paper's p1); CT additionally drifts.
+//   LN1, LN2    -> log-normal weights with the paper's (mu, sigma).
+//   LJ, SL1/SL2 -> R-MAT edge streams with matching |V|/|E| shape.
+//
+// A scale factor in (0, 1] shrinks m and K together (m/K and p1 are
+// preserved) so experiments finish on one machine; every bench prints the
+// scale it used. See DESIGN.md section 3 for the substitution rationale.
+
+#ifndef PKGSTREAM_WORKLOAD_DATASET_H_
+#define PKGSTREAM_WORKLOAD_DATASET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/key_stream.h"
+#include "workload/rmat.h"
+#include "workload/static_distribution.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Identifiers for the eight Table I datasets.
+enum class DatasetId {
+  kWP,   ///< Wikipedia page-visit log
+  kTW,   ///< Twitter words
+  kCT,   ///< Twitter cashtags (drifting skew)
+  kLN1,  ///< synthetic log-normal 1
+  kLN2,  ///< synthetic log-normal 2
+  kLJ,   ///< LiveJournal graph edges
+  kSL1,  ///< Slashdot0811 graph edges
+  kSL2,  ///< Slashdot0902 graph edges
+};
+
+/// \brief How a preset synthesizes its stream.
+enum class DatasetKind { kFittedZipf, kLogNormal, kRmatGraph };
+
+/// \brief Static description of one Table I row.
+struct DatasetSpec {
+  DatasetId id;
+  const char* symbol;       ///< "WP", "TW", ...
+  const char* description;
+  DatasetKind kind;
+  uint64_t paper_messages;  ///< m as published
+  uint64_t paper_keys;      ///< K as published
+  double paper_p1;          ///< p1 as published (fraction, not %)
+  double lognormal_mu = 0.0;
+  double lognormal_sigma = 0.0;
+  bool drifting = false;    ///< CT: popularity drifts over time
+  double duration_hours = 24.0;  ///< notional span (Figure 3 x-axis)
+};
+
+/// \brief All eight presets in Table I order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// \brief Lookup by id.
+const DatasetSpec& GetDataset(DatasetId id);
+
+/// \brief Lookup by symbol ("WP"); error when unknown.
+Result<DatasetSpec> FindDataset(const std::string& symbol);
+
+/// \brief Messages at the given scale: max(1000, m * scale).
+uint64_t ScaledMessages(const DatasetSpec& spec, double scale);
+
+/// \brief Keys at the given scale: max(100, K * scale). For graph datasets
+/// this is rounded up to the next power of two (R-MAT vertex space).
+uint64_t ScaledKeys(const DatasetSpec& spec, double scale);
+
+/// \brief Builds the key distribution for a non-graph preset at scale.
+/// For kFittedZipf the exponent is solved so P1() == paper_p1 (within 1e-5).
+Result<std::shared_ptr<const StaticDistribution>> MakeDistribution(
+    const DatasetSpec& spec, double scale, uint64_t seed);
+
+/// \brief Builds the message key stream for a preset at scale.
+///
+/// For graph presets the stream yields destination-vertex keys (the worker
+/// side of the Q3 projection); use MakeEdgeStream for the full edges.
+Result<KeyStreamPtr> MakeKeyStream(const DatasetSpec& spec, double scale,
+                                   uint64_t seed);
+
+/// \brief Builds the edge stream for a graph preset at scale
+/// (InvalidArgument for non-graph presets).
+Result<std::unique_ptr<RmatEdgeStream>> MakeEdgeStream(const DatasetSpec& spec,
+                                                       double scale,
+                                                       uint64_t seed);
+
+/// \brief Measured statistics of a finite stream prefix (Table I columns).
+struct DatasetStats {
+  uint64_t messages = 0;
+  uint64_t distinct_keys = 0;
+  double p1 = 0.0;
+};
+
+/// \brief Runs `messages` draws of the stream and measures the Table I
+/// columns (exact counting; intended for scaled-down runs).
+DatasetStats MeasureStream(KeyStream* stream, uint64_t messages);
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_DATASET_H_

@@ -1,0 +1,51 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/drift.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+DriftingKeyStream::DriftingKeyStream(
+    std::shared_ptr<const StaticDistribution> dist, DriftOptions options,
+    uint64_t seed)
+    : dist_(std::move(dist)), options_(options), rng_(seed) {
+  PKGSTREAM_CHECK(options_.period >= 1);
+  perm_.resize(dist_->K());
+  for (uint64_t i = 0; i < perm_.size(); ++i) perm_[i] = i;
+}
+
+Key DriftingKeyStream::Next() {
+  if (emitted_ > 0 && emitted_ % options_.period == 0 && perm_.size() > 1) {
+    Drift();
+  }
+  ++emitted_;
+  uint64_t rank = dist_->Sample(&rng_);
+  return perm_[rank];
+}
+
+void DriftingKeyStream::Drift() {
+  ++drift_events_;
+  uint64_t first = std::min<uint64_t>(options_.keep_top, perm_.size());
+  uint64_t last =
+      std::min<uint64_t>(options_.keep_top + options_.rotate_top,
+                         perm_.size());
+  for (uint64_t r = first; r < last; ++r) {
+    // Swap with a random rank outside the protected head so the protected
+    // identities stay in place.
+    if (perm_.size() <= first) return;
+    uint64_t other = first + rng_.UniformInt(perm_.size() - first);
+    std::swap(perm_[r], perm_[other]);
+  }
+}
+
+std::string DriftingKeyStream::Name() const {
+  return dist_->name() + "+drift(period=" + std::to_string(options_.period) +
+         ",top=" + std::to_string(options_.rotate_top) + ")";
+}
+
+}  // namespace workload
+}  // namespace pkgstream

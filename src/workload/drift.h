@@ -1,0 +1,68 @@
+// Copyright 2026 The pkgstream Authors.
+// Drifting workloads: the identity of the popular keys changes over time
+// while the shape of the popularity distribution stays fixed. This models
+// the paper's cashtag dataset (CT), where "popular cashtags change from week
+// to week", used in Section V (Q3) to show PKG is robust to drift.
+
+#ifndef PKGSTREAM_WORKLOAD_DRIFT_H_
+#define PKGSTREAM_WORKLOAD_DRIFT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/static_distribution.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Options for DriftingKeyStream.
+struct DriftOptions {
+  /// Messages between drift events (a "week" in stream time).
+  uint64_t period = 100000;
+  /// At each drift event, each of the ranks [keep_top, keep_top+rotate_top)
+  /// is swapped with a uniformly random key, so previously cold keys become
+  /// hot.
+  uint64_t rotate_top = 16;
+  /// Ranks [0, keep_top) keep their identity across drifts. Used by the CT
+  /// preset to preserve the dataset's whole-stream head probability p1
+  /// while the rest of the hot set churns.
+  uint64_t keep_top = 0;
+};
+
+/// \brief KeyStream that samples ranks from a fixed StaticDistribution but
+/// permutes the rank -> key-identity mapping every `period` messages.
+///
+/// Stationary generators never change which key is hot; this wrapper turns
+/// any of them into a drifting stream while preserving m, K and p1.
+class DriftingKeyStream final : public KeyStream {
+ public:
+  DriftingKeyStream(std::shared_ptr<const StaticDistribution> dist,
+                    DriftOptions options, uint64_t seed);
+
+  Key Next() override;
+  uint64_t KeySpace() const override { return dist_->K(); }
+  std::string Name() const override;
+
+  /// Number of drift events so far (for tests).
+  uint64_t drift_events() const { return drift_events_; }
+
+  /// Current identity of rank r (for tests).
+  Key IdentityOfRank(uint64_t r) const { return perm_[r]; }
+
+ private:
+  void Drift();
+
+  std::shared_ptr<const StaticDistribution> dist_;
+  DriftOptions options_;
+  Rng rng_;
+  std::vector<Key> perm_;  // rank -> key identity
+  uint64_t emitted_ = 0;
+  uint64_t drift_events_ = 0;
+};
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_DRIFT_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 The pkgstream Authors.
+// KeyStream: the produce side of every experiment. A key stream yields the
+// sequence k_1, k_2, ... of message keys (Section II: messages are presented
+// in timestamp order; Section IV: k_i are i.i.d. draws from an underlying
+// distribution D — except for the drifting and graph workloads, which this
+// interface also covers).
+
+#ifndef PKGSTREAM_WORKLOAD_KEY_STREAM_H_
+#define PKGSTREAM_WORKLOAD_KEY_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief A (possibly infinite) stream of message keys.
+///
+/// Implementations are deterministic given their construction seed; calling
+/// Next() n times always yields the same sequence. Streams are single-pass;
+/// create a fresh instance (same seed) to replay.
+class KeyStream {
+ public:
+  virtual ~KeyStream() = default;
+
+  /// Returns the next message key.
+  virtual Key Next() = 0;
+
+  /// Upper bound on the number of distinct keys this stream can emit
+  /// (the paper's K). Used for sizing routing tables in baselines.
+  virtual uint64_t KeySpace() const = 0;
+
+  /// Short human-readable name, e.g. "zipf(s=1.21,K=2.9M)".
+  virtual std::string Name() const = 0;
+};
+
+using KeyStreamPtr = std::unique_ptr<KeyStream>;
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_KEY_STREAM_H_

@@ -1,0 +1,24 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/lognormal.h"
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pkgstream {
+namespace workload {
+
+std::vector<double> LogNormalWeights(uint64_t num_keys, double mu,
+                                     double sigma, uint64_t seed) {
+  PKGSTREAM_CHECK(num_keys >= 1);
+  PKGSTREAM_CHECK(sigma >= 0.0);
+  Rng rng(seed);
+  std::vector<double> w(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    w[i] = rng.LogNormal(mu, sigma);
+  }
+  return w;
+}
+
+}  // namespace workload
+}  // namespace pkgstream

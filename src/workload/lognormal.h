@@ -1,0 +1,23 @@
+// Copyright 2026 The pkgstream Authors.
+// Log-normal workloads (the paper's LN1/LN2 synthetic datasets):
+// key probabilities proportional to K i.i.d. LogNormal(mu, sigma) draws.
+// Parameters in the paper come from a fit of Orkut social-network activity:
+// LN1 (mu=1.789, sigma=2.366) and LN2 (mu=2.245, sigma=1.133).
+
+#ifndef PKGSTREAM_WORKLOAD_LOGNORMAL_H_
+#define PKGSTREAM_WORKLOAD_LOGNORMAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Draws `num_keys` log-normal weights; deterministic in `seed`.
+std::vector<double> LogNormalWeights(uint64_t num_keys, double mu,
+                                     double sigma, uint64_t seed);
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_LOGNORMAL_H_

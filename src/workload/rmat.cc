@@ -1,0 +1,66 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/rmat.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+RmatEdgeStream::RmatEdgeStream(RmatOptions options, uint64_t seed)
+    : options_(options), rng_(seed) {
+  PKGSTREAM_CHECK(options_.scale >= 1 && options_.scale <= 40);
+  double sum = options_.a + options_.b + options_.c + options_.d;
+  PKGSTREAM_CHECK(std::fabs(sum - 1.0) < 1e-6)
+      << "R-MAT quadrant probabilities must sum to 1, got " << sum;
+}
+
+Edge RmatEdgeStream::Next() {
+  uint64_t src = 0;
+  uint64_t dst = 0;
+  double a = options_.a;
+  double b = options_.b;
+  double c = options_.c;
+  // d is implied: 1 - a - b - c.
+  for (uint32_t level = 0; level < options_.scale; ++level) {
+    // Multiplicative noise, renormalized, keeps expectation at (a,b,c,d).
+    double na = a * (1.0 - options_.noise + 2.0 * options_.noise *
+                     rng_.UniformDouble());
+    double nb = b * (1.0 - options_.noise + 2.0 * options_.noise *
+                     rng_.UniformDouble());
+    double nc = c * (1.0 - options_.noise + 2.0 * options_.noise *
+                     rng_.UniformDouble());
+    double nd = (1.0 - a - b - c) *
+                (1.0 - options_.noise + 2.0 * options_.noise *
+                 rng_.UniformDouble());
+    double norm = na + nb + nc + nd;
+    na /= norm;
+    nb /= norm;
+    nc /= norm;
+
+    double u = rng_.UniformDouble();
+    src <<= 1;
+    dst <<= 1;
+    if (u < na) {
+      // top-left: no bits set
+    } else if (u < na + nb) {
+      dst |= 1;
+    } else if (u < na + nb + nc) {
+      src |= 1;
+    } else {
+      src |= 1;
+      dst |= 1;
+    }
+  }
+  return Edge{src, dst};
+}
+
+std::string RmatEdgeStream::Name() const {
+  return "rmat(scale=" + std::to_string(options_.scale) +
+         ",a=" + std::to_string(options_.a) + ")";
+}
+
+}  // namespace workload
+}  // namespace pkgstream

@@ -1,0 +1,68 @@
+// Copyright 2026 The pkgstream Authors.
+// R-MAT graph streams: the stand-in for the paper's SNAP graph datasets
+// (LiveJournal, Slashdot). Section V (Q3) streams graph edges — the source
+// PE receives messages keyed by source vertex, inverts the edge, and sends
+// them keyed by destination vertex — projecting the out-degree skew onto
+// sources and the in-degree skew onto workers. R-MAT (Chakrabarti et al.)
+// generates edges whose degree distributions follow the same power laws, so
+// the projection exercises the identical code path.
+
+#ifndef PKGSTREAM_WORKLOAD_RMAT_H_
+#define PKGSTREAM_WORKLOAD_RMAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/types.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief A directed edge message (src vertex -> dst vertex).
+struct Edge {
+  Key src;
+  Key dst;
+};
+
+/// \brief R-MAT parameters. Defaults are the canonical skewed setting.
+struct RmatOptions {
+  /// log2 of the number of vertices (vertex ids are in [0, 2^scale)).
+  uint32_t scale = 18;
+  /// Number of edges to emit.
+  uint64_t edges = 1000000;
+  /// Quadrant probabilities; must sum to ~1. a >> d gives heavy skew.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Noise added per recursion level to break the strict self-similarity
+  /// (keeps degree distributions power-law but less regular).
+  double noise = 0.1;
+};
+
+/// \brief Streaming R-MAT edge generator; deterministic in `seed`.
+class RmatEdgeStream {
+ public:
+  RmatEdgeStream(RmatOptions options, uint64_t seed);
+
+  /// Returns the next edge. Streams are infinite; callers stop after
+  /// options().edges draws (or any budget they like).
+  Edge Next();
+
+  /// Number of vertices (2^scale).
+  uint64_t NumVertices() const { return uint64_t{1} << options_.scale; }
+
+  const RmatOptions& options() const { return options_; }
+
+  std::string Name() const;
+
+ private:
+  RmatOptions options_;
+  Rng rng_;
+};
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_RMAT_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/static_distribution.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+StaticDistribution::StaticDistribution(std::vector<double> weights,
+                                       std::string name)
+    : name_(std::move(name)) {
+  PKGSTREAM_CHECK(!weights.empty());
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  double total = 0.0;
+  for (double w : weights) total += w;
+  PKGSTREAM_CHECK(total > 0.0) << "distribution has zero mass";
+  probs_ = std::move(weights);
+  for (double& p : probs_) p /= total;
+  sampler_ = std::make_unique<AliasSampler>(probs_);
+}
+
+double StaticDistribution::HeadMass(uint64_t count) const {
+  count = std::min<uint64_t>(count, probs_.size());
+  double mass = 0.0;
+  for (uint64_t i = 0; i < count; ++i) mass += probs_[i];
+  return mass;
+}
+
+}  // namespace workload
+}  // namespace pkgstream

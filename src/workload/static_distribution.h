@@ -1,0 +1,75 @@
+// Copyright 2026 The pkgstream Authors.
+// StaticDistribution: a fixed discrete key distribution D over [0, K)
+// (Section IV's model: k_1..k_m are independent samples from D, keys ordered
+// by decreasing probability p_1 >= p_2 >= ...). Wraps an alias table and
+// exposes the analytics the theory section cares about (p1, head mass).
+
+#ifndef PKGSTREAM_WORKLOAD_STATIC_DISTRIBUTION_H_
+#define PKGSTREAM_WORKLOAD_STATIC_DISTRIBUTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/types.h"
+#include "workload/alias_sampler.h"
+#include "workload/key_stream.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Immutable discrete distribution over keys 0..K-1, sorted so that
+/// key 0 is the most probable (the paper's convention).
+class StaticDistribution {
+ public:
+  /// Builds from arbitrary non-negative weights; weights are normalized and
+  /// sorted descending, so key i is the i-th most popular.
+  explicit StaticDistribution(std::vector<double> weights, std::string name);
+
+  /// Number of keys K.
+  uint64_t K() const { return probs_.size(); }
+
+  /// Probability of rank-i key (p_{i+1} in paper notation).
+  double Probability(uint64_t i) const { return probs_[i]; }
+
+  /// Head probability p1.
+  double P1() const { return probs_.empty() ? 0.0 : probs_[0]; }
+
+  /// Total probability mass of the top `count` keys.
+  double HeadMass(uint64_t count) const;
+
+  /// Draws one key (a rank in [0, K)).
+  Key Sample(Rng* rng) const {
+    return sampler_->Sample(rng);
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::vector<double> probs_;  // descending
+  std::unique_ptr<AliasSampler> sampler_;
+  std::string name_;
+};
+
+/// \brief KeyStream adapter: i.i.d. samples from a StaticDistribution.
+class IidKeyStream final : public KeyStream {
+ public:
+  IidKeyStream(std::shared_ptr<const StaticDistribution> dist, uint64_t seed)
+      : dist_(std::move(dist)), rng_(seed) {}
+
+  Key Next() override { return dist_->Sample(&rng_); }
+  uint64_t KeySpace() const override { return dist_->K(); }
+  std::string Name() const override { return dist_->name(); }
+
+  const StaticDistribution& distribution() const { return *dist_; }
+
+ private:
+  std::shared_ptr<const StaticDistribution> dist_;
+  Rng rng_;
+};
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_STATIC_DISTRIBUTION_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+namespace {
+constexpr char kMagic[8] = {'P', 'K', 'G', 'T', 'R', 'C', '0', '1'};
+}  // namespace
+
+Status WriteTrace(const std::string& path, KeyStream* stream, uint64_t count) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  f.write(kMagic, sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  // Buffered in chunks to keep memory flat for huge traces.
+  constexpr size_t kChunk = 1 << 16;
+  std::vector<Key> buf;
+  buf.reserve(kChunk);
+  uint64_t remaining = count;
+  while (remaining > 0) {
+    buf.clear();
+    size_t n = static_cast<size_t>(std::min<uint64_t>(kChunk, remaining));
+    for (size_t i = 0; i < n; ++i) buf.push_back(stream->Next());
+    f.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(n * sizeof(Key)));
+    remaining -= n;
+  }
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status WriteTrace(const std::string& path, const std::vector<Key>& keys) {
+  VectorKeyStream vs(keys);
+  return WriteTrace(path, &vs, keys.size());
+}
+
+Result<std::vector<Key>> ReadTrace(const std::string& path) {
+  PKGSTREAM_ASSIGN_OR_RETURN(auto stream, TraceKeyStream::Open(path));
+  std::vector<Key> keys;
+  keys.reserve(stream->count());
+  for (uint64_t i = 0, n = stream->count(); i < n; ++i) {
+    keys.push_back(stream->Next());
+  }
+  return keys;
+}
+
+VectorKeyStream::VectorKeyStream(std::vector<Key> keys, std::string name)
+    : keys_(std::move(keys)), name_(std::move(name)) {
+  PKGSTREAM_CHECK(!keys_.empty()) << "empty key vector";
+  Key max_key = *std::max_element(keys_.begin(), keys_.end());
+  key_space_ = max_key + 1;
+}
+
+Key VectorKeyStream::Next() {
+  Key k = keys_[position_ % keys_.size()];
+  ++position_;
+  return k;
+}
+
+Result<std::unique_ptr<TraceKeyStream>> TraceKeyStream::Open(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open: " + path);
+  char magic[sizeof(kMagic)];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError("bad trace magic in " + path);
+  }
+  uint64_t count = 0;
+  f.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!f) return Status::IOError("truncated trace header in " + path);
+  return std::unique_ptr<TraceKeyStream>(
+      new TraceKeyStream(std::move(f), path, count));
+}
+
+TraceKeyStream::TraceKeyStream(std::ifstream file, std::string path,
+                               uint64_t count)
+    : file_(std::move(file)), path_(std::move(path)), count_(count) {}
+
+Key TraceKeyStream::Next() {
+  PKGSTREAM_CHECK(read_ < count_) << "read past end of trace " << path_;
+  Key k = 0;
+  file_.read(reinterpret_cast<char*>(&k), sizeof(k));
+  PKGSTREAM_CHECK(static_cast<bool>(file_)) << "trace read failed: " << path_;
+  ++read_;
+  return k;
+}
+
+}  // namespace workload
+}  // namespace pkgstream

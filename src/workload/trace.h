@@ -1,0 +1,81 @@
+// Copyright 2026 The pkgstream Authors.
+// Binary key-trace files: materialize a generated stream once and replay it
+// across techniques so every strategy sees the *identical* message sequence
+// (the paper compares techniques on the same dataset, not on fresh samples).
+//
+// Format: 8-byte magic "PKGTRC01", uint64 count, then `count` little-endian
+// uint64 keys.
+
+#ifndef PKGSTREAM_WORKLOAD_TRACE_H_
+#define PKGSTREAM_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "workload/key_stream.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Writes `count` keys from `stream` to a trace file at `path`.
+Status WriteTrace(const std::string& path, KeyStream* stream, uint64_t count);
+
+/// \brief Writes an explicit key vector to a trace file.
+Status WriteTrace(const std::string& path, const std::vector<Key>& keys);
+
+/// \brief Reads an entire trace into memory.
+Result<std::vector<Key>> ReadTrace(const std::string& path);
+
+/// \brief KeyStream over an in-memory key vector (wraps around at the end so
+/// it can also serve as an infinite replay source; ExhaustedOnce() tells you
+/// whether a full pass completed).
+class VectorKeyStream final : public KeyStream {
+ public:
+  explicit VectorKeyStream(std::vector<Key> keys, std::string name = "vector");
+
+  Key Next() override;
+  uint64_t KeySpace() const override { return key_space_; }
+  std::string Name() const override { return name_; }
+
+  /// True once Next() has been called at least keys().size() times.
+  bool ExhaustedOnce() const { return position_ >= keys_.size(); }
+  const std::vector<Key>& keys() const { return keys_; }
+
+ private:
+  std::vector<Key> keys_;
+  uint64_t key_space_;
+  uint64_t position_ = 0;
+  std::string name_;
+};
+
+/// \brief Streaming trace reader (does not load the file into memory).
+/// Returns an error from Make() for missing/corrupt files; Next() CHECKs
+/// against reading past the end.
+class TraceKeyStream final : public KeyStream {
+ public:
+  static Result<std::unique_ptr<TraceKeyStream>> Open(const std::string& path);
+
+  Key Next() override;
+  uint64_t KeySpace() const override { return count_; }
+  std::string Name() const override { return "trace:" + path_; }
+
+  uint64_t count() const { return count_; }
+  uint64_t remaining() const { return count_ - read_; }
+
+ private:
+  TraceKeyStream(std::ifstream file, std::string path, uint64_t count);
+
+  std::ifstream file_;
+  std::string path_;
+  uint64_t count_;
+  uint64_t read_ = 0;
+};
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_TRACE_H_

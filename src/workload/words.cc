@@ -1,0 +1,84 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/words.h"
+
+#include <array>
+#include <cstdint>
+
+namespace pkgstream {
+namespace workload {
+
+namespace {
+
+// The 64 most common English words, assigned to ranks 0..63.
+constexpr std::array<const char*, 64> kStopWords = {
+    "the",  "of",    "and",   "a",     "to",    "in",   "is",    "you",
+    "that", "it",    "he",    "was",   "for",   "on",   "are",   "as",
+    "with", "his",   "they",  "i",     "at",    "be",   "this",  "have",
+    "from", "or",    "one",   "had",   "by",    "word", "but",   "not",
+    "what", "all",   "were",  "we",    "when",  "your", "can",   "said",
+    "there","use",   "an",    "each",  "which", "she",  "do",    "how",
+    "their","if",    "will",  "up",    "other", "about","out",   "many",
+    "then", "them",  "these", "so",    "some",  "her",  "would", "make"};
+
+constexpr const char* kConsonants = "bcdfgklmnprstvz";  // 15
+constexpr const char* kVowels = "aeiou";                // 5
+
+// Generated words are "cvcv" + decimal suffix; the syllable part encodes
+// (key - 64) % 5625 and the suffix encodes (key - 64) / 5625, so the
+// mapping is bijective. 15*5*15*5 = 5625 syllable combinations.
+constexpr uint64_t kSyllableSpace = 15ULL * 5 * 15 * 5;
+
+}  // namespace
+
+std::string KeyToWord(Key key) {
+  if (key < kStopWords.size()) return kStopWords[key];
+  uint64_t v = key - kStopWords.size();
+  uint64_t syl = v % kSyllableSpace;
+  uint64_t suffix = v / kSyllableSpace;
+  std::string w;
+  w += kConsonants[syl % 15];
+  syl /= 15;
+  w += kVowels[syl % 5];
+  syl /= 5;
+  w += kConsonants[syl % 15];
+  syl /= 15;
+  w += kVowels[syl % 5];
+  w += std::to_string(suffix);
+  return w;
+}
+
+bool WordToKey(const std::string& word, Key* key) {
+  for (uint64_t i = 0; i < kStopWords.size(); ++i) {
+    if (word == kStopWords[i]) {
+      *key = i;
+      return true;
+    }
+  }
+  if (word.size() < 5) return false;
+  auto idx_of = [](const char* alphabet, char c) -> int {
+    for (int i = 0; alphabet[i]; ++i) {
+      if (alphabet[i] == c) return i;
+    }
+    return -1;
+  };
+  int c0 = idx_of(kConsonants, word[0]);
+  int v0 = idx_of(kVowels, word[1]);
+  int c1 = idx_of(kConsonants, word[2]);
+  int v1 = idx_of(kVowels, word[3]);
+  if (c0 < 0 || v0 < 0 || c1 < 0 || v1 < 0) return false;
+  uint64_t suffix = 0;
+  for (size_t i = 4; i < word.size(); ++i) {
+    if (word[i] < '0' || word[i] > '9') return false;
+    suffix = suffix * 10 + static_cast<uint64_t>(word[i] - '0');
+  }
+  uint64_t syl = static_cast<uint64_t>(c0) +
+                 15ULL * (static_cast<uint64_t>(v0) +
+                          5ULL * (static_cast<uint64_t>(c1) +
+                                  15ULL * static_cast<uint64_t>(v1)));
+  *key = kStopWords.size() + syl + suffix * kSyllableSpace;
+  return true;
+}
+
+}  // namespace workload
+}  // namespace pkgstream

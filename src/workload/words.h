@@ -1,0 +1,30 @@
+// Copyright 2026 The pkgstream Authors.
+// Synthetic vocabulary: a deterministic bijection between key ids and
+// pronounceable word strings. Used by the word-count examples so their
+// output looks like the paper's motivating application (streaming top-k
+// word count over tweets) instead of raw integers.
+
+#ifndef PKGSTREAM_WORKLOAD_WORDS_H_
+#define PKGSTREAM_WORKLOAD_WORDS_H_
+
+#include <string>
+
+#include "common/types.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Maps a key id to a unique lowercase word.
+///
+/// The 64 most frequent ranks get real English stop-words (so example output
+/// reads naturally: "the", "of", ...); the rest get generated CVCV syllable
+/// words ("narole42"). The mapping is a bijection: WordToKey inverts it.
+std::string KeyToWord(Key key);
+
+/// \brief Inverts KeyToWord. Returns false when `word` is not in the image.
+bool WordToKey(const std::string& word, Key* key);
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_WORDS_H_

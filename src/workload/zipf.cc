@@ -1,0 +1,64 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/zipf.h"
+
+#include <cmath>
+#include <string>
+
+namespace pkgstream {
+namespace workload {
+
+std::vector<double> ZipfWeights(uint64_t num_keys, double exponent) {
+  std::vector<double> w(num_keys);
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    w[i] = std::pow(static_cast<double>(i + 1), -exponent);
+  }
+  return w;
+}
+
+double ZipfHeadProbability(uint64_t num_keys, double exponent) {
+  // p1 = 1 / H(K, s). Accumulate from the small terms up for accuracy.
+  double h = 0.0;
+  for (uint64_t i = num_keys; i >= 1; --i) {
+    h += std::pow(static_cast<double>(i), -exponent);
+  }
+  return 1.0 / h;
+}
+
+Result<double> FitZipfExponent(uint64_t num_keys, double target_p1,
+                               double tolerance) {
+  if (num_keys < 2) {
+    return Status::InvalidArgument("FitZipfExponent: need at least 2 keys");
+  }
+  const double uniform_p1 = 1.0 / static_cast<double>(num_keys);
+  if (target_p1 <= uniform_p1 || target_p1 >= 1.0) {
+    return Status::OutOfRange(
+        "FitZipfExponent: target p1 must be in (1/K, 1); got " +
+        std::to_string(target_p1));
+  }
+  double lo = 0.0;   // p1(0) = 1/K
+  double hi = 1.0;
+  // Grow hi until p1(hi) exceeds the target (p1 is increasing in s).
+  while (ZipfHeadProbability(num_keys, hi) < target_p1) {
+    hi *= 2.0;
+    if (hi > 64.0) {
+      return Status::Internal("FitZipfExponent: exponent search diverged");
+    }
+  }
+  // Bisection. 60 iterations leave an interval ~1e-18 wide; we stop earlier
+  // once the achieved p1 is within tolerance.
+  for (int iter = 0; iter < 200; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    double p1 = ZipfHeadProbability(num_keys, mid);
+    if (std::fabs(p1 - target_p1) <= tolerance) return mid;
+    if (p1 < target_p1) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace workload
+}  // namespace pkgstream

@@ -1,0 +1,40 @@
+// Copyright 2026 The pkgstream Authors.
+// Zipf workloads. Two entry points:
+//
+//  * ZipfWeights(K, s): the classic p_i ∝ i^{-s}.
+//  * FitZipfExponent(K, p1): solves for the exponent s such that the head
+//    probability equals a target p1. This is how we synthesize stand-ins for
+//    the paper's real datasets (Table I reports exactly m, K and p1 for WP,
+//    TW and CT; Theorems 4.1/4.2 show p1·n governs when balance is possible,
+//    so matching p1 and the power-law tail preserves the phenomena the
+//    evaluation measures).
+
+#ifndef PKGSTREAM_WORKLOAD_ZIPF_H_
+#define PKGSTREAM_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pkgstream {
+namespace workload {
+
+/// \brief Weight vector w_i = (i+1)^{-s} for i in [0, K). s >= 0.
+std::vector<double> ZipfWeights(uint64_t num_keys, double exponent);
+
+/// \brief Finds s such that a Zipf(K, s) distribution has head probability
+/// p1 = target_p1, by bisection on the monotone map s -> p1(s).
+///
+/// Requires 1/K < target_p1 < 1 (p1 = 1/K is the uniform limit s = 0).
+/// The result satisfies |p1(s) - target_p1| <= tolerance.
+Result<double> FitZipfExponent(uint64_t num_keys, double target_p1,
+                               double tolerance = 1e-5);
+
+/// \brief Head probability of Zipf(K, s): 1 / sum_{i=1..K} i^{-s}.
+double ZipfHeadProbability(uint64_t num_keys, double exponent);
+
+}  // namespace workload
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_WORKLOAD_ZIPF_H_

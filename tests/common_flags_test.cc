@@ -1,0 +1,114 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the command-line flag parser.
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+
+namespace pkgstream {
+namespace {
+
+Flags ParseOk(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  Flags flags;
+  Status s =
+      Flags::Parse(static_cast<int>(argv.size()), argv.data(), &flags);
+  EXPECT_TRUE(s.ok()) << s;
+  return flags;
+}
+
+TEST(FlagsTest, EmptyArgv) {
+  Flags f = ParseOk({});
+  EXPECT_TRUE(f.positional().empty());
+  EXPECT_FALSE(f.Has("anything"));
+}
+
+TEST(FlagsTest, EqualsForm) {
+  Flags f = ParseOk({"--workers=50"});
+  EXPECT_EQ(f.GetInt("workers", 0), 50);
+}
+
+TEST(FlagsTest, SpaceForm) {
+  Flags f = ParseOk({"--workers", "10"});
+  EXPECT_EQ(f.GetInt("workers", 0), 10);
+}
+
+TEST(FlagsTest, BooleanSwitch) {
+  Flags f = ParseOk({"--full"});
+  EXPECT_TRUE(f.GetBool("full", false));
+  EXPECT_TRUE(f.Has("full"));
+}
+
+TEST(FlagsTest, BooleanExplicitValues) {
+  EXPECT_TRUE(ParseOk({"--x=true"}).GetBool("x", false));
+  EXPECT_TRUE(ParseOk({"--x=1"}).GetBool("x", false));
+  EXPECT_TRUE(ParseOk({"--x=yes"}).GetBool("x", false));
+  EXPECT_FALSE(ParseOk({"--x=0"}).GetBool("x", true));
+  EXPECT_FALSE(ParseOk({"--x=false"}).GetBool("x", true));
+}
+
+TEST(FlagsTest, DoubleValues) {
+  Flags f = ParseOk({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags f = ParseOk({});
+  EXPECT_EQ(f.GetInt("n", 5), 5);
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+  EXPECT_EQ(f.GetString("s", "x"), "x");
+  EXPECT_FALSE(f.GetBool("b", false));
+}
+
+TEST(FlagsTest, MalformedIntegerFallsBack) {
+  Flags f = ParseOk({"--n=12abc"});
+  EXPECT_EQ(f.GetInt("n", 7), 7);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  Flags f = ParseOk({"input.trace", "--workers=3", "output.csv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.trace");
+  EXPECT_EQ(f.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, DoubleDashStopsFlagParsing) {
+  Flags f = ParseOk({"--a=1", "--", "--b=2"});
+  EXPECT_TRUE(f.Has("a"));
+  EXPECT_FALSE(f.Has("b"));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "--b=2");
+}
+
+TEST(FlagsTest, SpaceFormDoesNotEatNextFlag) {
+  Flags f = ParseOk({"--verbose", "--workers=2"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("workers", 0), 2);
+}
+
+TEST(FlagsTest, LastValueWins) {
+  Flags f = ParseOk({"--n=1", "--n=2"});
+  EXPECT_EQ(f.GetInt("n", 0), 2);
+}
+
+TEST(FlagsTest, MalformedFlagRejected) {
+  const char* argv[] = {"prog", "--=3"};
+  Flags flags;
+  EXPECT_TRUE(Flags::Parse(2, argv, &flags).IsInvalidArgument());
+}
+
+TEST(FlagsTest, NamesListsAllFlags) {
+  Flags f = ParseOk({"--b=1", "--a=2"});
+  auto names = f.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // map order: sorted
+  EXPECT_EQ(names[1], "b");
+}
+
+TEST(FlagsTest, NegativeNumbersAsValues) {
+  Flags f = ParseOk({"--offset=-5"});
+  EXPECT_EQ(f.GetInt("offset", 0), -5);
+}
+
+}  // namespace
+}  // namespace pkgstream

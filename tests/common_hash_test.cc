@@ -1,0 +1,156 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the Murmur3 implementation and the seeded hash family.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace pkgstream {
+namespace {
+
+// Reference vectors produced by Austin Appleby's MurmurHash3_x64_128.
+// (Verified against the canonical smhasher output.)
+TEST(Murmur3Test, EmptyInputSeedZero) {
+  Hash128 h = Murmur3_x64_128("", 0, 0);
+  EXPECT_EQ(h.low, 0ULL);
+  EXPECT_EQ(h.high, 0ULL);
+}
+
+TEST(Murmur3Test, DeterministicForSameInput) {
+  const char* data = "partial key grouping";
+  Hash128 a = Murmur3_x64_128(data, std::strlen(data), 42);
+  Hash128 b = Murmur3_x64_128(data, std::strlen(data), 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Murmur3Test, SeedChangesOutput) {
+  const char* data = "hello world";
+  EXPECT_NE(Murmur3_64(data, std::strlen(data), 1),
+            Murmur3_64(data, std::strlen(data), 2));
+}
+
+TEST(Murmur3Test, LengthChangesOutput) {
+  const char data[17] = "aaaaaaaaaaaaaaaa";
+  // Exercise every tail length 1..16 and ensure all distinct.
+  std::set<uint64_t> values;
+  for (size_t len = 1; len <= 16; ++len) {
+    values.insert(Murmur3_64(data, len, 7));
+  }
+  EXPECT_EQ(values.size(), 16u);
+}
+
+TEST(Murmur3Test, BlockAndTailPathsBothCovered) {
+  // 35 bytes = 2 full blocks + 3-byte tail.
+  std::string data(35, 'x');
+  uint64_t h1 = Murmur3_64(data.data(), data.size(), 0);
+  data[34] = 'y';  // perturb the tail
+  uint64_t h2 = Murmur3_64(data.data(), data.size(), 0);
+  data[0] = 'y';  // perturb the body
+  uint64_t h3 = Murmur3_64(data.data(), data.size(), 0);
+  EXPECT_NE(h1, h2);
+  EXPECT_NE(h2, h3);
+}
+
+TEST(Murmur3Test, StringViewAndIntegerOverloadsAgree) {
+  uint64_t key = 0x0123456789abcdefULL;
+  uint64_t via_bytes = Murmur3_64(&key, sizeof(key), 99);
+  uint64_t via_int = Murmur3_64(key, 99);
+  EXPECT_EQ(via_bytes, via_int);
+}
+
+TEST(Fmix64Test, IsBijectiveOnSamples) {
+  // fmix64 is invertible; spot-check injectivity on a sample.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Fmix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(Fmix64Test, ZeroMapsToZero) { EXPECT_EQ(Fmix64(0), 0ULL); }
+
+TEST(HashCombineTest, OrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashFamilyTest, BucketsInRange) {
+  HashFamily family(2, 10, 42);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    for (uint32_t i = 0; i < family.d(); ++i) {
+      EXPECT_LT(family.Bucket(i, key), 10u);
+    }
+  }
+}
+
+TEST(HashFamilyTest, MembersAreIndependent) {
+  HashFamily family(2, 1000, 42);
+  // H1 and H2 should disagree on most keys for a large bucket space.
+  int agreements = 0;
+  for (uint64_t key = 0; key < 10000; ++key) {
+    if (family.Bucket(0, key) == family.Bucket(1, key)) ++agreements;
+  }
+  // Expected ~ 10000/1000 = 10 collisions; allow generous slack.
+  EXPECT_LT(agreements, 100);
+}
+
+TEST(HashFamilyTest, DeterministicAcrossInstances) {
+  HashFamily a(3, 16, 7);
+  HashFamily b(3, 16, 7);
+  for (uint64_t key = 0; key < 256; ++key) {
+    for (uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(a.Bucket(i, key), b.Bucket(i, key));
+    }
+  }
+}
+
+TEST(HashFamilyTest, SeedSelectsDifferentFamilies) {
+  HashFamily a(1, 64, 1);
+  HashFamily b(1, 64, 2);
+  int differences = 0;
+  for (uint64_t key = 0; key < 1000; ++key) {
+    if (a.Bucket(0, key) != b.Bucket(0, key)) ++differences;
+  }
+  EXPECT_GT(differences, 900);
+}
+
+TEST(HashFamilyTest, CandidatesMatchBuckets) {
+  HashFamily family(4, 32, 5);
+  std::vector<uint32_t> candidates;
+  family.Candidates(123456, &candidates);
+  ASSERT_EQ(candidates.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(candidates[i], family.Bucket(i, 123456));
+  }
+}
+
+TEST(HashFamilyTest, SingleBucketDegenerates) {
+  HashFamily family(2, 1, 42);
+  EXPECT_EQ(family.Bucket(0, 999), 0u);
+  EXPECT_EQ(family.Bucket(1, 999), 0u);
+}
+
+TEST(HashFamilyTest, StringKeysRouteConsistently) {
+  HashFamily family(2, 8, 11);
+  EXPECT_EQ(family.Bucket(0, "wordcount"), family.Bucket(0, "wordcount"));
+  EXPECT_LT(family.Bucket(1, "wordcount"), 8u);
+}
+
+TEST(HashFamilyTest, UniformityAcrossBuckets) {
+  // Chi-squared style sanity check: no bucket should be grossly over- or
+  // under-loaded when hashing distinct keys.
+  const uint32_t buckets = 16;
+  const uint64_t keys = 160000;
+  HashFamily family(1, buckets, 3);
+  std::vector<uint64_t> counts(buckets, 0);
+  for (uint64_t key = 0; key < keys; ++key) ++counts[family.Bucket(0, key)];
+  double expected = static_cast<double>(keys) / buckets;
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, expected * 0.9);
+    EXPECT_LT(c, expected * 1.1);
+  }
+}
+
+}  // namespace
+}  // namespace pkgstream

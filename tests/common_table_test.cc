@@ -1,0 +1,115 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the table renderer and numeric formatting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/table.h"
+
+namespace pkgstream {
+namespace {
+
+TEST(TableTest, HeaderOnly) {
+  Table t({"a", "bb"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("a"), std::string::npos);
+  EXPECT_NE(os.str().find("bb"), std::string::npos);
+  EXPECT_EQ(t.NumRows(), 0u);
+  EXPECT_EQ(t.NumCols(), 2u);
+}
+
+TEST(TableTest, RowsAreAligned) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  // All lines (header, separator, rows) end flush; column 2 starts at the
+  // same offset on each content line.
+  auto first_line_end = out.find('\n');
+  ASSERT_NE(first_line_end, std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(TableTest, CsvEscaping) {
+  Table t({"k", "v"});
+  t.AddRow({"a,b", "he said \"hi\""});
+  t.AddRow({"plain", "line\nbreak"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(out.find("\"he said \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"line\nbreak\""), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTripToFile) {
+  Table t({"w", "imb"});
+  t.AddRow({"5", "0.8"});
+  std::string path = testing::TempDir() + "/pkgstream_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "w,imb");
+  std::getline(f, line);
+  EXPECT_EQ(line, "5,0.8");
+  std::remove(path.c_str());
+}
+
+TEST(TableTest, WriteCsvBadPathFails) {
+  Table t({"a"});
+  EXPECT_TRUE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").IsIOError());
+}
+
+TEST(FormatCompactTest, SmallNumbersUseFixed) {
+  EXPECT_EQ(FormatCompact(0.8), "0.8");
+  EXPECT_EQ(FormatCompact(92.7), "92.7");
+  EXPECT_EQ(FormatCompact(15.0), "15");
+  EXPECT_EQ(FormatCompact(0.0), "0");
+}
+
+TEST(FormatCompactTest, LargeNumbersUseScientific) {
+  EXPECT_EQ(FormatCompact(1600000.0), "1.6e6");
+  EXPECT_EQ(FormatCompact(2.0e7), "2.0e7");
+  EXPECT_EQ(FormatCompact(4.1e7), "4.1e7");
+}
+
+TEST(FormatCompactTest, TinyNumbersUseScientific) {
+  EXPECT_EQ(FormatCompact(1e-8), "1.0e-8");
+  EXPECT_EQ(FormatCompact(2.5e-4), "2.5e-4");
+}
+
+TEST(FormatCompactTest, NegativeValues) {
+  EXPECT_EQ(FormatCompact(-1600000.0), "-1.6e6");
+  EXPECT_EQ(FormatCompact(-0.5), "-0.5");
+}
+
+TEST(FormatCompactTest, NonFinite) {
+  EXPECT_EQ(FormatCompact(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatCompact(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatCompact(std::nan("")), "nan");
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(3.14159, 0), "3");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(22000000), "22,000,000");
+}
+
+}  // namespace
+}  // namespace pkgstream

@@ -1,0 +1,112 @@
+// Copyright 2026 The pkgstream Authors.
+// Parameterized conservation properties of the discrete-event cluster
+// simulator: whatever the technique and service costs, messages are
+// neither lost nor duplicated, latency respects physical lower bounds,
+// and utilizations stay physical.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "apps/wordcount.h"
+#include "engine/event_sim.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+using SimCase = std::tuple<partition::Technique, uint64_t /*extra_us*/,
+                           uint32_t /*max_pending*/>;
+
+class EventSimPropertyTest : public testing::TestWithParam<SimCase> {
+ protected:
+  static constexpr uint64_t kMessages = 8000;
+
+  EventSimReport Run() {
+    auto [technique, extra_us, max_pending] = GetParam();
+    wc_ = apps::MakeWordCountTopology(technique, 1, 5, 0, 5, 42);
+    auto dist = std::make_shared<workload::StaticDistribution>(
+        workload::ZipfWeights(500, 1.1), "zipf");
+    stream_ = std::make_unique<workload::IidKeyStream>(dist, 7);
+    EventSimOptions options;
+    options.messages = kMessages;
+    options.source_service_us = 20;
+    options.worker_overhead_us = 30;
+    options.node_extra_service_us.assign(wc_.topology.nodes().size(), 0);
+    options.node_extra_service_us[wc_.counter.index] = extra_us;
+    options.network_delay_us = 200;
+    options.max_pending = max_pending;
+    auto sim =
+        EventSimulator::Create(&wc_.topology, stream_.get(), options);
+    EXPECT_TRUE(sim.ok());
+    sim_ = std::move(sim).ValueOrDie();
+    return sim_->Run();
+  }
+
+  apps::WordCountTopology wc_;
+  std::unique_ptr<workload::IidKeyStream> stream_;
+  std::unique_ptr<EventSimulator> sim_;
+};
+
+std::string SimCaseName(const testing::TestParamInfo<SimCase>& info) {
+  auto [technique, extra_us, max_pending] = info.param;
+  std::string name = partition::TechniqueName(technique);
+  for (char& c : name) {
+    if (c == '-' || c == '+') c = '_';
+  }
+  return name + "_d" + std::to_string(extra_us) + "_p" +
+         std::to_string(max_pending);
+}
+
+TEST_P(EventSimPropertyTest, EveryRootEmittedAndAcked) {
+  EventSimReport report = Run();
+  EXPECT_EQ(report.roots_emitted, kMessages);
+  EXPECT_EQ(report.roots_acked, kMessages);
+  EXPECT_FALSE(report.timed_out);
+}
+
+TEST_P(EventSimPropertyTest, CountersConserveMessages) {
+  Run();
+  uint64_t total = 0;
+  for (uint32_t w = 0; w < 5; ++w) {
+    auto* counter = static_cast<apps::WordCountCounter*>(
+        sim_->GetOperator(wc_.counter, w));
+    for (const auto& [_, count] : counter->counts()) total += count;
+  }
+  EXPECT_EQ(total, kMessages);
+}
+
+TEST_P(EventSimPropertyTest, LatencyRespectsPhysicalFloor) {
+  auto [technique, extra_us, max_pending] = GetParam();
+  EventSimReport report = Run();
+  // Floor: one network hop + worker service (overhead + extra).
+  uint64_t floor = 200 + 30 + extra_us;
+  EXPECT_GE(report.p50_latency_us, floor * 9 / 10);  // bucket slack
+  EXPECT_GE(report.mean_latency_us, static_cast<double>(floor) * 0.9);
+}
+
+TEST_P(EventSimPropertyTest, UtilizationIsPhysical) {
+  EventSimReport report = Run();
+  for (double util : report.max_utilization) {
+    EXPECT_GE(util, 0.0);
+    EXPECT_LE(util, 1.0 + 1e-9);
+  }
+  EXPECT_GT(report.throughput_per_s, 0.0);
+  EXPECT_GT(report.sim_seconds, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EventSimPropertyTest,
+    testing::Combine(testing::Values(partition::Technique::kHashing,
+                                     partition::Technique::kShuffle,
+                                     partition::Technique::kPkgLocal),
+                     testing::Values<uint64_t>(0, 400),
+                     testing::Values<uint32_t>(4, 256)),
+    SimCaseName);
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

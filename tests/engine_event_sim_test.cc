@@ -1,0 +1,199 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the discrete-event cluster simulator.
+
+#include <gtest/gtest.h>
+
+#include "apps/wordcount.h"
+#include "engine/event_sim.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+workload::KeyStreamPtr MakeZipfStream(uint64_t keys, double z, uint64_t seed) {
+  auto dist = std::make_shared<workload::StaticDistribution>(
+      workload::ZipfWeights(keys, z), "zipf");
+  return std::make_unique<workload::IidKeyStream>(dist, seed);
+}
+
+EventSimOptions FastOptions(uint64_t messages) {
+  EventSimOptions o;
+  o.messages = messages;
+  o.source_service_us = 10;
+  o.worker_overhead_us = 20;
+  o.network_delay_us = 100;
+  o.max_pending = 16;
+  o.memory_sample_period_us = 50000;
+  return o;
+}
+
+TEST(EventSimTest, RequiresSingleSpout) {
+  Topology t;
+  t.AddSpout("a", 1);
+  t.AddSpout("b", 1);
+  auto stream = MakeZipfStream(10, 1.0, 1);
+  EXPECT_TRUE(EventSimulator::Create(&t, stream.get(), FastOptions(10))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(EventSimTest, AllRootsAcked) {
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1, 3,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(100, 1.0, 7);
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(),
+                                    FastOptions(5000));
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  EXPECT_EQ(report.roots_emitted, 5000u);
+  EXPECT_EQ(report.roots_acked, 5000u);
+  EXPECT_FALSE(report.timed_out);
+  EXPECT_GT(report.throughput_per_s, 0.0);
+}
+
+TEST(EventSimTest, LatencyIncludesNetworkAndService) {
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1, 3,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(100, 1.0, 7);
+  EventSimOptions o = FastOptions(1000);
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  // Minimum possible latency: network (100) + service (20).
+  EXPECT_GE(report.p50_latency_us, 120u);
+  EXPECT_GE(report.mean_latency_us, 120.0);
+}
+
+TEST(EventSimTest, ThroughputBoundedBySource) {
+  // With fast workers the spout is the bottleneck: throughput ~= 1/source_us.
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1, 8,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(1000, 0.5, 7);
+  EventSimOptions o = FastOptions(20000);
+  o.source_service_us = 100;  // cap at 10k msg/s
+  o.worker_overhead_us = 10;
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  EXPECT_LT(report.throughput_per_s, 10500.0);
+  EXPECT_GT(report.throughput_per_s, 7000.0);
+}
+
+TEST(EventSimTest, SlowWorkersReduceThroughput) {
+  auto run = [](uint64_t extra_us) {
+    auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1,
+                                          2, 0, 10, 42);
+    auto stream = MakeZipfStream(1000, 0.5, 7);
+    EventSimOptions o = FastOptions(5000);
+    o.node_extra_service_us.assign(wc.topology.nodes().size(), 0);
+    o.node_extra_service_us[wc.counter.index] = extra_us;
+    auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+    EXPECT_TRUE(sim.ok());
+    return (*sim)->Run().throughput_per_s;
+  };
+  EXPECT_GT(run(0), run(1000) * 1.5);
+}
+
+TEST(EventSimTest, KeyGroupingSuffersUnderSkew) {
+  // Same skewed feed: KG's throughput should be visibly below SG's because
+  // the hot worker saturates (the Figure 5a mechanism).
+  auto run = [](partition::Technique technique) {
+    auto wc = apps::MakeWordCountTopology(technique, 1, 5, 0, 10, 42);
+    auto stream = MakeZipfStream(1000, 1.4, 7);  // hot head
+    EventSimOptions o = FastOptions(20000);
+    o.source_service_us = 20;
+    o.node_extra_service_us.assign(wc.topology.nodes().size(), 0);
+    o.node_extra_service_us[wc.counter.index] = 300;
+    auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+    EXPECT_TRUE(sim.ok());
+    return (*sim)->Run().throughput_per_s;
+  };
+  double kg = run(partition::Technique::kHashing);
+  double sg = run(partition::Technique::kShuffle);
+  double pkg = run(partition::Technique::kPkgLocal);
+  EXPECT_GT(sg, kg * 1.2);
+  EXPECT_GT(pkg, kg * 1.2);
+}
+
+TEST(EventSimTest, UtilizationTracksBottleneck) {
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kHashing, 1, 4,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(100, 1.5, 7);
+  EventSimOptions o = FastOptions(10000);
+  o.node_extra_service_us.assign(wc.topology.nodes().size(), 0);
+  o.node_extra_service_us[wc.counter.index] = 200;
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  // The hot counter instance should be busier than the spout.
+  EXPECT_GT(report.max_utilization[wc.counter.index], 0.5);
+}
+
+TEST(EventSimTest, MemorySamplesTrackCounters) {
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1, 2,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(500, 0.8, 7);
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(),
+                                    FastOptions(20000));
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  EXPECT_GT(report.avg_memory_counters, 0.0);
+  EXPECT_GE(report.peak_memory_counters,
+            static_cast<uint64_t>(report.avg_memory_counters * 0.5));
+}
+
+TEST(EventSimTest, AggregationTicksFlushCounters) {
+  // With periodic flushing, partial counters are cleared: peak memory at the
+  // counters should be below the no-flush run.
+  auto run = [](uint64_t tick_us) {
+    auto wc = apps::MakeWordCountTopology(partition::Technique::kPkgLocal, 1,
+                                          4, tick_us, 10, 42);
+    auto stream = MakeZipfStream(20000, 0.8, 7);
+    EventSimOptions o = FastOptions(30000);
+    auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+    EXPECT_TRUE(sim.ok());
+    return (*sim)->Run();
+  };
+  EventSimReport no_flush = run(0);
+  EventSimReport flushed = run(100000);  // every 0.1 sim-seconds
+  EXPECT_LT(flushed.avg_memory_counters, no_flush.avg_memory_counters);
+  // Flushing costs throughput (the Figure 5b trade-off).
+  EXPECT_LE(flushed.throughput_per_s, no_flush.throughput_per_s * 1.05);
+}
+
+TEST(EventSimTest, DeterministicReports) {
+  auto run = [] {
+    auto wc = apps::MakeWordCountTopology(partition::Technique::kPkgLocal, 1,
+                                          3, 50000, 10, 42);
+    auto stream = MakeZipfStream(300, 1.0, 9);
+    auto sim = EventSimulator::Create(&wc.topology, stream.get(),
+                                      FastOptions(5000));
+    EXPECT_TRUE(sim.ok());
+    return (*sim)->Run();
+  };
+  EventSimReport a = run();
+  EventSimReport b = run();
+  EXPECT_EQ(a.roots_acked, b.roots_acked);
+  EXPECT_DOUBLE_EQ(a.throughput_per_s, b.throughput_per_s);
+  EXPECT_DOUBLE_EQ(a.mean_latency_us, b.mean_latency_us);
+  EXPECT_EQ(a.p99_latency_us, b.p99_latency_us);
+}
+
+TEST(EventSimTest, TimeoutReported) {
+  auto wc = apps::MakeWordCountTopology(partition::Technique::kShuffle, 1, 2,
+                                        0, 10, 42);
+  auto stream = MakeZipfStream(100, 1.0, 7);
+  EventSimOptions o = FastOptions(1000000);
+  o.max_sim_time_us = 1000;  // absurdly short
+  auto sim = EventSimulator::Create(&wc.topology, stream.get(), o);
+  ASSERT_TRUE(sim.ok());
+  EventSimReport report = (*sim)->Run();
+  EXPECT_TRUE(report.timed_out);
+  EXPECT_LT(report.roots_acked, 1000000u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

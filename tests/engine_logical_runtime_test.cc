@@ -1,0 +1,235 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the deterministic logical runtime.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/logical_runtime.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+/// Counts messages per key; on tick/close, emits (key, count) pairs and
+/// optionally clears.
+class CountingOp final : public Operator {
+ public:
+  explicit CountingOp(bool clear_on_tick) : clear_on_tick_(clear_on_tick) {}
+
+  void Open(const OperatorContext& ctx) override { instance_ = ctx.instance; }
+
+  void Process(const Message& msg, Emitter*) override { ++counts_[msg.key]; }
+
+  void Tick(uint64_t, Emitter* out) override {
+    ++ticks_;
+    for (const auto& [k, c] : counts_) {
+      Message m;
+      m.key = k;
+      m.i64 = static_cast<int64_t>(c);
+      out->Emit(m);
+    }
+    if (clear_on_tick_) counts_.clear();
+  }
+
+  void Close(Emitter* out) override { Tick(0, out); }
+
+  uint64_t MemoryCounters() const override { return counts_.size(); }
+
+  std::unordered_map<Key, uint64_t> counts_;
+  uint64_t ticks_ = 0;
+  uint32_t instance_ = 0;
+  bool clear_on_tick_;
+};
+
+/// Accumulates (key, count) messages.
+class SinkOp final : public Operator {
+ public:
+  void Process(const Message& msg, Emitter*) override {
+    totals_[msg.key] += static_cast<uint64_t>(msg.i64);
+  }
+  uint64_t MemoryCounters() const override { return totals_.size(); }
+  std::unordered_map<Key, uint64_t> totals_;
+};
+
+struct Pipeline {
+  Topology topology;
+  NodeId spout, counter, sink;
+  std::vector<CountingOp*> counters;
+  SinkOp* sink_op = nullptr;
+};
+
+Pipeline BuildPipeline(partition::Technique technique, uint32_t sources,
+                       uint32_t workers, uint64_t tick, bool clear_on_tick) {
+  Pipeline p;
+  p.spout = p.topology.AddSpout("spout", sources);
+  p.counters.resize(workers, nullptr);
+  auto* counters = &p.counters;
+  p.counter = p.topology.AddOperator(
+      "counter",
+      [counters, clear_on_tick](uint32_t i) {
+        auto op = std::make_unique<CountingOp>(clear_on_tick);
+        (*counters)[i] = op.get();
+        return op;
+      },
+      workers);
+  SinkOp** sink_slot = &p.sink_op;
+  p.sink = p.topology.AddOperator(
+      "sink",
+      [sink_slot](uint32_t) {
+        auto op = std::make_unique<SinkOp>();
+        *sink_slot = op.get();
+        return op;
+      },
+      1);
+  if (tick > 0) p.topology.SetTickPeriod(p.counter, tick);
+  EXPECT_TRUE(p.topology.Connect(p.spout, p.counter, technique).ok());
+  EXPECT_TRUE(
+      p.topology.Connect(p.counter, p.sink, partition::Technique::kHashing)
+          .ok());
+  return p;
+}
+
+TEST(LogicalRuntimeTest, CreateValidatesTopology) {
+  Topology t;  // empty
+  EXPECT_FALSE(LogicalRuntime::Create(&t).ok());
+}
+
+TEST(LogicalRuntimeTest, MessagesReachWorkers) {
+  Pipeline p = BuildPipeline(partition::Technique::kShuffle, 1, 3, 0, false);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  for (int i = 0; i < 9; ++i) {
+    Message m;
+    m.key = static_cast<Key>(i);
+    (*rt)->Inject(p.spout, 0, m);
+  }
+  uint64_t total = 0;
+  for (auto* op : p.counters) total += op->counts_.size();
+  EXPECT_EQ(total, 9u);
+  EXPECT_EQ((*rt)->now(), 9u);
+}
+
+TEST(LogicalRuntimeTest, CountsAreExactUnderAnyPartitioner) {
+  for (auto technique :
+       {partition::Technique::kHashing, partition::Technique::kShuffle,
+        partition::Technique::kPkgLocal}) {
+    Pipeline p = BuildPipeline(technique, 2, 4, 0, false);
+    auto rt = LogicalRuntime::Create(&p.topology);
+    ASSERT_TRUE(rt.ok());
+    // 60 messages: key i%3 -> 20 occurrences each.
+    for (int i = 0; i < 60; ++i) {
+      Message m;
+      m.key = static_cast<Key>(i % 3);
+      (*rt)->Inject(p.spout, static_cast<SourceId>(i % 2), m);
+    }
+    (*rt)->Finish();
+    ASSERT_NE(p.sink_op, nullptr);
+    for (Key k = 0; k < 3; ++k) {
+      EXPECT_EQ(p.sink_op->totals_[k], 20u)
+          << "technique " << static_cast<int>(technique) << " key " << k;
+    }
+  }
+}
+
+TEST(LogicalRuntimeTest, TicksFireOnSchedule) {
+  Pipeline p = BuildPipeline(partition::Technique::kShuffle, 1, 2, 10, true);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  for (int i = 0; i < 35; ++i) {
+    Message m;
+    m.key = 1;
+    (*rt)->Inject(p.spout, 0, m);
+  }
+  // Ticks at 10, 20, 30 on both instances.
+  EXPECT_EQ(p.counters[0]->ticks_, 3u);
+  EXPECT_EQ(p.counters[1]->ticks_, 3u);
+}
+
+TEST(LogicalRuntimeTest, PartialFlushesSumToExactTotals) {
+  Pipeline p = BuildPipeline(partition::Technique::kPkgLocal, 1, 4, 7, true);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.key = static_cast<Key>(i % 10);
+    (*rt)->Inject(p.spout, 0, m);
+  }
+  (*rt)->Finish();
+  uint64_t total = 0;
+  for (Key k = 0; k < 10; ++k) total += p.sink_op->totals_[k];
+  EXPECT_EQ(total, static_cast<uint64_t>(n));
+  for (Key k = 0; k < 10; ++k) EXPECT_EQ(p.sink_op->totals_[k], 100u);
+}
+
+TEST(LogicalRuntimeTest, MetricsReportLoadsAndMemory) {
+  Pipeline p = BuildPipeline(partition::Technique::kShuffle, 1, 2, 0, false);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.key = static_cast<Key>(i);
+    (*rt)->Inject(p.spout, 0, m);
+  }
+  auto metrics = (*rt)->Metrics();
+  ASSERT_EQ(metrics.size(), 3u);
+  EXPECT_EQ(metrics[1].pe_name, "counter");
+  EXPECT_EQ(metrics[1].processed[0] + metrics[1].processed[1], 10u);
+  EXPECT_EQ(metrics[1].memory_counters, 10u);  // 10 distinct keys
+  EXPECT_DOUBLE_EQ(metrics[1].imbalance, 0.0);  // shuffle: perfectly even
+}
+
+TEST(LogicalRuntimeTest, FinishFlushesClosedOperators) {
+  Pipeline p = BuildPipeline(partition::Technique::kHashing, 1, 2, 0, false);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  Message m;
+  m.key = 5;
+  (*rt)->Inject(p.spout, 0, m);
+  EXPECT_EQ(p.sink_op->totals_.size(), 0u);  // nothing flushed yet
+  (*rt)->Finish();
+  EXPECT_EQ(p.sink_op->totals_[5], 1u);
+}
+
+TEST(LogicalRuntimeTest, GetOperatorAccess) {
+  Pipeline p = BuildPipeline(partition::Technique::kShuffle, 1, 2, 0, false);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ((*rt)->GetOperator(p.counter, 0), p.counters[0]);
+  EXPECT_EQ((*rt)->GetOperator(p.counter, 1), p.counters[1]);
+}
+
+TEST(LogicalRuntimeTest, OpenReceivesContext) {
+  Pipeline p = BuildPipeline(partition::Technique::kShuffle, 1, 3, 0, false);
+  auto rt = LogicalRuntime::Create(&p.topology);
+  ASSERT_TRUE(rt.ok());
+  EXPECT_EQ(p.counters[0]->instance_, 0u);
+  EXPECT_EQ(p.counters[2]->instance_, 2u);
+}
+
+TEST(LogicalRuntimeTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Pipeline p =
+        BuildPipeline(partition::Technique::kPkgLocal, 2, 4, 0, false);
+    auto rt = LogicalRuntime::Create(&p.topology);
+    EXPECT_TRUE(rt.ok());
+    for (int i = 0; i < 500; ++i) {
+      Message m;
+      m.key = static_cast<Key>(i % 17);
+      (*rt)->Inject(p.spout, static_cast<SourceId>(i % 2), m);
+    }
+    std::vector<uint64_t> loads;
+    for (auto* op : p.counters) {
+      uint64_t total = 0;
+      for (const auto& [_, c] : op->counts_) total += c;
+      loads.push_back(total);
+    }
+    return loads;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,208 @@
+// Copyright 2026 The pkgstream Authors.
+// Tests for the threaded runtime: the concurrent execution must preserve
+// the aggregate results the deterministic LogicalRuntime defines.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+
+#include "apps/wordcount.h"
+#include "engine/logical_runtime.h"
+#include "engine/threaded_runtime.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+TEST(ThreadedRuntimeTest, RejectsTickPeriods) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kShuffle, 1, 2, /*tick=*/100, 5, 42);
+  EXPECT_TRUE(
+      ThreadedRuntime::Create(&wc.topology).status().IsInvalidArgument());
+}
+
+TEST(ThreadedRuntimeTest, RejectsZeroCapacity) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kShuffle, 1, 2, 0, 5, 42);
+  ThreadedRuntimeOptions options;
+  options.queue_capacity = 0;
+  EXPECT_TRUE(ThreadedRuntime::Create(&wc.topology, options)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(ThreadedRuntimeTest, EmptyRunShutsDownCleanly) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kPkgLocal, 2, 4, 0, 5, 42);
+  auto rt = ThreadedRuntime::Create(&wc.topology);
+  ASSERT_TRUE(rt.ok());
+  (*rt)->Finish();  // no messages at all
+  auto* agg = static_cast<apps::TopKAggregator*>(
+      (*rt)->GetOperator(wc.aggregator, 0));
+  EXPECT_TRUE(agg->totals().empty());
+}
+
+/// Word-count totals must be exact under every technique, regardless of
+/// thread interleaving.
+class ThreadedWordCountTest
+    : public testing::TestWithParam<partition::Technique> {};
+
+TEST_P(ThreadedWordCountTest, TotalsExactUnderConcurrency) {
+  apps::WordCountTopology wc =
+      apps::MakeWordCountTopology(GetParam(), /*sources=*/4, /*workers=*/4,
+                                  /*tick=*/0, /*topk=*/5, 42);
+  auto rt = ThreadedRuntime::Create(&wc.topology);
+  ASSERT_TRUE(rt.ok());
+
+  // 4 injector threads, one per source instance, hammering concurrently.
+  constexpr int kPerSource = 20000;
+  constexpr int kKeys = 37;
+  std::vector<std::thread> injectors;
+  for (SourceId s = 0; s < 4; ++s) {
+    injectors.emplace_back([&, s] {
+      for (int i = 0; i < kPerSource; ++i) {
+        Message m;
+        m.key = static_cast<Key>((i + s) % kKeys);
+        m.tag = apps::kTagWord;
+        (*rt)->Inject(wc.spout, s, m);
+      }
+    });
+  }
+  for (auto& t : injectors) t.join();
+  (*rt)->Finish();
+
+  auto* agg = static_cast<apps::TopKAggregator*>(
+      (*rt)->GetOperator(wc.aggregator, 0));
+  uint64_t total = 0;
+  for (const auto& [key, count] : agg->totals()) {
+    EXPECT_LT(key, static_cast<Key>(kKeys));
+    total += count;
+  }
+  EXPECT_EQ(total, 4ull * kPerSource);
+  // Every key was injected the same number of times by symmetry.
+  for (const auto& [key, count] : agg->totals()) {
+    EXPECT_NEAR(static_cast<double>(count), 4.0 * kPerSource / kKeys,
+                4.0 * kPerSource / kKeys * 0.05)
+        << "key " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Techniques, ThreadedWordCountTest,
+    testing::Values(partition::Technique::kHashing,
+                    partition::Technique::kShuffle,
+                    partition::Technique::kPkgLocal,
+                    partition::Technique::kPkgGlobal),
+    [](const testing::TestParamInfo<partition::Technique>& info) {
+      std::string name = partition::TechniqueName(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(ThreadedRuntimeTest, ProcessedCountsConserveMessages) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kPkgLocal, 1, 3, 0, 5, 42);
+  auto rt = ThreadedRuntime::Create(&wc.topology);
+  ASSERT_TRUE(rt.ok());
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    Message m;
+    m.key = static_cast<Key>(i % 11);
+    m.tag = apps::kTagWord;
+    (*rt)->Inject(wc.spout, 0, m);
+  }
+  (*rt)->Finish();
+  auto counter_loads = (*rt)->Processed(wc.counter);
+  uint64_t counter_total = 0;
+  for (uint64_t l : counter_loads) counter_total += l;
+  EXPECT_EQ(counter_total, static_cast<uint64_t>(n));
+}
+
+TEST(ThreadedRuntimeTest, MatchesLogicalRuntimeTotals) {
+  auto run_logical = [] {
+    apps::WordCountTopology wc = apps::MakeWordCountTopology(
+        partition::Technique::kHashing, 1, 4, 0, 5, 42);
+    auto rt = LogicalRuntime::Create(&wc.topology);
+    EXPECT_TRUE(rt.ok());
+    auto dist = std::make_shared<workload::StaticDistribution>(
+        workload::ZipfWeights(100, 1.1), "zipf");
+    workload::IidKeyStream stream(dist, 7);
+    for (int i = 0; i < 20000; ++i) {
+      Message m;
+      m.key = stream.Next();
+      m.tag = apps::kTagWord;
+      (*rt)->Inject(wc.spout, 0, m);
+    }
+    (*rt)->Finish();
+    auto* agg = static_cast<apps::TopKAggregator*>(
+        (*rt)->GetOperator(wc.aggregator, 0));
+    return std::map<Key, uint64_t>(agg->totals().begin(),
+                                   agg->totals().end());
+  };
+  auto run_threaded = [] {
+    apps::WordCountTopology wc = apps::MakeWordCountTopology(
+        partition::Technique::kHashing, 1, 4, 0, 5, 42);
+    auto rt = ThreadedRuntime::Create(&wc.topology);
+    EXPECT_TRUE(rt.ok());
+    auto dist = std::make_shared<workload::StaticDistribution>(
+        workload::ZipfWeights(100, 1.1), "zipf");
+    workload::IidKeyStream stream(dist, 7);
+    for (int i = 0; i < 20000; ++i) {
+      Message m;
+      m.key = stream.Next();
+      m.tag = apps::kTagWord;
+      (*rt)->Inject(wc.spout, 0, m);
+    }
+    (*rt)->Finish();
+    auto* agg = static_cast<apps::TopKAggregator*>(
+        (*rt)->GetOperator(wc.aggregator, 0));
+    return std::map<Key, uint64_t>(agg->totals().begin(),
+                                   agg->totals().end());
+  };
+  EXPECT_EQ(run_logical(), run_threaded());
+}
+
+TEST(ThreadedRuntimeTest, BackpressureSmallQueuesStillComplete) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kShuffle, 2, 3, 0, 5, 42);
+  ThreadedRuntimeOptions options;
+  options.queue_capacity = 2;  // brutal backpressure
+  auto rt = ThreadedRuntime::Create(&wc.topology, options);
+  ASSERT_TRUE(rt.ok());
+  std::vector<std::thread> injectors;
+  for (SourceId s = 0; s < 2; ++s) {
+    injectors.emplace_back([&, s] {
+      for (int i = 0; i < 3000; ++i) {
+        Message m;
+        m.key = static_cast<Key>(i % 5);
+        m.tag = apps::kTagWord;
+        (*rt)->Inject(wc.spout, s, m);
+      }
+    });
+  }
+  for (auto& t : injectors) t.join();
+  (*rt)->Finish();
+  auto* agg = static_cast<apps::TopKAggregator*>(
+      (*rt)->GetOperator(wc.aggregator, 0));
+  uint64_t total = 0;
+  for (const auto& [_, count] : agg->totals()) total += count;
+  EXPECT_EQ(total, 6000u);
+}
+
+TEST(ThreadedRuntimeTest, FinishIsIdempotent) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kShuffle, 1, 2, 0, 5, 42);
+  auto rt = ThreadedRuntime::Create(&wc.topology);
+  ASSERT_TRUE(rt.ok());
+  (*rt)->Finish();
+  (*rt)->Finish();  // no crash, no double EOS
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

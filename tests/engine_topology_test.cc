@@ -1,0 +1,130 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the topology builder and its validation.
+
+#include <gtest/gtest.h>
+
+#include "engine/topology.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+/// A trivial pass-through operator for wiring tests.
+class Passthrough final : public Operator {
+ public:
+  void Process(const Message& msg, Emitter* out) override { out->Emit(msg); }
+};
+
+OperatorFactory MakePassthrough() {
+  return [](uint32_t) { return std::make_unique<Passthrough>(); };
+}
+
+TEST(TopologyTest, EmptyTopologyInvalid) {
+  Topology t;
+  EXPECT_TRUE(t.Validate().IsFailedPrecondition());
+}
+
+TEST(TopologyTest, SpoutOnlyValidates) {
+  Topology t;
+  t.AddSpout("s", 2);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TopologyTest, LinearChainValidates) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 3);
+  NodeId b = t.AddOperator("b", MakePassthrough(), 1);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(a, b, partition::Technique::kHashing).ok());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TopologyTest, ConnectFillsParallelism) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 4);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 7);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kPkgLocal).ok());
+  ASSERT_EQ(t.edges().size(), 1u);
+  EXPECT_EQ(t.edges()[0].partitioner.sources, 4u);
+  EXPECT_EQ(t.edges()[0].partitioner.workers, 7u);
+}
+
+TEST(TopologyTest, SpoutCannotReceive) {
+  Topology t;
+  NodeId s1 = t.AddSpout("s1", 1);
+  NodeId s2 = t.AddSpout("s2", 1);
+  EXPECT_TRUE(
+      t.Connect(s1, s2, partition::Technique::kShuffle).IsInvalidArgument());
+}
+
+TEST(TopologyTest, UnknownNodeRejected) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId bogus{42};
+  EXPECT_TRUE(
+      t.Connect(s, bogus, partition::Technique::kShuffle).IsInvalidArgument());
+}
+
+TEST(TopologyTest, UnreachableOperatorInvalid) {
+  Topology t;
+  t.AddSpout("s", 1);
+  t.AddOperator("orphan", MakePassthrough(), 1);
+  EXPECT_TRUE(t.Validate().IsFailedPrecondition());
+}
+
+TEST(TopologyTest, NoSpoutInvalid) {
+  Topology t;
+  t.AddOperator("a", MakePassthrough(), 1);
+  EXPECT_TRUE(t.Validate().IsFailedPrecondition());
+}
+
+TEST(TopologyTest, CycleDetected) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 1);
+  NodeId b = t.AddOperator("b", MakePassthrough(), 1);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(a, b, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(b, a, partition::Technique::kShuffle).ok());
+  EXPECT_TRUE(t.Validate().IsFailedPrecondition());
+}
+
+TEST(TopologyTest, DiamondIsAcyclic) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 1);
+  NodeId b = t.AddOperator("b", MakePassthrough(), 1);
+  NodeId c = t.AddOperator("c", MakePassthrough(), 1);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(s, b, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(a, c, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(b, c, partition::Technique::kShuffle).ok());
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TopologyTest, OutEdgesEnumerated) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 1);
+  NodeId b = t.AddOperator("b", MakePassthrough(), 1);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(s, b, partition::Technique::kShuffle).ok());
+  ASSERT_TRUE(t.Connect(a, b, partition::Technique::kShuffle).ok());
+  EXPECT_EQ(t.OutEdges(s).size(), 2u);
+  EXPECT_EQ(t.OutEdges(a).size(), 1u);
+  EXPECT_EQ(t.OutEdges(b).size(), 0u);
+}
+
+TEST(TopologyTest, TickPeriodStored) {
+  Topology t;
+  NodeId s = t.AddSpout("s", 1);
+  NodeId a = t.AddOperator("a", MakePassthrough(), 1);
+  ASSERT_TRUE(t.Connect(s, a, partition::Technique::kShuffle).ok());
+  t.SetTickPeriod(a, 500);
+  EXPECT_EQ(t.nodes()[a.index].tick_period, 500u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,166 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the Table II baselines: static PoTC, On-Greedy, Off-Greedy.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "partition/greedy.h"
+#include "partition/potc_static.h"
+#include "stats/imbalance.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace partition {
+namespace {
+
+TEST(StaticPoTCTest, KeyStaysPinnedAfterFirstChoice) {
+  StaticPoTC potc(1, 10, 42);
+  WorkerId first = potc.Route(0, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(potc.Route(0, 5), first);
+  EXPECT_EQ(potc.MaxWorkersPerKey(), 1u);
+}
+
+TEST(StaticPoTCTest, RoutingTableGrowsWithKeys) {
+  StaticPoTC potc(1, 10, 42);
+  for (Key k = 0; k < 500; ++k) potc.Route(0, k);
+  EXPECT_EQ(potc.RoutingTableSize(), 500u);
+}
+
+TEST(StaticPoTCTest, PicksLessLoadedCandidateAtFirstSight) {
+  // Preload one candidate of a fresh key, then check the first routing of
+  // that key avoids it.
+  StaticPoTC potc(1, 4, 7);
+  // Find two keys with disjoint candidate pairs by brute force is overkill;
+  // instead verify the weaker invariant: the chosen worker was not the
+  // strictly more loaded of the two candidates.
+  HashFamily family(2, 4, 7);
+  std::vector<uint64_t> loads(4, 0);
+  for (Key k = 0; k < 2000; ++k) {
+    WorkerId c0 = family.Bucket(0, k);
+    WorkerId c1 = family.Bucket(1, k);
+    WorkerId chosen = potc.Route(0, k);
+    ASSERT_TRUE(chosen == c0 || chosen == c1);
+    WorkerId other = chosen == c0 ? c1 : c0;
+    EXPECT_LE(loads[chosen], loads[other]) << "key " << k;
+    ++loads[chosen];
+  }
+}
+
+TEST(StaticPoTCTest, HotKeyStillImbalanced) {
+  // Without key splitting a hot key is pinned: the imbalance grows linearly
+  // (the paper's argument for key splitting).
+  StaticPoTC potc(1, 10, 42);
+  std::vector<uint64_t> loads(10, 0);
+  for (int i = 0; i < 10000; ++i) ++loads[potc.Route(0, /*key=*/3)];
+  EXPECT_GT(stats::ImbalanceOf(loads), 8000.0);
+}
+
+TEST(OnlineGreedyTest, FirstKeyGoesToLeastLoaded) {
+  OnlineGreedy greedy(1, 4);
+  // Route key 0 thrice: all three go to worker chosen at first sight.
+  WorkerId w0 = greedy.Route(0, 0);
+  EXPECT_EQ(greedy.Route(0, 0), w0);
+  // A new key must go to a currently least-loaded worker (not w0,
+  // which has 2 messages).
+  WorkerId w1 = greedy.Route(0, 1);
+  EXPECT_NE(w1, w0);
+}
+
+TEST(OnlineGreedyTest, DistinctKeysBalancePerfectly) {
+  OnlineGreedy greedy(1, 8);
+  std::vector<uint64_t> loads(8, 0);
+  for (Key k = 0; k < 8000; ++k) ++loads[greedy.Route(0, k)];
+  EXPECT_DOUBLE_EQ(stats::ImbalanceOf(loads), 0.0);
+  EXPECT_EQ(greedy.RoutingTableSize(), 8000u);
+}
+
+TEST(OnlineGreedyTest, FullChoiceBeatsTwoChoicesOnDistinctKeys) {
+  EXPECT_EQ(OnlineGreedy(1, 4).MaxWorkersPerKey(), 1u);
+  EXPECT_EQ(OnlineGreedy(1, 4).Name(), "On-Greedy");
+}
+
+TEST(OfflineGreedyTest, LptAssignmentIsBalanced) {
+  stats::FrequencyTable freq;
+  // Classic LPT case: frequencies 7,6,5,4,3,2 onto 3 workers.
+  freq.Add(1, 7);
+  freq.Add(2, 6);
+  freq.Add(3, 5);
+  freq.Add(4, 4);
+  freq.Add(5, 3);
+  freq.Add(6, 2);
+  OfflineGreedy greedy(1, 3, freq, 42);
+  const auto& planned = greedy.planned_loads();
+  // LPT: {7,2}, {6,3}, {5,4} = 9,9,9.
+  EXPECT_EQ(planned[0] + planned[1] + planned[2], 27u);
+  EXPECT_DOUBLE_EQ(stats::ImbalanceOf(planned), 0.0);
+}
+
+TEST(OfflineGreedyTest, RoutesFollowPlan) {
+  stats::FrequencyTable freq;
+  freq.Add(10, 100);
+  freq.Add(20, 50);
+  OfflineGreedy greedy(1, 2, freq, 42);
+  WorkerId w10 = greedy.Route(0, 10);
+  WorkerId w20 = greedy.Route(0, 20);
+  EXPECT_NE(w10, w20);  // two keys, two workers: LPT separates them
+  // Stable across repeats.
+  EXPECT_EQ(greedy.Route(0, 10), w10);
+}
+
+TEST(OfflineGreedyTest, UnknownKeysFallBackToHashing) {
+  stats::FrequencyTable freq;
+  freq.Add(1, 5);
+  OfflineGreedy greedy(1, 4, freq, 42);
+  WorkerId w = greedy.Route(0, /*unknown key=*/999);
+  EXPECT_LT(w, 4u);
+  EXPECT_EQ(greedy.Route(0, 999), w);  // deterministic
+}
+
+TEST(GreedyOrderingTest, PaperTableTwoOrderingOnZipf) {
+  // On a skewed stream with a hot head: Hashing >> PoTC >= On-Greedy >=
+  // Off-Greedy in imbalance (Table II's ordering, small scale).
+  using workload::StaticDistribution;
+  using workload::ZipfWeights;
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(2000, 1.3),
+                                                   "zipf");
+  const uint32_t workers = 5;
+  const int messages = 100000;
+
+  // Pass 1: frequencies for Off-Greedy.
+  stats::FrequencyTable freq;
+  {
+    Rng rng(123);
+    for (int i = 0; i < messages; ++i) freq.Add(dist->Sample(&rng));
+  }
+  StaticPoTC potc(1, workers, 42);
+  OnlineGreedy on(1, workers);
+  OfflineGreedy off(1, workers, freq, 42);
+  HashFamily hash(1, workers, 42);
+
+  std::vector<uint64_t> l_potc(workers, 0);
+  std::vector<uint64_t> l_on(workers, 0);
+  std::vector<uint64_t> l_off(workers, 0);
+  std::vector<uint64_t> l_hash(workers, 0);
+  Rng rng(123);
+  for (int i = 0; i < messages; ++i) {
+    Key k = dist->Sample(&rng);
+    ++l_potc[potc.Route(0, k)];
+    ++l_on[on.Route(0, k)];
+    ++l_off[off.Route(0, k)];
+    ++l_hash[hash.Bucket(0, k)];
+  }
+  double i_potc = stats::ImbalanceOf(l_potc);
+  double i_on = stats::ImbalanceOf(l_on);
+  double i_off = stats::ImbalanceOf(l_off);
+  double i_hash = stats::ImbalanceOf(l_hash);
+  EXPECT_LT(i_potc, i_hash);  // PoTC beats hashing
+  EXPECT_LE(i_off, i_on + 1e-9);  // offline never worse than online
+  EXPECT_LT(i_off, i_hash);
+}
+
+}  // namespace
+}  // namespace partition
+}  // namespace pkgstream

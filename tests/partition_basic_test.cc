@@ -1,0 +1,135 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the stateless partitioners: key grouping (hashing),
+// shuffle grouping, random grouping.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "partition/key_grouping.h"
+#include "partition/shuffle_grouping.h"
+#include "stats/imbalance.h"
+
+namespace pkgstream {
+namespace partition {
+namespace {
+
+TEST(KeyGroupingTest, SameKeySameWorker) {
+  KeyGrouping kg(2, 10, 42);
+  for (Key k = 0; k < 100; ++k) {
+    WorkerId w = kg.Route(0, k);
+    for (int rep = 0; rep < 5; ++rep) {
+      EXPECT_EQ(kg.Route(rep % 2, k), w);  // source-independent
+    }
+  }
+}
+
+TEST(KeyGroupingTest, ResultsInRange) {
+  KeyGrouping kg(1, 7, 1);
+  for (Key k = 0; k < 1000; ++k) EXPECT_LT(kg.Route(0, k), 7u);
+}
+
+TEST(KeyGroupingTest, AtomicKeys) {
+  KeyGrouping kg(1, 5, 3);
+  EXPECT_EQ(kg.MaxWorkersPerKey(), 1u);
+  EXPECT_EQ(kg.Name(), "Hashing");
+  EXPECT_EQ(kg.workers(), 5u);
+  EXPECT_EQ(kg.sources(), 1u);
+}
+
+TEST(KeyGroupingTest, SkewConcentratesLoad) {
+  // All messages share one key: everything lands on a single worker.
+  KeyGrouping kg(1, 10, 42);
+  std::vector<uint64_t> loads(10, 0);
+  for (int i = 0; i < 1000; ++i) ++loads[kg.Route(0, /*key=*/777)];
+  uint64_t max = *std::max_element(loads.begin(), loads.end());
+  EXPECT_EQ(max, 1000u);
+}
+
+TEST(ShuffleGroupingTest, PerfectBalancePerSource) {
+  ShuffleGrouping sg(1, 4, 42);
+  std::vector<uint64_t> loads(4, 0);
+  for (int i = 0; i < 400; ++i) ++loads[sg.Route(0, i)];
+  for (uint64_t l : loads) EXPECT_EQ(l, 100u);
+}
+
+TEST(ShuffleGroupingTest, CyclicOrder) {
+  ShuffleGrouping sg(1, 3, 0);
+  WorkerId first = sg.Route(0, 0);
+  EXPECT_EQ(sg.Route(0, 1), (first + 1) % 3);
+  EXPECT_EQ(sg.Route(0, 2), (first + 2) % 3);
+  EXPECT_EQ(sg.Route(0, 3), first);
+}
+
+TEST(ShuffleGroupingTest, IgnoresKey) {
+  ShuffleGrouping sg(1, 5, 9);
+  // Identical key repeatedly still cycles through all workers.
+  std::set<WorkerId> seen;
+  for (int i = 0; i < 5; ++i) seen.insert(sg.Route(0, /*key=*/42));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(ShuffleGroupingTest, SourcesCycleIndependently) {
+  ShuffleGrouping sg(2, 4, 7);
+  // Interleave two sources; each should still be perfectly balanced.
+  std::vector<uint64_t> loads0(4, 0);
+  std::vector<uint64_t> loads1(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    ++loads0[sg.Route(0, i)];
+    ++loads1[sg.Route(1, i)];
+  }
+  for (uint64_t l : loads0) EXPECT_EQ(l, 100u);
+  for (uint64_t l : loads1) EXPECT_EQ(l, 100u);
+}
+
+TEST(ShuffleGroupingTest, MaxWorkersPerKeyIsW) {
+  ShuffleGrouping sg(1, 6, 1);
+  EXPECT_EQ(sg.MaxWorkersPerKey(), 6u);
+}
+
+TEST(ShuffleGroupingTest, GlobalImbalanceBoundedBySources) {
+  // The per-source imbalance is <= 1; global imbalance <= S.
+  const uint32_t sources = 8;
+  ShuffleGrouping sg(sources, 5, 3);
+  std::vector<uint64_t> loads(5, 0);
+  for (int i = 0; i < 99991; ++i) {  // deliberately not divisible
+    ++loads[sg.Route(i % sources, i)];
+  }
+  EXPECT_LE(stats::ImbalanceOf(loads), static_cast<double>(sources));
+}
+
+TEST(RandomGroupingTest, ResultsInRangeAndSpread) {
+  RandomGrouping rg(1, 8, 11);
+  std::vector<uint64_t> loads(8, 0);
+  for (int i = 0; i < 8000; ++i) ++loads[rg.Route(0, 1)];
+  for (uint64_t l : loads) {
+    EXPECT_GT(l, 800u);
+    EXPECT_LT(l, 1200u);
+  }
+}
+
+TEST(RandomGroupingTest, Deterministic) {
+  RandomGrouping a(1, 8, 11);
+  RandomGrouping b(1, 8, 11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Route(0, i), b.Route(0, i));
+}
+
+TEST(RandomGroupingTest, WorseThanRoundRobin) {
+  // Random single choice has Θ(sqrt(m log n / n)) imbalance; round robin
+  // stays <= 1. Verify the ordering empirically.
+  RandomGrouping rg(1, 16, 5);
+  ShuffleGrouping sg(1, 16, 5);
+  std::vector<uint64_t> lr(16, 0);
+  std::vector<uint64_t> ls(16, 0);
+  for (int i = 0; i < 160000; ++i) {
+    ++lr[rg.Route(0, i)];
+    ++ls[sg.Route(0, i)];
+  }
+  EXPECT_GT(stats::ImbalanceOf(lr), stats::ImbalanceOf(ls));
+  EXPECT_LE(stats::ImbalanceOf(ls), 1.0);
+}
+
+}  // namespace
+}  // namespace partition
+}  // namespace pkgstream

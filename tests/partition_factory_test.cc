@@ -1,0 +1,112 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the technique registry / factory.
+
+#include <gtest/gtest.h>
+
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace partition {
+namespace {
+
+TEST(FactoryTest, NamesRoundTrip) {
+  for (Technique t :
+       {Technique::kHashing, Technique::kShuffle, Technique::kRandom,
+        Technique::kPkgGlobal, Technique::kPkgLocal, Technique::kPkgProbing,
+        Technique::kPotcStatic, Technique::kOnGreedy, Technique::kOffGreedy}) {
+    auto parsed = ParseTechnique(TechniqueName(t));
+    ASSERT_TRUE(parsed.ok()) << TechniqueName(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(FactoryTest, PaperAliases) {
+  EXPECT_EQ(*ParseTechnique("H"), Technique::kHashing);
+  EXPECT_EQ(*ParseTechnique("KG"), Technique::kHashing);
+  EXPECT_EQ(*ParseTechnique("G"), Technique::kPkgGlobal);
+  EXPECT_EQ(*ParseTechnique("L"), Technique::kPkgLocal);
+  EXPECT_EQ(*ParseTechnique("LP"), Technique::kPkgProbing);
+  EXPECT_EQ(*ParseTechnique("PKG"), Technique::kPkgLocal);
+}
+
+TEST(FactoryTest, UnknownNameIsNotFound) {
+  EXPECT_TRUE(ParseTechnique("quantum").status().IsNotFound());
+}
+
+TEST(FactoryTest, BuildsEveryTechniqueExceptOffGreedyWithoutFreq) {
+  for (Technique t :
+       {Technique::kHashing, Technique::kShuffle, Technique::kRandom,
+        Technique::kPkgGlobal, Technique::kPkgLocal, Technique::kPkgProbing,
+        Technique::kPotcStatic, Technique::kOnGreedy}) {
+    PartitionerConfig config;
+    config.technique = t;
+    config.sources = 2;
+    config.workers = 4;
+    auto p = MakePartitioner(config);
+    ASSERT_TRUE(p.ok()) << TechniqueName(t);
+    EXPECT_EQ((*p)->workers(), 4u);
+    EXPECT_EQ((*p)->sources(), 2u);
+    WorkerId w = (*p)->Route(0, 123);
+    EXPECT_LT(w, 4u);
+  }
+}
+
+TEST(FactoryTest, OffGreedyRequiresFrequencies) {
+  PartitionerConfig config;
+  config.technique = Technique::kOffGreedy;
+  EXPECT_TRUE(MakePartitioner(config).status().IsFailedPrecondition());
+
+  stats::FrequencyTable freq;
+  freq.Add(1, 10);
+  config.frequencies = &freq;
+  EXPECT_TRUE(MakePartitioner(config).ok());
+}
+
+TEST(FactoryTest, ValidatesArguments) {
+  PartitionerConfig config;
+  config.sources = 0;
+  EXPECT_TRUE(MakePartitioner(config).status().IsInvalidArgument());
+  config.sources = 1;
+  config.workers = 0;
+  EXPECT_TRUE(MakePartitioner(config).status().IsInvalidArgument());
+  config.workers = 2;
+  config.technique = Technique::kPkgLocal;
+  config.num_choices = 0;
+  EXPECT_TRUE(MakePartitioner(config).status().IsInvalidArgument());
+  config.num_choices = 2;
+  config.technique = Technique::kPkgProbing;
+  config.probe_period_messages = 0;
+  EXPECT_TRUE(MakePartitioner(config).status().IsInvalidArgument());
+}
+
+TEST(FactoryTest, PkgVariantsUseConfiguredChoices) {
+  PartitionerConfig config;
+  config.technique = Technique::kPkgLocal;
+  config.workers = 16;
+  config.num_choices = 3;
+  auto p = MakePartitioner(config);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->MaxWorkersPerKey(), 3u);
+}
+
+TEST(FactoryTest, PotcForcesAtLeastTwoChoices) {
+  PartitionerConfig config;
+  config.technique = Technique::kPotcStatic;
+  config.workers = 4;
+  config.num_choices = 1;
+  auto p = MakePartitioner(config);
+  ASSERT_TRUE(p.ok());  // silently upgraded to 2 choices
+  EXPECT_EQ((*p)->Name(), "PoTC");
+}
+
+TEST(FactoryTest, TechniqueNamesMatchPaperLabels) {
+  EXPECT_EQ(TechniqueName(Technique::kHashing), "Hashing");
+  EXPECT_EQ(TechniqueName(Technique::kShuffle), "SG");
+  EXPECT_EQ(TechniqueName(Technique::kPotcStatic), "PoTC");
+  EXPECT_EQ(TechniqueName(Technique::kOnGreedy), "On-Greedy");
+  EXPECT_EQ(TechniqueName(Technique::kOffGreedy), "Off-Greedy");
+}
+
+}  // namespace
+}  // namespace partition
+}  // namespace pkgstream

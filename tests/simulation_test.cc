@@ -1,0 +1,255 @@
+// Copyright 2026 The pkgstream Authors.
+// Tests for the routing-simulation harness and (small-scale) canned
+// experiments, including paper-shape integration checks.
+
+#include <gtest/gtest.h>
+
+#include "simulation/experiments.h"
+#include "simulation/runner.h"
+#include "workload/dataset.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace simulation {
+namespace {
+
+Feed ZipfFeed(uint64_t keys, double z, uint64_t seed,
+              std::shared_ptr<workload::IidKeyStream>* keep) {
+  auto dist = std::make_shared<workload::StaticDistribution>(
+      workload::ZipfWeights(keys, z), "zipf");
+  *keep = std::make_shared<workload::IidKeyStream>(dist, seed);
+  return MakeKeyFeed(keep->get());
+}
+
+TEST(RunnerTest, RejectsZeroMessages) {
+  RoutingConfig config;
+  config.messages = 0;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(100, 1.0, 1, &keep);
+  EXPECT_TRUE(RunRouting(config, feed).status().IsInvalidArgument());
+}
+
+TEST(RunnerTest, LoadsSumToMessages) {
+  RoutingConfig config;
+  config.partitioner.technique = partition::Technique::kPkgLocal;
+  config.partitioner.sources = 3;
+  config.partitioner.workers = 7;
+  config.messages = 10000;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(500, 1.0, 1, &keep);
+  auto result = RunRouting(config, feed);
+  ASSERT_TRUE(result.ok());
+  uint64_t total = 0;
+  for (uint64_t l : result->loads) total += l;
+  EXPECT_EQ(total, 10000u);
+  uint64_t sources_total = 0;
+  for (uint64_t l : result->source_loads) sources_total += l;
+  EXPECT_EQ(sources_total, 10000u);
+  EXPECT_EQ(result->imbalance.messages, 10000u);
+  EXPECT_EQ(result->technique, "PKG-L");
+}
+
+TEST(RunnerTest, ShuffleSplitIsUniformAcrossSources) {
+  RoutingConfig config;
+  config.partitioner.sources = 4;
+  config.partitioner.workers = 2;
+  config.messages = 8000;
+  config.source_split = SourceSplit::kShuffle;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(100, 1.0, 3, &keep);
+  auto result = RunRouting(config, feed);
+  ASSERT_TRUE(result.ok());
+  for (uint64_t l : result->source_loads) EXPECT_EQ(l, 2000u);
+}
+
+TEST(RunnerTest, KeyedSplitFollowsSourceKey) {
+  // With kKeyed, messages with the same source_key go to the same source.
+  // Our key feed uses the running index as source key, so instead use the
+  // edge feed where source_key is the graph src vertex.
+  workload::RmatOptions opt;
+  opt.scale = 10;
+  workload::RmatEdgeStream edges(opt, 42);
+  Feed feed = MakeEdgeFeed(&edges);
+  RoutingConfig config;
+  config.partitioner.sources = 5;
+  config.partitioner.workers = 4;
+  config.messages = 20000;
+  config.source_split = SourceSplit::kKeyed;
+  auto result = RunRouting(config, feed);
+  ASSERT_TRUE(result.ok());
+  // Skewed split: the busiest source should clearly exceed m/S.
+  uint64_t max_load = 0;
+  for (uint64_t l : result->source_loads) max_load = std::max(max_load, l);
+  EXPECT_GT(max_load, 20000u / 5 + 500);
+}
+
+TEST(RunnerTest, ComputeFrequenciesMatchesStream) {
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(50, 1.2, 9, &keep);
+  stats::FrequencyTable freq = ComputeFrequencies(feed, 5000);
+  EXPECT_EQ(freq.total(), 5000u);
+  EXPECT_LE(freq.distinct(), 50u);
+}
+
+TEST(RunnerTest, AgreementIdenticalConfigsFullOverlap) {
+  RoutingConfig config;
+  config.partitioner.technique = partition::Technique::kPkgGlobal;
+  config.partitioner.workers = 8;
+  config.messages = 5000;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(300, 1.1, 5, &keep);
+  auto result = RunAgreement(config, config, feed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(result->match_rate, 1.0);
+}
+
+TEST(RunnerTest, AgreementGlobalVsLocalPartialOverlap) {
+  // The paper's Q2 observation: G and L disagree on destinations (≈47%
+  // Jaccard) while achieving similar imbalance.
+  RoutingConfig global;
+  global.partitioner.technique = partition::Technique::kPkgGlobal;
+  global.partitioner.workers = 10;
+  global.messages = 100000;
+  RoutingConfig local = global;
+  local.partitioner.technique = partition::Technique::kPkgLocal;
+  local.partitioner.sources = 5;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(3000, 1.0, 5, &keep);
+  auto result = RunAgreement(global, local, feed);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->jaccard, 0.9);   // far from identical choices
+  EXPECT_GT(result->jaccard, 0.2);   // but far from disjoint
+  // ... while imbalance stays comparable (within 10x).
+  EXPECT_LT(result->b.imbalance.avg_imbalance,
+            10 * result->a.imbalance.avg_imbalance + 100);
+}
+
+TEST(RunnerTest, AgreementRequiresMatchingShape) {
+  RoutingConfig a;
+  a.partitioner.workers = 4;
+  RoutingConfig b;
+  b.partitioner.workers = 8;
+  std::shared_ptr<workload::IidKeyStream> keep;
+  Feed feed = ZipfFeed(100, 1.0, 5, &keep);
+  EXPECT_FALSE(RunAgreement(a, b, feed).ok());
+  b.partitioner.workers = 4;
+  b.messages = a.messages + 1;
+  EXPECT_FALSE(RunAgreement(a, b, feed).ok());
+}
+
+// ----------------------- Paper-shape integration --------------------------
+
+TEST(PaperShapeTest, Table2OrderingAtSmallScale) {
+  // PKG <= On-Greedy <= PoTC <= Hashing on a WP-like stream (W inside the
+  // balanceable regime).
+  const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
+  const double scale = 0.002;  // 44k messages: fast
+  const uint64_t messages = workload::ScaledMessages(wp, scale);
+  auto run = [&](partition::Technique technique,
+                 const stats::FrequencyTable* freq) {
+    auto stream = workload::MakeKeyStream(wp, scale, 42);
+    EXPECT_TRUE(stream.ok());
+    Feed feed = MakeKeyFeed(stream->get());
+    RoutingConfig config;
+    config.partitioner.technique = technique;
+    config.partitioner.workers = 5;
+    config.partitioner.frequencies = freq;
+    config.messages = messages;
+    auto result = RunRouting(config, feed);
+    EXPECT_TRUE(result.ok());
+    return result->imbalance.avg_imbalance;
+  };
+  auto freq_stream = workload::MakeKeyStream(wp, scale, 42);
+  ASSERT_TRUE(freq_stream.ok());
+  Feed freq_feed = MakeKeyFeed(freq_stream->get());
+  stats::FrequencyTable freq = ComputeFrequencies(freq_feed, messages);
+
+  double pkg = run(partition::Technique::kPkgLocal, nullptr);
+  double potc = run(partition::Technique::kPotcStatic, nullptr);
+  double hashing = run(partition::Technique::kHashing, nullptr);
+  double off = run(partition::Technique::kOffGreedy, &freq);
+  EXPECT_LT(pkg, hashing / 100) << "PKG should crush hashing";
+  EXPECT_LT(potc, hashing) << "PoTC beats hashing";
+  EXPECT_LT(pkg, off + 1.0) << "PKG comparable to clairvoyant Off-Greedy";
+}
+
+TEST(PaperShapeTest, Fig2LocalWithinOrderOfMagnitudeOfGlobal) {
+  // WP-like stream: p1 = 9.3% < 2/W = 0.2, the regime where Figure 2 shows
+  // G and L both far below H.
+  const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
+  const double scale = 0.005;
+  const uint64_t messages = workload::ScaledMessages(wp, scale);
+  auto run = [&](partition::Technique technique, uint32_t sources) {
+    auto stream = workload::MakeKeyStream(wp, scale, 42);
+    EXPECT_TRUE(stream.ok());
+    Feed feed = MakeKeyFeed(stream->get());
+    RoutingConfig config;
+    config.partitioner.technique = technique;
+    config.partitioner.sources = sources;
+    config.partitioner.workers = 10;
+    config.messages = messages;
+    auto result = RunRouting(config, feed);
+    EXPECT_TRUE(result.ok());
+    return result->imbalance.avg_fraction;
+  };
+  double g = run(partition::Technique::kPkgGlobal, 1);
+  double l5 = run(partition::Technique::kPkgLocal, 5);
+  double h = run(partition::Technique::kHashing, 1);
+  EXPECT_LT(l5, h / 50) << "local PKG far better than hashing";
+  EXPECT_LT(l5, 12 * g + 1e-4) << "local within ~order of magnitude of G";
+}
+
+TEST(ExperimentsTest, Table1RowsMatchPresets) {
+  auto rows = RunTable1(/*seed=*/42, /*full=*/false);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 8u);
+  for (const auto& row : *rows) {
+    EXPECT_GT(row.messages, 0u);
+    EXPECT_GT(row.keys, 0u);
+    EXPECT_GT(row.p1_percent, 0.0);
+  }
+  // Fitted datasets must land near the paper p1 (sampling noise aside).
+  EXPECT_NEAR((*rows)[0].p1_percent, 9.32, 1.0);   // WP
+  EXPECT_NEAR((*rows)[1].p1_percent, 2.67, 0.5);   // TW
+}
+
+TEST(ExperimentsTest, DefaultScalesAreRunnable) {
+  for (const auto& spec : workload::AllDatasets()) {
+    double scale = DefaultScale(spec.id, false);
+    EXPECT_GT(scale, 0.0);
+    EXPECT_LE(scale, 1.0);
+    EXPECT_LE(workload::ScaledMessages(spec, scale), 5000000u)
+        << spec.symbol << " default scale too slow for tests/benches";
+  }
+}
+
+TEST(ExperimentsTest, Fig5aSmallRunHasPaperShape) {
+  Fig5aOptions options;
+  options.cpu_delay_ms = {0.1, 1.0};
+  options.messages = 20000;
+  options.scale = 0.002;
+  auto cells = RunFig5a(options);
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 6u);  // 3 techniques x 2 delays
+  auto find = [&](const std::string& t, double d) -> const Fig5aCell& {
+    for (const auto& c : *cells) {
+      if (c.technique == t && c.cpu_delay_ms == d) return c;
+    }
+    ADD_FAILURE() << "missing cell " << t << " " << d;
+    return (*cells)[0];
+  };
+  // PKG and SG sustain higher throughput than KG at the heavy delay.
+  EXPECT_GT(find("PKG", 1.0).throughput_per_s,
+            find("KG", 1.0).throughput_per_s);
+  EXPECT_GT(find("SG", 1.0).throughput_per_s,
+            find("KG", 1.0).throughput_per_s);
+  // Higher delay lowers everyone's throughput.
+  EXPECT_GT(find("PKG", 0.1).throughput_per_s,
+            find("PKG", 1.0).throughput_per_s * 0.8);
+}
+
+}  // namespace
+}  // namespace simulation
+}  // namespace pkgstream

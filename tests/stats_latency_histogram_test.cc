@@ -1,0 +1,117 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the log-bucketed latency histogram.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "stats/latency_histogram.h"
+
+namespace pkgstream {
+namespace stats {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(LatencyHistogramTest, SingleValue) {
+  LatencyHistogram h;
+  h.Record(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 100.0);
+  // Quantiles return the bucket upper bound: within ~3% of 100.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 100.0, 4.0);
+}
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  LatencyHistogram h(1 << 20, 32);
+  for (uint64_t v = 0; v < 32; ++v) h.Record(v);
+  // Values below sub_buckets are stored exactly.
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(0.999), 31u);
+}
+
+TEST(LatencyHistogramTest, QuantileBoundedRelativeError) {
+  LatencyHistogram h;
+  Rng rng(42);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = 1 + rng.UniformInt(1000000);
+    values.push_back(v);
+    h.Record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    uint64_t exact = values[static_cast<size_t>(q * (values.size() - 1))];
+    uint64_t approx = h.Quantile(q);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(exact),
+                static_cast<double>(exact) * 0.05 + 2)
+        << "q=" << q;
+  }
+}
+
+TEST(LatencyHistogramTest, MeanIsExact) {
+  LatencyHistogram h;
+  uint64_t sum = 0;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Record(v);
+    sum += v;
+  }
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(sum) / 1000.0);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 1000u);
+}
+
+TEST(LatencyHistogramTest, SaturationClamps) {
+  LatencyHistogram h(/*max_value=*/1024, /*sub_buckets=*/16);
+  h.Record(1 << 20);
+  EXPECT_EQ(h.saturated(), 1u);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_LE(h.Quantile(1.0), 1024u + 64u);
+}
+
+TEST(LatencyHistogramTest, MergeCombinesCounts) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  for (int i = 0; i < 100; ++i) a.Record(10);
+  for (int i = 0; i < 100; ++i) b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_NEAR(static_cast<double>(a.P50()), 10.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(a.Quantile(0.99)), 1000.0, 40.0);
+}
+
+TEST(LatencyHistogramTest, ClearResets) {
+  LatencyHistogram h;
+  h.Record(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(LatencyHistogramTest, QuantileClampsArguments) {
+  LatencyHistogram h;
+  h.Record(50);
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, MonotoneQuantiles) {
+  LatencyHistogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) h.Record(1 + rng.UniformInt(100000));
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    uint64_t v = h.Quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace pkgstream

@@ -1,0 +1,224 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the stats module: running stats, imbalance tracking,
+// frequency tables, agreement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/agreement.h"
+#include "stats/frequency.h"
+#include "stats/imbalance.h"
+#include "stats/running_stats.h"
+
+namespace pkgstream {
+namespace stats {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(ImbalanceOfTest, UniformLoadsHaveZeroImbalance) {
+  EXPECT_DOUBLE_EQ(ImbalanceOf({5, 5, 5, 5}), 0.0);
+}
+
+TEST(ImbalanceOfTest, PaperDefinition) {
+  // I = max - avg = 10 - 5.5 = 4.5
+  EXPECT_DOUBLE_EQ(ImbalanceOf({1, 10}), 4.5);
+}
+
+TEST(ImbalanceOfTest, SingleWorker) {
+  EXPECT_DOUBLE_EQ(ImbalanceOf({42}), 0.0);
+}
+
+TEST(ImbalanceTrackerTest, TracksLoads) {
+  ImbalanceTracker t(3, 1);
+  t.OnRoute(0);
+  t.OnRoute(0);
+  t.OnRoute(1);
+  EXPECT_EQ(t.loads()[0], 2u);
+  EXPECT_EQ(t.loads()[1], 1u);
+  EXPECT_EQ(t.loads()[2], 0u);
+  EXPECT_EQ(t.now(), 3u);
+  EXPECT_DOUBLE_EQ(t.CurrentImbalance(), 2.0 - 1.0);
+}
+
+TEST(ImbalanceTrackerTest, SummaryAveragesSampledImbalance) {
+  ImbalanceTracker t(2, 1);  // sample every message
+  t.OnRoute(0);  // loads {1,0}: I = 0.5
+  t.OnRoute(0);  // loads {2,0}: I = 1.0
+  t.OnRoute(1);  // loads {2,1}: I = 0.5
+  t.OnRoute(1);  // loads {2,2}: I = 0.0
+  ImbalanceSummary s = t.Finish();
+  EXPECT_EQ(s.messages, 4u);
+  EXPECT_DOUBLE_EQ(s.avg_imbalance, (0.5 + 1.0 + 0.5 + 0.0) / 4);
+  EXPECT_DOUBLE_EQ(s.final_imbalance, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_imbalance, 1.0);
+  EXPECT_EQ(s.max_load, 2u);
+  EXPECT_EQ(s.min_load, 2u);
+}
+
+TEST(ImbalanceTrackerTest, FractionNormalizesByMessages) {
+  ImbalanceTracker t(2, 1);
+  for (int i = 0; i < 10; ++i) t.OnRoute(0);  // all to one worker
+  ImbalanceSummary s = t.Finish();
+  // I(t) = t/2 at every t, so fraction of average imbalance is
+  // avg_t(t/2) / 10 = (sum t/2)/10/10 = (55/2)/100
+  EXPECT_NEAR(s.avg_fraction, (55.0 / 2.0) / 10.0 / 10.0, 1e-12);
+}
+
+TEST(ImbalanceTrackerTest, SeriesRespectsSampleInterval) {
+  ImbalanceTracker t(2, 5);
+  for (int i = 0; i < 20; ++i) t.OnRoute(i % 2);
+  EXPECT_EQ(t.series().size(), 4u);  // at t = 5, 10, 15, 20
+  EXPECT_EQ(t.series()[0].t, 5u);
+  EXPECT_EQ(t.series()[3].t, 20u);
+}
+
+TEST(ImbalanceTrackerTest, FinishSamplesFinalPartialPoint) {
+  ImbalanceTracker t(2, 8);
+  for (int i = 0; i < 10; ++i) t.OnRoute(0);
+  ImbalanceSummary s = t.Finish();
+  ASSERT_EQ(t.series().size(), 2u);  // t=8 and final t=10
+  EXPECT_EQ(t.series().back().t, 10u);
+  EXPECT_DOUBLE_EQ(s.final_imbalance, 10 - 5.0);
+}
+
+TEST(ImbalanceTrackerTest, FinishIsIdempotent) {
+  ImbalanceTracker t(2, 1);
+  t.OnRoute(0);
+  ImbalanceSummary a = t.Finish();
+  ImbalanceSummary b = t.Finish();
+  EXPECT_DOUBLE_EQ(a.avg_imbalance, b.avg_imbalance);
+  EXPECT_EQ(t.series().size(), 1u);
+}
+
+TEST(FrequencyTableTest, CountsAndTotals) {
+  FrequencyTable f;
+  f.Add(1);
+  f.Add(1);
+  f.Add(2);
+  f.Add(3, 5);
+  EXPECT_EQ(f.total(), 8u);
+  EXPECT_EQ(f.distinct(), 3u);
+  EXPECT_EQ(f.Count(1), 2u);
+  EXPECT_EQ(f.Count(3), 5u);
+  EXPECT_EQ(f.Count(99), 0u);
+}
+
+TEST(FrequencyTableTest, TopKSortedByCountThenKey) {
+  FrequencyTable f;
+  f.Add(10, 3);
+  f.Add(20, 5);
+  f.Add(30, 3);
+  auto top = f.TopK();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].first, 20u);
+  EXPECT_EQ(top[1].first, 10u);  // ties break by smaller key
+  EXPECT_EQ(top[2].first, 30u);
+}
+
+TEST(FrequencyTableTest, TopKLimits) {
+  FrequencyTable f;
+  for (Key k = 0; k < 100; ++k) f.Add(k, k + 1);
+  auto top = f.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].second, 100u);
+  EXPECT_EQ(top[2].second, 98u);
+}
+
+TEST(FrequencyTableTest, HeadProbability) {
+  FrequencyTable f;
+  f.Add(1, 9);
+  f.Add(2, 1);
+  EXPECT_DOUBLE_EQ(f.HeadProbability(), 0.9);
+  FrequencyTable empty;
+  EXPECT_DOUBLE_EQ(empty.HeadProbability(), 0.0);
+}
+
+TEST(AgreementTrackerTest, PerfectAgreement) {
+  AgreementTracker a;
+  for (int i = 0; i < 10; ++i) a.OnMessage(3, 3);
+  EXPECT_DOUBLE_EQ(a.MatchRate(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(), 1.0);
+}
+
+TEST(AgreementTrackerTest, NoAgreement) {
+  AgreementTracker a;
+  for (int i = 0; i < 10; ++i) a.OnMessage(1, 2);
+  EXPECT_DOUBLE_EQ(a.MatchRate(), 0.0);
+  EXPECT_DOUBLE_EQ(a.Jaccard(), 0.0);
+}
+
+TEST(AgreementTrackerTest, JaccardFormula) {
+  AgreementTracker a;
+  a.OnMessage(1, 1);
+  a.OnMessage(1, 2);
+  // matches=1, messages=2: J = 1 / (4 - 1) = 1/3.
+  EXPECT_DOUBLE_EQ(a.Jaccard(), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(a.MatchRate(), 0.5);
+}
+
+TEST(AgreementTrackerTest, EmptyIsFullAgreement) {
+  AgreementTracker a;
+  EXPECT_DOUBLE_EQ(a.Jaccard(), 1.0);
+  EXPECT_DOUBLE_EQ(a.MatchRate(), 1.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace pkgstream

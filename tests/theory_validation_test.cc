@@ -1,0 +1,160 @@
+// Copyright 2026 The pkgstream Authors.
+// Numerical validation of the paper's Section IV analysis. These tests pin
+// the *theory*, not the implementation: each one recreates a construction
+// from the analysis and checks the predicted asymptotic behaviour at
+// finite scale.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "partition/load_estimator.h"
+#include "partition/pkg.h"
+#include "stats/imbalance.h"
+
+namespace pkgstream {
+namespace {
+
+using partition::GlobalLoadEstimator;
+using partition::PartialKeyGrouping;
+using partition::PkgOptions;
+
+std::unique_ptr<PartialKeyGrouping> Greedy2(uint32_t workers, uint64_t seed) {
+  PkgOptions options;
+  options.hash_seed = seed;
+  return std::make_unique<PartialKeyGrouping>(
+      1, workers, std::make_unique<GlobalLoadEstimator>(1, workers), options);
+}
+
+TEST(TheoryTest, HotKeyLowerBound) {
+  // Section IV: "if p1 > 2/n, the expected imbalance at time m will be
+  // lower bounded by (p1/2 - 1/n) m ... irrespective of the placement
+  // scheme". Construct exactly that: one key with p1 = 0.5, n = 10.
+  const uint32_t n = 10;
+  const double p1 = 0.5;
+  const uint64_t m = 200000;
+  auto pkg = Greedy2(n, 42);
+  Rng rng(7);
+  std::vector<uint64_t> loads(n, 0);
+  for (uint64_t i = 0; i < m; ++i) {
+    Key k = rng.Bernoulli(p1) ? 0 : 1 + rng.UniformInt(100000);
+    ++loads[pkg->Route(0, k)];
+  }
+  double bound = (p1 / 2 - 1.0 / n) * static_cast<double>(m);
+  EXPECT_GE(stats::ImbalanceOf(loads), bound * 0.9);  // 10% sampling slack
+}
+
+TEST(TheoryTest, OverpopulatedBinSetForUniformNKeys) {
+  // Section IV: with K = n uniform keys, the candidate-bin set B has
+  // expected size n(1 - 1/e^2) ~ 0.865n, and the imbalance is at least
+  // ~0.156m because the unused bins never receive anything.
+  const uint32_t n = 200;
+  HashFamily family(2, n, 123);
+  std::set<uint32_t> used;
+  for (Key k = 0; k < n; ++k) {
+    used.insert(family.Bucket(0, k));
+    used.insert(family.Bucket(1, k));
+  }
+  double expected = n * (1.0 - 1.0 / (M_E * M_E));
+  EXPECT_NEAR(static_cast<double>(used.size()), expected, 0.08 * n);
+
+  // And the induced imbalance grows linearly: m/|B| - m/n per message.
+  auto pkg = Greedy2(n, 123);
+  Rng rng(3);
+  const uint64_t m = 200000;
+  std::vector<uint64_t> loads(n, 0);
+  for (uint64_t i = 0; i < m; ++i) {
+    ++loads[pkg->Route(0, rng.UniformInt(n))];
+  }
+  double predicted = static_cast<double>(m) / used.size() -
+                     static_cast<double>(m) / n;
+  EXPECT_GT(stats::ImbalanceOf(loads), predicted * 0.5);
+}
+
+TEST(TheoryTest, SqrtMDeviationWithTwoKeysFourBins) {
+  // Section IV's third example: 2 keys of probability 1/2 on n = 4 bins
+  // (with disjoint candidate pairs) — even perfect splitting leaves
+  // Omega(sqrt(m)) imbalance from binomial deviation between the keys.
+  // We place the keys on disjoint pairs by construction (no hashing) and
+  // split each key perfectly, so the only imbalance left is the deviation.
+  Rng rng(17);
+  const uint64_t m = 1000000;
+  const int trials = 10;
+  int trials_with_sqrt_m_imbalance = 0;
+  for (int t = 0; t < trials; ++t) {
+    uint64_t count0 = 0;
+    for (uint64_t i = 0; i < m; ++i) count0 += rng.Bernoulli(0.5) ? 1 : 0;
+    uint64_t count1 = m - count0;
+    // Perfect split: each of key i's two bins holds count_i / 2.
+    std::vector<uint64_t> loads = {count0 / 2, count0 - count0 / 2,
+                                   count1 / 2, count1 - count1 / 2};
+    double imbalance = stats::ImbalanceOf(loads);
+    // Deviation is |Binomial(m,1/2) - m/2| / 2, sd = sqrt(m)/4 = 250 here;
+    // 0.1 sqrt(m) = 100 is exceeded with probability ~0.69 per trial.
+    if (imbalance >= 0.1 * std::sqrt(static_cast<double>(m))) {
+      ++trials_with_sqrt_m_imbalance;
+    }
+    // ... and it never exceeds O(sqrt(m) log) either at this scale.
+    EXPECT_LT(imbalance, 5.0 * std::sqrt(static_cast<double>(m)));
+  }
+  // "with constant probability": a solid fraction of trials shows
+  // Theta(sqrt(m)) imbalance even under perfect splitting.
+  EXPECT_GE(trials_with_sqrt_m_imbalance, 3);
+}
+
+TEST(TheoryTest, TwoChoicesExponentiallyBetterThanOneOnDistinctKeys) {
+  // Azar et al.: throwing n balls (distinct keys) into n bins gives max
+  // load ~ ln n / ln ln n with one choice but ln ln n / ln 2 + O(1) with
+  // two. At n = 10000 the one-choice max should be several times larger.
+  const uint32_t n = 10000;
+  auto d1 = [&] {
+    PkgOptions options;
+    options.num_choices = 1;
+    options.hash_seed = 5;
+    return std::make_unique<PartialKeyGrouping>(
+        1, n, std::make_unique<GlobalLoadEstimator>(1, n), options);
+  }();
+  auto d2 = Greedy2(n, 5);
+  std::vector<uint64_t> l1(n, 0);
+  std::vector<uint64_t> l2(n, 0);
+  for (Key k = 0; k < n; ++k) {
+    ++l1[d1->Route(0, k)];
+    ++l2[d2->Route(0, k)];
+  }
+  uint64_t max1 = *std::max_element(l1.begin(), l1.end());
+  uint64_t max2 = *std::max_element(l2.begin(), l2.end());
+  // Predictions: max1 ~ ln n / ln ln n ~ 4.1; max2 ~ log2 ln n ~ 3.2,
+  // and in practice max2 is 2 or 3 while max1 is 5-8.
+  EXPECT_GE(max1, max2 + 2);
+  EXPECT_LE(max2, 4u);
+}
+
+TEST(TheoryTest, ImbalanceLinearInMBeyondLimitConstantBelowIt) {
+  // Theorem 4.1: below the p1 limit the imbalance is O(m/n) with a small
+  // constant (empirically near-zero growth per message); above the limit
+  // it grows linearly with a visible slope.
+  auto slope = [&](double p1, uint32_t n) {
+    auto pkg = Greedy2(n, 9);
+    Rng rng(11);
+    std::vector<uint64_t> loads(n, 0);
+    const uint64_t m = 100000;
+    double at_half = 0;
+    for (uint64_t i = 0; i < m; ++i) {
+      Key k = rng.Bernoulli(p1) ? 0 : 1 + rng.UniformInt(1 << 20);
+      ++loads[pkg->Route(0, k)];
+      if (i == m / 2) at_half = stats::ImbalanceOf(loads);
+    }
+    return (stats::ImbalanceOf(loads) - at_half) /
+           static_cast<double>(m / 2);
+  };
+  double below = slope(/*p1=*/0.05, /*n=*/10);  // 0.05 << 2/10
+  double above = slope(/*p1=*/0.50, /*n=*/10);  // 0.50 >> 2/10
+  EXPECT_LT(below, 0.01);   // essentially flat
+  EXPECT_GT(above, 0.10);   // clearly linear (predicted slope 0.15)
+}
+
+}  // namespace
+}  // namespace pkgstream

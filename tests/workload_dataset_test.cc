@@ -1,0 +1,216 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for dataset presets, R-MAT, traces and the word synthesizer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "stats/frequency.h"
+#include "workload/dataset.h"
+#include "workload/rmat.h"
+#include "workload/trace.h"
+#include "workload/words.h"
+
+namespace pkgstream {
+namespace workload {
+namespace {
+
+TEST(DatasetTest, AllEightPresetsExist) {
+  EXPECT_EQ(AllDatasets().size(), 8u);
+  std::set<std::string> symbols;
+  for (const auto& spec : AllDatasets()) symbols.insert(spec.symbol);
+  EXPECT_TRUE(symbols.count("WP"));
+  EXPECT_TRUE(symbols.count("TW"));
+  EXPECT_TRUE(symbols.count("CT"));
+  EXPECT_TRUE(symbols.count("LN1"));
+  EXPECT_TRUE(symbols.count("LN2"));
+  EXPECT_TRUE(symbols.count("LJ"));
+  EXPECT_TRUE(symbols.count("SL1"));
+  EXPECT_TRUE(symbols.count("SL2"));
+}
+
+TEST(DatasetTest, PaperStatisticsStored) {
+  const auto& wp = GetDataset(DatasetId::kWP);
+  EXPECT_EQ(wp.paper_messages, 22000000u);
+  EXPECT_EQ(wp.paper_keys, 2900000u);
+  EXPECT_NEAR(wp.paper_p1, 0.0932, 1e-9);
+  const auto& tw = GetDataset(DatasetId::kTW);
+  EXPECT_EQ(tw.paper_messages, 1200000000u);
+}
+
+TEST(DatasetTest, FindBySymbol) {
+  auto r = FindDataset("LN1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->id, DatasetId::kLN1);
+  EXPECT_TRUE(FindDataset("nope").status().IsNotFound());
+}
+
+TEST(DatasetTest, ScalingPreservesRatios) {
+  const auto& wp = GetDataset(DatasetId::kWP);
+  EXPECT_EQ(ScaledMessages(wp, 0.1), 2200000u);
+  EXPECT_EQ(ScaledKeys(wp, 0.1), 290000u);
+  // Floors kick in for tiny scales.
+  EXPECT_GE(ScaledMessages(wp, 1e-9), 1000u);
+  EXPECT_GE(ScaledKeys(wp, 1e-9), 100u);
+}
+
+TEST(DatasetTest, GraphKeysRoundToPowerOfTwo) {
+  const auto& lj = GetDataset(DatasetId::kLJ);
+  uint64_t keys = ScaledKeys(lj, 0.01);
+  EXPECT_EQ(keys & (keys - 1), 0u) << "not a power of two: " << keys;
+}
+
+TEST(DatasetTest, FittedZipfMatchesPaperP1) {
+  const auto& wp = GetDataset(DatasetId::kWP);
+  auto dist = MakeDistribution(wp, 0.01, 42);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR((*dist)->P1(), wp.paper_p1, 2e-4);
+}
+
+TEST(DatasetTest, CtStreamDrifts) {
+  const auto& ct = GetDataset(DatasetId::kCT);
+  auto stream = MakeKeyStream(ct, 1.0, 42);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_NE((*stream)->Name().find("drift"), std::string::npos);
+}
+
+TEST(DatasetTest, GraphDistributionIsError) {
+  const auto& lj = GetDataset(DatasetId::kLJ);
+  EXPECT_TRUE(MakeDistribution(lj, 0.01, 42).status().IsInvalidArgument());
+  EXPECT_TRUE(MakeEdgeStream(GetDataset(DatasetId::kWP), 0.01, 42)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DatasetTest, MeasuredStatsTrackPaper) {
+  // Small scale: the measured p1 should be near the paper value because the
+  // generator is fitted on it (sampling noise allowed).
+  const auto& wp = GetDataset(DatasetId::kWP);
+  auto stream = MakeKeyStream(wp, 0.002, 42);
+  ASSERT_TRUE(stream.ok());
+  DatasetStats stats = MeasureStream(stream->get(), 100000);
+  EXPECT_EQ(stats.messages, 100000u);
+  EXPECT_NEAR(stats.p1, wp.paper_p1, 0.01);
+  EXPECT_GT(stats.distinct_keys, 1000u);
+}
+
+TEST(DatasetTest, StreamsAreSeedDeterministic) {
+  const auto& ln1 = GetDataset(DatasetId::kLN1);
+  auto a = MakeKeyStream(ln1, 0.01, 7);
+  auto b = MakeKeyStream(ln1, 0.01, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ((*a)->Next(), (*b)->Next());
+}
+
+TEST(RmatTest, EdgesWithinVertexSpace) {
+  RmatOptions opt;
+  opt.scale = 10;
+  RmatEdgeStream stream(opt, 42);
+  for (int i = 0; i < 10000; ++i) {
+    Edge e = stream.Next();
+    EXPECT_LT(e.src, 1024u);
+    EXPECT_LT(e.dst, 1024u);
+  }
+  EXPECT_EQ(stream.NumVertices(), 1024u);
+}
+
+TEST(RmatTest, DegreeDistributionIsSkewed) {
+  RmatOptions opt;
+  opt.scale = 12;
+  RmatEdgeStream stream(opt, 42);
+  stats::FrequencyTable in_degree;
+  const int edges = 200000;
+  for (int i = 0; i < edges; ++i) in_degree.Add(stream.Next().dst);
+  // Power-law-ish: the hottest vertex should get far more than the mean.
+  double mean = static_cast<double>(edges) /
+                static_cast<double>(in_degree.distinct());
+  auto top = in_degree.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_GT(static_cast<double>(top[0].second), 30.0 * mean);
+}
+
+TEST(RmatTest, Deterministic) {
+  RmatOptions opt;
+  opt.scale = 8;
+  RmatEdgeStream a(opt, 5);
+  RmatEdgeStream b(opt, 5);
+  for (int i = 0; i < 1000; ++i) {
+    Edge ea = a.Next();
+    Edge eb = b.Next();
+    EXPECT_EQ(ea.src, eb.src);
+    EXPECT_EQ(ea.dst, eb.dst);
+  }
+}
+
+TEST(TraceTest, RoundTrip) {
+  std::string path = testing::TempDir() + "/pkgstream_trace_test.bin";
+  std::vector<Key> keys = {1, 2, 3, 42, 1ULL << 60};
+  ASSERT_TRUE(WriteTrace(path, keys).ok());
+  auto read = ReadTrace(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, keys);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, StreamingReader) {
+  std::string path = testing::TempDir() + "/pkgstream_trace_stream.bin";
+  std::vector<Key> keys;
+  for (Key k = 0; k < 1000; ++k) keys.push_back(k * 3);
+  ASSERT_TRUE(WriteTrace(path, keys).ok());
+  auto reader = TraceKeyStream::Open(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ((*reader)->count(), 1000u);
+  for (Key k = 0; k < 1000; ++k) EXPECT_EQ((*reader)->Next(), k * 3);
+  EXPECT_EQ((*reader)->remaining(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, MissingFileFails) {
+  EXPECT_TRUE(TraceKeyStream::Open("/no/such/file.bin").status().IsIOError());
+  EXPECT_TRUE(ReadTrace("/no/such/file.bin").status().IsIOError());
+}
+
+TEST(TraceTest, CorruptMagicFails) {
+  std::string path = testing::TempDir() + "/pkgstream_trace_bad.bin";
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "NOTATRACE";
+  }
+  EXPECT_TRUE(TraceKeyStream::Open(path).status().IsIOError());
+  std::remove(path.c_str());
+}
+
+TEST(VectorKeyStreamTest, WrapsAround) {
+  VectorKeyStream s({10, 20, 30});
+  EXPECT_EQ(s.Next(), 10u);
+  EXPECT_EQ(s.Next(), 20u);
+  EXPECT_EQ(s.Next(), 30u);
+  EXPECT_TRUE(s.ExhaustedOnce());
+  EXPECT_EQ(s.Next(), 10u);
+  EXPECT_EQ(s.KeySpace(), 31u);
+}
+
+TEST(WordsTest, StopWordsForHotRanks) {
+  EXPECT_EQ(KeyToWord(0), "the");
+  EXPECT_EQ(KeyToWord(1), "of");
+}
+
+TEST(WordsTest, BijectionOnRange) {
+  for (Key k = 0; k < 20000; ++k) {
+    Key back = 0;
+    ASSERT_TRUE(WordToKey(KeyToWord(k), &back)) << "k=" << k;
+    ASSERT_EQ(back, k);
+  }
+}
+
+TEST(WordsTest, UnknownWordsRejected) {
+  Key k;
+  EXPECT_FALSE(WordToKey("", &k));
+  EXPECT_FALSE(WordToKey("XYZ!", &k));
+  EXPECT_FALSE(WordToKey("qqqq1", &k));  // 'q' not in the alphabets
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pkgstream

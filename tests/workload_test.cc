@@ -1,0 +1,208 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the workload generators: alias sampling, Zipf fitting,
+// log-normal weights, static distributions, drift.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/random.h"
+#include "stats/frequency.h"
+#include "workload/alias_sampler.h"
+#include "workload/drift.h"
+#include "workload/lognormal.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace workload {
+namespace {
+
+TEST(AliasSamplerTest, SingleCategory) {
+  AliasSampler s({1.0});
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(s.Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, NormalizesWeights) {
+  AliasSampler s({2.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.Probability(1), 0.75);
+}
+
+TEST(AliasSamplerTest, EmpiricalMatchesWeights) {
+  AliasSampler s({1.0, 2.0, 3.0, 4.0});
+  Rng rng(42);
+  std::vector<uint64_t> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[s.Sample(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    double expected = (i + 1) / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / n, expected, 0.005);
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler s({0.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(s.Sample(&rng), 1u);
+}
+
+TEST(AliasSamplerTest, HighlySkewedWeights) {
+  AliasSampler s({1e9, 1.0});
+  Rng rng(5);
+  int minority = 0;
+  for (int i = 0; i < 100000; ++i) minority += s.Sample(&rng) == 1 ? 1 : 0;
+  EXPECT_LT(minority, 10);
+}
+
+TEST(ZipfTest, WeightsAreDecreasing) {
+  auto w = ZipfWeights(100, 1.0);
+  for (size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+}
+
+TEST(ZipfTest, ExponentZeroIsUniform) {
+  auto w = ZipfWeights(10, 0.0);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+  EXPECT_DOUBLE_EQ(ZipfHeadProbability(10, 0.0), 0.1);
+}
+
+TEST(ZipfTest, HeadProbabilityKnownValue) {
+  // K=3, s=1: H = 1 + 1/2 + 1/3 = 11/6, p1 = 6/11.
+  EXPECT_NEAR(ZipfHeadProbability(3, 1.0), 6.0 / 11.0, 1e-12);
+}
+
+TEST(ZipfTest, FitRecoversTarget) {
+  for (double target : {0.0932, 0.0267, 0.0329}) {
+    auto s = FitZipfExponent(100000, target);
+    ASSERT_TRUE(s.ok());
+    EXPECT_NEAR(ZipfHeadProbability(100000, *s), target, 1e-4);
+  }
+}
+
+TEST(ZipfTest, FitIsMonotoneInTarget) {
+  auto lo = FitZipfExponent(10000, 0.01);
+  auto hi = FitZipfExponent(10000, 0.2);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_LT(*lo, *hi);
+}
+
+TEST(ZipfTest, FitRejectsOutOfRangeTargets) {
+  EXPECT_TRUE(FitZipfExponent(100, 1.5).status().IsOutOfRange());
+  EXPECT_TRUE(FitZipfExponent(100, 0.005).status().IsOutOfRange());
+  EXPECT_TRUE(FitZipfExponent(1, 0.5).status().IsInvalidArgument());
+}
+
+TEST(LogNormalTest, WeightsPositiveAndDeterministic) {
+  auto a = LogNormalWeights(1000, 1.789, 2.366, 42);
+  auto b = LogNormalWeights(1000, 1.789, 2.366, 42);
+  EXPECT_EQ(a, b);
+  for (double w : a) EXPECT_GT(w, 0.0);
+}
+
+TEST(LogNormalTest, HigherSigmaMoreSkew) {
+  auto narrow = LogNormalWeights(10000, 2.0, 0.5, 1);
+  auto wide = LogNormalWeights(10000, 2.0, 2.5, 1);
+  auto skew = [](const std::vector<double>& w) {
+    double total = std::accumulate(w.begin(), w.end(), 0.0);
+    double mx = *std::max_element(w.begin(), w.end());
+    return mx / total;
+  };
+  EXPECT_GT(skew(wide), skew(narrow) * 5);
+}
+
+TEST(StaticDistributionTest, SortsDescendingAndNormalizes) {
+  StaticDistribution d({1.0, 3.0, 2.0}, "test");
+  EXPECT_EQ(d.K(), 3u);
+  EXPECT_DOUBLE_EQ(d.Probability(0), 0.5);
+  EXPECT_DOUBLE_EQ(d.Probability(1), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(d.Probability(2), 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(d.P1(), 0.5);
+}
+
+TEST(StaticDistributionTest, HeadMass) {
+  StaticDistribution d({4.0, 3.0, 2.0, 1.0}, "test");
+  EXPECT_DOUBLE_EQ(d.HeadMass(2), 0.7);
+  EXPECT_DOUBLE_EQ(d.HeadMass(100), 1.0);
+}
+
+TEST(StaticDistributionTest, SamplingMatchesProbabilities) {
+  auto dist = std::make_shared<StaticDistribution>(
+      std::vector<double>{6.0, 3.0, 1.0}, "test");
+  Rng rng(11);
+  std::vector<uint64_t> counts(3, 0);
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[dist->Sample(&rng)];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.6, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.1, 0.01);
+}
+
+TEST(IidKeyStreamTest, DeterministicReplay) {
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(100, 1.0),
+                                                   "zipf");
+  IidKeyStream a(dist, 7);
+  IidKeyStream b(dist, 7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_EQ(a.KeySpace(), 100u);
+}
+
+TEST(DriftingKeyStreamTest, NoDriftBeforePeriod) {
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(50, 1.2),
+                                                   "zipf");
+  DriftOptions opt;
+  opt.period = 1000;
+  DriftingKeyStream stream(dist, opt, 3);
+  for (int i = 0; i < 999; ++i) stream.Next();
+  EXPECT_EQ(stream.drift_events(), 0u);
+  stream.Next();
+  stream.Next();
+  EXPECT_EQ(stream.drift_events(), 1u);
+}
+
+TEST(DriftingKeyStreamTest, DriftChangesHotKeyIdentity) {
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(1000, 2.0),
+                                                   "zipf");
+  DriftOptions opt;
+  opt.period = 100;
+  opt.rotate_top = 4;
+  DriftingKeyStream stream(dist, opt, 5);
+  Key initial_hot = stream.IdentityOfRank(0);
+  EXPECT_EQ(initial_hot, 0u);
+  for (int i = 0; i < 1000; ++i) stream.Next();
+  EXPECT_GE(stream.drift_events(), 9u);
+  // After several rotations the hot identity should have moved.
+  EXPECT_NE(stream.IdentityOfRank(0), initial_hot);
+}
+
+TEST(DriftingKeyStreamTest, KeysStayInSpace) {
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(64, 1.0),
+                                                   "zipf");
+  DriftOptions opt;
+  opt.period = 10;
+  DriftingKeyStream stream(dist, opt, 9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(stream.Next(), 64u);
+}
+
+TEST(DriftingKeyStreamTest, PermutationStaysBijective) {
+  auto dist = std::make_shared<StaticDistribution>(ZipfWeights(100, 1.0),
+                                                   "zipf");
+  DriftOptions opt;
+  opt.period = 50;
+  opt.rotate_top = 10;
+  DriftingKeyStream stream(dist, opt, 13);
+  for (int i = 0; i < 500; ++i) stream.Next();
+  std::vector<bool> seen(100, false);
+  for (uint64_t r = 0; r < 100; ++r) {
+    Key id = stream.IdentityOfRank(r);
+    ASSERT_LT(id, 100u);
+    EXPECT_FALSE(seen[id]) << "duplicate identity " << id;
+    seen[id] = true;
+  }
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pkgstream

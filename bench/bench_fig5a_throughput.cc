@@ -6,7 +6,7 @@
 //
 // Paper shape: PKG ~ SG at every delay, both above KG; everyone declines as
 // the delay grows; KG declines the fastest (hot worker saturates first).
-// Absolute keys/s differ from the paper's VMs (see EXPERIMENTS.md).
+// Absolute keys/s differ from the paper's VMs (see docs/EXPERIMENTS.md).
 
 #include "bench/bench_util.h"
 #include "simulation/experiments.h"

@@ -6,7 +6,7 @@
 //   LN1 10M/16k/14.71 LN2 10M/1.1k/7.01 LJ 69M/4.9M/0.29
 //   SL1 905k/77k/3.28 SL2 948k/82k/3.11
 // Default run uses scaled-down synthetic equivalents; m/K ratios and p1
-// are the preserved quantities (see DESIGN.md §3).
+// are the preserved quantities (see docs/DESIGN.md §3).
 
 #include "bench/bench_util.h"
 #include "simulation/experiments.h"

@@ -19,7 +19,7 @@
 //  * memory (live counters) is sampled periodically across all instances.
 //
 // Absolute keys/s differ from the paper's VMs; the comparative shape is the
-// reproduction target (see EXPERIMENTS.md).
+// reproduction target (see docs/EXPERIMENTS.md).
 
 #ifndef PKGSTREAM_ENGINE_EVENT_SIM_H_
 #define PKGSTREAM_ENGINE_EVENT_SIM_H_

@@ -2,7 +2,7 @@
 // Canned reproductions of every table and figure in the paper's evaluation
 // (Section V). Each function runs the experiment at a configurable scale and
 // returns structured rows; the bench binaries print them in the paper's
-// layout. EXPERIMENTS.md records paper-vs-measured values.
+// layout. docs/EXPERIMENTS.md records paper-vs-measured values.
 
 #ifndef PKGSTREAM_SIMULATION_EXPERIMENTS_H_
 #define PKGSTREAM_SIMULATION_EXPERIMENTS_H_
@@ -180,7 +180,7 @@ struct Fig5bCell {
 
 struct Fig5bOptions {
   /// Simulated aggregation periods; the paper's {10,30,60,300,600}s scale
-  /// down with the cluster speed-up (see EXPERIMENTS.md).
+  /// down with the cluster speed-up (see docs/EXPERIMENTS.md).
   std::vector<double> aggregation_s = {4, 8, 16, 40, 80};
   std::vector<double> paper_equivalent_s = {10, 30, 60, 300, 600};
   double cpu_delay_ms = 0.4;  ///< the paper's KG saturation point

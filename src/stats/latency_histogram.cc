@@ -2,9 +2,9 @@
 
 #include "stats/latency_histogram.h"
 
-#include <bit>
 #include <cmath>
 
+#include "common/bits.h"
 #include "common/logging.h"
 
 namespace pkgstream {
@@ -13,11 +13,11 @@ namespace stats {
 LatencyHistogram::LatencyHistogram(uint64_t max_value, uint32_t sub_buckets)
     : max_value_(max_value), sub_buckets_(sub_buckets) {
   PKGSTREAM_CHECK(max_value >= 2);
-  PKGSTREAM_CHECK(sub_buckets >= 2 && std::has_single_bit(sub_buckets))
+  PKGSTREAM_CHECK(sub_buckets >= 2 && HasSingleBit(sub_buckets))
       << "sub_buckets must be a power of two";
-  sub_bucket_shift_ = static_cast<uint32_t>(std::countr_zero(sub_buckets_));
+  sub_bucket_shift_ = static_cast<uint32_t>(CountrZero(sub_buckets_));
   // One log2 super-bucket per bit of max_value, each with sub_buckets cells.
-  uint32_t super = 64 - static_cast<uint32_t>(std::countl_zero(max_value_));
+  uint32_t super = 64 - static_cast<uint32_t>(CountlZero(max_value_));
   counts_.assign(static_cast<size_t>(super + 1) * sub_buckets_, 0);
 }
 
@@ -26,7 +26,7 @@ uint32_t LatencyHistogram::BucketIndex(uint64_t value) const {
     // Values below sub_buckets_ are exact: one cell per integer.
     return static_cast<uint32_t>(value);
   }
-  uint32_t msb = 63 - static_cast<uint32_t>(std::countl_zero(value));
+  uint32_t msb = 63 - static_cast<uint32_t>(CountlZero(value));
   uint32_t super = msb - sub_bucket_shift_ + 1;
   // Top bit stripped, next `shift` bits select the linear cell.
   uint32_t within = static_cast<uint32_t>(

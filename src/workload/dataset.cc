@@ -3,9 +3,9 @@
 #include "workload/dataset.h"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 
+#include "common/bits.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "stats/frequency.h"
@@ -86,7 +86,7 @@ uint64_t ScaledKeys(const DatasetSpec& spec, double scale) {
   double k = static_cast<double>(spec.paper_keys) * scale;
   uint64_t keys = std::max<uint64_t>(100, static_cast<uint64_t>(k));
   if (spec.kind == DatasetKind::kRmatGraph) {
-    return std::bit_ceil(keys);
+    return BitCeil(keys);
   }
   return keys;
 }
@@ -110,7 +110,7 @@ Result<std::shared_ptr<const StaticDistribution>> MakeDistribution(
       // reproduces the published p1 — and Theorems 4.1/4.2 make p1 the
       // quantity that governs balance. We therefore pin the head: the
       // largest weight is rescaled so p1 matches the paper, keeping the
-      // log-normal body and tail untouched (see DESIGN.md §3).
+      // log-normal body and tail untouched (see docs/DESIGN.md §3).
       std::vector<double> weights = LogNormalWeights(
           keys, spec.lognormal_mu, spec.lognormal_sigma,
           HashCombine(seed, 0x1090));
@@ -143,7 +143,7 @@ namespace {
 RmatOptions FittedRmatOptions(const DatasetSpec& spec, double scale) {
   RmatOptions opt;
   opt.scale =
-      static_cast<uint32_t>(std::countr_zero(ScaledKeys(spec, scale)));
+      static_cast<uint32_t>(CountrZero(ScaledKeys(spec, scale)));
   opt.edges = ScaledMessages(spec, scale);
   double ac = std::pow(spec.paper_p1, 1.0 / opt.scale);
   opt.a = 0.75 * ac;

@@ -10,7 +10,7 @@
 //
 // A scale factor in (0, 1] shrinks m and K together (m/K and p1 are
 // preserved) so experiments finish on one machine; every bench prints the
-// scale it used. See DESIGN.md section 3 for the substitution rationale.
+// scale it used. See docs/DESIGN.md section 3 for the substitution rationale.
 
 #ifndef PKGSTREAM_WORKLOAD_DATASET_H_
 #define PKGSTREAM_WORKLOAD_DATASET_H_

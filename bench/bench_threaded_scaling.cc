@@ -1,0 +1,373 @@
+// Copyright 2026 The pkgstream Authors.
+// ThreadedRuntime scaling sweep (ROADMAP "threaded-runtime scaling"): how
+// fast can the in-process DSPE route messages as parallelism grows?
+//
+// The paper's premise — and its follow-ups ("When Two Choices Are not
+// Enough", Nasir et al. 2015) — is that each source routes independently
+// from purely local state, so the routing hot path should scale linearly
+// with sources. This bench measures exactly that, end to end (inject ->
+// partition -> queue -> drain), for two implementations of the hot path:
+//
+//   mutex      the pre-PR design, recreated here verbatim: one partitioner
+//              per edge shared by all sources behind a std::mutex, plus a
+//              mutex+condvar MPMC inbox per consumer;
+//   lock-free  ThreadedRuntime as built today: a partitioner replica per
+//              source (no lock) and one bounded lock-free SPSC ring per
+//              producer->consumer pair with batched pops.
+//
+// Keeping the old design alive inside the bench means the speedup is
+// *measured on this host at run time*, not asserted from a recorded
+// number. Reference numbers live in bench/baselines/threaded_scaling.json
+// (written with --json=PATH); --check exits non-zero unless the lock-free
+// path is >= 2x the mutex path at parallelism >= 8. Run --check at the
+// default scale or larger: --quick runs are tens of milliseconds per
+// cell, short enough for scheduler noise to swamp the ratio.
+//
+// Sweep: parallelism P in {1,2,4,8,16} (P sources x P workers) x
+// technique in {KG, SG, PKG-L}.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "engine/threaded_runtime.h"
+#include "partition/factory.h"
+
+namespace pkgstream {
+namespace {
+
+/// Decorrelated synthetic key for message `i` of source `s`.
+Key BenchKey(uint32_t s, uint64_t i, uint64_t seed) {
+  return Fmix64(seed ^ (static_cast<uint64_t>(s) << 48) ^ i) % 4096;
+}
+
+// ---------------------------------------------------------------------------
+// The pre-PR hot path, recreated: shared partitioner behind a per-edge
+// mutex, mutex+condvar MPMC inboxes, per-item pops. Only the machinery on
+// the message path is modelled (operators reduced to a checksum), so both
+// runtimes do identical per-message "work" and the comparison isolates
+// partitioning + queueing.
+// ---------------------------------------------------------------------------
+
+class LegacyMutexPipeline {
+ public:
+  LegacyMutexPipeline(const partition::PartitionerConfig& config,
+                      uint32_t sources, uint32_t workers,
+                      size_t queue_capacity)
+      : sources_(sources), queue_capacity_(queue_capacity) {
+    auto p = partition::MakePartitioner(config);
+    PKGSTREAM_CHECK_OK(p.status());
+    partitioner_ = std::move(*p);
+    inboxes_.reserve(workers);
+    processed_ = std::vector<std::atomic<uint64_t>>(workers);
+    sums_ = std::vector<std::atomic<uint64_t>>(workers);
+    for (uint32_t w = 0; w < workers; ++w) {
+      inboxes_.push_back(std::make_unique<Inbox>());
+      processed_[w].store(0, std::memory_order_relaxed);
+      sums_[w].store(0, std::memory_order_relaxed);
+    }
+    for (uint32_t w = 0; w < workers; ++w) {
+      threads_.emplace_back([this, w] { RunConsumer(w); });
+    }
+  }
+
+  ~LegacyMutexPipeline() { Finish(); }
+
+  void Inject(SourceId source, Key key) {
+    WorkerId w;
+    {
+      std::lock_guard<std::mutex> lock(edge_mutex_);
+      w = partitioner_->Route(source, key);
+    }
+    inboxes_[w]->Push(Item{key, false}, queue_capacity_);
+  }
+
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    for (uint32_t s = 0; s < sources_; ++s) {
+      for (auto& inbox : inboxes_) {
+        inbox->Push(Item{0, true}, queue_capacity_);
+      }
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  uint64_t TotalProcessed() const {
+    uint64_t total = 0;
+    for (const auto& c : processed_) {
+      total += c.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  struct Item {
+    Key key = 0;
+    bool eos = false;
+  };
+
+  class Inbox {
+   public:
+    void Push(Item item, size_t capacity) {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return items_.size() < capacity; });
+      items_.push_back(item);
+      not_empty_.notify_one();
+    }
+
+    Item Pop() {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return !items_.empty(); });
+      Item item = items_.front();
+      items_.pop_front();
+      not_full_.notify_one();
+      return item;
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<Item> items_;
+  };
+
+  void RunConsumer(uint32_t w) {
+    uint32_t eos_seen = 0;
+    uint64_t sum = 0;
+    while (eos_seen < sources_) {
+      Item item = inboxes_[w]->Pop();
+      if (item.eos) {
+        ++eos_seen;
+        continue;
+      }
+      processed_[w].fetch_add(1, std::memory_order_relaxed);
+      sum += item.key;
+    }
+    sums_[w].store(sum, std::memory_order_relaxed);
+  }
+
+  uint32_t sources_;
+  size_t queue_capacity_;
+  partition::PartitionerPtr partitioner_;
+  std::mutex edge_mutex_;
+  std::vector<std::unique_ptr<Inbox>> inboxes_;
+  std::vector<std::atomic<uint64_t>> processed_;
+  std::vector<std::atomic<uint64_t>> sums_;
+  std::vector<std::thread> threads_;
+  bool finished_ = false;
+};
+
+/// Checksum sink for the ThreadedRuntime side: the same per-message work
+/// the legacy consumers do.
+class ChecksumSink final : public engine::Operator {
+ public:
+  void Process(const engine::Message& msg, engine::Emitter*) override {
+    sum_ += msg.key;
+  }
+  uint64_t MemoryCounters() const override { return 0; }
+
+ private:
+  uint64_t sum_ = 0;
+};
+
+struct RunResult {
+  double msgs_per_sec = 0;
+  uint64_t processed = 0;
+};
+
+RunResult RunLegacy(partition::Technique technique, uint32_t parallelism,
+                    uint64_t messages, uint64_t seed) {
+  partition::PartitionerConfig config;
+  config.technique = technique;
+  config.sources = parallelism;
+  config.workers = parallelism;
+  config.seed = seed;
+  LegacyMutexPipeline pipeline(config, parallelism, parallelism,
+                               /*queue_capacity=*/1024);
+  const uint64_t per_source = messages / parallelism;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> injectors;
+  for (uint32_t s = 0; s < parallelism; ++s) {
+    injectors.emplace_back([&, s] {
+      for (uint64_t i = 0; i < per_source; ++i) {
+        pipeline.Inject(s, BenchKey(s, i, seed));
+      }
+    });
+  }
+  for (auto& t : injectors) t.join();
+  pipeline.Finish();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  RunResult r;
+  r.processed = pipeline.TotalProcessed();
+  r.msgs_per_sec = static_cast<double>(r.processed) / elapsed.count();
+  return r;
+}
+
+RunResult RunLockFree(partition::Technique technique, uint32_t parallelism,
+                      uint64_t messages, uint64_t seed) {
+  engine::Topology topology;
+  engine::NodeId spout = topology.AddSpout("src", parallelism);
+  engine::NodeId sink = topology.AddOperator(
+      "sink", [](uint32_t) { return std::make_unique<ChecksumSink>(); },
+      parallelism);
+  PKGSTREAM_CHECK_OK(topology.Connect(spout, sink, technique, seed));
+  engine::ThreadedRuntimeOptions options;
+  options.queue_capacity = 1024;
+  auto rt = engine::ThreadedRuntime::Create(&topology, options);
+  PKGSTREAM_CHECK_OK(rt.status());
+  const uint64_t per_source = messages / parallelism;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> injectors;
+  for (uint32_t s = 0; s < parallelism; ++s) {
+    injectors.emplace_back([&, s] {
+      engine::Message m;
+      for (uint64_t i = 0; i < per_source; ++i) {
+        m.key = BenchKey(s, i, seed);
+        (*rt)->Inject(spout, s, m);
+      }
+    });
+  }
+  for (auto& t : injectors) t.join();
+  (*rt)->Finish();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  RunResult r;
+  uint64_t processed = 0;
+  for (uint64_t l : (*rt)->Processed(sink)) processed += l;
+  r.processed = processed;
+  r.msgs_per_sec = static_cast<double>(processed) / elapsed.count();
+  return r;
+}
+
+struct Row {
+  uint32_t parallelism;
+  std::string technique;
+  double mutex_mps;
+  double lockfree_mps;
+  double speedup;
+};
+
+std::string FormatMps(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  return buf;
+}
+
+std::string FormatSpeedup(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", v);
+  return buf;
+}
+
+}  // namespace
+}  // namespace pkgstream
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  Flags flags;
+  Status s = Flags::Parse(argc, argv, &flags);
+  if (!s.ok()) {
+    std::cerr << "flag error: " << s << "\n";
+    return 2;
+  }
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const std::string json_path = flags.GetString("json", "");
+  const bool check = flags.GetBool("check", false);
+  bench::PrintBanner(
+      "ThreadedRuntime scaling: lock-free inboxes + per-source replicas",
+      "ROADMAP 'threaded-runtime scaling'; Nasir et al. 2015 follow-up "
+      "'When Two Choices Are not Enough' (cheap routing at scale)",
+      args);
+
+  uint64_t messages = args.quick ? 40000 : 400000;
+  if (args.full) messages = 4000000;
+  messages = static_cast<uint64_t>(
+      flags.GetInt("messages", static_cast<int64_t>(messages)));
+  std::vector<uint32_t> parallelisms =
+      args.quick ? std::vector<uint32_t>{1, 4, 8}
+                 : std::vector<uint32_t>{1, 2, 4, 8, 16};
+  const std::vector<std::pair<partition::Technique, std::string>> techniques =
+      {{partition::Technique::kHashing, "KG"},
+       {partition::Technique::kShuffle, "SG"},
+       {partition::Technique::kPkgLocal, "PKG-L"}};
+
+  std::cout << "hardware_concurrency="
+            << std::thread::hardware_concurrency()
+            << "  messages_per_config=" << messages << "\n\n";
+
+  Table table({"P (SxW)", "technique", "mutex msg/s", "lock-free msg/s",
+               "speedup"});
+  std::vector<Row> rows;
+  for (uint32_t p : parallelisms) {
+    for (const auto& [technique, name] : techniques) {
+      RunResult mutex_result = RunLegacy(technique, p, messages, args.seed);
+      RunResult lockfree_result =
+          RunLockFree(technique, p, messages, args.seed);
+      PKGSTREAM_CHECK(mutex_result.processed == lockfree_result.processed)
+          << "runtimes routed different message counts";
+      Row row;
+      row.parallelism = p;
+      row.technique = name;
+      row.mutex_mps = mutex_result.msgs_per_sec;
+      row.lockfree_mps = lockfree_result.msgs_per_sec;
+      row.speedup = lockfree_result.msgs_per_sec / mutex_result.msgs_per_sec;
+      rows.push_back(row);
+      table.AddRow({std::to_string(p), name, FormatMps(row.mutex_mps),
+                    FormatMps(row.lockfree_mps),
+                    FormatSpeedup(row.speedup)});
+    }
+  }
+  bench::FinishTable(table, args);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n";
+    out << "  \"bench\": \"bench_threaded_scaling\",\n";
+    out << "  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    out << "  \"messages_per_config\": " << messages << ",\n";
+    out << "  \"seed\": " << args.seed << ",\n";
+    out << "  \"results\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      out << "    {\"parallelism\": " << r.parallelism
+          << ", \"technique\": \"" << r.technique
+          << "\", \"mutex_msgs_per_sec\": " << static_cast<uint64_t>(r.mutex_mps)
+          << ", \"lockfree_msgs_per_sec\": "
+          << static_cast<uint64_t>(r.lockfree_mps) << ", \"speedup\": "
+          << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "(json written to " << json_path << ")\n";
+  }
+
+  if (check) {
+    bool ok = true;
+    for (const Row& r : rows) {
+      if (r.parallelism >= 8 && r.speedup < 2.0) {
+        std::cerr << "CHECK FAILED: P=" << r.parallelism << " "
+                  << r.technique << " speedup " << r.speedup << " < 2.0\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
+    std::cout << "CHECK OK: lock-free >= 2x mutex at parallelism >= 8\n";
+  }
+  return 0;
+}

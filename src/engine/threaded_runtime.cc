@@ -3,12 +3,13 @@
 #include "engine/threaded_runtime.h"
 
 #include "common/logging.h"
+#include "partition/factory.h"
 
 namespace pkgstream {
 namespace engine {
 
 /// Emitter bound to one instance: routes synchronously on the caller
-/// (executor) thread. Blocking on a full downstream inbox provides
+/// (executor) thread. Blocking on a full downstream ring provides
 /// backpressure; DAG structure guarantees no cyclic wait.
 class ThreadedRuntime::InstanceEmitter final : public Emitter {
  public:
@@ -51,19 +52,44 @@ ThreadedRuntime::ThreadedRuntime(const Topology* topology,
 
 Status ThreadedRuntime::Init() {
   const auto& nodes = topology_->nodes();
-  for (const auto& edge : topology_->edges()) {
-    PKGSTREAM_ASSIGN_OR_RETURN(auto p,
-                               partition::MakePartitioner(edge.partitioner));
-    edge_partitioners_.push_back(std::move(p));
-    edge_mutexes_.push_back(std::make_unique<std::mutex>());
+  const auto& edges = topology_->edges();
+
+  // Edge plumbing: one partitioner replica per upstream instance, and a
+  // dense producer-ring numbering per downstream node (inbound edges in
+  // topology order, instances in index order within each edge).
+  edge_replicas_.resize(edges.size());
+  edge_producer_base_.resize(edges.size());
+  out_edges_.resize(nodes.size());
+  upstream_counts_.assign(nodes.size(), 0);
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    const uint32_t upstream = nodes[edges[e].from.index].parallelism;
+    PKGSTREAM_ASSIGN_OR_RETURN(
+        edge_replicas_[e],
+        partition::MakePartitionerReplicas(edges[e].partitioner, upstream));
+    edge_producer_base_[e] = upstream_counts_[edges[e].to.index];
+    upstream_counts_[edges[e].to.index] += upstream;
+    out_edges_[edges[e].from.index].push_back(e);
   }
+
   ops_.resize(nodes.size());
-  inboxes_.resize(nodes.size());
-  processed_ = std::vector<std::vector<std::atomic<uint64_t>>>(nodes.size());
+  mailboxes_.resize(nodes.size());
+  inject_mutexes_.resize(nodes.size());
+  processed_base_.resize(nodes.size());
+  size_t total_instances = 0;
   for (uint32_t n = 0; n < nodes.size(); ++n) {
-    processed_[n] = std::vector<std::atomic<uint64_t>>(nodes[n].parallelism);
-    for (auto& c : processed_[n]) c.store(0, std::memory_order_relaxed);
-    if (nodes[n].is_spout) continue;
+    processed_base_[n] = total_instances;
+    total_instances += nodes[n].parallelism;
+  }
+  processed_ =
+      std::vector<CacheLinePadded<std::atomic<uint64_t>>>(total_instances);
+
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout) {
+      for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+        inject_mutexes_[n].push_back(std::make_unique<std::mutex>());
+      }
+      continue;
+    }
     for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
       auto op = nodes[n].factory(i);
       PKGSTREAM_CHECK(op != nullptr);
@@ -73,7 +99,8 @@ Status ThreadedRuntime::Init() {
       ctx.parallelism = nodes[n].parallelism;
       op->Open(ctx);
       ops_[n].push_back(std::move(op));
-      inboxes_[n].push_back(std::make_unique<Inbox>(options_.queue_capacity));
+      mailboxes_[n].push_back(std::make_unique<Mailbox>(
+          upstream_counts_[n], options_.queue_capacity));
     }
   }
   // Threads last: everything they touch is in place.
@@ -83,104 +110,126 @@ Status ThreadedRuntime::Init() {
       threads_.emplace_back([this, n, i] { RunInstance(n, i); });
     }
   }
+  started_ = true;
   return Status::OK();
 }
 
 ThreadedRuntime::~ThreadedRuntime() { Finish(); }
 
-uint32_t ThreadedRuntime::UpstreamInstances(uint32_t node) const {
-  uint32_t total = 0;
-  for (const auto& edge : topology_->edges()) {
-    if (edge.to.index == node) {
-      total += topology_->nodes()[edge.from.index].parallelism;
-    }
-  }
-  return total;
-}
-
 void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
   const uint32_t expected_eos = UpstreamInstances(node);
   uint32_t eos_seen = 0;
   InstanceEmitter emitter(this, node, instance);
-  Inbox& inbox = *inboxes_[node][instance];
+  Mailbox& mailbox = *mailboxes_[node][instance];
+  Operator* op = ops_[node][instance].get();
+  std::atomic<uint64_t>& processed =
+      processed_[processed_base_[node] + instance].value;
+  Item batch[kPopBatch];
   while (eos_seen < expected_eos) {
-    Item item = inbox.Pop();
-    if (item.eos) {
-      ++eos_seen;
-      continue;
+    const size_t n = mailbox.PopBatch(batch, kPopBatch);
+    uint64_t handled = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (batch[i].eos) {
+        ++eos_seen;
+        continue;
+      }
+      ++handled;
+      op->Process(batch[i].msg, &emitter);
     }
-    processed_[node][instance].fetch_add(1, std::memory_order_relaxed);
-    ops_[node][instance]->Process(item.msg, &emitter);
+    if (handled > 0) processed.fetch_add(handled, std::memory_order_relaxed);
   }
-  ops_[node][instance]->Close(&emitter);
+  op->Close(&emitter);
   SendEos(node, instance);
 }
 
 void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
                                 const Message& msg) {
   const auto& edges = topology_->edges();
-  for (uint32_t e = 0; e < edges.size(); ++e) {
-    if (edges[e].from.index != node) continue;
-    WorkerId w;
-    {
-      std::lock_guard<std::mutex> lock(*edge_mutexes_[e]);
-      w = edge_partitioners_[e]->Route(instance, msg.key);
-    }
+  for (uint32_t e : out_edges_[node]) {
+    const WorkerId w = edge_replicas_[e][instance]->Route(instance, msg.key);
     Item item;
     item.msg = msg;
-    inboxes_[edges[e].to.index][w]->Push(std::move(item));
+    mailboxes_[edges[e].to.index][w]->Push(
+        edge_producer_base_[e] + instance, std::move(item));
   }
 }
 
 void ThreadedRuntime::SendEos(uint32_t node, uint32_t instance) {
-  (void)instance;
   const auto& edges = topology_->edges();
-  for (uint32_t e = 0; e < edges.size(); ++e) {
-    if (edges[e].from.index != node) continue;
+  for (uint32_t e : out_edges_[node]) {
     const uint32_t downstream = edges[e].to.index;
     for (uint32_t w = 0; w < topology_->nodes()[downstream].parallelism;
          ++w) {
       Item item;
       item.eos = true;
-      inboxes_[downstream][w]->Push(std::move(item));
+      mailboxes_[downstream][w]->Push(edge_producer_base_[e] + instance,
+                                      std::move(item));
     }
   }
 }
 
 void ThreadedRuntime::Inject(NodeId spout, SourceId source,
                              const Message& msg) {
-  PKGSTREAM_CHECK(!finished_) << "Inject after Finish";
+  PKGSTREAM_CHECK(!finished_.load(std::memory_order_acquire))
+      << "Inject after Finish";
   PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
   PKGSTREAM_CHECK(topology_->nodes()[spout.index].is_spout);
-  processed_[spout.index][source].fetch_add(1, std::memory_order_relaxed);
+  PKGSTREAM_CHECK(source < topology_->nodes()[spout.index].parallelism);
+  // Each spout instance is one logical producer: its partitioner replicas
+  // and rings are single-threaded state, so concurrent Inject calls for
+  // the same source serialize here (uncontended in the canonical
+  // one-thread-per-source arrangement).
+  std::lock_guard<std::mutex> lock(*inject_mutexes_[spout.index][source]);
+  // Re-validate under the lock: Finish() may have won the race since the
+  // unlocked check above and already sent this source's EOS, in which
+  // case pushing would silently lose the message (or hang on a full ring
+  // nobody drains). Failing loudly keeps the must-not-race contract
+  // checkable.
+  PKGSTREAM_CHECK(!finished_.load(std::memory_order_acquire))
+      << "Inject raced with Finish";
+  processed_[processed_base_[spout.index] + source].value.fetch_add(
+      1, std::memory_order_relaxed);
   RouteFrom(spout.index, source, msg);
 }
 
 void ThreadedRuntime::Finish() {
-  if (finished_) return;
-  finished_ = true;
-  // EOS from every spout instance; operators cascade EOS as they close.
-  const auto& nodes = topology_->nodes();
-  for (uint32_t n = 0; n < nodes.size(); ++n) {
-    if (!nodes[n].is_spout) continue;
-    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) SendEos(n, i);
-  }
-  for (auto& t : threads_) {
-    if (t.joinable()) t.join();
-  }
+  std::call_once(finish_once_, [this] {
+    finished_.store(true, std::memory_order_release);
+    // A failed Init() leaves no threads and possibly no mailboxes or
+    // inject mutexes; there is nothing to drain.
+    if (!started_) return;
+    // EOS from every spout instance; operators cascade EOS as they close.
+    const auto& nodes = topology_->nodes();
+    for (uint32_t n = 0; n < nodes.size(); ++n) {
+      if (!nodes[n].is_spout) continue;
+      for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+        std::lock_guard<std::mutex> lock(*inject_mutexes_[n][i]);
+        SendEos(n, i);
+      }
+    }
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    drained_.store(true, std::memory_order_release);
+  });
 }
 
 std::vector<uint64_t> ThreadedRuntime::Processed(NodeId node) const {
-  PKGSTREAM_CHECK(node.index < processed_.size());
+  PKGSTREAM_CHECK(node.index < processed_base_.size());
   std::vector<uint64_t> out;
-  for (const auto& c : processed_[node.index]) {
-    out.push_back(c.load(std::memory_order_relaxed));
+  const uint32_t parallelism = topology_->nodes()[node.index].parallelism;
+  for (uint32_t i = 0; i < parallelism; ++i) {
+    out.push_back(processed_[processed_base_[node.index] + i].value.load(
+        std::memory_order_relaxed));
   }
   return out;
 }
 
 Operator* ThreadedRuntime::GetOperator(NodeId node, uint32_t instance) {
-  PKGSTREAM_CHECK(finished_) << "operators are live until Finish()";
+  // Gate on drained_, not finished_: finished_ goes up at the *start* of
+  // shutdown, while executor threads may still be mutating operators.
+  PKGSTREAM_CHECK(drained_.load(std::memory_order_acquire))
+      << "operators are live until Finish() completes";
   PKGSTREAM_CHECK(node.index < ops_.size());
   PKGSTREAM_CHECK(instance < ops_[node.index].size());
   return ops_[node.index][instance].get();

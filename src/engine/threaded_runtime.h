@@ -1,19 +1,29 @@
 // Copyright 2026 The pkgstream Authors.
 // ThreadedRuntime: the same operator API as LogicalRuntime, executed on
-// real threads — one executor thread per operator instance with a bounded
-// inbox, exactly Storm's executor model in-process. The deterministic
+// real threads — one executor thread per operator instance with bounded
+// inboxes, exactly Storm's executor model in-process. The deterministic
 // LogicalRuntime defines the reference semantics; this runtime exists to
 // demonstrate (and test) that the library's results do not depend on the
 // single-threaded scheduler: per-key totals, flushed aggregates and
 // routing invariants must come out identical under true concurrency.
 //
-// Concurrency model:
-//  * every operator instance runs on its own thread and drains a bounded
-//    MPMC inbox (mutex + condvar; bounded for backpressure);
-//  * edge partitioners are shared by the emitting instances of the
-//    upstream PE, so each edge's Route() is serialized by a per-edge
-//    mutex (the in-process stand-in for per-source partitioner replicas;
-//    LoadEstimator state stays consistent);
+// Concurrency model (the paper's distributed deployment, at memory speed):
+//  * every operator instance runs on its own thread and drains a Mailbox:
+//    one bounded lock-free SPSC ring per upstream producer (see
+//    spsc_ring.h), popped in batches to amortize synchronization. A full
+//    ring blocks its producer (backpressure); DAG structure guarantees the
+//    consumer is draining, so no cyclic wait;
+//  * every upstream *instance* owns its own partitioner replica
+//    (Partitioner::Clone via MakePartitionerReplicas), so routing takes no
+//    lock and PKG/local-estimator state is genuinely per-source — the
+//    paper's setting, where each source balances its own sub-stream from
+//    local information only. Coordination-free techniques (KG, SG, PKG-L)
+//    behave exactly as a single shared instance would; techniques that
+//    assume cross-source shared state (PoTC, On-Greedy, rebalancing, the
+//    G oracle) keep per-replica copies — the honest distributed
+//    approximation (LogicalRuntime remains their coordinated reference);
+//  * per-instance processed counters live in cache-line-padded cells, so
+//    16 executors incrementing them share no lines;
 //  * shutdown is EOS-based: Finish() sends one EOS token per upstream
 //    instance down every edge; an instance Close()s after its last
 //    upstream EOS arrives, forwards EOS, and its thread exits. This is
@@ -28,13 +38,13 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "engine/spsc_ring.h"
 #include "engine/topology.h"
 #include "partition/partitioner.h"
 
@@ -43,28 +53,31 @@ namespace engine {
 
 /// \brief Options for the threaded executor.
 struct ThreadedRuntimeOptions {
-  /// Inbox capacity per instance; senders block when it is full
-  /// (backpressure). Must be >= 1.
+  /// Ring capacity per producer->consumer pair, rounded up to a power of
+  /// two; a producer blocks when its ring is full (backpressure). Must be
+  /// >= 1.
   size_t queue_capacity = 1024;
 };
 
 /// \brief Multi-threaded executor for a Topology (no ticks; see above).
 class ThreadedRuntime {
  public:
-  /// Instantiates operators, partitioners and threads; threads start
-  /// immediately and idle on their inboxes.
+  /// Instantiates operators, per-source partitioner replicas and threads;
+  /// threads start immediately and idle on their mailboxes.
   static Result<std::unique_ptr<ThreadedRuntime>> Create(
       const Topology* topology, ThreadedRuntimeOptions options = {});
 
   ~ThreadedRuntime();
 
   /// Thread-safe: injects one message at `spout` instance `source`. May
-  /// block when a downstream inbox is full. Must not be called after
-  /// Finish().
+  /// block when a downstream ring is full. Concurrent calls for the same
+  /// source instance are serialized internally (each source is a single
+  /// logical producer). Must not be called after Finish().
   void Inject(NodeId spout, SourceId source, const Message& msg);
 
   /// Sends EOS down every spout edge, waits for all instance threads to
-  /// drain, Close() and exit. Idempotent.
+  /// drain, Close() and exit. Idempotent and safe to call concurrently:
+  /// every caller returns only after shutdown has completed.
   void Finish();
 
   /// Valid after Finish(): messages processed per instance of `node`.
@@ -76,38 +89,100 @@ class ThreadedRuntime {
  private:
   ThreadedRuntime(const Topology* topology, ThreadedRuntimeOptions options);
 
-  /// Inbox item: a data message or an EOS token from one upstream instance.
+  /// Ring slot: a data message or an EOS token from one upstream instance.
   struct Item {
     Message msg;
     bool eos = false;
   };
 
-  class Inbox {
-   public:
-    explicit Inbox(size_t capacity) : capacity_(capacity) {}
+  /// Items popped per consumer round; amortizes ring synchronization and
+  /// wakeups over up to this many messages.
+  static constexpr size_t kPopBatch = 64;
 
-    void Push(Item item) {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_full_.wait(lock, [&] { return items_.size() < capacity_; });
-      items_.push_back(std::move(item));
-      not_empty_.notify_one();
+  /// \brief One operator instance's inbox: a bounded SPSC ring per
+  /// upstream producer, drained round-robin in batches.
+  ///
+  /// Producers push wait-free while their ring has space and spin/yield
+  /// while it is full. The consumer parks on a condition variable only
+  /// after all rings stayed empty through a bounded spin; producers take
+  /// the wake mutex only when the parked flag is visible, so steady-state
+  /// traffic pays no lock and no syscall. The park uses a bounded wait:
+  /// a lost wakeup in the flag race costs bounded latency, never a hang.
+  class Mailbox {
+   public:
+    Mailbox(uint32_t producers, size_t capacity_per_producer) {
+      rings_.reserve(producers);
+      for (uint32_t p = 0; p < producers; ++p) {
+        rings_.push_back(
+            std::make_unique<SpscRing<Item>>(capacity_per_producer));
+      }
     }
 
-    Item Pop() {
-      std::unique_lock<std::mutex> lock(mu_);
-      not_empty_.wait(lock, [&] { return !items_.empty(); });
-      Item item = std::move(items_.front());
-      items_.pop_front();
-      not_full_.notify_one();
-      return item;
+    /// Producer side; only producer `producer`'s owning thread may call.
+    /// Blocks (spin, then yield, then sleep) while the ring is full.
+    void Push(uint32_t producer, Item item) {
+      SpscRing<Item>& ring = *rings_[producer];
+      Backoff backoff;
+      while (!ring.TryPush(std::move(item))) backoff.Pause();
+      MaybeWakeConsumer();
+    }
+
+    /// Consumer side: blocks until at least one item is available, then
+    /// pops up to `max_n` items (all from one ring) into `out`.
+    size_t PopBatch(Item* out, size_t max_n) {
+      for (;;) {
+        for (uint32_t spin = 0; spin < kConsumerSpins; ++spin) {
+          const size_t got = TryPopAnyRing(out, max_n);
+          if (got > 0) return got;
+          if (spin < kConsumerRelaxSpins) {
+            Backoff::CpuRelax();
+          } else {
+            std::this_thread::yield();
+          }
+        }
+        parked_.store(true, std::memory_order_seq_cst);
+        const size_t got = TryPopAnyRing(out, max_n);
+        if (got > 0) {
+          parked_.store(false, std::memory_order_relaxed);
+          return got;
+        }
+        {
+          std::unique_lock<std::mutex> lock(wake_mu_);
+          wake_cv_.wait_for(lock, std::chrono::microseconds(200));
+        }
+        parked_.store(false, std::memory_order_relaxed);
+      }
     }
 
    private:
-    std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
-    std::deque<Item> items_;
-    size_t capacity_;
+    static constexpr uint32_t kConsumerRelaxSpins = 8;
+    static constexpr uint32_t kConsumerSpins = 32;
+
+    size_t TryPopAnyRing(Item* out, size_t max_n) {
+      const size_t n = rings_.size();
+      for (size_t i = 0; i < n; ++i) {
+        if (cursor_ >= n) cursor_ = 0;
+        const size_t got = rings_[cursor_]->TryPopBatch(out, max_n);
+        ++cursor_;
+        if (got > 0) return got;
+      }
+      return 0;
+    }
+
+    void MaybeWakeConsumer() {
+      if (parked_.load(std::memory_order_seq_cst)) {
+        // Empty critical section: orders the notify after the consumer's
+        // decision to wait (it holds wake_mu_ while deciding).
+        { std::lock_guard<std::mutex> lock(wake_mu_); }
+        wake_cv_.notify_one();
+      }
+    }
+
+    std::vector<std::unique_ptr<SpscRing<Item>>> rings_;
+    size_t cursor_ = 0;  // consumer-local round-robin position
+    std::atomic<bool> parked_{false};
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
   };
 
   class InstanceEmitter;
@@ -118,18 +193,43 @@ class ThreadedRuntime {
   void RouteFrom(uint32_t node, uint32_t instance, const Message& msg);
   /// Sends one EOS token down every outbound edge of (node, instance).
   void SendEos(uint32_t node, uint32_t instance);
-  /// Number of upstream *instances* feeding `node` (EOS tokens expected).
-  uint32_t UpstreamInstances(uint32_t node) const;
+  /// Number of upstream *instances* feeding `node` (producer rings and
+  /// EOS tokens expected).
+  uint32_t UpstreamInstances(uint32_t node) const {
+    return upstream_counts_[node];
+  }
 
   const Topology* topology_;
   ThreadedRuntimeOptions options_;
   std::vector<std::vector<std::unique_ptr<Operator>>> ops_;
-  std::vector<partition::PartitionerPtr> edge_partitioners_;
-  std::vector<std::unique_ptr<std::mutex>> edge_mutexes_;
-  std::vector<std::vector<std::unique_ptr<Inbox>>> inboxes_;
-  std::vector<std::vector<std::atomic<uint64_t>>> processed_;
+  /// edge_replicas_[e][s]: the partitioner replica owned by upstream
+  /// instance `s` of edge `e`. Routing state is per-source; no locks.
+  std::vector<std::vector<partition::PartitionerPtr>> edge_replicas_;
+  /// First producer-ring index of edge `e` inside the downstream node's
+  /// mailboxes (edge upstream instance s -> ring edge_producer_base_[e]+s).
+  std::vector<uint32_t> edge_producer_base_;
+  /// Outbound edge indices per node (hot-path scan avoidance).
+  std::vector<std::vector<uint32_t>> out_edges_;
+  /// Upstream instance count per node.
+  std::vector<uint32_t> upstream_counts_;
+  std::vector<std::vector<std::unique_ptr<Mailbox>>> mailboxes_;
+  /// Per spout instance: serializes concurrent Inject calls to one source
+  /// (each source is a single producer towards its rings and replicas).
+  std::vector<std::vector<std::unique_ptr<std::mutex>>> inject_mutexes_;
+  /// Flat per-instance processed counters, one cache line each;
+  /// instance (n, i) lives at processed_[processed_base_[n] + i].
+  std::vector<CacheLinePadded<std::atomic<uint64_t>>> processed_;
+  std::vector<size_t> processed_base_;
   std::vector<std::thread> threads_;
-  bool finished_ = false;
+  /// Set once Init() fully succeeded; the destructor-invoked Finish()
+  /// must not walk mailboxes/mutexes a failed Init() never built.
+  bool started_ = false;
+  /// finished_ rises at the *start* of shutdown (gates Inject);
+  /// drained_ rises after all executor threads joined (gates
+  /// GetOperator — operators are mutable until then).
+  std::atomic<bool> finished_{false};
+  std::atomic<bool> drained_{false};
+  std::once_flag finish_once_;
 };
 
 }  // namespace engine

@@ -46,6 +46,9 @@ class ConsistentHashGrouping final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return options_.replicas; }
   std::string Name() const override;
+  PartitionerPtr Clone() const override {
+    return std::make_unique<ConsistentHashGrouping>(*this);
+  }
 
   /// The first `replicas` distinct workers clockwise from the key's point
   /// (exposed for tests and for applications that probe replicas).

@@ -179,5 +179,18 @@ Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config) {
   return Status::Internal("unreachable technique");
 }
 
+Result<std::vector<PartitionerPtr>> MakePartitionerReplicas(
+    const PartitionerConfig& config, uint32_t replicas) {
+  if (replicas < 1) {
+    return Status::InvalidArgument("replicas must be >= 1");
+  }
+  PKGSTREAM_ASSIGN_OR_RETURN(auto base, MakePartitioner(config));
+  std::vector<PartitionerPtr> out;
+  out.reserve(replicas);
+  out.push_back(std::move(base));
+  while (out.size() < replicas) out.push_back(out.front()->Clone());
+  return out;
+}
+
 }  // namespace partition
 }  // namespace pkgstream

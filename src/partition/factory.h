@@ -79,6 +79,15 @@ Result<Technique> ParseTechnique(const std::string& name);
 /// \brief Builds a configured partitioner; validates the config.
 Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config);
 
+/// \brief Builds `replicas` independent partitioners from one config —
+/// one per upstream source instance. Element 0 is exactly what
+/// MakePartitioner returns; the rest are Clone()s of it (identical
+/// configuration and hash family, private state). ThreadedRuntime routes
+/// every upstream instance through its own replica so the hot path takes
+/// no lock and load-estimator state is genuinely per-source.
+Result<std::vector<PartitionerPtr>> MakePartitionerReplicas(
+    const PartitionerConfig& config, uint32_t replicas);
+
 }  // namespace partition
 }  // namespace pkgstream
 

@@ -40,6 +40,9 @@ class OnlineGreedy final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
   std::string Name() const override { return "On-Greedy"; }
+  PartitionerPtr Clone() const override {
+    return std::make_unique<OnlineGreedy>(*this);
+  }
 
   size_t RoutingTableSize() const { return table_.size(); }
 
@@ -64,6 +67,9 @@ class OfflineGreedy final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
   std::string Name() const override { return "Off-Greedy"; }
+  PartitionerPtr Clone() const override {
+    return std::make_unique<OfflineGreedy>(*this);
+  }
 
   /// The planned (expected) load of each worker under the LPT assignment.
   const std::vector<uint64_t>& planned_loads() const { return planned_; }

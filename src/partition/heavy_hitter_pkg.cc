@@ -29,6 +29,21 @@ HeavyHitterAwarePkg::HeavyHitterAwarePkg(uint32_t sources, uint32_t workers,
   source_messages_.assign(sources, 0);
 }
 
+HeavyHitterAwarePkg::HeavyHitterAwarePkg(const HeavyHitterAwarePkg& other)
+    : sources_(other.sources_),
+      workers_(other.workers_),
+      tail_hash_(other.tail_hash_),
+      head_hash_(other.head_hash_),
+      estimator_(other.estimator_->Clone()),
+      options_(other.options_),
+      sketches_(other.sketches_),
+      source_messages_(other.source_messages_),
+      heavy_routings_(other.heavy_routings_) {}
+
+PartitionerPtr HeavyHitterAwarePkg::Clone() const {
+  return PartitionerPtr(new HeavyHitterAwarePkg(*this));
+}
+
 bool HeavyHitterAwarePkg::IsHeavy(SourceId source, Key key) const {
   uint64_t seen = source_messages_[source];
   if (seen < options_.min_messages) return false;

@@ -63,6 +63,7 @@ class HeavyHitterAwarePkg final : public Partitioner {
     return options_.head_choices == 0 ? workers_ : options_.head_choices;
   }
   std::string Name() const override;
+  PartitionerPtr Clone() const override;
 
   /// Whether `source`'s detector currently classifies `key` as heavy.
   bool IsHeavy(SourceId source, Key key) const;
@@ -71,6 +72,9 @@ class HeavyHitterAwarePkg final : public Partitioner {
   uint64_t heavy_routings() const { return heavy_routings_; }
 
  private:
+  /// Deep copy (clones the estimator); only Clone() uses it.
+  HeavyHitterAwarePkg(const HeavyHitterAwarePkg& other);
+
   uint32_t sources_;
   uint32_t workers_;
   HashFamily tail_hash_;  // base_choices functions

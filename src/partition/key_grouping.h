@@ -26,6 +26,9 @@ class KeyGrouping final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
   std::string Name() const override { return "Hashing"; }
+  PartitionerPtr Clone() const override {
+    return std::make_unique<KeyGrouping>(*this);
+  }
 
  private:
   HashFamily hash_;  // d = 1

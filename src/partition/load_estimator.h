@@ -50,6 +50,11 @@ class LoadEstimator {
   virtual const std::vector<uint64_t>& GlobalLoads() const = 0;
 
   virtual std::string Name() const = 0;
+
+  /// Independent copy of this estimator, state included; the copy shares
+  /// nothing with the original. Lets each source own its estimate vectors
+  /// outright (see Partitioner::Clone).
+  virtual std::unique_ptr<LoadEstimator> Clone() const = 0;
 };
 
 using LoadEstimatorPtr = std::unique_ptr<LoadEstimator>;
@@ -66,6 +71,9 @@ class GlobalLoadEstimator final : public LoadEstimator {
   void OnSend(SourceId, WorkerId w) override { ++loads_[w]; }
   const std::vector<uint64_t>& GlobalLoads() const override { return loads_; }
   std::string Name() const override { return "G"; }
+  LoadEstimatorPtr Clone() const override {
+    return std::make_unique<GlobalLoadEstimator>(*this);
+  }
 
  private:
   std::vector<uint64_t> loads_;
@@ -86,6 +94,9 @@ class LocalLoadEstimator final : public LoadEstimator {
   }
   const std::vector<uint64_t>& GlobalLoads() const override { return global_; }
   std::string Name() const override { return "L"; }
+  LoadEstimatorPtr Clone() const override {
+    return std::make_unique<LocalLoadEstimator>(*this);
+  }
 
   /// The local estimate vector of one source (tests, diagnostics).
   const std::vector<uint64_t>& LocalLoads(SourceId source) const {
@@ -121,6 +132,9 @@ class ProbingLoadEstimator final : public LoadEstimator {
   }
   const std::vector<uint64_t>& GlobalLoads() const override { return global_; }
   std::string Name() const override;
+  LoadEstimatorPtr Clone() const override {
+    return std::make_unique<ProbingLoadEstimator>(*this);
+  }
 
   uint64_t probes_performed() const { return probes_; }
 

@@ -47,6 +47,22 @@ class Partitioner {
 
   /// Short technique name, e.g. "PKG-L" or "Hashing".
   virtual std::string Name() const = 0;
+
+  /// Creates an independent replica: identical configuration, a copy of
+  /// the current routing state, and no sharing whatsoever afterwards.
+  ///
+  /// This is the paper's per-source deployment hook: each upstream
+  /// instance owns one replica and routes using only its local view
+  /// (ThreadedRuntime builds one replica per source instance; see
+  /// MakePartitionerReplicas in factory.h). Coordination-free techniques
+  /// (KG, SG, PKG with local estimation) behave exactly as a single
+  /// shared instance would; techniques whose reference semantics assume
+  /// state shared across sources (PoTC's routing table, On-Greedy,
+  /// rebalancing, the G oracle) stay well-defined — each replica evolves
+  /// its own copy — which is the honest distributed approximation of
+  /// them (the single-threaded LogicalRuntime remains their coordinated
+  /// reference).
+  virtual std::unique_ptr<Partitioner> Clone() const = 0;
 };
 
 using PartitionerPtr = std::unique_ptr<Partitioner>;

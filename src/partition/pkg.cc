@@ -17,6 +17,15 @@ PartialKeyGrouping::PartialKeyGrouping(uint32_t sources, uint32_t workers,
   PKGSTREAM_CHECK(estimator_ != nullptr) << "PKG requires a LoadEstimator";
 }
 
+PartialKeyGrouping::PartialKeyGrouping(const PartialKeyGrouping& other)
+    : hash_(other.hash_),
+      sources_(other.sources_),
+      estimator_(other.estimator_->Clone()) {}
+
+PartitionerPtr PartialKeyGrouping::Clone() const {
+  return PartitionerPtr(new PartialKeyGrouping(*this));
+}
+
 WorkerId PartialKeyGrouping::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
   estimator_->BeginRoute(source);

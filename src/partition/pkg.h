@@ -56,6 +56,7 @@ class PartialKeyGrouping final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return hash_.d(); }
   std::string Name() const override;
+  PartitionerPtr Clone() const override;
 
   /// The candidate workers for `key` (H1..Hd), for tests and for
   /// applications that must know where a key's partial state can live
@@ -65,6 +66,9 @@ class PartialKeyGrouping final : public Partitioner {
   const LoadEstimator& estimator() const { return *estimator_; }
 
  private:
+  /// Deep copy (clones the estimator); only Clone() uses it.
+  PartialKeyGrouping(const PartialKeyGrouping& other);
+
   HashFamily hash_;
   uint32_t sources_;
   LoadEstimatorPtr estimator_;

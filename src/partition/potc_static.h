@@ -39,6 +39,9 @@ class StaticPoTC final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
   std::string Name() const override { return "PoTC"; }
+  PartitionerPtr Clone() const override {
+    return std::make_unique<StaticPoTC>(*this);
+  }
 
   /// Size of the routing table (the memory cost the paper objects to).
   size_t RoutingTableSize() const { return table_.size(); }

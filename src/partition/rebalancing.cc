@@ -51,9 +51,13 @@ void RebalancingKeyGrouping::MaybeRebalance() {
     if (window_loads_[w] < window_loads_[coldest]) coldest = w;
   }
   double avg = static_cast<double>(total) / n;
+  // hottest == coldest means every worker saw identical load (the argmax
+  // and argmin differ whenever max > min): any "migration" would be a
+  // no-op churning the override table, so skip.
   bool triggered =
-      avg > 0 && (static_cast<double>(window_loads_[hottest]) - avg) / avg >
-                     options_.imbalance_threshold;
+      avg > 0 && hottest != coldest &&
+      (static_cast<double>(window_loads_[hottest]) - avg) / avg >
+          options_.imbalance_threshold;
   if (triggered) {
     ++stats_.rebalances;
     // Keys currently placed on the hottest worker, by window rate desc.
@@ -74,7 +78,15 @@ void RebalancingKeyGrouping::MaybeRebalance() {
     for (const auto& [count, key] : candidates) {
       if (moved >= options_.max_keys_per_rebalance) break;
       if (2 * count > spread) continue;  // would overshoot: try colder keys
-      overrides_[key] = coldest;
+      if (hash_.Bucket(0, key) == coldest) {
+        // The migration lands the key back on its hash placement: drop the
+        // override instead of recording a redundant one, so the routing
+        // table only ever holds keys living away from home (without this,
+        // overrides_ grows monotonically for the lifetime of the stream).
+        overrides_.erase(key);
+      } else {
+        overrides_[key] = coldest;
+      }
       spread -= 2 * count;
       ++moved;
       ++stats_.keys_moved;

@@ -67,6 +67,9 @@ class RebalancingKeyGrouping final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
   std::string Name() const override;
+  PartitionerPtr Clone() const override {
+    return std::make_unique<RebalancingKeyGrouping>(*this);
+  }
 
   const RebalancingStats& stats() const { return stats_; }
   /// Size of the override routing table (migrated keys).

@@ -27,7 +27,7 @@ WorkerId ShuffleGrouping::Route(SourceId source, Key /*key*/) {
 
 RandomGrouping::RandomGrouping(uint32_t sources, uint32_t workers,
                                uint64_t seed)
-    : workers_(workers), sources_(sources), rng_(seed) {
+    : workers_(workers), sources_(sources), seed_(seed), rng_(seed) {
   PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
 }
 

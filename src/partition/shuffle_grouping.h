@@ -6,6 +6,7 @@
 #ifndef PKGSTREAM_PARTITION_SHUFFLE_GROUPING_H_
 #define PKGSTREAM_PARTITION_SHUFFLE_GROUPING_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,9 @@ class ShuffleGrouping final : public Partitioner {
   }
   uint32_t MaxWorkersPerKey() const override { return workers_; }
   std::string Name() const override { return "SG"; }
+  PartitionerPtr Clone() const override {
+    return std::make_unique<ShuffleGrouping>(*this);
+  }
 
  private:
   uint32_t workers_;
@@ -47,10 +51,22 @@ class RandomGrouping final : public Partitioner {
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return workers_; }
   std::string Name() const override { return "Random"; }
+  /// Replicas must draw *independent* random streams: copying rng_
+  /// verbatim would put every per-source replica in lockstep, landing all
+  /// sources' i-th message on the same worker. Each clone therefore gets
+  /// a fresh seed derived deterministically from this instance's seed and
+  /// a clone counter.
+  PartitionerPtr Clone() const override {
+    SplitMix64 mix(seed_ ^
+                   (1 + clone_seq_.fetch_add(1, std::memory_order_relaxed)));
+    return std::make_unique<RandomGrouping>(sources_, workers_, mix.Next());
+  }
 
  private:
   uint32_t workers_;
   uint32_t sources_;
+  uint64_t seed_;
+  mutable std::atomic<uint64_t> clone_seq_{0};  // concurrent Clone() safe
   Rng rng_;
 };
 

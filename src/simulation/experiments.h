@@ -71,7 +71,7 @@ struct Fig2Cell {
   std::string dataset;
   std::string series;  ///< "G", "L5".."L20", "H"
   uint32_t workers = 0;
-  double avg_fraction = 0.0;  ///< avg imbalance / total messages
+  double avg_fraction = 0.0;  ///< avg over samples of I(t)/t
 };
 
 struct Fig2Options {

@@ -32,9 +32,10 @@ double ImbalanceTracker::CurrentImbalance() const {
 void ImbalanceTracker::Sample() {
   if (t_ == 0) return;
   double imb = CurrentImbalance();
+  double fraction = imb / static_cast<double>(t_);
   imbalance_stats_.Add(imb);
-  series_.push_back(ImbalancePoint{
-      t_, imb, imb / static_cast<double>(t_), max_load_});
+  fraction_stats_.Add(fraction);
+  series_.push_back(ImbalancePoint{t_, imb, fraction, max_load_});
 }
 
 ImbalanceSummary ImbalanceTracker::Finish() {
@@ -49,8 +50,7 @@ ImbalanceSummary ImbalanceTracker::Finish() {
   s.avg_imbalance = imbalance_stats_.mean();
   s.final_imbalance = CurrentImbalance();
   s.max_imbalance = imbalance_stats_.count() ? imbalance_stats_.max() : 0.0;
-  s.avg_fraction =
-      t_ ? s.avg_imbalance / static_cast<double>(t_) : 0.0;
+  s.avg_fraction = fraction_stats_.count() ? fraction_stats_.mean() : 0.0;
   s.max_load = max_load_;
   s.min_load = *std::min_element(loads_.begin(), loads_.end());
   return s;

@@ -6,7 +6,8 @@
 //
 // The evaluation reports three views of I(t):
 //   * Table II:  the average of I(t) sampled at regular intervals,
-//   * Figure 2:  that average normalized by the total message count m,
+//   * Figure 2:  the average of the normalized imbalance I(t)/t over the
+//                same samples (the mean of Figure 3's curve),
 //   * Figure 3:  the instantaneous I(t) normalized by t, through time.
 // ImbalanceTracker computes all three in one pass.
 
@@ -37,7 +38,9 @@ struct ImbalanceSummary {
   double avg_imbalance = 0;    ///< avg over samples of I(t)   (Table II)
   double final_imbalance = 0;  ///< I(m)
   double max_imbalance = 0;    ///< max over samples of I(t)
-  double avg_fraction = 0;     ///< avg_imbalance / m           (Figure 2)
+  /// Avg over samples of I(t)/t (Figure 2) — the mean of the per-sample
+  /// fractions in series(), so the summary and the time series agree.
+  double avg_fraction = 0;
   uint64_t max_load = 0;       ///< final max_i L_i(m)
   uint64_t min_load = 0;       ///< final min_i L_i(m)
 };
@@ -79,6 +82,7 @@ class ImbalanceTracker {
   uint64_t sample_every_;
   uint64_t max_load_ = 0;  // maintained incrementally: max only grows
   RunningStats imbalance_stats_;
+  RunningStats fraction_stats_;  // per-sample I(t)/t
   std::vector<ImbalancePoint> series_;
   bool finished_ = false;
 };

@@ -1,0 +1,101 @@
+// Copyright 2026 The pkgstream Authors.
+// Tests for the lock-free SPSC ring under ThreadedRuntime's mailboxes:
+// FIFO order, wrap-around, batch push/pop semantics, and a two-thread
+// transfer that the ThreadSanitizer CI job checks for races.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "engine/spsc_ring.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscRing<int>(0).capacity(), 1u);  // clamped to >= 1
+}
+
+TEST(SpscRingTest, FifoWithWrapAround) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  // Several times around the ring.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.TryPush(round * 3 + i));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.TryPop(&out));
+      EXPECT_EQ(out, round * 3 + i);
+    }
+  }
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingTest, PushFailsWhenFullPopFailsWhenEmpty) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));  // full: item rejected
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(ring.TryPush(3));  // space again
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(ring.TryPop(&out));
+}
+
+TEST(SpscRingTest, BatchOpsMovePrefixes) {
+  SpscRing<int> ring(4);
+  int in[6] = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.TryPushBatch(in, 6), 4u);  // only capacity fits
+  int out[8] = {};
+  EXPECT_EQ(ring.TryPopBatch(out, 2), 2u);  // bounded by max_n
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 2u);  // bounded by availability
+  EXPECT_EQ(out[0], 2);
+  EXPECT_EQ(out[1], 3);
+  EXPECT_EQ(ring.TryPopBatch(out, 8), 0u);
+}
+
+TEST(SpscRingTest, TwoThreadTransferPreservesSequence) {
+  SpscRing<uint64_t> ring(64);
+  constexpr uint64_t kCount = 200000;
+  std::thread producer([&] {
+    Backoff backoff;
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(uint64_t{i})) backoff.Pause();
+      backoff.Reset();
+    }
+  });
+  uint64_t expected = 0;
+  uint64_t buf[16];
+  Backoff backoff;
+  while (expected < kCount) {
+    const size_t n = ring.TryPopBatch(buf, 16);
+    if (n == 0) {
+      backoff.Pause();
+      continue;
+    }
+    backoff.Reset();
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(buf[i], expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

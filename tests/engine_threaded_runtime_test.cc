@@ -34,6 +34,27 @@ TEST(ThreadedRuntimeTest, RejectsZeroCapacity) {
                   .IsInvalidArgument());
 }
 
+// Regression: a failed Init() (partitioner config rejected at runtime
+// construction) used to leave a partially-built runtime whose destructor
+// walked mailboxes and inject mutexes that were never created.
+TEST(ThreadedRuntimeTest, CreateFailsCleanlyOnBadPartitionerConfig) {
+  Topology topo;
+  NodeId spout = topo.AddSpout("src", 2);
+  NodeId sink = topo.AddOperator(
+      "sink",
+      [](uint32_t) {
+        return std::make_unique<apps::WordCountCounter>(
+            apps::CounterMode::kPartialCounts, 5);
+      },
+      2);
+  partition::PartitionerConfig config;
+  config.technique = partition::Technique::kOffGreedy;  // needs frequencies
+  ASSERT_TRUE(topo.Connect(spout, sink, config).ok());
+  auto rt = ThreadedRuntime::Create(&topo);
+  EXPECT_TRUE(rt.status().IsFailedPrecondition());
+  // No crash on destruction of the failed Result.
+}
+
 TEST(ThreadedRuntimeTest, EmptyRunShutsDownCleanly) {
   apps::WordCountTopology wc = apps::MakeWordCountTopology(
       partition::Technique::kPkgLocal, 2, 4, 0, 5, 42);

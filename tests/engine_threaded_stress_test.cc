@@ -1,0 +1,150 @@
+// Copyright 2026 The pkgstream Authors.
+// Stress tests for ThreadedRuntime's lock-free hot path: high parallelism,
+// brutal backpressure (tiny rings), and multi-threaded Inject — including
+// two injector threads hammering the *same* source instance, which
+// exercises the per-source serialization inside Inject. Per-key totals
+// must match the deterministic LogicalRuntime exactly, message for
+// message. These are the suites the ThreadSanitizer CI job watches: any
+// data race in the ring / mailbox / replica plumbing surfaces here.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "apps/wordcount.h"
+#include "engine/logical_runtime.h"
+#include "engine/threaded_runtime.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+constexpr uint32_t kSources = 4;
+constexpr uint32_t kWorkers = 8;
+constexpr int kInjectorsPerSource = 2;
+constexpr int kPerInjector = 5000;
+
+/// The key sequence of one injector thread, deterministic from its id.
+std::vector<Key> InjectorKeys(uint32_t injector) {
+  auto dist = std::make_shared<workload::StaticDistribution>(
+      workload::ZipfWeights(200, 1.2), "zipf");
+  workload::IidKeyStream stream(dist, /*seed=*/1000 + injector);
+  std::vector<Key> keys;
+  keys.reserve(kPerInjector);
+  for (int i = 0; i < kPerInjector; ++i) keys.push_back(stream.Next());
+  return keys;
+}
+
+std::map<Key, uint64_t> AggregatorTotals(Operator* agg) {
+  auto* topk = static_cast<apps::TopKAggregator*>(agg);
+  return std::map<Key, uint64_t>(topk->totals().begin(),
+                                 topk->totals().end());
+}
+
+/// Reference totals: the same per-injector key sequences fed through the
+/// deterministic LogicalRuntime (interleaving cannot change totals).
+std::map<Key, uint64_t> LogicalTotals(partition::Technique technique) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      technique, kSources, kWorkers, /*tick=*/0, /*topk=*/5, 42);
+  auto rt = LogicalRuntime::Create(&wc.topology);
+  EXPECT_TRUE(rt.ok());
+  for (uint32_t s = 0; s < kSources; ++s) {
+    for (int j = 0; j < kInjectorsPerSource; ++j) {
+      for (Key k : InjectorKeys(s * kInjectorsPerSource + j)) {
+        Message m;
+        m.key = k;
+        m.tag = apps::kTagWord;
+        (*rt)->Inject(wc.spout, s, m);
+      }
+    }
+  }
+  (*rt)->Finish();
+  return AggregatorTotals((*rt)->GetOperator(wc.aggregator, 0));
+}
+
+class ThreadedStressTest
+    : public testing::TestWithParam<partition::Technique> {};
+
+TEST_P(ThreadedStressTest, PerKeyTotalsMatchLogicalUnderStress) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      GetParam(), kSources, kWorkers, /*tick=*/0, /*topk=*/5, 42);
+  ThreadedRuntimeOptions options;
+  options.queue_capacity = 2;  // brutal backpressure on every ring
+  auto rt = ThreadedRuntime::Create(&wc.topology, options);
+  ASSERT_TRUE(rt.ok());
+
+  // Two injector threads per source instance, all running concurrently.
+  std::vector<std::thread> injectors;
+  for (uint32_t s = 0; s < kSources; ++s) {
+    for (int j = 0; j < kInjectorsPerSource; ++j) {
+      injectors.emplace_back([&, s, j] {
+        for (Key k : InjectorKeys(s * kInjectorsPerSource + j)) {
+          Message m;
+          m.key = k;
+          m.tag = apps::kTagWord;
+          (*rt)->Inject(wc.spout, s, m);
+        }
+      });
+    }
+  }
+  for (auto& t : injectors) t.join();
+  (*rt)->Finish();
+
+  auto threaded = AggregatorTotals((*rt)->GetOperator(wc.aggregator, 0));
+  EXPECT_EQ(threaded, LogicalTotals(GetParam()));
+
+  // Conservation at the counter stage too: every injected message was
+  // processed by exactly one counter instance.
+  uint64_t counter_total = 0;
+  for (uint64_t l : (*rt)->Processed(wc.counter)) counter_total += l;
+  EXPECT_EQ(counter_total, static_cast<uint64_t>(kSources) *
+                               kInjectorsPerSource * kPerInjector);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Techniques, ThreadedStressTest,
+    testing::Values(partition::Technique::kHashing,
+                    partition::Technique::kShuffle,
+                    partition::Technique::kPkgLocal),
+    [](const testing::TestParamInfo<partition::Technique>& info) {
+      std::string name = partition::TechniqueName(info.param);
+      for (char& c : name) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(ThreadedStressTest, ConcurrentFinishIsIdempotentAndBlocks) {
+  apps::WordCountTopology wc = apps::MakeWordCountTopology(
+      partition::Technique::kShuffle, 2, 4, 0, 5, 42);
+  auto rt = ThreadedRuntime::Create(&wc.topology);
+  ASSERT_TRUE(rt.ok());
+  for (int i = 0; i < 1000; ++i) {
+    Message m;
+    m.key = static_cast<Key>(i % 13);
+    m.tag = apps::kTagWord;
+    (*rt)->Inject(wc.spout, static_cast<SourceId>(i % 2), m);
+  }
+  // Every Finish caller must return only after shutdown completed, so
+  // GetOperator is safe immediately after any of them.
+  std::vector<std::thread> finishers;
+  for (int i = 0; i < 4; ++i) {
+    finishers.emplace_back([&] {
+      (*rt)->Finish();
+      auto* agg = static_cast<apps::TopKAggregator*>(
+          (*rt)->GetOperator(wc.aggregator, 0));
+      uint64_t total = 0;
+      for (const auto& [key, count] : agg->totals()) total += count;
+      EXPECT_EQ(total, 1000u);
+    });
+  }
+  for (auto& t : finishers) t.join();
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

@@ -67,6 +67,49 @@ TEST(RebalancingTest, MigratesHotKeysUnderSkew) {
   EXPECT_LE(rb.RoutingTableSize(), rb.stats().keys_moved);
 }
 
+// Regression: a migration that lands a key back on its hash placement must
+// erase its override instead of recording a redundant one — otherwise the
+// routing table grows monotonically for the lifetime of the stream.
+TEST(RebalancingTest, OverrideErasedWhenMigrationReturnsKeyHome) {
+  RebalancingOptions options;
+  options.check_period = 1000;
+  options.imbalance_threshold = 0.1;
+  options.max_keys_per_rebalance = 1;  // only the probe key may migrate
+  options.hash_seed = 42;
+  RebalancingKeyGrouping rb(1, 2, options);
+  HashFamily placement(1, 2, options.hash_seed);
+
+  // A probe key homed on worker 0, plus background key pools per home.
+  Key probe = 0;
+  while (placement.Bucket(0, probe) != 0) ++probe;
+  std::vector<Key> home0;
+  std::vector<Key> home1;
+  for (Key k = probe + 1; home0.size() < 390 || home1.size() < 390; ++k) {
+    (placement.Bucket(0, k) == 0 ? &home0 : &home1)->push_back(k);
+  }
+
+  // One check window: `probe_n` probe messages plus background traffic
+  // 2 msgs per key so the probe is the hottest single key, with the bulk
+  // of the window on `hot` keys and a trickle on `cold` keys. The spread
+  // (880 - 120) comfortably exceeds twice the probe rate, so the
+  // migration heuristic moves the probe without overshooting.
+  auto window = [&](const std::vector<Key>& hot, const std::vector<Key>& cold) {
+    for (int i = 0; i < 100; ++i) rb.Route(0, probe);
+    for (int i = 0; i < 780; ++i) rb.Route(0, hot[i / 2]);
+    for (int i = 0; i < 120; ++i) rb.Route(0, cold[i / 2]);
+  };
+
+  window(home0, home1);  // worker 0 hot: probe migrates to worker 1
+  ASSERT_EQ(rb.stats().keys_moved, 1u);
+  EXPECT_EQ(rb.RoutingTableSize(), 1u);
+  EXPECT_EQ(rb.Route(0, probe), 1u);
+
+  window(home1, home0);  // worker 1 hot: probe migrates home to worker 0
+  ASSERT_EQ(rb.stats().keys_moved, 2u);
+  EXPECT_EQ(rb.RoutingTableSize(), 0u) << "override must be erased";
+  EXPECT_EQ(rb.Route(0, probe), 0u);
+}
+
 TEST(RebalancingTest, ImprovesOverPlainHashing) {
   auto dist = std::make_shared<workload::StaticDistribution>(
       workload::ZipfWeights(2000, 1.0), "zipf");

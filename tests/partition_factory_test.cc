@@ -99,6 +99,88 @@ TEST(FactoryTest, PotcForcesAtLeastTwoChoices) {
   EXPECT_EQ((*p)->Name(), "PoTC");
 }
 
+// Every technique the factory can build: a fresh clone must make the same
+// routing decisions as its original on the same input, and routing through
+// the clone must not disturb the original's state (full independence —
+// ThreadedRuntime leans on this for its per-source replicas).
+TEST(FactoryTest, ClonesRouteIdenticallyAndIndependently) {
+  stats::FrequencyTable freq;
+  for (Key k = 0; k < 50; ++k) freq.Add(k, 50 - k);
+  // kRandom is deliberately absent: its clones draw independent random
+  // streams by design (see RandomCloneDrawsAnIndependentStream below).
+  for (Technique t :
+       {Technique::kHashing, Technique::kShuffle, Technique::kPkgGlobal,
+        Technique::kPkgLocal, Technique::kPkgProbing, Technique::kPotcStatic,
+        Technique::kOnGreedy, Technique::kOffGreedy, Technique::kRebalancing,
+        Technique::kConsistent, Technique::kWChoices}) {
+    PartitionerConfig config;
+    config.technique = t;
+    config.sources = 2;
+    config.workers = 4;
+    config.frequencies = &freq;
+    auto a = MakePartitioner(config);
+    auto b = MakePartitioner(config);
+    ASSERT_TRUE(a.ok() && b.ok()) << TechniqueName(t);
+    PartitionerPtr clone = (*a)->Clone();
+    EXPECT_EQ(clone->Name(), (*a)->Name()) << TechniqueName(t);
+    EXPECT_EQ(clone->workers(), (*a)->workers());
+    EXPECT_EQ(clone->sources(), (*a)->sources());
+    // Perturb the ORIGINAL: if the clone shared any state, its decision
+    // stream would diverge from the pristine reference `b`.
+    for (Key k = 0; k < 500; ++k) (*a)->Route(k % 2, k * 13);
+    for (Key k = 0; k < 500; ++k) {
+      ASSERT_EQ(clone->Route(k % 2, k * 7), (*b)->Route(k % 2, k * 7))
+          << TechniqueName(t) << " diverged at key " << k * 7;
+    }
+  }
+}
+
+// Regression: Clone() once copied RandomGrouping's RNG verbatim, so every
+// per-source replica emitted the identical worker sequence — all sources'
+// i-th message landed on the same worker. Clones must be decorrelated
+// from the original (and from each other).
+TEST(FactoryTest, RandomCloneDrawsAnIndependentStream) {
+  PartitionerConfig config;
+  config.technique = Technique::kRandom;
+  config.sources = 1;
+  config.workers = 4;
+  auto a = MakePartitioner(config);
+  auto fresh = MakePartitioner(config);  // same seed: a's pristine stream
+  ASSERT_TRUE(a.ok() && fresh.ok());
+  PartitionerPtr clone1 = (*a)->Clone();
+  PartitionerPtr clone2 = (*a)->Clone();
+  int agree_fresh = 0;
+  int agree_pair = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    WorkerId c1 = clone1->Route(0, 0);
+    if (c1 == (*fresh)->Route(0, 0)) ++agree_fresh;
+    if (c1 == clone2->Route(0, 0)) ++agree_pair;
+  }
+  // Independent uniform streams over 4 workers agree ~1/4 of the time;
+  // lockstep streams agree always.
+  EXPECT_LT(agree_fresh, n / 2);
+  EXPECT_LT(agree_pair, n / 2);
+}
+
+TEST(FactoryTest, ReplicasAreIndependentInstances) {
+  PartitionerConfig config;
+  config.technique = Technique::kPkgLocal;
+  config.sources = 3;
+  config.workers = 4;
+  auto replicas = MakePartitionerReplicas(config, 3);
+  ASSERT_TRUE(replicas.ok());
+  ASSERT_EQ(replicas->size(), 3u);
+  // Same fresh state: identical decisions for the same call sequence.
+  std::vector<WorkerId> first;
+  for (Key k = 0; k < 200; ++k) first.push_back((*replicas)[0]->Route(0, k));
+  for (Key k = 0; k < 200; ++k) {
+    EXPECT_EQ((*replicas)[1]->Route(0, k), first[k]);
+  }
+  EXPECT_TRUE(
+      MakePartitionerReplicas(config, 0).status().IsInvalidArgument());
+}
+
 TEST(FactoryTest, TechniqueNamesMatchPaperLabels) {
   EXPECT_EQ(TechniqueName(Technique::kHashing), "Hashing");
   EXPECT_EQ(TechniqueName(Technique::kShuffle), "SG");

@@ -112,13 +112,27 @@ TEST(ImbalanceTrackerTest, SummaryAveragesSampledImbalance) {
   EXPECT_EQ(s.min_load, 2u);
 }
 
-TEST(ImbalanceTrackerTest, FractionNormalizesByMessages) {
+TEST(ImbalanceTrackerTest, FractionAveragesPerSampleFractions) {
   ImbalanceTracker t(2, 1);
   for (int i = 0; i < 10; ++i) t.OnRoute(0);  // all to one worker
   ImbalanceSummary s = t.Finish();
-  // I(t) = t/2 at every t, so fraction of average imbalance is
-  // avg_t(t/2) / 10 = (sum t/2)/10/10 = (55/2)/100
-  EXPECT_NEAR(s.avg_fraction, (55.0 / 2.0) / 10.0 / 10.0, 1e-12);
+  // I(t) = t/2 at every t, so every sampled fraction I(t)/t is exactly 0.5
+  // and so is their average.
+  EXPECT_DOUBLE_EQ(s.avg_fraction, 0.5);
+}
+
+// Regression: avg_fraction once divided the average of I(t) by the *final*
+// t, which disagreed with the per-sample fractions stored in series().
+// The summary must be the mean of exactly those fractions.
+TEST(ImbalanceTrackerTest, AvgFractionMatchesSeriesMean) {
+  ImbalanceTracker t(3, 4);
+  for (int i = 0; i < 25; ++i) t.OnRoute(i % 7 == 0 ? 0 : i % 3);
+  ImbalanceSummary s = t.Finish();
+  ASSERT_FALSE(t.series().empty());
+  double sum = 0.0;
+  for (const auto& p : t.series()) sum += p.fraction;
+  EXPECT_DOUBLE_EQ(s.avg_fraction,
+                   sum / static_cast<double>(t.series().size()));
 }
 
 TEST(ImbalanceTrackerTest, SeriesRespectsSampleInterval) {

@@ -5,6 +5,7 @@
 // aggregation). This bench quantifies that trade-off on WP and LN1.
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 #include "simulation/runner.h"
 
@@ -14,6 +15,10 @@ int main(int argc, char** argv) {
   bench::PrintBanner("Ablation: number of choices d (1 = KG ... W = SG-like)",
                      "Nasir et al., ICDE 2015, Section III / Azar et al.",
                      args);
+  bench::Report report(
+      "bench_ablation_choices",
+      "Ablation: number of choices d (1 = KG ... W = SG-like)",
+      "Nasir et al., ICDE 2015, Section III / Azar et al.", args);
 
   std::vector<uint32_t> choices = {1, 2, 3, 4, 8};
   std::vector<uint32_t> workers = {10, 50};
@@ -53,21 +58,24 @@ int main(int argc, char** argv) {
           std::cerr << result.status() << "\n";
           return 1;
         }
+        report.AddMetric(std::string(spec.symbol) + "/d=" +
+                             std::to_string(d) + "/W=" + std::to_string(w) +
+                             "/avg_fraction",
+                         result->imbalance.avg_fraction);
         row.push_back(FormatCompact(result->imbalance.avg_fraction));
       }
       table.AddRow(row);
     }
-    table.Print(std::cout);
-    std::cout << "\n";
+    report.AddTable(std::move(table));
   }
-  std::cout << "Expected shape: a huge drop from d=1 to d=2 (exponential\n"
-               "improvement), then only marginal gains for d>2 — the paper's\n"
-               "justification for stopping at two choices.\n"
-            << std::endl;
+  report.AddText(
+      "Expected shape: a huge drop from d=1 to d=2 (exponential\n"
+      "improvement), then only marginal gains for d>2 — the paper's\n"
+      "justification for stopping at two choices.");
 
   // Second section: the regime where two choices provably fail (W beyond
   // ~2/p1, Section IV) and the heavy-hitter-aware extension that fixes it.
-  std::cout << "--- beyond the two-choice limit: W-Choices extension ---\n";
+  report.AddText("--- beyond the two-choice limit: W-Choices extension ---");
   {
     const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
     double scale = simulation::DefaultScale(wp.id, args.full) *
@@ -97,17 +105,21 @@ int main(int argc, char** argv) {
           std::cerr << result.status() << "\n";
           return 1;
         }
+        report.AddMetric("WP/" +
+                             std::string(partition::TechniqueName(technique)) +
+                             "/W=" + std::to_string(w) + "/avg_fraction",
+                         result->imbalance.avg_fraction);
         row.push_back(FormatCompact(result->imbalance.avg_fraction));
       }
       table.AddRow(row);
     }
-    table.Print(std::cout);
-    std::cout << "\nExpected shape: plain PKG hits the Section IV wall (p1 >\n"
-                 "2/W) and plateaus high; W-Choices detects the head keys\n"
-                 "with a per-source SPACESAVING sketch and spreads only\n"
-                 "those across all workers, restoring balance — the paper's\n"
-                 "future-work direction, realized.\n"
-              << std::endl;
+    report.AddTable(std::move(table));
+    report.AddText(
+        "Expected shape: plain PKG hits the Section IV wall (p1 >\n"
+        "2/W) and plateaus high; W-Choices detects the head keys\n"
+        "with a per-source SPACESAVING sketch and spreads only\n"
+        "those across all workers, restoring balance — the paper's\n"
+        "future-work direction, realized.");
   }
-  return 0;
+  return bench::Finish(report, args);
 }

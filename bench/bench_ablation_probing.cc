@@ -6,6 +6,7 @@
 // never and measures the imbalance.
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 #include "simulation/runner.h"
 
@@ -14,6 +15,9 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner("Ablation: probing period (LP vs L vs G)",
                      "Nasir et al., ICDE 2015, Section V (Q2)", args);
+  bench::Report report("bench_ablation_probing",
+                       "Ablation: probing period (LP vs L vs G)",
+                       "Nasir et al., ICDE 2015, Section V (Q2)", args);
 
   const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
   double scale = simulation::DefaultScale(wp.id, args.full) *
@@ -45,12 +49,14 @@ int main(int argc, char** argv) {
     std::cerr << g.status() << "\n";
     return 1;
   }
+  report.AddMetric("G/avg_fraction", *g);
   table.AddRow({"G (oracle)", "-", FormatCompact(*g)});
   auto l = run(partition::Technique::kPkgLocal, 0);
   if (!l.ok()) {
     std::cerr << l.status() << "\n";
     return 1;
   }
+  report.AddMetric("L5/avg_fraction", *l);
   table.AddRow({"L5 (no probing)", "never", FormatCompact(*l)});
   std::vector<uint64_t> periods = {1000, 10000, 100000};
   if (!args.quick) periods.push_back(1000000);
@@ -60,13 +66,15 @@ int main(int argc, char** argv) {
       std::cerr << lp.status() << "\n";
       return 1;
     }
+    report.AddMetric("L5P/period=" + std::to_string(period) + "/avg_fraction",
+                     *lp);
     table.AddRow({"L5P (probing)", FormatWithCommas(period),
                   FormatCompact(*lp)});
   }
-  bench::FinishTable(table, args);
-  std::cout << "Expected shape (paper): all LP rows ~ the L row; probing —\n"
-               "at any frequency — does not beat pure local estimation, so\n"
-               "the coordination-free design wins.\n"
-            << std::endl;
-  return 0;
+  report.AddTable(std::move(table));
+  report.AddText(
+      "Expected shape (paper): all LP rows ~ the L row; probing —\n"
+      "at any frequency — does not beat pure local estimation, so\n"
+      "the coordination-free design wins.");
+  return bench::Finish(report, args);
 }

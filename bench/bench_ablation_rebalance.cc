@@ -10,6 +10,7 @@
 // PKG's row pays none of them.
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "common/logging.h"
 #include "partition/consistent_hashing.h"
 #include "partition/rebalancing.h"
@@ -20,6 +21,10 @@ int main(int argc, char** argv) {
   using namespace pkgstream;
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner(
+      "Ablation: rebalancing & consistent hashing vs PKG",
+      "Nasir et al., ICDE 2015, Sections II-B, VII and VIII", args);
+  bench::Report report(
+      "bench_ablation_rebalance",
       "Ablation: rebalancing & consistent hashing vs PKG",
       "Nasir et al., ICDE 2015, Sections II-B, VII and VIII", args);
 
@@ -45,6 +50,7 @@ int main(int argc, char** argv) {
     config.messages = messages;
     auto result = simulation::RunRouting(config, feed);
     PKGSTREAM_CHECK_OK(result.status());
+    report.AddMetric("PKG/avg_fraction", result->imbalance.avg_fraction);
     table.AddRow({"PKG (L5)", FormatCompact(result->imbalance.avg_fraction),
                   "0", "0", "0", "0"});
   }
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
     config.messages = messages;
     auto result = simulation::RunRouting(config, feed);
     PKGSTREAM_CHECK_OK(result.status());
+    report.AddMetric("KG/avg_fraction", result->imbalance.avg_fraction);
     table.AddRow({"KG (no rebalance)",
                   FormatCompact(result->imbalance.avg_fraction), "0", "0",
                   "0", "0"});
@@ -86,6 +93,16 @@ int main(int argc, char** argv) {
       tracker.OnRoute(rb.Route(0, (*stream)->Next()));
     }
     auto summary = tracker.Finish();
+    const std::string prefix = "KG+rebalance/T=" + std::to_string(period) + "/";
+    report.AddMetric(prefix + "avg_fraction", summary.avg_fraction);
+    report.AddMetric(prefix + "migrations",
+                     static_cast<double>(rb.stats().rebalances));
+    report.AddMetric(prefix + "keys_moved",
+                     static_cast<double>(rb.stats().keys_moved));
+    report.AddMetric(prefix + "state_moved",
+                     static_cast<double>(rb.stats().state_moved));
+    report.AddMetric(prefix + "routing_entries",
+                     static_cast<double>(rb.RoutingTableSize()));
     table.AddRow({"KG+rebalance(T=" + FormatWithCommas(period) + ")",
                   FormatCompact(summary.avg_fraction),
                   FormatWithCommas(rb.stats().rebalances),
@@ -108,17 +125,20 @@ int main(int argc, char** argv) {
       tracker.OnRoute(ch.Route(0, (*stream)->Next()));
     }
     auto summary = tracker.Finish();
+    report.AddMetric(replicas == 1 ? "CH/avg_fraction"
+                                   : "CH+PKG/avg_fraction",
+                     summary.avg_fraction);
     table.AddRow({replicas == 1 ? "Consistent hashing (1 succ)"
                                 : "CH + PKG choice (2 succ)",
                   FormatCompact(summary.avg_fraction), "0", "0", "0", "0"});
   }
 
-  bench::FinishTable(table, args);
-  std::cout << "Expected shape: rebalancing narrows (not closes) the gap to\n"
-               "PKG and pays for it in migrations, transferred state and a\n"
-               "growing per-key routing table; PKG needs none of it. The\n"
-               "plain ring is no better than hashing, but PKG's two-choice\n"
-               "idea composes with it (CH + PKG choice).\n"
-            << std::endl;
-  return 0;
+  report.AddTable(std::move(table));
+  report.AddText(
+      "Expected shape: rebalancing narrows (not closes) the gap to\n"
+      "PKG and pays for it in migrations, transferred state and a\n"
+      "growing per-key routing table; PKG needs none of it. The\n"
+      "plain ring is no better than hashing, but PKG's two-choice\n"
+      "idea composes with it (CH + PKG choice).");
+  return bench::Finish(report, args);
 }

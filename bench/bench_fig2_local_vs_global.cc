@@ -8,6 +8,7 @@
 // every series jumps up once W crosses the dataset's O(1/p1) limit.
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 
 int main(int argc, char** argv) {
@@ -15,6 +16,9 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner("Figure 2: local vs global load estimation",
                      "Nasir et al., ICDE 2015, Figure 2", args);
+  bench::Report report("bench_fig2_local_vs_global",
+                       "Figure 2: local vs global load estimation",
+                       "Nasir et al., ICDE 2015, Figure 2", args);
 
   simulation::Fig2Options options;
   options.seed = args.seed;
@@ -50,16 +54,18 @@ int main(int argc, char** argv) {
             value = cell.avg_fraction;
           }
         }
+        report.AddMetric(std::string(spec.symbol) + "/" + s +
+                             "/W=" + std::to_string(w) + "/avg_fraction",
+                         value);
         row.push_back(FormatCompact(value));
       }
       table.AddRow(row);
     }
-    table.Print(std::cout);
-    std::cout << "\n";
+    report.AddTable(std::move(table));
   }
-  std::cout << "Expected shape (paper): H orders of magnitude above the\n"
-               "G/L cluster; L within 1 order of magnitude of G for any\n"
-               "number of sources; all series jump once W > O(1/p1).\n"
-            << std::endl;
-  return 0;
+  report.AddText(
+      "Expected shape (paper): H orders of magnitude above the\n"
+      "G/L cluster; L within 1 order of magnitude of G for any\n"
+      "number of sources; all series jump once W > O(1/p1).");
+  return bench::Finish(report, args);
 }

@@ -7,7 +7,10 @@
 // does NOT improve on L5; CT shows occasional drift spikes; WP at W=50 is
 // beyond its balance limit, so every series is high and flat.
 
+#include <cstdio>
+
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 
 int main(int argc, char** argv) {
@@ -16,6 +19,10 @@ int main(int argc, char** argv) {
   bench::PrintBanner("Figure 3: imbalance through time + probing + Jaccard",
                      "Nasir et al., ICDE 2015, Figure 3 and Section V (Q2)",
                      args);
+  bench::Report report(
+      "bench_fig3_time_series",
+      "Figure 3: imbalance through time + probing + Jaccard",
+      "Nasir et al., ICDE 2015, Figure 3 and Section V (Q2)", args);
 
   simulation::Fig3Options options;
   options.seed = args.seed;
@@ -36,8 +43,9 @@ int main(int argc, char** argv) {
     const auto& spec = workload::GetDataset(id);
     bool hours = spec.duration_hours > 100;
     for (uint32_t w : options.workers) {
-      std::cout << spec.symbol << ", W=" << w << "  (time in "
-                << (hours ? "hours" : "minutes") << ", values are I(t)/t)\n";
+      report.AddText(std::string(spec.symbol) + ", W=" + std::to_string(w) +
+                     "  (time in " + (hours ? "hours" : "minutes") +
+                     ", values are I(t)/t)");
       // Collect the three series for this (dataset, W).
       std::vector<const simulation::Fig3Series*> rows;
       for (const auto& s : *series) {
@@ -51,23 +59,37 @@ int main(int argc, char** argv) {
       header.push_back("Jaccard vs G");
       Table table(header);
       for (const auto* s : rows) {
+        const std::string prefix = std::string(spec.symbol) + "/" +
+                                   s->series + "/W=" + std::to_string(w) +
+                                   "/";
         std::vector<std::string> row = {s->series};
+        double sum = 0;
         for (size_t i = 0; i < rows[0]->points.size(); ++i) {
           row.push_back(i < s->points.size()
                             ? FormatCompact(s->points[i].fraction)
                             : "-");
+          if (i < s->points.size()) {
+            char key[32];
+            std::snprintf(key, sizeof(key), "t%02zu/fraction", i);
+            report.AddMetric(prefix + key, s->points[i].fraction);
+            sum += s->points[i].fraction;
+          }
         }
+        if (!s->points.empty()) {
+          report.AddMetric(prefix + "mean_fraction",
+                           sum / static_cast<double>(s->points.size()));
+        }
+        report.AddMetric(prefix + "jaccard_vs_G", s->jaccard_vs_global);
         row.push_back(FormatFixed(s->jaccard_vs_global, 2));
         table.AddRow(row);
       }
-      table.Print(std::cout);
-      std::cout << "\n";
+      report.AddTable(std::move(table));
     }
   }
-  std::cout << "Expected shape (paper): G ~ L5 ~ L5P1 (probing buys\n"
-               "nothing); drift spikes visible on CT; the L-vs-G Jaccard\n"
-               "is well below 1 (paper reports ~0.47 on WP, W=10) while\n"
-               "imbalances match.\n"
-            << std::endl;
-  return 0;
+  report.AddText(
+      "Expected shape (paper): G ~ L5 ~ L5P1 (probing buys\n"
+      "nothing); drift spikes visible on CT; the L-vs-G Jaccard\n"
+      "is well below 1 (paper reports ~0.47 on WP, W=10) while\n"
+      "imbalances match.");
+  return bench::Finish(report, args);
 }

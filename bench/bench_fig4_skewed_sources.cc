@@ -8,6 +8,7 @@
 // low absolute imbalance; imbalance grows mildly with S and W.
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 
 int main(int argc, char** argv) {
@@ -15,6 +16,9 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner("Figure 4: skewed vs uniform source splits (graphs)",
                      "Nasir et al., ICDE 2015, Figure 4", args);
+  bench::Report report("bench_fig4_skewed_sources",
+                       "Figure 4: skewed vs uniform source splits (graphs)",
+                       "Nasir et al., ICDE 2015, Figure 4", args);
 
   simulation::Fig4Options options;
   options.seed = args.seed;
@@ -50,12 +54,16 @@ int main(int argc, char** argv) {
               value = cell.avg_fraction;
             }
           }
+          report.AddMetric(std::string(spec.symbol) + "/" + split +
+                               "/S=" + std::to_string(s) +
+                               "/W=" + std::to_string(w) + "/avg_fraction",
+                           value);
           row.push_back(FormatCompact(value));
         }
         table.AddRow(row);
       }
     }
-    table.Print(std::cout);
+    report.AddTable(std::move(table));
 
     // How skewed was the source split actually? (sanity context)
     double max_skew = 0;
@@ -64,13 +72,13 @@ int main(int argc, char** argv) {
         max_skew = std::max(max_skew, cell.source_imbalance_fraction);
       }
     }
-    std::cout << "(max source-side imbalance fraction under keyed split: "
-              << FormatCompact(max_skew) << ")\n\n";
+    report.AddMetric(std::string(spec.symbol) + "/max_source_skew", max_skew);
+    report.AddText("(max source-side imbalance fraction under keyed split: " +
+                   FormatCompact(max_skew) + ")");
   }
-  std::cout << "Expected shape (paper): Skewed ~ Uniform at every (S, W);\n"
-               "absolute worker imbalance stays tiny (~1e-7 of the stream\n"
-               "at paper scale) even though the source split is highly "
-               "skewed.\n"
-            << std::endl;
-  return 0;
+  report.AddText(
+      "Expected shape (paper): Skewed ~ Uniform at every (S, W);\n"
+      "absolute worker imbalance stays tiny (~1e-7 of the stream\n"
+      "at paper scale) even though the source split is highly skewed.");
+  return bench::Finish(report, args);
 }

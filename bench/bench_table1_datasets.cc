@@ -9,6 +9,7 @@
 // are the preserved quantities (see docs/DESIGN.md §3).
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 
 int main(int argc, char** argv) {
@@ -16,6 +17,8 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner("Table I: dataset statistics",
                      "Nasir et al., ICDE 2015, Table I", args);
+  bench::Report report("bench_table1_datasets", "Table I: dataset statistics",
+                       "Nasir et al., ICDE 2015, Table I", args);
 
   auto rows = simulation::RunTable1(args.seed, args.full);
   if (!rows.ok()) {
@@ -29,7 +32,12 @@ int main(int argc, char** argv) {
                   FormatWithCommas(row.keys), FormatFixed(row.p1_percent, 2),
                   FormatFixed(row.paper_p1_percent, 2),
                   FormatFixed(row.scale, 3)});
+    const std::string prefix = row.symbol + "/";
+    report.AddMetric(prefix + "messages", static_cast<double>(row.messages));
+    report.AddMetric(prefix + "keys", static_cast<double>(row.keys));
+    report.AddMetric(prefix + "p1_percent", row.p1_percent);
+    report.AddMetric(prefix + "paper_p1_percent", row.paper_p1_percent);
   }
-  bench::FinishTable(table, args);
-  return 0;
+  report.AddTable(std::move(table));
+  return bench::Finish(report, args);
 }

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "simulation/experiments.h"
 
 int main(int argc, char** argv) {
@@ -17,6 +18,9 @@ int main(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
   bench::PrintBanner("Table II: average imbalance by technique",
                      "Nasir et al., ICDE 2015, Table II", args);
+  bench::Report report("bench_table2_imbalance",
+                       "Table II: average imbalance by technique",
+                       "Nasir et al., ICDE 2015, Table II", args);
 
   simulation::Table2Options options;
   options.seed = args.seed;
@@ -47,16 +51,18 @@ int main(int argc, char** argv) {
             value = cell.avg_imbalance;
           }
         }
+        report.AddMetric(dataset + "/" + name + "/W=" + std::to_string(w) +
+                             "/avg_imbalance",
+                         value);
         row.push_back(FormatCompact(value));
       }
       table.AddRow(row);
     }
-    table.Print(std::cout);
-    std::cout << "\n";
+    report.AddTable(std::move(table));
   }
-  std::cout << "Expected shape (paper): Hashing >> PoTC >= On-Greedy >= "
-               "Off-Greedy >= PKG at small W;\n"
-               "all techniques degrade sharply once W exceeds ~O(1/p1).\n"
-            << std::endl;
-  return 0;
+  report.AddText(
+      "Expected shape (paper): Hashing >> PoTC >= On-Greedy >= "
+      "Off-Greedy >= PKG at small W;\n"
+      "all techniques degrade sharply once W exceeds ~O(1/p1).");
+  return bench::Finish(report, args);
 }

@@ -17,11 +17,14 @@
 //
 // Keeping the old design alive inside the bench means the speedup is
 // *measured on this host at run time*, not asserted from a recorded
-// number. Reference numbers live in bench/baselines/threaded_scaling.json
-// (written with --json=PATH); --check exits non-zero unless the lock-free
-// path is >= 2x the mutex path at parallelism >= 8. Run --check at the
-// default scale or larger: --quick runs are tens of milliseconds per
-// cell, short enough for scheduler noise to swamp the ratio.
+// number. --json=PATH writes the structured report (bench/report.h):
+// wall-clock msgs/sec land in host_metrics (host-dependent, never
+// baseline-compared), routed message counts in metrics (deterministic,
+// diffed against bench/baselines/bench_threaded_scaling.json by
+// tools/bench_check). --check exits non-zero unless the lock-free path is
+// >= 2x the mutex path at parallelism >= 8. Run --check at the default
+// scale or larger: --quick runs are tens of milliseconds per cell, short
+// enough for scheduler noise to swamp the ratio.
 //
 // Sweep: parallelism P in {1,2,4,8,16} (P sources x P workers) x
 // technique in {KG, SG, PKG-L}.
@@ -31,7 +34,6 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
-#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -40,6 +42,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/report.h"
 #include "common/hash.h"
 #include "common/logging.h"
 #include "engine/threaded_runtime.h"
@@ -287,9 +290,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
-  const std::string json_path = flags.GetString("json", "");
   const bool check = flags.GetBool("check", false);
   bench::PrintBanner(
+      "ThreadedRuntime scaling: lock-free inboxes + per-source replicas",
+      "ROADMAP 'threaded-runtime scaling'; Nasir et al. 2015 follow-up "
+      "'When Two Choices Are not Enough' (cheap routing at scale)",
+      args);
+  bench::Report report(
+      "bench_threaded_scaling",
       "ThreadedRuntime scaling: lock-free inboxes + per-source replicas",
       "ROADMAP 'threaded-runtime scaling'; Nasir et al. 2015 follow-up "
       "'When Two Choices Are not Enough' (cheap routing at scale)",
@@ -310,6 +318,10 @@ int main(int argc, char** argv) {
   std::cout << "hardware_concurrency="
             << std::thread::hardware_concurrency()
             << "  messages_per_config=" << messages << "\n\n";
+  // Recorded as a metric so a --messages mismatch between a fresh report
+  // and the baseline fails as an explicit parameter diff, not as opaque
+  // per-cell "processed" drift.
+  report.AddMetric("messages_per_config", static_cast<double>(messages));
 
   Table table({"P (SxW)", "technique", "mutex msg/s", "lock-free msg/s",
                "speedup"});
@@ -328,34 +340,23 @@ int main(int argc, char** argv) {
       row.lockfree_mps = lockfree_result.msgs_per_sec;
       row.speedup = lockfree_result.msgs_per_sec / mutex_result.msgs_per_sec;
       rows.push_back(row);
+      const std::string prefix =
+          "P=" + std::to_string(p) + "/" + name + "/";
+      // Routed message counts are deterministic (both runtimes must route
+      // every injected message); wall-clock rates are host-dependent.
+      report.AddMetric(prefix + "processed",
+                       static_cast<double>(lockfree_result.processed));
+      report.AddHostMetric(prefix + "mutex_msgs_per_sec", row.mutex_mps);
+      report.AddHostMetric(prefix + "lockfree_msgs_per_sec",
+                           row.lockfree_mps);
+      report.AddHostMetric(prefix + "speedup", row.speedup);
       table.AddRow({std::to_string(p), name, FormatMps(row.mutex_mps),
                     FormatMps(row.lockfree_mps),
                     FormatSpeedup(row.speedup)});
     }
   }
-  bench::FinishTable(table, args);
-
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n";
-    out << "  \"bench\": \"bench_threaded_scaling\",\n";
-    out << "  \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n";
-    out << "  \"messages_per_config\": " << messages << ",\n";
-    out << "  \"seed\": " << args.seed << ",\n";
-    out << "  \"results\": [\n";
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      out << "    {\"parallelism\": " << r.parallelism
-          << ", \"technique\": \"" << r.technique
-          << "\", \"mutex_msgs_per_sec\": " << static_cast<uint64_t>(r.mutex_mps)
-          << ", \"lockfree_msgs_per_sec\": "
-          << static_cast<uint64_t>(r.lockfree_mps) << ", \"speedup\": "
-          << r.speedup << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "(json written to " << json_path << ")\n";
-  }
+  report.AddTable(std::move(table));
+  const int finish_code = bench::Finish(report, args);
 
   if (check) {
     bool ok = true;
@@ -369,5 +370,5 @@ int main(int argc, char** argv) {
     if (!ok) return 1;
     std::cout << "CHECK OK: lock-free >= 2x mutex at parallelism >= 8\n";
   }
-  return 0;
+  return finish_code;
 }

@@ -1,6 +1,7 @@
 // Copyright 2026 The pkgstream Authors.
-// Shared plumbing for the experiment binaries in bench/: flag handling,
-// banner printing, CSV export.
+// Shared plumbing for the experiment binaries in bench/: flag handling and
+// banner printing. Output/export goes through bench/report.h, which emits
+// both the console tables and the machine-checked JSON report.
 
 #ifndef PKGSTREAM_BENCH_BENCH_UTIL_H_
 #define PKGSTREAM_BENCH_BENCH_UTIL_H_
@@ -19,7 +20,8 @@ namespace bench {
 struct BenchArgs {
   uint64_t seed = 42;
   bool full = false;         ///< --full: paper-scale run (slow)
-  std::string csv;           ///< --csv=PATH: also export the table as CSV
+  std::string csv;           ///< --csv=PATH: also export the tables as CSV
+  std::string json;          ///< --json=PATH: structured report (report.h)
   bool quick = false;        ///< --quick: extra-small run (CI smoke)
 };
 
@@ -34,7 +36,15 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv) {
   args.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   args.full = flags.GetBool("full", false);
   args.quick = flags.GetBool("quick", false);
+  if (args.full && args.quick) {
+    // The scales contradict (and individual benches resolve the conflict
+    // inconsistently); a report stamped with the wrong scale would then
+    // diff against the wrong baseline.
+    std::cerr << "flag error: --quick and --full are mutually exclusive\n";
+    std::exit(2);
+  }
   args.csv = flags.GetString("csv", "");
+  args.json = flags.GetString("json", "");
   return args;
 }
 
@@ -43,21 +53,9 @@ inline void PrintBanner(const std::string& title, const std::string& paper_ref,
   std::cout << "\n=== " << title << " ===\n";
   std::cout << "reproduces: " << paper_ref << "\n";
   std::cout << "seed=" << args.seed
-            << (args.full ? "  scale=FULL (paper scale)" : "  scale=default")
+            << (args.full ? "  scale=FULL (paper scale)"
+                          : (args.quick ? "  scale=quick" : "  scale=default"))
             << "\n\n";
-}
-
-inline void FinishTable(const Table& table, const BenchArgs& args) {
-  table.Print(std::cout);
-  if (!args.csv.empty()) {
-    Status s = table.WriteCsv(args.csv);
-    if (!s.ok()) {
-      std::cerr << "csv export failed: " << s << "\n";
-    } else {
-      std::cout << "\n(csv written to " << args.csv << ")\n";
-    }
-  }
-  std::cout << std::endl;
 }
 
 }  // namespace bench

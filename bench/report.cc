@@ -1,0 +1,133 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "bench/report.h"
+
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+namespace pkgstream {
+namespace bench {
+
+namespace {
+
+std::string ScaleName(const BenchArgs& args) {
+  if (args.quick) return "quick";
+  if (args.full) return "full";
+  return "default";
+}
+
+}  // namespace
+
+Report::Report(std::string bench_name, std::string title,
+               std::string paper_ref, const BenchArgs& args)
+    : bench_name_(std::move(bench_name)),
+      title_(std::move(title)),
+      paper_ref_(std::move(paper_ref)),
+      scale_(ScaleName(args)),
+      seed_(args.seed) {}
+
+void Report::AddMetric(const std::string& key, double value) {
+  metrics_[key] = value;
+}
+
+void Report::AddHostMetric(const std::string& key, double value) {
+  host_metrics_[key] = value;
+}
+
+void Report::AddTable(Table table) {
+  Entry e;
+  e.is_table = true;
+  e.table = std::move(table);
+  entries_.push_back(std::move(e));
+}
+
+void Report::AddText(std::string text) {
+  Entry e;
+  e.text = std::move(text);
+  entries_.push_back(std::move(e));
+}
+
+void Report::Print(std::ostream& os) const {
+  for (const Entry& e : entries_) {
+    if (e.is_table) {
+      e.table.Print(os);
+    } else {
+      os << e.text;
+      if (e.text.empty() || e.text.back() != '\n') os << "\n";
+    }
+    os << "\n";
+  }
+}
+
+JsonValue Report::ToJson() const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Number(kReportSchemaVersion));
+  doc.Set("bench", JsonValue::Str(bench_name_));
+  doc.Set("title", JsonValue::Str(title_));
+  doc.Set("paper_ref", JsonValue::Str(paper_ref_));
+  doc.Set("scale", JsonValue::Str(scale_));
+  doc.Set("seed", JsonValue::Number(static_cast<double>(seed_)));
+  JsonValue host = JsonValue::Object();
+  host.Set("hardware_concurrency",
+           JsonValue::Number(std::thread::hardware_concurrency()));
+  doc.Set("host", std::move(host));
+  JsonValue metrics = JsonValue::Object();
+  for (const auto& [key, value] : metrics_) {
+    metrics.Set(key, JsonValue::Number(value));
+  }
+  doc.Set("metrics", std::move(metrics));
+  JsonValue host_metrics = JsonValue::Object();
+  for (const auto& [key, value] : host_metrics_) {
+    host_metrics.Set(key, JsonValue::Number(value));
+  }
+  doc.Set("host_metrics", std::move(host_metrics));
+  return doc;
+}
+
+Status Report::WriteJson(const std::string& path) const {
+  return WriteJsonFile(ToJson(), path);
+}
+
+Status Report::WriteCsv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  bool first = true;
+  for (const Entry& e : entries_) {
+    if (!e.is_table) continue;
+    if (!first) f << "\n";
+    e.table.PrintCsv(f);
+    first = false;
+  }
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+int Finish(const Report& report, const BenchArgs& args) {
+  report.Print(std::cout);
+  int exit_code = 0;
+  if (!args.csv.empty()) {
+    Status s = report.WriteCsv(args.csv);
+    if (!s.ok()) {
+      std::cerr << "csv export failed: " << s << "\n";
+      exit_code = 1;
+    } else {
+      std::cout << "(csv written to " << args.csv << ")\n";
+    }
+  }
+  if (!args.json.empty()) {
+    Status s = report.WriteJson(args.json);
+    if (!s.ok()) {
+      std::cerr << "json export failed: " << s << "\n";
+      exit_code = 1;
+    } else {
+      std::cout << "(json report written to " << args.json << ")\n";
+    }
+  }
+  std::cout << std::flush;
+  return exit_code;
+}
+
+}  // namespace bench
+}  // namespace pkgstream

@@ -1,0 +1,98 @@
+// Copyright 2026 The pkgstream Authors.
+// Structured bench reports: every experiment binary in bench/ renders its
+// console output through a Report and can export the same data as a JSON
+// document (--json=PATH) keyed by figure/technique/parameter. The JSON is
+// what tools/bench_check diffs against the committed golden baselines in
+// bench/baselines/ — see docs/BENCHMARKS.md "Baselines".
+//
+// Two metric classes:
+//  * metrics        deterministic given (seed, scale): imbalance fractions,
+//                   simulated throughput/latency, counts. bench_check
+//                   requires these to match the captured baseline within a
+//                   tight relative tolerance.
+//  * host_metrics   wall-clock measurements (real msgs/sec). Never compared
+//                   across hosts; usable in same-report ratio invariants.
+//
+// Reports serialize deterministically (sorted metric keys, canonical number
+// formatting), so "same binary + same flags => byte-identical file" is a
+// testable property (tests/bench_reports_test.cc).
+
+#ifndef PKGSTREAM_BENCH_REPORT_H_
+#define PKGSTREAM_BENCH_REPORT_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json.h"
+#include "common/table.h"
+
+namespace pkgstream {
+namespace bench {
+
+/// \brief Report schema version written to every JSON document; bump when a
+/// field changes meaning and re-capture the baselines.
+inline constexpr int kReportSchemaVersion = 1;
+
+/// \brief Structured result of one bench run: the printable layout (tables
+/// and prose, in order) plus flat metric maps for machine checking.
+class Report {
+ public:
+  /// `bench_name` is the binary name (baseline files are named after it);
+  /// `title` and `paper_ref` mirror PrintBanner.
+  Report(std::string bench_name, std::string title, std::string paper_ref,
+         const BenchArgs& args);
+
+  /// Adds a deterministic metric. Keys are slash-joined coordinates, e.g.
+  /// "WP/PKG/W=5/avg_imbalance". Re-adding a key overwrites it.
+  void AddMetric(const std::string& key, double value);
+
+  /// Adds a wall-clock (host-dependent) metric.
+  void AddHostMetric(const std::string& key, double value);
+
+  /// Appends a table / a prose block to the printed layout.
+  void AddTable(Table table);
+  void AddText(std::string text);
+
+  const std::string& bench_name() const { return bench_name_; }
+  const std::map<std::string, double>& metrics() const { return metrics_; }
+
+  /// Renders the printable layout (tables and text in insertion order).
+  void Print(std::ostream& os) const;
+
+  /// The JSON report document.
+  JsonValue ToJson() const;
+
+  /// Writes the JSON report; all tables as concatenated CSV blocks.
+  Status WriteJson(const std::string& path) const;
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  struct Entry {
+    bool is_table = false;
+    Table table{std::vector<std::string>{}};
+    std::string text;
+  };
+
+  std::string bench_name_;
+  std::string title_;
+  std::string paper_ref_;
+  std::string scale_;
+  uint64_t seed_;
+  std::vector<Entry> entries_;
+  std::map<std::string, double> metrics_;
+  std::map<std::string, double> host_metrics_;
+};
+
+/// \brief Prints the report and performs the --csv / --json exports.
+/// Returns the process exit code: 0, or 1 when any export failed — benches
+/// must `return bench::Finish(report, args);` so a failed export fails the
+/// run (a silently missing report would vacuously pass the repro gate).
+int Finish(const Report& report, const BenchArgs& args);
+
+}  // namespace bench
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_BENCH_REPORT_H_

@@ -1,0 +1,520 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "common/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pkgstream {
+
+bool JsonValue::bool_value() const {
+  assert(type_ == Type::kBool);
+  return bool_;
+}
+
+double JsonValue::number() const {
+  assert(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& JsonValue::string_value() const {
+  assert(type_ == Type::kString);
+  return string_;
+}
+
+void JsonValue::Append(JsonValue v) {
+  assert(type_ == Type::kArray);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::FindObject(const std::string& key) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_object()) ? v : nullptr;
+}
+
+double JsonValue::NumberOr(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number() : fallback;
+}
+
+std::string JsonValue::StringOr(const std::string& key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value() : fallback;
+}
+
+bool operator==(const JsonValue& a, const JsonValue& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case JsonValue::Type::kNull:
+      return true;
+    case JsonValue::Type::kBool:
+      return a.bool_ == b.bool_;
+    case JsonValue::Type::kNumber:
+      return a.number_ == b.number_;
+    case JsonValue::Type::kString:
+      return a.string_ == b.string_;
+    case JsonValue::Type::kArray:
+      return a.items_ == b.items_;
+    case JsonValue::Type::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+std::string FormatJsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Exactly-integral values within the double-exact range print as
+  // integers: counts stay "40000", not "40000.0".
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc()) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+  }
+  return std::string(buf, ptr);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonValue::WriteIndented(std::ostream& os, int depth) const {
+  const std::string pad(static_cast<size_t>(depth) * 2, ' ');
+  const std::string inner_pad(static_cast<size_t>(depth + 1) * 2, ' ');
+  switch (type_) {
+    case Type::kNull:
+      os << "null";
+      return;
+    case Type::kBool:
+      os << (bool_ ? "true" : "false");
+      return;
+    case Type::kNumber:
+      os << FormatJsonNumber(number_);
+      return;
+    case Type::kString:
+      os << JsonEscape(string_);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        os << "[]";
+        return;
+      }
+      os << "[\n";
+      for (size_t i = 0; i < items_.size(); ++i) {
+        os << inner_pad;
+        items_[i].WriteIndented(os, depth + 1);
+        os << (i + 1 < items_.size() ? ",\n" : "\n");
+      }
+      os << pad << "]";
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        os << "{}";
+        return;
+      }
+      os << "{\n";
+      for (size_t i = 0; i < members_.size(); ++i) {
+        os << inner_pad << JsonEscape(members_[i].first) << ": ";
+        members_[i].second.WriteIndented(os, depth + 1);
+        os << (i + 1 < members_.size() ? ",\n" : "\n");
+      }
+      os << pad << "}";
+      return;
+    }
+  }
+}
+
+void JsonValue::Write(std::ostream& os) const {
+  WriteIndented(os, 0);
+  os << "\n";
+}
+
+std::string JsonValue::ToString() const {
+  std::ostringstream os;
+  Write(os);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser: strict recursive descent over the full input.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue value;
+    PKGSTREAM_RETURN_NOT_OK(ParseValue(&value, /*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("expected 'null'");
+        *out = JsonValue::Null();
+        return Status::OK();
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("expected 'true'");
+        *out = JsonValue::Bool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("expected 'false'");
+        *out = JsonValue::Bool(false);
+        return Status::OK();
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseString(JsonValue* out) {
+    std::string s;
+    PKGSTREAM_RETURN_NOT_OK(ParseRawString(&s));
+    *out = JsonValue::Str(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseRawString(std::string* out) {
+    ++pos_;  // opening quote
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        *out = std::move(s);
+        return Status::OK();
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Error("unterminated escape");
+        switch (text_[pos_]) {
+          case '"':
+            s += '"';
+            break;
+          case '\\':
+            s += '\\';
+            break;
+          case '/':
+            s += '/';
+            break;
+          case 'b':
+            s += '\b';
+            break;
+          case 'f':
+            s += '\f';
+            break;
+          case 'n':
+            s += '\n';
+            break;
+          case 'r':
+            s += '\r';
+            break;
+          case 't':
+            s += '\t';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) return Error("short \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              char h = text_[pos_ + static_cast<size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return Error("bad \\u escape");
+              }
+            }
+            pos_ += 4;
+            // UTF-8 encode the BMP code point (surrogate pairs are not
+            // produced by our writer; reject them rather than mis-decode).
+            if (code >= 0xD800 && code <= 0xDFFF) {
+              return Error("surrogate \\u escapes unsupported");
+            }
+            if (code < 0x80) {
+              s += static_cast<char>(code);
+            } else if (code < 0x800) {
+              s += static_cast<char>(0xC0 | (code >> 6));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              s += static_cast<char>(0xE0 | (code >> 12));
+              s += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              s += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("raw control character in string");
+      }
+      s += c;
+      ++pos_;
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    // JSON grammar, not strtod's: no leading '+', no leading zeros, no
+    // bare '.', digits required around '.' and after an exponent sign.
+    const size_t start = pos_;
+    auto digit = [&] {
+      return pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9';
+    };
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (!digit()) {
+      pos_ = start;
+      return Error("expected a value");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (digit()) {
+      pos_ = start;
+      return Error("leading zeros are not valid JSON");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) {
+        pos_ = start;
+        return Error("digits required after decimal point");
+      }
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) {
+        pos_ = start;
+        return Error("digits required in exponent");
+      }
+      while (digit()) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || end == token.c_str()) {
+      pos_ = start;
+      return Error("malformed number '" + token + "'");
+    }
+    *out = JsonValue::Number(v);
+    return Status::OK();
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::Array();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      *out = std::move(arr);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue item;
+      PKGSTREAM_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      arr.Append(std::move(item));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        *out = std::move(arr);
+        return Status::OK();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::Object();
+    SkipWhitespace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      *out = std::move(obj);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      PKGSTREAM_RETURN_NOT_OK(ParseRawString(&key));
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Error("expected ':'");
+      }
+      ++pos_;
+      SkipWhitespace();
+      JsonValue value;
+      PKGSTREAM_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      if (obj.Find(key) != nullptr) {
+        return Error("duplicate object key '" + key + "'");
+      }
+      obj.Set(key, std::move(value));
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return Error("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        *out = std::move(obj);
+        return Status::OK();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(const std::string& text) {
+  return JsonParser(text).Parse();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  if (f.bad()) return Status::IOError("read failed: " + path);
+  PKGSTREAM_ASSIGN_OR_RETURN(JsonValue value, JsonValue::Parse(buffer.str()));
+  return value;
+}
+
+Status WriteJsonFile(const JsonValue& value, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot open for writing: " + path);
+  value.Write(f);
+  f.flush();
+  if (!f) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace pkgstream

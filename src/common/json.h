@@ -1,0 +1,143 @@
+// Copyright 2026 The pkgstream Authors.
+// A small JSON value type with a deterministic writer and a strict parser.
+//
+// Built for the bench report / baseline pipeline (bench/report.h,
+// tools/bench_check): reports must serialize byte-identically for the same
+// inputs so determinism can be checked with a file compare, and baselines
+// must parse back losslessly. Scope is deliberately small — objects keep
+// insertion order (no hashing, no locale), numbers round-trip through
+// shortest-form formatting, and the parser rejects anything but one JSON
+// document with optional trailing whitespace.
+
+#ifndef PKGSTREAM_COMMON_JSON_H_
+#define PKGSTREAM_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pkgstream {
+
+/// \brief One JSON value: null, bool, number, string, array, or object.
+///
+/// Objects preserve insertion order; Set() replaces an existing member in
+/// place, and the parser rejects documents with duplicate keys — so a value
+/// written with Write() re-parses to an equal value and re-serializes to
+/// the same bytes.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Number(double d) {
+    JsonValue v;
+    v.type_ = Type::kNumber;
+    v.number_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; must only be called when the type matches.
+  bool bool_value() const;
+  double number() const;
+  const std::string& string_value() const;
+
+  /// Array access.
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  void Append(JsonValue v);
+
+  /// Object access: ordered (key, value) members.
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Sets `key` (replacing an existing member in place).
+  void Set(const std::string& key, JsonValue v);
+  /// Returns the member value or nullptr.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Convenience lookups for the report/baseline schemas: nullptr /
+  /// fallback when the key is missing or the type does not match.
+  const JsonValue* FindObject(const std::string& key) const;
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  /// Serializes with 2-space indentation and a trailing newline at the top
+  /// level. Deterministic: same value, same bytes.
+  void Write(std::ostream& os) const;
+  std::string ToString() const;
+
+  /// Parses exactly one JSON document (plus surrounding whitespace).
+  static Result<JsonValue> Parse(const std::string& text);
+
+  friend bool operator==(const JsonValue& a, const JsonValue& b);
+  friend bool operator!=(const JsonValue& a, const JsonValue& b) {
+    return !(a == b);
+  }
+
+ private:
+  void WriteIndented(std::ostream& os, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// \brief Canonical JSON text for a double: integers without a fraction,
+/// everything else in shortest form that round-trips (std::to_chars).
+/// Non-finite values (which JSON cannot represent) become "null".
+std::string FormatJsonNumber(double v);
+
+/// \brief Escapes `s` as a JSON string literal, including the quotes.
+std::string JsonEscape(const std::string& s);
+
+/// \brief Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+/// \brief Writes `value` to `path` (atomic enough for our single-writer
+/// uses: truncate + write + flush, error-checked).
+Status WriteJsonFile(const JsonValue& value, const std::string& path);
+
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_JSON_H_

@@ -32,6 +32,9 @@ Result<std::unique_ptr<ThreadedRuntime>> ThreadedRuntime::Create(
   if (options.queue_capacity < 1) {
     return Status::InvalidArgument("queue capacity must be >= 1");
   }
+  if (options.emit_batch < 1) {
+    return Status::InvalidArgument("emit batch must be >= 1");
+  }
   PKGSTREAM_RETURN_NOT_OK(topology->Validate());
   for (const auto& node : topology->nodes()) {
     if (!node.is_spout && node.tick_period != 0) {
@@ -60,6 +63,7 @@ Status ThreadedRuntime::Init() {
   edge_replicas_.resize(edges.size());
   edge_producer_base_.resize(edges.size());
   out_edges_.resize(nodes.size());
+  out_buffers_.resize(edges.size());
   upstream_counts_.assign(nodes.size(), 0);
   for (uint32_t e = 0; e < edges.size(); ++e) {
     const uint32_t upstream = nodes[edges[e].from.index].parallelism;
@@ -69,6 +73,14 @@ Status ThreadedRuntime::Init() {
     edge_producer_base_[e] = upstream_counts_[edges[e].to.index];
     upstream_counts_[edges[e].to.index] += upstream;
     out_edges_[edges[e].from.index].push_back(e);
+    if (options_.emit_batch > 1) {
+      const uint32_t downstream = nodes[edges[e].to.index].parallelism;
+      out_buffers_[e] =
+          std::vector<OutBuffer>(static_cast<size_t>(upstream) * downstream);
+      for (OutBuffer& buf : out_buffers_[e]) {
+        buf.items = std::make_unique<Item[]>(options_.emit_batch);
+      }
+    }
   }
 
   ops_.resize(nodes.size());
@@ -137,8 +149,12 @@ void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
       op->Process(batch[i].msg, &emitter);
     }
     if (handled > 0) processed.fetch_add(handled, std::memory_order_relaxed);
+    // Publish whatever this round emitted: bounded staleness (a consumer
+    // never idles on messages parked here across a blocking PopBatch).
+    FlushOutBuffers(node, instance);
   }
   op->Close(&emitter);
+  FlushOutBuffers(node, instance);
   SendEos(node, instance);
 }
 
@@ -149,8 +165,45 @@ void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
     const WorkerId w = edge_replicas_[e][instance]->Route(instance, msg.key);
     Item item;
     item.msg = msg;
-    mailboxes_[edges[e].to.index][w]->Push(
-        edge_producer_base_[e] + instance, std::move(item));
+    if (options_.emit_batch > 1) {
+      const uint32_t downstream_parallelism =
+          topology_->nodes()[edges[e].to.index].parallelism;
+      OutBuffer& buf =
+          out_buffers_[e][static_cast<size_t>(instance) *
+                              downstream_parallelism +
+                          w];
+      buf.items[buf.count++] = std::move(item);
+      if (buf.count == options_.emit_batch) FlushBuffer(e, instance, w);
+    } else {
+      mailboxes_[edges[e].to.index][w]->Push(
+          edge_producer_base_[e] + instance, std::move(item));
+    }
+  }
+}
+
+void ThreadedRuntime::FlushBuffer(uint32_t edge, uint32_t instance,
+                                  WorkerId worker) {
+  const auto& edges = topology_->edges();
+  const uint32_t downstream_parallelism =
+      topology_->nodes()[edges[edge].to.index].parallelism;
+  OutBuffer& buf =
+      out_buffers_[edge][static_cast<size_t>(instance) *
+                             downstream_parallelism +
+                         worker];
+  if (buf.count == 0) return;
+  mailboxes_[edges[edge].to.index][worker]->PushBatch(
+      edge_producer_base_[edge] + instance, buf.items.get(), buf.count);
+  buf.count = 0;
+}
+
+void ThreadedRuntime::FlushOutBuffers(uint32_t node, uint32_t instance) {
+  if (options_.emit_batch <= 1) return;
+  for (uint32_t e : out_edges_[node]) {
+    const uint32_t downstream_parallelism =
+        topology_->nodes()[topology_->edges()[e].to.index].parallelism;
+    for (WorkerId w = 0; w < downstream_parallelism; ++w) {
+      FlushBuffer(e, instance, w);
+    }
   }
 }
 
@@ -203,7 +256,10 @@ void ThreadedRuntime::Finish() {
     for (uint32_t n = 0; n < nodes.size(); ++n) {
       if (!nodes[n].is_spout) continue;
       for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+        // The inject mutex orders this flush after every completed Inject
+        // for the source; its out-buffers are quiesced here.
         std::lock_guard<std::mutex> lock(*inject_mutexes_[n][i]);
+        FlushOutBuffers(n, i);
         SendEos(n, i);
       }
     }

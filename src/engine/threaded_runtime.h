@@ -13,6 +13,11 @@
 //    spsc_ring.h), popped in batches to amortize synchronization. A full
 //    ring blocks its producer (backpressure); DAG structure guarantees the
 //    consumer is draining, so no cyclic wait;
+//  * the producer side batches too: each upstream instance parks routed
+//    messages in a per-(edge, destination) out-buffer and publishes them
+//    with one SpscRing::TryPushBatch when the batch fills, when its input
+//    round ends, or at EOS/Finish (ThreadedRuntimeOptions::emit_batch) —
+//    one ring-index publication and at most one wakeup per batch;
 //  * every upstream *instance* owns its own partitioner replica
 //    (Partitioner::Clone via MakePartitionerReplicas), so routing takes no
 //    lock and PKG/local-estimator state is genuinely per-source — the
@@ -57,6 +62,17 @@ struct ThreadedRuntimeOptions {
   /// two; a producer blocks when its ring is full (backpressure). Must be
   /// >= 1.
   size_t queue_capacity = 1024;
+
+  /// Producer-side emit batching: each upstream instance buffers up to this
+  /// many routed messages per (edge, destination) and publishes them with
+  /// one SpscRing::TryPushBatch — one index publication (and at most one
+  /// consumer wakeup) per batch instead of per message. 1 disables
+  /// batching. Buffers are flushed when full, after every consumed input
+  /// batch (operators), and at Finish (spouts), so totals are unaffected;
+  /// only the *moment* a message becomes visible downstream shifts — in
+  /// particular, messages injected at a spout may sit in its out-buffer
+  /// until the batch fills or Finish() runs. Must be >= 1.
+  size_t emit_batch = 16;
 };
 
 /// \brief Multi-threaded executor for a Topology (no ticks; see above).
@@ -127,6 +143,27 @@ class ThreadedRuntime {
       MaybeWakeConsumer();
     }
 
+    /// Producer side: enqueues all `n` items with as few index
+    /// publications as the ring allows (one TryPushBatch per attempt).
+    /// Blocks while the ring is full; wakes the consumer after every
+    /// partial publication so a tiny ring cannot strand the remainder
+    /// behind a parked consumer.
+    void PushBatch(uint32_t producer, Item* items, size_t n) {
+      SpscRing<Item>& ring = *rings_[producer];
+      size_t done = 0;
+      Backoff backoff;
+      while (done < n) {
+        const size_t pushed = ring.TryPushBatch(items + done, n - done);
+        if (pushed > 0) {
+          done += pushed;
+          MaybeWakeConsumer();
+          backoff.Reset();
+        } else {
+          backoff.Pause();
+        }
+      }
+    }
+
     /// Consumer side: blocks until at least one item is available, then
     /// pops up to `max_n` items (all from one ring) into `out`.
     size_t PopBatch(Item* out, size_t max_n) {
@@ -187,10 +224,25 @@ class ThreadedRuntime {
 
   class InstanceEmitter;
 
+  /// \brief Producer-side out-buffer for one (edge, upstream instance,
+  /// destination worker): routed messages parked here until the batch
+  /// fills (or a flush point), then published with one TryPushBatch.
+  /// Owned exclusively by the producing thread (executor thread, or the
+  /// injector serialized by the source's inject mutex).
+  struct OutBuffer {
+    std::unique_ptr<Item[]> items;
+    size_t count = 0;
+  };
+
   Status Init();
   void RunInstance(uint32_t node, uint32_t instance);
   /// Routes `msg` on every outbound edge of (node, instance).
   void RouteFrom(uint32_t node, uint32_t instance, const Message& msg);
+  /// Publishes one (edge, instance, worker) out-buffer downstream.
+  void FlushBuffer(uint32_t edge, uint32_t instance, WorkerId worker);
+  /// Publishes every pending out-buffer of (node, instance); called after
+  /// each consumed input batch, and before EOS.
+  void FlushOutBuffers(uint32_t node, uint32_t instance);
   /// Sends one EOS token down every outbound edge of (node, instance).
   void SendEos(uint32_t node, uint32_t instance);
   /// Number of upstream *instances* feeding `node` (producer rings and
@@ -210,6 +262,10 @@ class ThreadedRuntime {
   std::vector<uint32_t> edge_producer_base_;
   /// Outbound edge indices per node (hot-path scan avoidance).
   std::vector<std::vector<uint32_t>> out_edges_;
+  /// out_buffers_[e][s * downstream_parallelism + w]: the emit batch of
+  /// upstream instance `s` of edge `e` towards worker `w`. Empty when
+  /// options_.emit_batch == 1 (batching disabled).
+  std::vector<std::vector<OutBuffer>> out_buffers_;
   /// Upstream instance count per node.
   std::vector<uint32_t> upstream_counts_;
   std::vector<std::vector<std::unique_ptr<Mailbox>>> mailboxes_;

@@ -1,0 +1,143 @@
+// Copyright 2026 The pkgstream Authors.
+// End-to-end tests over the real bench binaries (spawned as subprocesses):
+//  * determinism — every paper bench run twice at --quick with the same
+//    seed produces byte-identical JSON reports (bench_threaded_scaling,
+//    the one bench with wall-clock numbers, must be identical after
+//    dropping its host_metrics section);
+//  * export failure — a bench whose --json/--csv write fails must exit
+//    non-zero (a silently missing report would vacuously pass the gate);
+//  * schema — reports carry the fields bench_check keys on.
+//
+// Requires the bench binaries next to the test binary (the ctest working
+// directory); override with PKGSTREAM_BENCH_DIR. Not built when
+// PKGSTREAM_BUILD_BENCH is off.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/report.h"
+#include "common/json.h"
+
+namespace pkgstream {
+namespace {
+
+const char* kPaperBenches[] = {
+    "bench_table1_datasets",     "bench_table2_imbalance",
+    "bench_fig2_local_vs_global", "bench_fig3_time_series",
+    "bench_fig4_skewed_sources",  "bench_fig5a_throughput",
+    "bench_fig5b_memory",         "bench_ablation_choices",
+    "bench_ablation_probing",     "bench_ablation_rebalance",
+    "bench_threaded_scaling",
+};
+
+std::string BenchDir() {
+  const char* dir = std::getenv("PKGSTREAM_BENCH_DIR");
+  if (dir != nullptr && dir[0] != '\0') return dir;
+  // ctest runs suites from the build directory, where the benches land;
+  // "build" covers running the test binary from the repo root by hand.
+  std::ifstream probe("./bench_table1_datasets");
+  return probe.good() ? "." : "build";
+}
+
+/// Runs `command`, discarding stdout; returns the process exit code, or -1
+/// when it did not exit normally.
+int RunCommand(const std::string& command) {
+  const int status = std::system((command + " > /dev/null 2>&1").c_str());
+  if (status == -1 || !WIFEXITED(status)) return -1;
+  return WEXITSTATUS(status);
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(f.good()) << "missing " << path;
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+/// Extra flags keeping a bench fast enough for a doubled CI run.
+std::string QuickFlags(const std::string& bench) {
+  std::string flags = "--quick --seed=42";
+  if (bench == "bench_threaded_scaling") flags += " --messages=2000";
+  return flags;
+}
+
+class BenchDeterminismTest : public testing::TestWithParam<const char*> {};
+
+TEST_P(BenchDeterminismTest, SameSeedSameQuickScaleByteIdenticalReport) {
+  const std::string bench = GetParam();
+  const std::string binary = BenchDir() + "/" + bench;
+  const std::string out1 = testing::TempDir() + "/" + bench + "_run1.json";
+  const std::string out2 = testing::TempDir() + "/" + bench + "_run2.json";
+  for (const std::string& out : {out1, out2}) {
+    ASSERT_EQ(RunCommand(binary + " " + QuickFlags(bench) + " --json=" + out), 0)
+        << binary << " failed";
+  }
+  const std::string text1 = ReadFileOrDie(out1);
+  const std::string text2 = ReadFileOrDie(out2);
+  if (bench == "bench_threaded_scaling") {
+    // The scaling sweep measures wall-clock rates; everything *outside*
+    // host_metrics must still be byte-identical.
+    auto doc1 = JsonValue::Parse(text1);
+    auto doc2 = JsonValue::Parse(text2);
+    ASSERT_TRUE(doc1.ok() && doc2.ok());
+    doc1->Set("host_metrics", JsonValue::Object());
+    doc2->Set("host_metrics", JsonValue::Object());
+    EXPECT_EQ(doc1->ToString(), doc2->ToString());
+  } else {
+    EXPECT_EQ(text1, text2) << bench << " report is not deterministic";
+  }
+
+  // Schema spot-check on the last report.
+  auto doc = JsonValue::Parse(text2);
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->StringOr("bench", "?"), bench);
+  EXPECT_EQ(doc->StringOr("scale", "?"), "quick");
+  EXPECT_EQ(doc->NumberOr("seed", -1), 42.0);
+  EXPECT_EQ(doc->NumberOr("schema_version", -1),
+            bench::kReportSchemaVersion);
+  ASSERT_NE(doc->FindObject("metrics"), nullptr);
+  EXPECT_GT(doc->FindObject("metrics")->members().size(), 0u);
+  EXPECT_NE(doc->FindObject("host"), nullptr);
+  std::remove(out1.c_str());
+  std::remove(out2.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenches, BenchDeterminismTest,
+                         testing::ValuesIn(kPaperBenches),
+                         [](const testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(BenchExportFailureTest, FailedJsonExportExitsNonZero) {
+  const std::string binary = BenchDir() + "/bench_ablation_probing";
+  EXPECT_EQ(RunCommand(binary + " --quick --json=/nonexistent-dir-xyz/report.json"),
+            1);
+}
+
+TEST(BenchExportFailureTest, FailedCsvExportExitsNonZero) {
+  const std::string binary = BenchDir() + "/bench_ablation_probing";
+  EXPECT_EQ(RunCommand(binary + " --quick --csv=/nonexistent-dir-xyz/table.csv"), 1);
+}
+
+TEST(BenchExportFailureTest, SuccessfulExportsExitZeroAndParse) {
+  const std::string binary = BenchDir() + "/bench_ablation_probing";
+  const std::string json = testing::TempDir() + "/probing_ok.json";
+  const std::string csv = testing::TempDir() + "/probing_ok.csv";
+  ASSERT_EQ(RunCommand(binary + " --quick --json=" + json + " --csv=" + csv), 0);
+  auto doc = ReadJsonFile(json);
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  const std::string csv_text = ReadFileOrDie(csv);
+  EXPECT_NE(csv_text.find("Estimator"), std::string::npos);
+  std::remove(json.c_str());
+  std::remove(csv.c_str());
+}
+
+}  // namespace
+}  // namespace pkgstream

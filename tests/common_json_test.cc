@@ -1,0 +1,137 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the JSON layer under the bench report / baseline pipeline:
+// deterministic serialization, lossless round-trips, strict parsing.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/json.h"
+
+namespace pkgstream {
+namespace {
+
+TEST(JsonNumberTest, IntegersPrintWithoutFraction) {
+  EXPECT_EQ(FormatJsonNumber(0), "0");
+  EXPECT_EQ(FormatJsonNumber(42), "42");
+  EXPECT_EQ(FormatJsonNumber(-7), "-7");
+  EXPECT_EQ(FormatJsonNumber(40000), "40000");
+  EXPECT_EQ(FormatJsonNumber(1e15), "1000000000000000");
+}
+
+TEST(JsonNumberTest, DoublesRoundTrip) {
+  for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1.26076e-05,
+                   -9.33095e-01, 2.2250738585072014e-308}) {
+    const std::string text = FormatJsonNumber(v);
+    auto parsed = JsonValue::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text;
+    EXPECT_EQ(parsed->number(), v) << text;
+  }
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(FormatJsonNumber(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(FormatJsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonWriteTest, DeterministicAndIndented) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("b", JsonValue::Number(1));
+  doc.Set("a", JsonValue::Str("x"));
+  JsonValue arr = JsonValue::Array();
+  arr.Append(JsonValue::Bool(true));
+  arr.Append(JsonValue::Null());
+  doc.Set("list", std::move(arr));
+  // Insertion order preserved; two serializations are byte-identical.
+  const std::string text = doc.ToString();
+  EXPECT_EQ(text,
+            "{\n  \"b\": 1,\n  \"a\": \"x\",\n  \"list\": [\n"
+            "    true,\n    null\n  ]\n}\n");
+  EXPECT_EQ(text, doc.ToString());
+}
+
+TEST(JsonWriteTest, StringEscaping) {
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(JsonEscape("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonEscape(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+}
+
+TEST(JsonRoundTripTest, WriteThenParseIsIdentity) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("bench", JsonValue::Str("bench_table2_imbalance"));
+  doc.Set("seed", JsonValue::Number(42));
+  JsonValue metrics = JsonValue::Object();
+  metrics.Set("WP/PKG/W=5/avg_imbalance", JsonValue::Number(1.398999999998));
+  metrics.Set("quote\"key", JsonValue::Number(-0.5));
+  doc.Set("metrics", std::move(metrics));
+  JsonValue empty_obj = JsonValue::Object();
+  doc.Set("host_metrics", std::move(empty_obj));
+  JsonValue empty_arr = JsonValue::Array();
+  doc.Set("invariants", std::move(empty_arr));
+
+  auto parsed = JsonValue::Parse(doc.ToString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, doc);
+  EXPECT_EQ(parsed->ToString(), doc.ToString());
+}
+
+TEST(JsonParseTest, AcceptsEscapesAndNesting) {
+  auto v = JsonValue::Parse(
+      R"({"s": "a\nbA", "xs": [1, 2.5, -3e2], "o": {"k": false}})");
+  ASSERT_TRUE(v.ok()) << v.status();
+  EXPECT_EQ(v->Find("s")->string_value(), "a\nbA");
+  EXPECT_EQ(v->Find("xs")->size(), 3u);
+  EXPECT_EQ(v->Find("xs")->at(2).number(), -300.0);
+  EXPECT_EQ(v->Find("o")->Find("k")->bool_value(), false);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\":1,}", "tru", "1 2",
+        "{\"a\":1}extra", "\"unterminated", "{\"a\":1,\"a\":2}",
+        "{'a':1}", "[01a]", "\"bad\\q\"",
+        // strtod accepts these; the JSON grammar does not.
+        "+1", ".5", "1.", "01", "1e", "1e+", "-.5", "0x10"}) {
+    auto v = JsonValue::Parse(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonParseTest, LookupHelpers) {
+  auto v = JsonValue::Parse(R"({"n": 3, "s": "x", "o": {}})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->NumberOr("n", -1), 3.0);
+  EXPECT_EQ(v->NumberOr("missing", -1), -1.0);
+  EXPECT_EQ(v->NumberOr("s", -1), -1.0);  // wrong type -> fallback
+  EXPECT_EQ(v->StringOr("s", "?"), "x");
+  EXPECT_EQ(v->StringOr("n", "?"), "?");
+  EXPECT_NE(v->FindObject("o"), nullptr);
+  EXPECT_EQ(v->FindObject("n"), nullptr);
+}
+
+TEST(JsonFileTest, WriteAndReadBack) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("k", JsonValue::Number(1.5));
+  const std::string path = testing::TempDir() + "/pkgstream_json_test.json";
+  ASSERT_TRUE(WriteJsonFile(doc, path).ok());
+  auto back = ReadJsonFile(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, doc);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, ErrorsSurfaceAsIOError) {
+  JsonValue doc = JsonValue::Object();
+  EXPECT_TRUE(
+      WriteJsonFile(doc, "/nonexistent-dir-xyz/file.json").IsIOError());
+  EXPECT_TRUE(ReadJsonFile("/nonexistent-dir-xyz/file.json").status()
+                  .IsIOError());
+}
+
+}  // namespace
+}  // namespace pkgstream

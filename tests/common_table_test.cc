@@ -69,6 +69,80 @@ TEST(TableTest, WriteCsvBadPathFails) {
   EXPECT_TRUE(t.WriteCsv("/nonexistent-dir-xyz/file.csv").IsIOError());
 }
 
+namespace {
+
+/// Minimal RFC-4180 reader for the round-trip test: splits `text` into
+/// records of fields, honoring quoted fields with doubled quotes and
+/// embedded commas/newlines.
+std::vector<std::vector<std::string>> ParseCsv(const std::string& text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool quoted = false;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      record.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      record.push_back(std::move(field));
+      field.clear();
+      records.push_back(std::move(record));
+      record.clear();
+    } else {
+      field += c;
+    }
+    ++i;
+  }
+  return records;
+}
+
+}  // namespace
+
+TEST(TableTest, CsvRoundTripPreservesHostileTechniqueNames) {
+  // Technique names with every character class the writer must escape:
+  // commas, quotes, both, and an embedded newline.
+  const std::vector<std::vector<std::string>> rows = {
+      {"PKG, the \"partial\" one", "0.8"},
+      {"KG+rebalance(T=2,000)", "1.4e6"},
+      {"plain", "said \"\"twice\"\""},
+      {"multi\nline", ","},
+      {"", "\""},
+  };
+  Table t({"Technique, quoted \"name\"", "avg I(t)/m"});
+  for (const auto& row : rows) t.AddRow(row);
+
+  const std::string path = testing::TempDir() + "/pkgstream_roundtrip.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::stringstream buffer;
+  buffer << f.rdbuf();
+  auto records = ParseCsv(buffer.str());
+
+  ASSERT_EQ(records.size(), rows.size() + 1);  // header + data rows
+  EXPECT_EQ(records[0],
+            (std::vector<std::string>{"Technique, quoted \"name\"",
+                                      "avg I(t)/m"}));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ(records[r + 1], rows[r]) << "row " << r;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(FormatCompactTest, SmallNumbersUseFixed) {
   EXPECT_EQ(FormatCompact(0.8), "0.8");
   EXPECT_EQ(FormatCompact(92.7), "92.7");

@@ -1,8 +1,9 @@
 // Copyright 2026 The pkgstream Authors.
 // Stress tests for ThreadedRuntime's lock-free hot path: high parallelism,
-// brutal backpressure (tiny rings), and multi-threaded Inject — including
-// two injector threads hammering the *same* source instance, which
-// exercises the per-source serialization inside Inject. Per-key totals
+// brutal backpressure (tiny rings), producer-side emit batching (disabled,
+// odd-sized, and far larger than the rings), and multi-threaded Inject —
+// including two injector threads hammering the *same* source instance,
+// which exercises the per-source serialization inside Inject. Per-key totals
 // must match the deterministic LogicalRuntime exactly, message for
 // message. These are the suites the ThreadSanitizer CI job watches: any
 // data race in the ring / mailbox / replica plumbing surfaces here.
@@ -11,6 +12,7 @@
 
 #include <map>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "apps/wordcount.h"
@@ -66,14 +68,21 @@ std::map<Key, uint64_t> LogicalTotals(partition::Technique technique) {
   return AggregatorTotals((*rt)->GetOperator(wc.aggregator, 0));
 }
 
-class ThreadedStressTest
-    : public testing::TestWithParam<partition::Technique> {};
+/// (technique, emit_batch): every technique is stressed with producer-side
+/// batching disabled (1), an odd batch that never divides the stream (3),
+/// and a batch far larger than the 2-slot rings (64) — the case where every
+/// flush needs many partial TryPushBatch publications.
+using StressParam = std::tuple<partition::Technique, size_t>;
+
+class ThreadedStressTest : public testing::TestWithParam<StressParam> {};
 
 TEST_P(ThreadedStressTest, PerKeyTotalsMatchLogicalUnderStress) {
+  const auto [technique, emit_batch] = GetParam();
   apps::WordCountTopology wc = apps::MakeWordCountTopology(
-      GetParam(), kSources, kWorkers, /*tick=*/0, /*topk=*/5, 42);
+      technique, kSources, kWorkers, /*tick=*/0, /*topk=*/5, 42);
   ThreadedRuntimeOptions options;
   options.queue_capacity = 2;  // brutal backpressure on every ring
+  options.emit_batch = emit_batch;
   auto rt = ThreadedRuntime::Create(&wc.topology, options);
   ASSERT_TRUE(rt.ok());
 
@@ -95,7 +104,7 @@ TEST_P(ThreadedStressTest, PerKeyTotalsMatchLogicalUnderStress) {
   (*rt)->Finish();
 
   auto threaded = AggregatorTotals((*rt)->GetOperator(wc.aggregator, 0));
-  EXPECT_EQ(threaded, LogicalTotals(GetParam()));
+  EXPECT_EQ(threaded, LogicalTotals(technique));
 
   // Conservation at the counter stage too: every injected message was
   // processed by exactly one counter instance.
@@ -107,15 +116,16 @@ TEST_P(ThreadedStressTest, PerKeyTotalsMatchLogicalUnderStress) {
 
 INSTANTIATE_TEST_SUITE_P(
     Techniques, ThreadedStressTest,
-    testing::Values(partition::Technique::kHashing,
-                    partition::Technique::kShuffle,
-                    partition::Technique::kPkgLocal),
-    [](const testing::TestParamInfo<partition::Technique>& info) {
-      std::string name = partition::TechniqueName(info.param);
+    testing::Combine(testing::Values(partition::Technique::kHashing,
+                                     partition::Technique::kShuffle,
+                                     partition::Technique::kPkgLocal),
+                     testing::Values<size_t>(1, 3, 64)),
+    [](const testing::TestParamInfo<StressParam>& info) {
+      std::string name = partition::TechniqueName(std::get<0>(info.param));
       for (char& c : name) {
         if (c == '-' || c == '+') c = '_';
       }
-      return name;
+      return name + "_EmitBatch" + std::to_string(std::get<1>(info.param));
     });
 
 TEST(ThreadedStressTest, ConcurrentFinishIsIdempotentAndBlocks) {

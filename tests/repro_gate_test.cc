@@ -1,0 +1,292 @@
+// Copyright 2026 The pkgstream Authors.
+// Tests for the reproduction gate (tools/bench_check_lib): invariant
+// evaluation semantics, metric-agreement diffing, document validation — and
+// an audit of the committed golden baselines in bench/baselines/, so that
+// deleting a declared invariant or corrupting a baseline file fails the
+// suite even before `ctest -L repro` runs a bench.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "bench/report.h"
+#include "common/json.h"
+#include "tools/bench_check_lib.h"
+
+namespace pkgstream {
+namespace {
+
+/// Minimal report document with the given deterministic metrics.
+JsonValue MakeReport(const std::map<std::string, double>& metrics,
+                     const std::map<std::string, double>& host_metrics = {}) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Number(bench::kReportSchemaVersion));
+  doc.Set("bench", JsonValue::Str("bench_fake"));
+  doc.Set("scale", JsonValue::Str("quick"));
+  doc.Set("seed", JsonValue::Number(42));
+  JsonValue m = JsonValue::Object();
+  for (const auto& [k, v] : metrics) m.Set(k, JsonValue::Number(v));
+  doc.Set("metrics", std::move(m));
+  JsonValue hm = JsonValue::Object();
+  for (const auto& [k, v] : host_metrics) hm.Set(k, JsonValue::Number(v));
+  doc.Set("host_metrics", std::move(hm));
+  return doc;
+}
+
+/// Baseline whose captured section is `captured` and whose invariants are
+/// given as JSON text (an array).
+JsonValue MakeBaseline(const JsonValue& captured,
+                       const std::string& invariants_json) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("schema_version", JsonValue::Number(bench::kReportSchemaVersion));
+  doc.Set("bench", JsonValue::Str("bench_fake"));
+  doc.Set("tolerance", JsonValue::Number(1e-6));
+  auto inv = JsonValue::Parse(invariants_json);
+  EXPECT_TRUE(inv.ok()) << inv.status();
+  doc.Set("invariants", *inv);
+  doc.Set("captured", captured);
+  return doc;
+}
+
+TEST(BenchCheckTest, IdenticalReportWithHoldingInvariantPasses) {
+  JsonValue report = MakeReport({{"a", 10.0}, {"b", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      report, R"([{"name": "a >> b", "type": "ge", "left": "a",
+                   "right": "b", "factor": 5}])");
+  auto outcome = repro::CheckReport(report, baseline);
+  EXPECT_TRUE(outcome.ok()) << outcome.failures[0];
+  EXPECT_EQ(outcome.passed.size(), 2u);  // agreement + 1 invariant
+}
+
+TEST(BenchCheckTest, ViolatedOrderingInvariantFails) {
+  JsonValue report = MakeReport({{"a", 10.0}, {"b", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      report, R"([{"name": "b beats a", "type": "ge", "left": "b",
+                   "right": "a"}])");
+  auto outcome = repro::CheckReport(report, baseline);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.failures[0].find("VIOLATED"), std::string::npos);
+}
+
+TEST(BenchCheckTest, RatioToleranceSemantics) {
+  JsonValue report = MakeReport({{"pkg", 1.0}, {"greedy", 0.95}});
+  // PKG <= 1.1x Off-Greedy style claim: 1.0 <= 1.1 * 0.95 holds...
+  JsonValue ok_baseline = MakeBaseline(
+      report, R"([{"name": "pkg close", "type": "le", "left": "pkg",
+                   "right": "greedy", "factor": 1.1}])");
+  EXPECT_TRUE(repro::CheckReport(report, ok_baseline).ok());
+  // ...but without the tolerance factor it fails.
+  JsonValue tight = MakeBaseline(
+      report, R"([{"name": "pkg strictly under", "type": "le",
+                   "left": "pkg", "right": "greedy"}])");
+  EXPECT_FALSE(repro::CheckReport(report, tight).ok());
+}
+
+TEST(BenchCheckTest, EqAndConstOperands) {
+  JsonValue report = MakeReport({{"jaccard", 0.47}});
+  JsonValue baseline = MakeBaseline(
+      report,
+      R"([{"name": "well below 1", "type": "le", "left": "jaccard",
+           "right_const": 1.0, "factor": 0.9},
+          {"name": "around the paper value", "type": "eq",
+           "left": "jaccard", "right_const": 0.5, "rel_tol": 0.2}])");
+  auto outcome = repro::CheckReport(report, baseline);
+  EXPECT_TRUE(outcome.ok()) << outcome.failures[0];
+  JsonValue off = MakeBaseline(
+      report, R"([{"name": "exactly half", "type": "eq", "left": "jaccard",
+                   "right_const": 0.5, "rel_tol": 0.01}])");
+  EXPECT_FALSE(repro::CheckReport(report, off).ok());
+}
+
+TEST(BenchCheckTest, RatioOfRatiosViaDivOperands) {
+  // "KG declines faster": (kg_start/kg_end) >= 1.2 * (pkg_start/pkg_end).
+  JsonValue report = MakeReport({{"kg_start", 8000.0},
+                                 {"kg_end", 3200.0},
+                                 {"pkg_start", 9500.0},
+                                 {"pkg_end", 6000.0}});
+  JsonValue baseline = MakeBaseline(
+      report,
+      R"([{"name": "kg declines fastest", "type": "ge", "left": "kg_start",
+           "left_div": "kg_end", "right": "pkg_start",
+           "right_div": "pkg_end", "factor": 1.2}])");
+  EXPECT_TRUE(repro::CheckReport(report, baseline).ok());
+}
+
+TEST(BenchCheckTest, MonotoneInvariants) {
+  JsonValue report =
+      MakeReport({{"w5", 1.0}, {"w10", 1.4}, {"w50", 90.0}});
+  JsonValue up = MakeBaseline(
+      report, R"([{"name": "degrades with W", "type":
+                   "monotone_nondecreasing", "keys": ["w5", "w10", "w50"],
+                   "slack": 1.05}])");
+  EXPECT_TRUE(repro::CheckReport(report, up).ok());
+  JsonValue down = MakeBaseline(
+      report, R"([{"name": "improves with W", "type":
+                   "monotone_nonincreasing", "keys": ["w5", "w10", "w50"]}])");
+  EXPECT_FALSE(repro::CheckReport(report, down).ok());
+  // Slack forgives a small wiggle.
+  JsonValue wiggly =
+      MakeReport({{"w5", 1.0}, {"w10", 0.97}, {"w50", 90.0}});
+  JsonValue forgiving = MakeBaseline(
+      wiggly, R"([{"name": "degrades with W", "type":
+                   "monotone_nondecreasing", "keys": ["w5", "w10", "w50"],
+                   "slack": 1.05}])");
+  EXPECT_TRUE(repro::CheckReport(wiggly, forgiving).ok());
+  // Slack must loosen (never tighten) for negative series too: a constant
+  // negative sequence is trivially monotone in both directions.
+  JsonValue negative = MakeReport({{"d1", -10.0}, {"d2", -10.0}});
+  for (const char* type :
+       {"monotone_nonincreasing", "monotone_nondecreasing"}) {
+    JsonValue b = MakeBaseline(
+        negative, std::string(R"([{"name": "constant", "type": ")") + type +
+                      R"(", "keys": ["d1", "d2"], "slack": 1.05}])");
+    EXPECT_TRUE(repro::CheckReport(negative, b).ok()) << type;
+  }
+}
+
+TEST(BenchCheckTest, HostMetricsResolvableInInvariantsButNotDiffed) {
+  JsonValue captured = MakeReport({{"det", 1.0}}, {{"mps", 100.0}});
+  JsonValue report = MakeReport({{"det", 1.0}}, {{"mps", 977.0}});
+  // Wall-clock drift between capture and fresh run must not fail...
+  JsonValue baseline = MakeBaseline(
+      captured, R"([{"name": "made progress", "type": "ge", "left": "mps",
+                     "right_const": 0, "factor": 1}])");
+  auto outcome = repro::CheckReport(report, baseline);
+  EXPECT_TRUE(outcome.ok()) << outcome.failures[0];
+}
+
+TEST(BenchCheckTest, MetricDriftAgainstCapturedFails) {
+  JsonValue captured = MakeReport({{"a", 1.0}});
+  JsonValue drifted = MakeReport({{"a", 1.001}});
+  JsonValue baseline = MakeBaseline(
+      captured, R"([{"name": "positive", "type": "ge", "left": "a",
+                     "right_const": 0}])");
+  auto outcome = repro::CheckReport(drifted, baseline);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.failures[0].find("drifted"), std::string::npos);
+}
+
+TEST(BenchCheckTest, MissingAndUnknownMetricsFail) {
+  JsonValue captured = MakeReport({{"a", 1.0}, {"gone", 2.0}});
+  JsonValue fresh = MakeReport({{"a", 1.0}, {"new", 3.0}});
+  JsonValue baseline = MakeBaseline(
+      captured, R"([{"name": "positive", "type": "ge", "left": "a",
+                     "right_const": 0}])");
+  auto outcome = repro::CheckReport(fresh, baseline);
+  ASSERT_EQ(outcome.failures.size(), 2u);
+  EXPECT_NE(outcome.failures[0].find("'gone' missing"), std::string::npos);
+  EXPECT_NE(outcome.failures[1].find("'new'"), std::string::npos);
+}
+
+TEST(BenchCheckTest, EmptyInvariantsAreARedGate) {
+  JsonValue report = MakeReport({{"a", 1.0}});
+  JsonValue baseline = MakeBaseline(report, "[]");
+  auto outcome = repro::CheckReport(report, baseline);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.failures[0].find("no invariants"), std::string::npos);
+}
+
+TEST(BenchCheckTest, UnknownInvariantTypeAndMissingKeyFail) {
+  JsonValue report = MakeReport({{"a", 1.0}});
+  JsonValue unknown = MakeBaseline(
+      report, R"([{"name": "x", "type": "approximately"}])");
+  EXPECT_FALSE(repro::CheckReport(report, unknown).ok());
+  JsonValue missing = MakeBaseline(
+      report, R"([{"name": "x", "type": "ge", "left": "nope",
+                   "right": "a"}])");
+  EXPECT_FALSE(repro::CheckReport(report, missing).ok());
+}
+
+TEST(BenchCheckTest, MismatchedDocumentsFail) {
+  JsonValue report = MakeReport({{"a", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      report, R"([{"name": "positive", "type": "ge", "left": "a",
+                   "right_const": 0}])");
+
+  JsonValue wrong_bench = report;
+  wrong_bench.Set("bench", JsonValue::Str("bench_other"));
+  EXPECT_FALSE(repro::CheckReport(wrong_bench, baseline).ok());
+
+  JsonValue wrong_scale = report;
+  wrong_scale.Set("scale", JsonValue::Str("full"));
+  EXPECT_FALSE(repro::CheckReport(wrong_scale, baseline).ok());
+
+  JsonValue wrong_seed = report;
+  wrong_seed.Set("seed", JsonValue::Number(7));
+  EXPECT_FALSE(repro::CheckReport(wrong_seed, baseline).ok());
+
+  JsonValue wrong_schema = report;
+  wrong_schema.Set("schema_version", JsonValue::Number(99));
+  EXPECT_FALSE(repro::CheckReport(wrong_schema, baseline).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Audit of the committed baselines: every paper bench has one, every file is
+// self-consistent (its captured report satisfies its own declared
+// invariants), and the declared invariant counts match this manifest —
+// deleting an invariant from a baseline file fails here.
+// ---------------------------------------------------------------------------
+
+struct BaselineSpec {
+  const char* bench;
+  size_t invariants;
+};
+
+constexpr BaselineSpec kBaselines[] = {
+    {"bench_table1_datasets", 16},
+    {"bench_table2_imbalance", 16},
+    {"bench_fig2_local_vs_global", 16},
+    {"bench_fig3_time_series", 6},
+    {"bench_fig4_skewed_sources", 7},
+    {"bench_fig5a_throughput", 12},
+    {"bench_fig5b_memory", 11},
+    {"bench_ablation_choices", 7},
+    {"bench_ablation_probing", 7},
+    {"bench_ablation_rebalance", 8},
+    {"bench_threaded_scaling", 7},
+};
+
+class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};
+
+TEST_P(BaselineAuditTest, CommittedBaselineIsSelfConsistent) {
+  const BaselineSpec& spec = GetParam();
+  const std::string path =
+      std::string(PKGSTREAM_BASELINE_DIR) + "/" + spec.bench + ".json";
+  auto baseline = ReadJsonFile(path);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  EXPECT_EQ(baseline->StringOr("bench", "?"), spec.bench);
+  EXPECT_EQ(baseline->NumberOr("schema_version", -1),
+            bench::kReportSchemaVersion);
+
+  const JsonValue* invariants = baseline->Find("invariants");
+  ASSERT_NE(invariants, nullptr);
+  ASSERT_TRUE(invariants->is_array());
+  EXPECT_EQ(invariants->size(), spec.invariants)
+      << "declared invariants changed for " << spec.bench
+      << "; review the paper-shape coverage and update this manifest";
+
+  const JsonValue* captured = baseline->FindObject("captured");
+  ASSERT_NE(captured, nullptr) << "baseline has no captured report";
+  EXPECT_EQ(captured->StringOr("scale", "?"), "quick")
+      << "baselines are captured at --quick (the scale the repro gate runs)";
+  const JsonValue* metrics = captured->FindObject("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GT(metrics->members().size(), 0u);
+
+  // The captured report must satisfy its own invariants: a baseline that
+  // fails itself can only ever go red, which hides real regressions.
+  auto outcome = repro::CheckReport(*captured, *baseline);
+  EXPECT_TRUE(outcome.ok())
+      << spec.bench << " self-check: " << outcome.failures[0];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineAuditTest, testing::ValuesIn(kBaselines),
+    [](const testing::TestParamInfo<BaselineSpec>& info) {
+      return std::string(info.param.bench);
+    });
+
+}  // namespace
+}  // namespace pkgstream

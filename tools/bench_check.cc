@@ -1,0 +1,124 @@
+// Copyright 2026 The pkgstream Authors.
+// bench_check: the reproduction gate's CLI. Verifies a fresh bench report
+// against its committed golden baseline:
+//
+//   ./build/bench_table2_imbalance --quick --json=/tmp/t2.json
+//   ./build/bench_check --report=/tmp/t2.json
+//       --baseline=bench/baselines/bench_table2_imbalance.json
+//
+// Exit codes: 0 all checks hold; 1 a check failed (shape regression or
+// metric drift); 2 usage / unreadable input. `ctest -L repro` wires one
+// bench → report → check pipeline per paper figure/table.
+//
+// --update-captured re-captures the baseline: it replaces the baseline's
+// "captured" report with the fresh one (keeping the declared invariants and
+// tolerance untouched), runs the checks against the updated document, and
+// rewrites the file in canonical form only when every check holds — a
+// re-capture that breaks a shape invariant fails and leaves the committed
+// baseline untouched.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "tools/bench_check_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  Flags flags;
+  Status s = Flags::Parse(argc, argv, &flags);
+  if (!s.ok()) {
+    std::cerr << "flag error: " << s << "\n";
+    return 2;
+  }
+  const std::string report_path = flags.GetString("report", "");
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const bool quiet = flags.GetBool("quiet", false);
+  const bool update_captured = flags.GetBool("update-captured", false);
+  if (report_path.empty() || baseline_path.empty()) {
+    std::cerr << "usage: bench_check --report=PATH --baseline=PATH "
+                 "[--quiet] [--update-captured]\n";
+    return 2;
+  }
+
+  auto report = ReadJsonFile(report_path);
+  if (!report.ok()) {
+    std::cerr << "cannot load report: " << report.status() << "\n";
+    return 2;
+  }
+  auto baseline = ReadJsonFile(baseline_path);
+  if (!baseline.ok()) {
+    std::cerr << "cannot load baseline: " << baseline.status() << "\n";
+    return 2;
+  }
+
+  if (update_captured) {
+    // Refuse to touch the file when the fresh report is not the same
+    // experiment the baseline holds — a mixed-up --baseline path (bench
+    // mismatch) or a run at the wrong scale/seed (e.g. a forgotten
+    // --quick). The write below replaces the committed capture, and the
+    // post-update checks compare against the new capture, so they cannot
+    // catch this themselves.
+    const std::string report_bench = report->StringOr("bench", "");
+    const std::string baseline_bench = baseline->StringOr("bench", "");
+    if (report_bench.empty() || report_bench != baseline_bench) {
+      std::cerr << "refusing --update-captured: report is for '"
+                << report_bench << "' but baseline is for '" << baseline_bench
+                << "'\n";
+      return 2;
+    }
+    const JsonValue* old_captured = baseline->FindObject("captured");
+    if (old_captured != nullptr && old_captured->Find("scale") != nullptr) {
+      const std::string old_scale = old_captured->StringOr("scale", "?");
+      const std::string new_scale = report->StringOr("scale", "?");
+      const double old_seed = old_captured->NumberOr("seed", -1);
+      const double new_seed = report->NumberOr("seed", -2);
+      if (old_scale != new_scale || old_seed != new_seed) {
+        std::cerr << "refusing --update-captured: baseline was captured at "
+                     "scale '"
+                  << old_scale << "' seed " << FormatJsonNumber(old_seed)
+                  << " but the report ran at scale '" << new_scale
+                  << "' seed " << FormatJsonNumber(new_seed)
+                  << " (re-run the bench with matching flags, or edit the "
+                     "baseline's captured scale/seed to intentionally move "
+                     "the capture point)\n";
+        return 2;
+      }
+    }
+    baseline->Set("captured", *report);
+  }
+
+  repro::CheckOutcome outcome = repro::CheckReport(*report, *baseline);
+
+  // The re-capture lands on disk only after every check held against the
+  // updated document — a capture that violates a declared shape invariant
+  // must not replace the committed one.
+  if (update_captured && outcome.ok()) {
+    Status w = WriteJsonFile(*baseline, baseline_path);
+    if (!w.ok()) {
+      std::cerr << "cannot rewrite baseline: " << w << "\n";
+      return 2;
+    }
+    std::cout << "(re-captured " << baseline_path << " from " << report_path
+              << ")\n";
+  }
+  if (update_captured && !outcome.ok()) {
+    std::cerr << "baseline NOT rewritten: the re-capture fails the declared "
+                 "checks\n";
+  }
+  if (!quiet) {
+    for (const std::string& line : outcome.passed) {
+      std::cout << "PASS  " << line << "\n";
+    }
+  }
+  for (const std::string& line : outcome.failures) {
+    std::cerr << "FAIL  " << line << "\n";
+  }
+  if (!outcome.ok()) {
+    std::cerr << outcome.failures.size() << " check(s) failed for "
+              << report_path << " vs " << baseline_path << "\n";
+    return 1;
+  }
+  std::cout << "OK: " << outcome.passed.size() << " check(s) hold ("
+            << report_path << " vs " << baseline_path << ")\n";
+  return 0;
+}

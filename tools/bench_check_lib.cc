@@ -1,0 +1,309 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "tools/bench_check_lib.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "bench/report.h"
+
+namespace pkgstream {
+namespace repro {
+
+namespace {
+
+double RelDiff(double a, double b) {
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  if (scale == 0.0) return 0.0;
+  return std::fabs(a - b) / scale;
+}
+
+/// Looks up `key` in the report's metrics, then host_metrics.
+bool LookupMetric(const JsonValue& report, const std::string& key,
+                  double* out) {
+  for (const char* section : {"metrics", "host_metrics"}) {
+    const JsonValue* map = report.FindObject(section);
+    if (map == nullptr) continue;
+    const JsonValue* v = map->Find(key);
+    if (v != nullptr && v->is_number()) {
+      *out = v->number();
+      return true;
+    }
+  }
+  return false;
+}
+
+class Checker {
+ public:
+  Checker(const JsonValue& report, const JsonValue& baseline)
+      : report_(report), baseline_(baseline) {}
+
+  CheckOutcome Run() {
+    CheckDocuments();
+    if (!outcome_.failures.empty()) return std::move(outcome_);
+    CheckMetricAgreement();
+    CheckInvariants();
+    return std::move(outcome_);
+  }
+
+ private:
+  void Fail(const std::string& line) { outcome_.failures.push_back(line); }
+  void Pass(const std::string& line) { outcome_.passed.push_back(line); }
+
+  void CheckDocuments() {
+    if (!report_.is_object() || !baseline_.is_object()) {
+      Fail("report and baseline must be JSON objects");
+      return;
+    }
+    const double report_schema = report_.NumberOr("schema_version", -1);
+    const double baseline_schema = baseline_.NumberOr("schema_version", -1);
+    if (report_schema != bench::kReportSchemaVersion ||
+        baseline_schema != bench::kReportSchemaVersion) {
+      Fail("schema_version mismatch (report " +
+           FormatJsonNumber(report_schema) + ", baseline " +
+           FormatJsonNumber(baseline_schema) + ", expected " +
+           std::to_string(bench::kReportSchemaVersion) + ")");
+      return;
+    }
+    const std::string report_bench = report_.StringOr("bench", "");
+    const std::string baseline_bench = baseline_.StringOr("bench", "");
+    if (report_bench.empty() || report_bench != baseline_bench) {
+      Fail("bench name mismatch: report '" + report_bench + "' vs baseline '" +
+           baseline_bench + "'");
+      return;
+    }
+    const JsonValue* captured = baseline_.FindObject("captured");
+    if (captured == nullptr) {
+      Fail("baseline has no 'captured' report");
+      return;
+    }
+    // The captured run and the fresh run must be the same experiment:
+    // comparing a --quick report against a --full capture (or different
+    // seeds) would diff unrelated numbers.
+    const std::string report_scale = report_.StringOr("scale", "?");
+    const std::string captured_scale = captured->StringOr("scale", "?");
+    if (report_scale != captured_scale) {
+      Fail("scale mismatch: report ran at '" + report_scale +
+           "' but the baseline was captured at '" + captured_scale + "'");
+    }
+    const double report_seed = report_.NumberOr("seed", -1);
+    const double captured_seed = captured->NumberOr("seed", -2);
+    if (report_seed != captured_seed) {
+      Fail("seed mismatch: report " + FormatJsonNumber(report_seed) +
+           " vs captured " + FormatJsonNumber(captured_seed));
+    }
+  }
+
+  void CheckMetricAgreement() {
+    const double tolerance = baseline_.NumberOr("tolerance",
+                                                kDefaultTolerance);
+    const JsonValue* captured = baseline_.FindObject("captured");
+    const JsonValue* captured_metrics =
+        captured != nullptr ? captured->FindObject("metrics") : nullptr;
+    const JsonValue* report_metrics = report_.FindObject("metrics");
+    if (captured_metrics == nullptr || report_metrics == nullptr) {
+      Fail("missing 'metrics' section in report or captured baseline");
+      return;
+    }
+    size_t compared = 0;
+    for (const auto& [key, value] : captured_metrics->members()) {
+      if (!value.is_number()) {
+        Fail("captured metric '" + key + "' is not a number");
+        continue;
+      }
+      const JsonValue* fresh = report_metrics->Find(key);
+      if (fresh == nullptr || !fresh->is_number()) {
+        Fail("metric '" + key + "' missing from the fresh report");
+        continue;
+      }
+      const double diff = RelDiff(fresh->number(), value.number());
+      if (diff > tolerance) {
+        std::ostringstream os;
+        os << "metric '" << key << "' drifted: fresh "
+           << FormatJsonNumber(fresh->number()) << " vs captured "
+           << FormatJsonNumber(value.number()) << " (rel diff "
+           << FormatJsonNumber(diff) << " > tolerance "
+           << FormatJsonNumber(tolerance) << ")";
+        Fail(os.str());
+        continue;
+      }
+      ++compared;
+    }
+    // New metrics are schema drift too: the baseline no longer covers the
+    // report. Re-capture to bless them.
+    for (const auto& [key, value] : report_metrics->members()) {
+      (void)value;
+      if (captured_metrics->Find(key) == nullptr) {
+        Fail("metric '" + key +
+             "' is not in the baseline (re-capture to bless it)");
+      }
+    }
+    Pass("metric agreement: " + std::to_string(compared) +
+         " metrics within rel tolerance " + FormatJsonNumber(tolerance));
+  }
+
+  bool Resolve(const JsonValue& inv, const std::string& key_field,
+               const std::string& const_field, const std::string& div_field,
+               const std::string& name, double* out) {
+    double value = 0.0;
+    const JsonValue* key = inv.Find(key_field);
+    if (key != nullptr && key->is_string()) {
+      if (!LookupMetric(report_, key->string_value(), &value)) {
+        Fail("invariant '" + name + "': metric '" + key->string_value() +
+             "' not found in the report");
+        return false;
+      }
+    } else if (const JsonValue* c = inv.Find(const_field);
+               !const_field.empty() && c != nullptr && c->is_number()) {
+      value = c->number();
+    } else {
+      Fail("invariant '" + name + "': missing operand '" + key_field + "'");
+      return false;
+    }
+    const JsonValue* div = inv.Find(div_field);
+    if (div != nullptr && div->is_string()) {
+      double d = 0.0;
+      if (!LookupMetric(report_, div->string_value(), &d)) {
+        Fail("invariant '" + name + "': metric '" + div->string_value() +
+             "' not found in the report");
+        return false;
+      }
+      if (d == 0.0) {
+        Fail("invariant '" + name + "': divisor '" + div->string_value() +
+             "' is zero");
+        return false;
+      }
+      value /= d;
+    }
+    *out = value;
+    return true;
+  }
+
+  void CheckComparison(const JsonValue& inv, const std::string& name,
+                       const std::string& type) {
+    double left = 0.0;
+    double right = 0.0;
+    if (!Resolve(inv, "left", "", "left_div", name, &left)) return;
+    if (!Resolve(inv, "right", "right_const", "right_div", name, &right)) {
+      return;
+    }
+    const double factor = inv.NumberOr("factor", 1.0);
+    const double scaled = factor * right;
+    bool holds = false;
+    std::string op;
+    if (type == "le") {
+      holds = left <= scaled;
+      op = "<=";
+    } else if (type == "ge") {
+      holds = left >= scaled;
+      op = ">=";
+    } else {  // eq
+      const double rel_tol = inv.NumberOr("rel_tol", kDefaultTolerance);
+      holds = RelDiff(left, scaled) <= rel_tol;
+      op = "~=";
+    }
+    std::ostringstream os;
+    os << "invariant '" << name << "': " << FormatJsonNumber(left) << " "
+       << op << " " << FormatJsonNumber(factor) << " * "
+       << FormatJsonNumber(right);
+    if (holds) {
+      Pass(os.str());
+    } else {
+      os << "  VIOLATED";
+      Fail(os.str());
+    }
+  }
+
+  void CheckMonotone(const JsonValue& inv, const std::string& name,
+                     bool nondecreasing) {
+    const JsonValue* keys = inv.Find("keys");
+    if (keys == nullptr || !keys->is_array() || keys->size() < 2) {
+      Fail("invariant '" + name + "': 'keys' must list >= 2 metrics");
+      return;
+    }
+    const double slack = inv.NumberOr("slack", 1.0);
+    if (slack < 1.0) {
+      Fail("invariant '" + name + "': slack must be >= 1");
+      return;
+    }
+    double prev = 0.0;
+    std::string prev_key;
+    for (size_t i = 0; i < keys->size(); ++i) {
+      if (!keys->at(i).is_string()) {
+        Fail("invariant '" + name + "': 'keys' must be strings");
+        return;
+      }
+      const std::string& key = keys->at(i).string_value();
+      double value = 0.0;
+      if (!LookupMetric(report_, key, &value)) {
+        Fail("invariant '" + name + "': metric '" + key +
+             "' not found in the report");
+        return;
+      }
+      if (i > 0) {
+        // Slack loosens the bound by a fraction of the previous value's
+        // magnitude, so it loosens for negative values too (prev * slack
+        // would tighten there).
+        const double give = (slack - 1.0) * std::fabs(prev);
+        const bool holds = nondecreasing ? value >= prev - give
+                                         : value <= prev + give;
+        if (!holds) {
+          std::ostringstream os;
+          os << "invariant '" << name << "': not monotone "
+             << (nondecreasing ? "nondecreasing" : "nonincreasing")
+             << " at '" << key << "': " << FormatJsonNumber(value)
+             << " after '" << prev_key << "' = " << FormatJsonNumber(prev)
+             << " (slack " << FormatJsonNumber(slack) << ")  VIOLATED";
+          Fail(os.str());
+          return;
+        }
+      }
+      prev = value;
+      prev_key = key;
+    }
+    Pass("invariant '" + name + "': monotone over " +
+         std::to_string(keys->size()) + " points");
+  }
+
+  void CheckInvariants() {
+    const JsonValue* invariants = baseline_.Find("invariants");
+    if (invariants == nullptr || !invariants->is_array() ||
+        invariants->size() == 0) {
+      Fail("baseline declares no invariants — a reproduction baseline must "
+           "state the paper shape it enforces");
+      return;
+    }
+    for (size_t i = 0; i < invariants->size(); ++i) {
+      const JsonValue& inv = invariants->at(i);
+      if (!inv.is_object()) {
+        Fail("invariant #" + std::to_string(i) + " is not an object");
+        continue;
+      }
+      const std::string name =
+          inv.StringOr("name", "#" + std::to_string(i));
+      const std::string type = inv.StringOr("type", "");
+      if (type == "le" || type == "ge" || type == "eq") {
+        CheckComparison(inv, name, type);
+      } else if (type == "monotone_nondecreasing") {
+        CheckMonotone(inv, name, /*nondecreasing=*/true);
+      } else if (type == "monotone_nonincreasing") {
+        CheckMonotone(inv, name, /*nondecreasing=*/false);
+      } else {
+        Fail("invariant '" + name + "': unknown type '" + type + "'");
+      }
+    }
+  }
+
+  const JsonValue& report_;
+  const JsonValue& baseline_;
+  CheckOutcome outcome_;
+};
+
+}  // namespace
+
+CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline) {
+  return Checker(report, baseline).Run();
+}
+
+}  // namespace repro
+}  // namespace pkgstream

@@ -1,0 +1,72 @@
+// Copyright 2026 The pkgstream Authors.
+// The reproduction gate's checker: diffs a fresh bench report (bench/report.h
+// JSON) against a committed golden baseline (bench/baselines/<bench>.json).
+//
+// A baseline never pins absolute host-dependent numbers. It checks two
+// things:
+//  1. declared invariants — the paper's *shape* claims (ordering, ratios,
+//     monotonicity with tolerances), evaluated on the fresh report: these
+//     are what "reproduces the figure" means, host-independently;
+//  2. metric agreement — the baseline's captured "metrics" section (which is
+//     deterministic given seed + scale) must match the fresh report within a
+//     tight relative tolerance, so any silent change in simulation results
+//     fails even when the shape survives. Wall-clock "host_metrics" are
+//     exempt; invariants may still relate them *within* one report.
+//
+// Baseline document schema (see docs/BENCHMARKS.md "Baselines"):
+//   {
+//     "schema_version": 1,
+//     "bench": "<binary name>",
+//     "tolerance": 1e-6,            // relative, for metric agreement
+//     "captured": { <a full report document> },
+//     "invariants": [ <invariant>, ... ]   // must be non-empty
+//   }
+//
+// Invariant forms ("factor" defaults to 1, "slack" to 1; operands name
+// metric keys, resolved in metrics then host_metrics; "*_div" divides the
+// operand, enabling ratio-of-ratio claims like "KG declines faster"):
+//   {"name": .., "type": "le"|"ge"|"eq",
+//    "left": KEY, ["left_div": KEY,]
+//    "right": KEY | "right_const": NUMBER, ["right_div": KEY,]
+//    ["factor": F,] ["rel_tol": T]}        // eq only: relative tolerance
+//   {"name": .., "type": "monotone_nondecreasing"|"monotone_nonincreasing",
+//    "keys": [KEY, ...], ["slack": S]}     // S >= 1 loosens each step
+// Semantics: le: left <= F*right; ge: left >= F*right;
+// eq: |left - F*right| <= T*max(|left|,|F*right|);
+// nondecreasing with slack S: v[i+1] >= v[i] - (S-1)*|v[i]| — the slack
+// loosens by a fraction of the previous magnitude, sign-safe
+// (nonincreasing mirrored: v[i+1] <= v[i] + (S-1)*|v[i]|).
+
+#ifndef PKGSTREAM_TOOLS_BENCH_CHECK_LIB_H_
+#define PKGSTREAM_TOOLS_BENCH_CHECK_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace pkgstream {
+namespace repro {
+
+/// \brief Relative tolerance used for metric agreement when the baseline
+/// does not declare one. Tight: report metrics are deterministic; only
+/// cross-compiler floating-point drift should pass.
+inline constexpr double kDefaultTolerance = 1e-6;
+
+/// \brief Outcome of one report-vs-baseline check.
+struct CheckOutcome {
+  std::vector<std::string> passed;    ///< one line per passing check
+  std::vector<std::string> failures;  ///< one line per failing check
+  bool ok() const { return failures.empty(); }
+};
+
+/// \brief Runs every check of `baseline` against `report`. Malformed
+/// documents (wrong bench, missing invariants, unknown invariant types,
+/// missing metric keys) are failures, not errors: the gate must go red, not
+/// crash, when a baseline rots.
+CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline);
+
+}  // namespace repro
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_TOOLS_BENCH_CHECK_LIB_H_

@@ -46,14 +46,13 @@ int main(int argc, char** argv) {
           std::cerr << stream.status() << "\n";
           return 1;
         }
-        simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
         simulation::RoutingConfig config;
         config.partitioner.technique = partition::Technique::kPkgGlobal;
         config.partitioner.workers = w;
         config.partitioner.num_choices = d;
         config.partitioner.seed = args.seed;
         config.messages = messages;
-        auto result = simulation::RunRouting(config, feed);
+        auto result = simulation::RunRouting(config, stream->get());
         if (!result.ok()) {
           std::cerr << result.status() << "\n";
           return 1;
@@ -93,14 +92,13 @@ int main(int argc, char** argv) {
           std::cerr << stream.status() << "\n";
           return 1;
         }
-        simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
         simulation::RoutingConfig config;
         config.partitioner.technique = technique;
         config.partitioner.sources = 5;
         config.partitioner.workers = w;
         config.partitioner.seed = args.seed;
         config.messages = messages;
-        auto result = simulation::RunRouting(config, feed);
+        auto result = simulation::RunRouting(config, stream->get());
         if (!result.ok()) {
           std::cerr << result.status() << "\n";
           return 1;

@@ -29,7 +29,6 @@ int main(int argc, char** argv) {
                  uint64_t probe_period) -> Result<double> {
     auto stream = workload::MakeKeyStream(wp, scale, args.seed);
     if (!stream.ok()) return stream.status();
-    simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
     simulation::RoutingConfig config;
     config.partitioner.technique = technique;
     config.partitioner.sources =
@@ -39,7 +38,7 @@ int main(int argc, char** argv) {
     config.partitioner.probe_period_messages = probe_period;
     config.messages = messages;
     PKGSTREAM_ASSIGN_OR_RETURN(auto result,
-                               simulation::RunRouting(config, feed));
+                               simulation::RunRouting(config, stream->get()));
     return result.imbalance.avg_fraction;
   };
 

@@ -41,14 +41,13 @@ int main(int argc, char** argv) {
   {
     auto stream = workload::MakeKeyStream(wp, scale, args.seed);
     PKGSTREAM_CHECK_OK(stream.status());
-    simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
     simulation::RoutingConfig config;
     config.partitioner.technique = partition::Technique::kPkgLocal;
     config.partitioner.sources = 5;
     config.partitioner.workers = workers;
     config.partitioner.seed = args.seed;
     config.messages = messages;
-    auto result = simulation::RunRouting(config, feed);
+    auto result = simulation::RunRouting(config, stream->get());
     PKGSTREAM_CHECK_OK(result.status());
     report.AddMetric("PKG/avg_fraction", result->imbalance.avg_fraction);
     table.AddRow({"PKG (L5)", FormatCompact(result->imbalance.avg_fraction),
@@ -59,13 +58,12 @@ int main(int argc, char** argv) {
   {
     auto stream = workload::MakeKeyStream(wp, scale, args.seed);
     PKGSTREAM_CHECK_OK(stream.status());
-    simulation::Feed feed = simulation::MakeKeyFeed(stream->get());
     simulation::RoutingConfig config;
     config.partitioner.technique = partition::Technique::kHashing;
     config.partitioner.workers = workers;
     config.partitioner.seed = args.seed;
     config.messages = messages;
-    auto result = simulation::RunRouting(config, feed);
+    auto result = simulation::RunRouting(config, stream->get());
     PKGSTREAM_CHECK_OK(result.status());
     report.AddMetric("KG/avg_fraction", result->imbalance.avg_fraction);
     table.AddRow({"KG (no rebalance)",

@@ -1,12 +1,42 @@
 // Copyright 2026 The pkgstream Authors.
-// google-benchmark microbenchmark: the per-message cost of Route() for every
-// technique. This quantifies the paper's practicality claim — PKG is "a
-// single function and less than 20 lines of code": its routing decision
-// should cost within a small constant of plain hashing and remain a
-// negligible fraction of any realistic per-message processing budget.
+// google-benchmark microbenchmark: the per-message cost of Route() — scalar
+// and batched — for every technique. This quantifies the paper's
+// practicality claim — PKG is "a single function and less than 20 lines of
+// code": its routing decision should cost within a small constant of plain
+// hashing and remain a negligible fraction of any realistic per-message
+// processing budget. The batch cases measure the fused RouteBatch hot path
+// (devirtualized estimator protocol + fixed-width Murmur3; see
+// docs/ARCHITECTURE.md "The routing hot path").
+//
+// Unlike the other bench binaries this one is timer-driven, but it speaks
+// the same structured-report protocol (--json=PATH, bench/report.h):
+//  * metrics       deterministic routing checksums from an equivalence run
+//                  that routes the identical message sequence scalar and
+//                  batched (interleaved batch sizes) and CHECKs the
+//                  decisions match — the repro gate diffs these against
+//                  bench/baselines/bench_micro_route.json, so a silent
+//                  change to the routing bits fails CI;
+//  * host_metrics  google-benchmark items/sec per case (collected through
+//                  a ConsoleReporter adapter), host-dependent, used only in
+//                  same-report ratio invariants ("batch >= scalar",
+//                  "PKG-L within 4x of Hashing").
+//
+// Flags: bench_util flags (--seed/--quick/--full/--json/--csv) plus any
+// --benchmark_* flag, forwarded to google-benchmark. Scale picks the
+// per-case --benchmark_min_time unless given explicitly.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/report.h"
+#include "common/hash.h"
+#include "common/logging.h"
 #include "common/random.h"
 #include "partition/factory.h"
 #include "stats/frequency.h"
@@ -19,13 +49,22 @@ namespace {
 constexpr uint32_t kWorkers = 16;
 constexpr uint32_t kSources = 4;
 constexpr uint64_t kKeys = 100000;
+/// Keys routed per RouteBatch call in the timed batch cases.
+constexpr size_t kRouteBatchSize = 256;
+/// Messages in the deterministic scalar-vs-batch equivalence run.
+constexpr size_t kEquivalenceMessages = 1 << 15;
+
+/// Set from --seed in main before any lazy state is touched.
+uint64_t g_seed = 42;
 
 /// Pre-generates a key sequence so sampling cost stays out of the loop.
+/// Size is a power of two (wrap by mask) and a multiple of kRouteBatchSize
+/// (batch slices never straddle the wrap).
 const std::vector<Key>& KeySequence() {
   static const std::vector<Key>* keys = [] {
     auto dist = std::make_shared<workload::StaticDistribution>(
         workload::ZipfWeights(kKeys, 1.0), "zipf");
-    Rng rng(42);
+    Rng rng(g_seed);
     auto* v = new std::vector<Key>(1 << 16);
     for (auto& k : *v) k = dist->Sample(&rng);
     return v;
@@ -42,23 +81,49 @@ const stats::FrequencyTable& Frequencies() {
   return *table;
 }
 
-void RouteBenchmark(benchmark::State& state, partition::Technique technique) {
+partition::PartitionerConfig MakeConfig(partition::Technique technique,
+                                        uint32_t num_choices = 2) {
   partition::PartitionerConfig config;
   config.technique = technique;
   config.sources = kSources;
   config.workers = kWorkers;
-  config.seed = 42;
+  config.seed = g_seed;
+  config.num_choices = num_choices;
   config.frequencies = &Frequencies();
-  auto partitioner = partition::MakePartitioner(config);
+  return config;
+}
+
+/// The techniques under the microscope; names double as metric-key
+/// segments. The fused-RouteBatch set (Hashing, SG, PKG-*, PoTC) plus the
+/// scalar-fallback references (Random, greedy baselines).
+struct Case {
+  const char* name;
+  partition::Technique technique;
+};
+constexpr Case kCases[] = {
+    {"Hashing", partition::Technique::kHashing},
+    {"SG", partition::Technique::kShuffle},
+    {"Random", partition::Technique::kRandom},
+    {"PKG-G", partition::Technique::kPkgGlobal},
+    {"PKG-L", partition::Technique::kPkgLocal},
+    {"PKG-LP", partition::Technique::kPkgProbing},
+    {"PoTC", partition::Technique::kPotcStatic},
+    {"On-Greedy", partition::Technique::kOnGreedy},
+    {"Off-Greedy", partition::Technique::kOffGreedy},
+};
+
+void RouteScalar(benchmark::State& state, partition::Technique technique) {
+  auto partitioner = partition::MakePartitioner(MakeConfig(technique));
   if (!partitioner.ok()) {
     state.SkipWithError(partitioner.status().ToString().c_str());
     return;
   }
   const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
   size_t i = 0;
   SourceId source = 0;
   for (auto _ : state) {
-    WorkerId w = (*partitioner)->Route(source, keys[i & (keys.size() - 1)]);
+    WorkerId w = (*partitioner)->Route(source, keys[i & mask]);
     benchmark::DoNotOptimize(w);
     ++i;
     source = static_cast<SourceId>(i & (kSources - 1));
@@ -66,42 +131,244 @@ void RouteBenchmark(benchmark::State& state, partition::Technique technique) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
-#define PKGSTREAM_ROUTE_BENCH(name, technique)                       \
-  void BM_Route_##name(benchmark::State& state) {                    \
-    RouteBenchmark(state, partition::Technique::technique);          \
-  }                                                                  \
-  BENCHMARK(BM_Route_##name)
-
-PKGSTREAM_ROUTE_BENCH(Hashing, kHashing);
-PKGSTREAM_ROUTE_BENCH(Shuffle, kShuffle);
-PKGSTREAM_ROUTE_BENCH(Random, kRandom);
-PKGSTREAM_ROUTE_BENCH(PkgGlobal, kPkgGlobal);
-PKGSTREAM_ROUTE_BENCH(PkgLocal, kPkgLocal);
-PKGSTREAM_ROUTE_BENCH(PkgProbing, kPkgProbing);
-PKGSTREAM_ROUTE_BENCH(PotcStatic, kPotcStatic);
-PKGSTREAM_ROUTE_BENCH(OnGreedy, kOnGreedy);
-PKGSTREAM_ROUTE_BENCH(OffGreedy, kOffGreedy);
+void RouteBatched(benchmark::State& state, partition::Technique technique) {
+  auto partitioner = partition::MakePartitioner(MakeConfig(technique));
+  if (!partitioner.ok()) {
+    state.SkipWithError(partitioner.status().ToString().c_str());
+    return;
+  }
+  const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
+  WorkerId out[kRouteBatchSize];
+  size_t i = 0;
+  SourceId source = 0;
+  for (auto _ : state) {
+    const Key* slice = keys.data() + (i & mask);
+    (*partitioner)->RouteBatch(source, slice, out, kRouteBatchSize);
+    benchmark::DoNotOptimize(out[0]);
+    benchmark::ClobberMemory();
+    i += kRouteBatchSize;
+    source = static_cast<SourceId>((i / kRouteBatchSize) & (kSources - 1));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRouteBatchSize));
+}
 
 /// PKG with more choices: cost grows linearly in d.
-void BM_Route_PkgChoices(benchmark::State& state) {
-  partition::PartitionerConfig config;
-  config.technique = partition::Technique::kPkgGlobal;
-  config.sources = kSources;
-  config.workers = kWorkers;
-  config.num_choices = static_cast<uint32_t>(state.range(0));
-  auto partitioner = partition::MakePartitioner(config);
+void RouteChoices(benchmark::State& state, uint32_t num_choices) {
+  auto partitioner = partition::MakePartitioner(
+      MakeConfig(partition::Technique::kPkgGlobal, num_choices));
+  if (!partitioner.ok()) {
+    state.SkipWithError(partitioner.status().ToString().c_str());
+    return;
+  }
   const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
   size_t i = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        (*partitioner)->Route(0, keys[i & (keys.size() - 1)]));
+    benchmark::DoNotOptimize((*partitioner)->Route(0, keys[i & mask]));
     ++i;
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_Route_PkgChoices)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void RegisterAllBenchmarks() {
+  for (const Case& c : kCases) {
+    benchmark::RegisterBenchmark(
+        (std::string("route/") + c.name + "/scalar").c_str(), RouteScalar,
+        c.technique);
+    benchmark::RegisterBenchmark(
+        (std::string("route/") + c.name + "/batch").c_str(), RouteBatched,
+        c.technique);
+  }
+  for (uint32_t d : {1u, 2u, 4u, 8u}) {
+    benchmark::RegisterBenchmark(
+        ("choices/d=" + std::to_string(d)).c_str(), RouteChoices, d);
+  }
+}
+
+/// 32-bit routing checksum: fits a double exactly, so it round-trips
+/// through the JSON report and the baseline's tight metric agreement.
+uint32_t RoutingChecksum(const std::vector<WorkerId>& workers) {
+  uint64_t acc = 0xcbf29ce484222325ULL;
+  for (WorkerId w : workers) acc = Fmix64(acc ^ w);
+  return static_cast<uint32_t>(acc);
+}
+
+/// The deterministic half of the report: routes the identical message
+/// sequence through two fresh partitioners per technique — one via scalar
+/// Route, one via RouteBatch with interleaved batch sizes (1, 7, 64, 256
+/// and a ragged tail) and a rotating source — CHECKs the decisions agree,
+/// and records both checksums as metrics. The repro gate then (a) pins the
+/// checksums against the committed capture, so the routing bits themselves
+/// are under regression test, and (b) re-verifies batch==scalar as an
+/// explicit invariant on every run.
+void AddEquivalenceMetrics(bench::Report* report) {
+  const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
+  const size_t chunk_sizes[] = {1, 7, 64, kRouteBatchSize};
+  Key key_buf[kRouteBatchSize];
+  WorkerId out_buf[kRouteBatchSize];
+  for (const Case& c : kCases) {
+    auto scalar_p = partition::MakePartitioner(MakeConfig(c.technique));
+    auto batch_p = partition::MakePartitioner(MakeConfig(c.technique));
+    PKGSTREAM_CHECK_OK(scalar_p.status());
+    PKGSTREAM_CHECK_OK(batch_p.status());
+    std::vector<WorkerId> scalar_workers;
+    std::vector<WorkerId> batch_workers;
+    scalar_workers.reserve(kEquivalenceMessages);
+    batch_workers.reserve(kEquivalenceMessages);
+    size_t pos = 0;
+    size_t chunk = 0;
+    SourceId source = 0;
+    while (pos < kEquivalenceMessages) {
+      const size_t len =
+          std::min(chunk_sizes[chunk++ % 4], kEquivalenceMessages - pos);
+      for (size_t j = 0; j < len; ++j) key_buf[j] = keys[(pos + j) & mask];
+      for (size_t j = 0; j < len; ++j) {
+        scalar_workers.push_back((*scalar_p)->Route(source, key_buf[j]));
+      }
+      (*batch_p)->RouteBatch(source, key_buf, out_buf, len);
+      batch_workers.insert(batch_workers.end(), out_buf, out_buf + len);
+      pos += len;
+      source = static_cast<SourceId>((source + 1) % kSources);
+    }
+    PKGSTREAM_CHECK(scalar_workers == batch_workers)
+        << c.name << ": RouteBatch diverged from scalar Route";
+    report->AddMetric(std::string("equiv/") + c.name + "/scalar_checksum",
+                      RoutingChecksum(scalar_workers));
+    report->AddMetric(std::string("equiv/") + c.name + "/batch_checksum",
+                      RoutingChecksum(batch_workers));
+  }
+  report->AddMetric("equiv/messages",
+                    static_cast<double>(kEquivalenceMessages));
+  report->AddMetric("workers", kWorkers);
+  report->AddMetric("sources", kSources);
+}
+
+/// ConsoleReporter that additionally lands every per-iteration run's
+/// items/sec in the structured report's host_metrics.
+class ReportingConsoleReporter final : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(bench::Report* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      // No error/skip flag check: the field was renamed across
+      // google-benchmark 1.8 (error_occurred -> skipped); an errored or
+      // skipped run never reaches SetItemsProcessed, so the counter's
+      // absence already filters it on every library version.
+      if (run.run_type != Run::RT_Iteration || run.iterations == 0) continue;
+      auto it = run.counters.find("items_per_second");
+      if (it == run.counters.end()) continue;
+      report_->AddHostMetric(run.benchmark_name() + "/items_per_sec",
+                             it->second);
+    }
+  }
+
+ private:
+  bench::Report* report_;
+};
+
+std::string FormatMps(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  return buf;
+}
+
+/// Renders the scalar-vs-batch comparison (the one-line CI summary plus a
+/// per-technique table) from the collected host metrics.
+void AddSummary(bench::Report* report) {
+  const auto& host = report->ToJson();
+  const JsonValue* host_metrics = host.FindObject("host_metrics");
+  auto rate = [&](const std::string& key) -> double {
+    if (host_metrics == nullptr) return 0;
+    return host_metrics->NumberOr(key, 0);
+  };
+  Table table({"technique", "scalar msg/s", "batch msg/s", "speedup"});
+  for (const Case& c : kCases) {
+    const double scalar =
+        rate(std::string("route/") + c.name + "/scalar/items_per_sec");
+    const double batch =
+        rate(std::string("route/") + c.name + "/batch/items_per_sec");
+    if (scalar <= 0 || batch <= 0) continue;
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", batch / scalar);
+    table.AddRow({c.name, FormatMps(scalar), FormatMps(batch), speedup});
+    report->AddHostMetric(std::string("summary/") + c.name +
+                              "/batch_speedup",
+                          batch / scalar);
+  }
+  report->AddTable(std::move(table));
+  const double pkg_scalar = rate("route/PKG-L/scalar/items_per_sec");
+  const double pkg_batch = rate("route/PKG-L/batch/items_per_sec");
+  const double kg_scalar = rate("route/Hashing/scalar/items_per_sec");
+  const double kg_batch = rate("route/Hashing/batch/items_per_sec");
+  if (pkg_scalar > 0 && pkg_batch > 0) {
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "scalar-vs-batch msgs/sec: PKG-L %s -> %s (%.2fx), "
+                  "Hashing %s -> %s (%.2fx)",
+                  FormatMps(pkg_scalar).c_str(), FormatMps(pkg_batch).c_str(),
+                  pkg_batch / pkg_scalar, FormatMps(kg_scalar).c_str(),
+                  FormatMps(kg_batch).c_str(),
+                  kg_scalar > 0 ? kg_batch / kg_scalar : 0.0);
+    report->AddText(line);
+  }
+}
 
 }  // namespace
 }  // namespace pkgstream
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  g_seed = args.seed;
+  const std::string title =
+      "Routing microbenchmark: scalar vs batched hot path";
+  const std::string paper_ref =
+      "Section V-B 'a single function and less than 20 lines of code'; "
+      "ROADMAP 'invariant coverage' (bench_micro_route)";
+  bench::PrintBanner(title, paper_ref, args);
+  bench::Report report("bench_micro_route", title, paper_ref, args);
+
+  // Deterministic metrics first: aborts (and fails the gate) on any
+  // scalar-vs-batch divergence.
+  AddEquivalenceMetrics(&report);
+
+  RegisterAllBenchmarks();
+
+  // Forward --benchmark_* flags; pick a scale-appropriate min_time cap
+  // unless the caller chose one (keeps the ctest smoke run and the repro
+  // pipeline fast).
+  std::vector<std::string> gb_args = {argv[0]};
+  bool min_time_given = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      gb_args.push_back(argv[i]);
+      if (std::strncmp(argv[i], "--benchmark_min_time", 20) == 0) {
+        min_time_given = true;
+      }
+    }
+  }
+  if (!min_time_given) {
+    gb_args.push_back(args.quick
+                          ? "--benchmark_min_time=0.02"
+                          : (args.full ? "--benchmark_min_time=2.0"
+                                       : "--benchmark_min_time=0.25"));
+  }
+  std::vector<char*> gb_argv;
+  gb_argv.reserve(gb_args.size());
+  for (std::string& a : gb_args) gb_argv.push_back(a.data());
+  int gb_argc = static_cast<int>(gb_argv.size());
+  benchmark::Initialize(&gb_argc, gb_argv.data());
+
+  ReportingConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  AddSummary(&report);
+  return bench::Finish(report, args);
+}

@@ -12,8 +12,11 @@
 //              per edge shared by all sources behind a std::mutex, plus a
 //              mutex+condvar MPMC inbox per consumer;
 //   lock-free  ThreadedRuntime as built today: a partitioner replica per
-//              source (no lock) and one bounded lock-free SPSC ring per
-//              producer->consumer pair with batched pops.
+//              source (no lock), one bounded lock-free SPSC ring per
+//              producer->consumer pair with batched pops, and sources
+//              feeding through InjectBatch (one lock take + one fused
+//              RouteBatch per 256-message chunk, filling the per-edge
+//              emit out-buffers directly).
 //
 // Keeping the old design alive inside the bench means the speedup is
 // *measured on this host at run time*, not asserted from a recorded
@@ -29,6 +32,7 @@
 // Sweep: parallelism P in {1,2,4,8,16} (P sources x P workers) x
 // technique in {KG, SG, PKG-L}.
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -239,10 +243,15 @@ RunResult RunLockFree(partition::Technique technique, uint32_t parallelism,
   std::vector<std::thread> injectors;
   for (uint32_t s = 0; s < parallelism; ++s) {
     injectors.emplace_back([&, s] {
-      engine::Message m;
-      for (uint64_t i = 0; i < per_source; ++i) {
-        m.key = BenchKey(s, i, seed);
-        (*rt)->Inject(spout, s, m);
+      constexpr uint64_t kInjectBatch = 256;
+      engine::Message batch[kInjectBatch];
+      for (uint64_t i = 0; i < per_source;) {
+        const uint64_t len = std::min(kInjectBatch, per_source - i);
+        for (uint64_t j = 0; j < len; ++j) {
+          batch[j].key = BenchKey(s, i + j, seed);
+        }
+        (*rt)->InjectBatch(spout, s, batch, len);
+        i += len;
       }
     });
   }

@@ -114,12 +114,8 @@ uint64_t Murmur3_64(std::string_view s, uint32_t seed) {
   return Murmur3_64(s.data(), s.size(), seed);
 }
 
-uint64_t Murmur3_64(uint64_t key, uint32_t seed) {
-  return Murmur3_64(&key, sizeof(key), seed);
-}
-
 HashFamily::HashFamily(uint32_t d, uint32_t buckets, uint64_t seed)
-    : buckets_(buckets) {
+    : buckets_(buckets), mod_(buckets) {
   PKGSTREAM_CHECK(d >= 1) << "HashFamily needs at least one function";
   PKGSTREAM_CHECK(buckets >= 1) << "HashFamily needs at least one bucket";
   seeds_.reserve(d);
@@ -128,11 +124,6 @@ HashFamily::HashFamily(uint32_t d, uint32_t buckets, uint64_t seed)
     seeds_.push_back(
         static_cast<uint32_t>(Fmix64(seed + 0x9e3779b97f4a7c15ULL * (i + 1))));
   }
-}
-
-uint32_t HashFamily::Bucket(uint32_t i, uint64_t key) const {
-  PKGSTREAM_DCHECK(i < seeds_.size());
-  return static_cast<uint32_t>(Murmur3_64(key, seeds_[i]) % buckets_);
 }
 
 uint32_t HashFamily::Bucket(uint32_t i, std::string_view key) const {

@@ -15,6 +15,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/logging.h"
+
 namespace pkgstream {
 
 /// \brief 128-bit hash value.
@@ -39,9 +41,6 @@ uint64_t Murmur3_64(const void* data, size_t len, uint32_t seed);
 /// \brief Murmur3 of a string key.
 uint64_t Murmur3_64(std::string_view s, uint32_t seed);
 
-/// \brief Murmur3 of a 64-bit integer key (hashes its 8 bytes).
-uint64_t Murmur3_64(uint64_t key, uint32_t seed);
-
 /// \brief Murmur3's 64-bit finalizer (fmix64). A fast, high-quality bijective
 /// mixer; useful to decorrelate sequential integer keys.
 constexpr uint64_t Fmix64(uint64_t k) {
@@ -57,6 +56,82 @@ constexpr uint64_t Fmix64(uint64_t k) {
 constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
+
+/// \brief Murmur3 of a 64-bit integer key: bit-identical to hashing the
+/// key's 8 little-endian bytes through Murmur3_x64_128 and taking the low
+/// word, with the generic algorithm collapsed for the fixed length. An
+/// 8-byte input has no 16-byte body blocks and exactly one tail lane
+/// (k1 = key, k2 = 0, so h2 never mixes a block), leaving straight-line
+/// code: one tail mix, the length xor, and the finalizer — no loop, no
+/// per-byte tail switch, fully inlinable into routing loops. The unit test
+/// Murmur3Test.FixedWidthSpecializationMatchesGenericPath pins the
+/// bit-compatibility contract; routing decisions depend on these exact
+/// bits, so any change here invalidates every captured baseline.
+constexpr uint64_t Murmur3_64(uint64_t key, uint32_t seed) {
+  const uint64_t c1 = 0x87c37b91114253d5ULL;
+  const uint64_t c2 = 0x4cf5ad432745937fULL;
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+  uint64_t k1 = key * c1;
+  k1 = (k1 << 31) | (k1 >> 33);  // rotl64(k1, 31)
+  h1 ^= k1 * c2;
+  h1 ^= 8;  // len
+  h2 ^= 8;
+  h1 += h2;
+  h2 += h1;
+  // Low word of the final cross-add: fmix(h1) + fmix(h2).
+  return Fmix64(h1) + Fmix64(h2);
+}
+
+/// \brief Exact remainder by a runtime-constant divisor, computed with
+/// multiplies instead of the hardware divider (Lemire, Kaser & Kurz,
+/// "Faster remainder by direct computation", 2019). For every n < 2^64 and
+/// divisor d in [1, 2^64), Mod(n) == n % d bit for bit — the FastModTest
+/// suite pins this over exhaustive small and adversarial large divisors —
+/// so routing decisions are unchanged; only the cost moves. The win is
+/// throughput:
+/// the divider unit is unpipelined (one 64-bit div every ~10+ cycles),
+/// while the three multiplies here issue once per cycle, so independent
+/// reductions in a BucketBatch loop overlap. Falls back to n % d where
+/// __int128 is unavailable.
+class FastMod {
+ public:
+  /// `d` must be >= 1 before Mod is called (a zero divisor yields a
+  /// poisoned instance rather than a construction-time fault, so checked
+  /// constructors can still run their own diagnostics).
+  explicit FastMod(uint64_t d)
+      :
+#ifdef __SIZEOF_INT128__
+        // M = ceil(2^128 / d). For d == 1 this wraps to 0, and the Mod
+        // formula below then yields 0 — which equals n % 1.
+        magic_(d ? ~static_cast<unsigned __int128>(0) / d + 1 : 0),
+#endif
+        d_(d) {
+  }
+
+  uint64_t Mod(uint64_t n) const {
+#ifdef __SIZEOF_INT128__
+    const unsigned __int128 lowbits = magic_ * n;
+    const uint64_t lo = static_cast<uint64_t>(lowbits);
+    const uint64_t hi = static_cast<uint64_t>(lowbits >> 64);
+    // (lowbits * d) >> 128, via two 64x64->128 multiplies.
+    const unsigned __int128 partial =
+        (static_cast<unsigned __int128>(lo) * d_) >> 64;
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(hi) * d_ + partial) >> 64);
+#else
+    return n % d_;
+#endif
+  }
+
+  uint64_t divisor() const { return d_; }
+
+ private:
+#ifdef __SIZEOF_INT128__
+  unsigned __int128 magic_;
+#endif
+  uint64_t d_;
+};
 
 /// \brief A family of d independent hash functions onto [0, buckets).
 ///
@@ -76,8 +151,14 @@ class HashFamily {
   /// Number of buckets (the paper's n = number of workers).
   uint32_t buckets() const { return buckets_; }
 
-  /// Value of member function `i` on an integer key.
-  uint32_t Bucket(uint32_t i, uint64_t key) const;
+  /// Value of member function `i` on an integer key. Inline (and backed by
+  /// the fixed-width Murmur3_64 specialization) so routing loops compile to
+  /// straight-line code; bit-identical to the string overload on the key's
+  /// 8 little-endian bytes.
+  uint32_t Bucket(uint32_t i, uint64_t key) const {
+    PKGSTREAM_DCHECK(i < seeds_.size());
+    return static_cast<uint32_t>(mod_.Mod(Murmur3_64(key, seeds_[i])));
+  }
 
   /// Value of member function `i` on a string key.
   uint32_t Bucket(uint32_t i, std::string_view key) const;
@@ -88,9 +169,24 @@ class HashFamily {
   /// the theoretical Greedy-d process where H1(k) may equal H2(k)).
   void Candidates(uint64_t key, std::vector<uint32_t>* out) const;
 
+  /// Batch form of Bucket: member function `i` over `keys[0..n)`, written
+  /// to `out[0..n)` (column-major across a RouteBatch: one member, many
+  /// keys). Hoists the seed and bucket-count loads out of the loop so the
+  /// specialized hash is the whole body.
+  void BucketBatch(uint32_t i, const uint64_t* keys, uint32_t* out,
+                   size_t n) const {
+    PKGSTREAM_DCHECK(i < seeds_.size());
+    const uint32_t seed = seeds_[i];
+    const FastMod mod = mod_;
+    for (size_t j = 0; j < n; ++j) {
+      out[j] = static_cast<uint32_t>(mod.Mod(Murmur3_64(keys[j], seed)));
+    }
+  }
+
  private:
   std::vector<uint32_t> seeds_;
   uint32_t buckets_;
+  FastMod mod_{1};
 };
 
 }  // namespace pkgstream

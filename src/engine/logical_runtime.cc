@@ -13,9 +13,9 @@ class LogicalRuntime::EdgeEmitter final : public Emitter {
       : rt_(rt), node_(node), instance_(instance) {}
 
   void Emit(const Message& msg) override {
-    Message stamped = msg;
+    Message stamped = msg;  // the one mandatory copy: stamping ts
     stamped.ts = rt_->injected_;
-    rt_->RouteDownstream(node_, instance_, stamped);
+    rt_->RouteDownstream(node_, instance_, std::move(stamped));
   }
 
  private:
@@ -29,11 +29,14 @@ Result<std::unique_ptr<LogicalRuntime>> LogicalRuntime::Create(
   PKGSTREAM_CHECK(topology != nullptr);
   PKGSTREAM_RETURN_NOT_OK(topology->Validate());
   auto rt = std::unique_ptr<LogicalRuntime>(new LogicalRuntime(topology));
-  // Build edge partitioners.
-  for (const auto& edge : topology->edges()) {
-    PKGSTREAM_ASSIGN_OR_RETURN(auto p,
-                               partition::MakePartitioner(edge.partitioner));
+  // Build edge partitioners and the per-node outbound-edge index.
+  rt->out_edges_.resize(topology->nodes().size());
+  const auto& edges = topology->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    PKGSTREAM_ASSIGN_OR_RETURN(
+        auto p, partition::MakePartitioner(edges[e].partitioner));
     rt->edge_partitioners_.push_back(std::move(p));
+    rt->out_edges_[edges[e].from.index].push_back(e);
   }
   // Instantiate operators and open them.
   const auto& nodes = topology->nodes();
@@ -69,9 +72,47 @@ void LogicalRuntime::Inject(NodeId spout, SourceId source, Message msg) {
   ++injected_;
   msg.ts = injected_;
   ++processed_[spout.index][source];
-  RouteDownstream(spout.index, source, msg);
+  RouteDownstream(spout.index, source, std::move(msg));
   Drain();
   FireTicks();
+}
+
+void LogicalRuntime::InjectBatch(NodeId spout, SourceId source,
+                                 const Message* msgs, size_t n) {
+  PKGSTREAM_CHECK(!finished_) << "Inject after Finish";
+  PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
+  const auto& node = topology_->nodes()[spout.index];
+  PKGSTREAM_CHECK(node.is_spout) << "Inject target must be a spout";
+  PKGSTREAM_CHECK(source < node.parallelism);
+  if (n == 0) return;
+  // Route the whole batch on every outbound edge up front. Only
+  // injections route on spout edges (operators emit on their own node's
+  // edges), so each spout-edge partitioner sees the identical key order
+  // it would under n scalar Inject calls.
+  const std::vector<uint32_t>& out = out_edges_[spout.index];
+  batch_keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) batch_keys_[i] = msgs[i].key;
+  batch_routes_.resize(out.size());
+  for (size_t k = 0; k < out.size(); ++k) {
+    batch_routes_[k].resize(n);
+    edge_partitioners_[out[k]]->RouteBatch(source, batch_keys_.data(),
+                                           batch_routes_[k].data(), n);
+  }
+  // Then process each message to completion in order, exactly as Inject
+  // does (timestamps, tick firings and drain points per message).
+  const auto& edges = topology_->edges();
+  for (size_t i = 0; i < n; ++i) {
+    ++injected_;
+    ++processed_[spout.index][source];
+    for (size_t k = 0; k < out.size(); ++k) {
+      Message copy = msgs[i];
+      copy.ts = injected_;
+      queue_.push_back(Pending{edges[out[k]].to.index, batch_routes_[k][i],
+                               std::move(copy)});
+    }
+    Drain();
+    FireTicks();
+  }
 }
 
 void LogicalRuntime::FireTicks() {
@@ -113,12 +154,18 @@ void LogicalRuntime::Dispatch(uint32_t node_index, uint32_t instance,
 }
 
 void LogicalRuntime::RouteDownstream(uint32_t node_index, uint32_t instance,
-                                     const Message& msg) {
+                                     Message msg) {
   const auto& edges = topology_->edges();
-  for (uint32_t e = 0; e < edges.size(); ++e) {
-    if (edges[e].from.index != node_index) continue;
+  const std::vector<uint32_t>& out = out_edges_[node_index];
+  for (size_t k = 0; k < out.size(); ++k) {
+    const uint32_t e = out[k];
     WorkerId w = edge_partitioners_[e]->Route(instance, msg.key);
-    queue_.push_back(Pending{edges[e].to.index, w, msg});
+    if (k + 1 == out.size()) {
+      // Last edge owns the message; true fan-out above copied.
+      queue_.push_back(Pending{edges[e].to.index, w, std::move(msg)});
+    } else {
+      queue_.push_back(Pending{edges[e].to.index, w, msg});
+    }
   }
 }
 

@@ -38,8 +38,19 @@ class LogicalRuntime {
 
   /// Injects one message at `spout` instance `source` and drains the DAG:
   /// every transitively-emitted message is fully processed before returning.
-  /// Timestamps are assigned from the global injection counter.
+  /// Timestamps are assigned from the global injection counter. The message
+  /// is moved through the pipeline (copied only on spout fan-out).
   void Inject(NodeId spout, SourceId source, Message msg);
+
+  /// Injects `n` messages from one source: routing decisions, timestamps,
+  /// tick firings and processing order are identical to n Inject calls.
+  /// The spout's outbound edges route the whole batch up front through
+  /// Partitioner::RouteBatch (bit-equivalent to scalar routing by
+  /// contract), then each message is processed to completion in order —
+  /// the per-message virtual Route and per-call drain bookkeeping collapse
+  /// into the batch.
+  void InjectBatch(NodeId spout, SourceId source, const Message* msgs,
+                   size_t n);
 
   /// Fires pending ticks: any PE whose tick_period divides the injection
   /// counter gets Tick() on all instances. Called automatically by Inject;
@@ -75,16 +86,24 @@ class LogicalRuntime {
   class EdgeEmitter;
 
   void Dispatch(uint32_t node_index, uint32_t instance, const Message& msg);
-  void RouteDownstream(uint32_t node_index, uint32_t instance,
-                       const Message& msg);
+  /// Routes `msg` on every outbound edge of (node, instance), moving it
+  /// into the last edge's queue entry (fan-out to earlier edges copies).
+  void RouteDownstream(uint32_t node_index, uint32_t instance, Message msg);
   void Drain();
 
   const Topology* topology_;
   // ops_[node][instance]; empty inner vector for spouts.
   std::vector<std::vector<std::unique_ptr<Operator>>> ops_;
   std::vector<partition::PartitionerPtr> edge_partitioners_;
+  /// Outbound edge indices per node (hot-path scan avoidance, and the
+  /// fan-out count that decides move vs copy).
+  std::vector<std::vector<uint32_t>> out_edges_;
   std::vector<std::vector<uint64_t>> processed_;  // [node][instance]
   std::deque<Pending> queue_;
+  /// InjectBatch scratch (keys, then per-edge routed workers), kept across
+  /// calls so steady-state batch injection does not allocate.
+  std::vector<Key> batch_keys_;
+  std::vector<std::vector<WorkerId>> batch_routes_;
   uint64_t injected_ = 0;
   bool finished_ = false;
 };

@@ -2,6 +2,8 @@
 
 #include "engine/threaded_runtime.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "partition/factory.h"
 
@@ -159,25 +161,61 @@ void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
 }
 
 void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
-                                const Message& msg) {
-  const auto& edges = topology_->edges();
-  for (uint32_t e : out_edges_[node]) {
+                                Message msg) {
+  const std::vector<uint32_t>& out = out_edges_[node];
+  for (size_t k = 0; k < out.size(); ++k) {
+    const uint32_t e = out[k];
     const WorkerId w = edge_replicas_[e][instance]->Route(instance, msg.key);
     Item item;
-    item.msg = msg;
-    if (options_.emit_batch > 1) {
-      const uint32_t downstream_parallelism =
-          topology_->nodes()[edges[e].to.index].parallelism;
-      OutBuffer& buf =
-          out_buffers_[e][static_cast<size_t>(instance) *
-                              downstream_parallelism +
-                          w];
-      buf.items[buf.count++] = std::move(item);
-      if (buf.count == options_.emit_batch) FlushBuffer(e, instance, w);
+    if (k + 1 == out.size()) {
+      item.msg = std::move(msg);  // last edge owns it; fan-out copied
     } else {
-      mailboxes_[edges[e].to.index][w]->Push(
-          edge_producer_base_[e] + instance, std::move(item));
+      item.msg = msg;
     }
+    EnqueueRouted(e, instance, w, std::move(item));
+  }
+}
+
+void ThreadedRuntime::RouteBatchFrom(uint32_t node, uint32_t instance,
+                                     const Message* msgs, size_t n) {
+  constexpr size_t kChunk = 256;
+  Key keys[kChunk];
+  WorkerId workers[kChunk];
+  const std::vector<uint32_t>& out = out_edges_[node];
+  size_t done = 0;
+  while (done < n) {
+    const size_t len = std::min(kChunk, n - done);
+    for (size_t j = 0; j < len; ++j) keys[j] = msgs[done + j].key;
+    for (uint32_t e : out) {
+      // Each edge's replica consumes the same key order as scalar
+      // injection; per-(edge, destination) FIFO is preserved because
+      // items are enqueued in index order.
+      edge_replicas_[e][instance]->RouteBatch(instance, keys, workers, len);
+      for (size_t j = 0; j < len; ++j) {
+        Item item;
+        item.msg = msgs[done + j];
+        EnqueueRouted(e, instance, workers[j], std::move(item));
+      }
+    }
+    done += len;
+  }
+}
+
+void ThreadedRuntime::EnqueueRouted(uint32_t edge, uint32_t instance,
+                                    WorkerId worker, Item item) {
+  const auto& edges = topology_->edges();
+  if (options_.emit_batch > 1) {
+    const uint32_t downstream_parallelism =
+        topology_->nodes()[edges[edge].to.index].parallelism;
+    OutBuffer& buf =
+        out_buffers_[edge][static_cast<size_t>(instance) *
+                               downstream_parallelism +
+                           worker];
+    buf.items[buf.count++] = std::move(item);
+    if (buf.count == options_.emit_batch) FlushBuffer(edge, instance, worker);
+  } else {
+    mailboxes_[edges[edge].to.index][worker]->Push(
+        edge_producer_base_[edge] + instance, std::move(item));
   }
 }
 
@@ -221,8 +259,7 @@ void ThreadedRuntime::SendEos(uint32_t node, uint32_t instance) {
   }
 }
 
-void ThreadedRuntime::Inject(NodeId spout, SourceId source,
-                             const Message& msg) {
+void ThreadedRuntime::Inject(NodeId spout, SourceId source, Message msg) {
   PKGSTREAM_CHECK(!finished_.load(std::memory_order_acquire))
       << "Inject after Finish";
   PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
@@ -242,7 +279,26 @@ void ThreadedRuntime::Inject(NodeId spout, SourceId source,
       << "Inject raced with Finish";
   processed_[processed_base_[spout.index] + source].value.fetch_add(
       1, std::memory_order_relaxed);
-  RouteFrom(spout.index, source, msg);
+  RouteFrom(spout.index, source, std::move(msg));
+}
+
+void ThreadedRuntime::InjectBatch(NodeId spout, SourceId source,
+                                  const Message* msgs, size_t n) {
+  PKGSTREAM_CHECK(!finished_.load(std::memory_order_acquire))
+      << "Inject after Finish";
+  PKGSTREAM_CHECK(spout.index < topology_->nodes().size());
+  PKGSTREAM_CHECK(topology_->nodes()[spout.index].is_spout);
+  PKGSTREAM_CHECK(source < topology_->nodes()[spout.index].parallelism);
+  if (n == 0) return;  // validated no-op, same as LogicalRuntime's
+  // One lock acquisition, one counter update and one RouteBatch per
+  // outbound edge cover the whole batch (see Inject for the locking
+  // contract).
+  std::lock_guard<std::mutex> lock(*inject_mutexes_[spout.index][source]);
+  PKGSTREAM_CHECK(!finished_.load(std::memory_order_acquire))
+      << "Inject raced with Finish";
+  processed_[processed_base_[spout.index] + source].value.fetch_add(
+      n, std::memory_order_relaxed);
+  RouteBatchFrom(spout.index, source, msgs, n);
 }
 
 void ThreadedRuntime::Finish() {

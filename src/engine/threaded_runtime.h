@@ -88,8 +88,20 @@ class ThreadedRuntime {
   /// Thread-safe: injects one message at `spout` instance `source`. May
   /// block when a downstream ring is full. Concurrent calls for the same
   /// source instance are serialized internally (each source is a single
-  /// logical producer). Must not be called after Finish().
-  void Inject(NodeId spout, SourceId source, const Message& msg);
+  /// logical producer). Must not be called after Finish(). The message is
+  /// moved into the out-buffer/ring (copied only on spout fan-out) — pass
+  /// an rvalue to make injection copy-free.
+  void Inject(NodeId spout, SourceId source, Message msg);
+
+  /// Thread-safe batch injection from one source: takes the source's
+  /// inject lock once, routes the whole batch per outbound edge through
+  /// the source's partitioner replica (Partitioner::RouteBatch — routing
+  /// decisions bit-identical to n scalar Inject calls) and appends the
+  /// messages to the per-(edge, destination) emit out-buffers directly.
+  /// Per-ring FIFO order is preserved per edge; messages become visible
+  /// downstream in batches (same flush points as scalar injection).
+  void InjectBatch(NodeId spout, SourceId source, const Message* msgs,
+                   size_t n);
 
   /// Sends EOS down every spout edge, waits for all instance threads to
   /// drain, Close() and exit. Idempotent and safe to call concurrently:
@@ -236,8 +248,18 @@ class ThreadedRuntime {
 
   Status Init();
   void RunInstance(uint32_t node, uint32_t instance);
-  /// Routes `msg` on every outbound edge of (node, instance).
-  void RouteFrom(uint32_t node, uint32_t instance, const Message& msg);
+  /// Routes `msg` on every outbound edge of (node, instance), moving it
+  /// into the last edge's item (true fan-out copies for the rest).
+  void RouteFrom(uint32_t node, uint32_t instance, Message msg);
+  /// Batch form of RouteFrom for one spout instance; caller holds the
+  /// source's inject mutex.
+  void RouteBatchFrom(uint32_t node, uint32_t instance, const Message* msgs,
+                      size_t n);
+  /// Enqueues one routed item on edge `e` towards `w`: parks it in the
+  /// (edge, instance, worker) out-buffer (flushing a full batch) or, with
+  /// batching disabled, pushes it straight to the mailbox.
+  void EnqueueRouted(uint32_t edge, uint32_t instance, WorkerId worker,
+                     Item item);
   /// Publishes one (edge, instance, worker) out-buffer downstream.
   void FlushBuffer(uint32_t edge, uint32_t instance, WorkerId worker);
   /// Publishes every pending out-buffer of (node, instance); called after

@@ -18,5 +18,12 @@ WorkerId KeyGrouping::Route(SourceId source, Key key) {
   return hash_.Bucket(0, key);
 }
 
+void KeyGrouping::RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                             size_t n) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  hash_.BucketBatch(0, keys, out, n);
+}
+
 }  // namespace partition
 }  // namespace pkgstream

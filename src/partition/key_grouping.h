@@ -22,6 +22,10 @@ class KeyGrouping final : public Partitioner {
   KeyGrouping(uint32_t sources, uint32_t workers, uint64_t seed);
 
   WorkerId Route(SourceId source, Key key) override;
+  /// Stateless, so the batch form is a pure hash sweep (the specialized
+  /// integer Murmur3 inlined over the whole array).
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
   uint32_t workers() const override { return hash_.buckets(); }
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }

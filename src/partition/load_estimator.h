@@ -59,6 +59,20 @@ class LoadEstimator {
 
 using LoadEstimatorPtr = std::unique_ptr<LoadEstimator>;
 
+// Routing frames — the devirtualized estimator protocol.
+//
+// PKG's fused RouteBatch (pkg.cc) resolves the estimator's concrete type
+// once per batch and binds a *routing frame*: a small by-value object that
+// captures the per-source state the BeginRoute/Estimate/OnSend protocol
+// touches, as raw pointers where the state is plain arrays. The frame
+// mirrors the virtual protocol call for call — same reads, same writes,
+// same order — so estimator state after a batch is byte-identical to the
+// scalar path; it merely removes the per-message virtual dispatch and the
+// repeated local_[source] indirection the compiler cannot hoist across
+// opaque calls. Frames are transient: bind, route one batch, discard
+// (pointers into the estimator do not survive estimator mutation from
+// anywhere else).
+
 /// \brief The global oracle (the paper's G).
 class GlobalLoadEstimator final : public LoadEstimator {
  public:
@@ -74,6 +88,20 @@ class GlobalLoadEstimator final : public LoadEstimator {
   LoadEstimatorPtr Clone() const override {
     return std::make_unique<GlobalLoadEstimator>(*this);
   }
+
+  /// \brief Fused-routing view over the shared global load vector.
+  class RoutingFrame {
+   public:
+    explicit RoutingFrame(GlobalLoadEstimator* estimator)
+        : loads_(estimator->loads_.data()) {}
+    void BeginRoute() {}
+    uint64_t Estimate(WorkerId w) const { return loads_[w]; }
+    void OnSend(WorkerId w) { ++loads_[w]; }
+
+   private:
+    uint64_t* loads_;
+  };
+  RoutingFrame MakeRoutingFrame(SourceId) { return RoutingFrame(this); }
 
  private:
   std::vector<uint64_t> loads_;
@@ -101,6 +129,28 @@ class LocalLoadEstimator final : public LoadEstimator {
   /// The local estimate vector of one source (tests, diagnostics).
   const std::vector<uint64_t>& LocalLoads(SourceId source) const {
     return local_[source];
+  }
+
+  /// \brief Fused-routing view for one source: the source's local estimate
+  /// row and the ground-truth global vector as raw pointers.
+  class RoutingFrame {
+   public:
+    RoutingFrame(LocalLoadEstimator* estimator, SourceId source)
+        : local_(estimator->local_[source].data()),
+          global_(estimator->global_.data()) {}
+    void BeginRoute() {}
+    uint64_t Estimate(WorkerId w) const { return local_[w]; }
+    void OnSend(WorkerId w) {
+      ++local_[w];
+      ++global_[w];
+    }
+
+   private:
+    uint64_t* local_;
+    uint64_t* global_;
+  };
+  RoutingFrame MakeRoutingFrame(SourceId source) {
+    return RoutingFrame(this, source);
   }
 
  private:
@@ -137,6 +187,30 @@ class ProbingLoadEstimator final : public LoadEstimator {
   }
 
   uint64_t probes_performed() const { return probes_; }
+
+  /// \brief Fused-routing view for one source. BeginRoute may *replace*
+  /// the source's local estimate row (a probe copies the global loads into
+  /// it), so unlike the L frame this one keeps the estimator pointer and
+  /// goes through the concrete inline methods each call — still zero
+  /// virtual dispatch, and probe scheduling state (clock, last-probe
+  /// marks) advances exactly as under the scalar protocol.
+  class RoutingFrame {
+   public:
+    RoutingFrame(ProbingLoadEstimator* estimator, SourceId source)
+        : estimator_(estimator), source_(source) {}
+    void BeginRoute() { estimator_->BeginRoute(source_); }
+    uint64_t Estimate(WorkerId w) const {
+      return estimator_->Estimate(source_, w);
+    }
+    void OnSend(WorkerId w) { estimator_->OnSend(source_, w); }
+
+   private:
+    ProbingLoadEstimator* estimator_;
+    SourceId source_;
+  };
+  RoutingFrame MakeRoutingFrame(SourceId source) {
+    return RoutingFrame(this, source);
+  }
 
  private:
   std::vector<std::vector<uint64_t>> local_;

@@ -12,6 +12,7 @@
 #ifndef PKGSTREAM_PARTITION_PARTITIONER_H_
 #define PKGSTREAM_PARTITION_PARTITIONER_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 
@@ -33,6 +34,22 @@ class Partitioner {
   /// Picks the worker for a message with key `key` emitted by `source`.
   /// `source` must be < sources(), and the result is < workers().
   virtual WorkerId Route(SourceId source, Key key) = 0;
+
+  /// Routes `n` consecutive messages from one source: out[i] is the worker
+  /// for keys[i], exactly as if Route(source, keys[i]) had been called n
+  /// times in order. The contract is strict bit-equivalence — the routed
+  /// workers AND the partitioner's post-call state must be byte-identical
+  /// to the scalar call sequence, so batch and scalar paths are freely
+  /// interchangeable mid-stream and every captured baseline stays valid
+  /// (tests/partition_route_batch_test.cc enforces this for every
+  /// technique). The base implementation is that scalar loop; hot
+  /// techniques override it with straight-line fused loops that skip the
+  /// per-message virtual protocol (see pkg.cc for the estimator fusion).
+  /// `keys` and `out` must not overlap.
+  virtual void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                          size_t n) {
+    for (size_t i = 0; i < n; ++i) out[i] = Route(source, keys[i]);
+  }
 
   /// Number of downstream workers W.
   virtual uint32_t workers() const = 0;

@@ -2,10 +2,67 @@
 
 #include "partition/pkg.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pkgstream {
 namespace partition {
+
+namespace {
+
+/// The fused Greedy-d inner loop, shared by all estimator frames. For the
+/// paper's d = 2 it hashes candidates in column-major chunks (both hash
+/// columns computed back to back over the specialized integer Murmur3, so
+/// the argmin loop is pure loads/compares); larger d keeps a per-message
+/// candidate loop with the same frame-devirtualized protocol. Call order —
+/// BeginRoute, Estimate(H1..Hd), OnSend — matches the scalar Route exactly,
+/// message by message, which is what makes batch and scalar routing
+/// decisions (and estimator state) byte-identical.
+template <typename Frame>
+void FusedGreedyRoute(const HashFamily& hash, Frame frame, const Key* keys,
+                      WorkerId* out, size_t n) {
+  const uint32_t d = hash.d();
+  if (d == 2) {
+    constexpr size_t kChunk = 256;
+    uint32_t c0[kChunk];
+    uint32_t c1[kChunk];
+    size_t done = 0;
+    while (done < n) {
+      const size_t len = std::min(kChunk, n - done);
+      hash.BucketBatch(0, keys + done, c0, len);
+      hash.BucketBatch(1, keys + done, c1, len);
+      for (size_t j = 0; j < len; ++j) {
+        frame.BeginRoute();
+        WorkerId best = c0[j];
+        const uint64_t first_load = frame.Estimate(best);
+        const WorkerId other = c1[j];
+        if (frame.Estimate(other) < first_load) best = other;
+        frame.OnSend(best);
+        out[done + j] = best;
+      }
+      done += len;
+    }
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    frame.BeginRoute();
+    WorkerId best = hash.Bucket(0, keys[i]);
+    uint64_t best_load = frame.Estimate(best);
+    for (uint32_t c = 1; c < d; ++c) {
+      const WorkerId candidate = hash.Bucket(c, keys[i]);
+      const uint64_t load = frame.Estimate(candidate);
+      if (load < best_load) {
+        best = candidate;
+        best_load = load;
+      }
+    }
+    frame.OnSend(best);
+    out[i] = best;
+  }
+}
+
+}  // namespace
 
 PartialKeyGrouping::PartialKeyGrouping(uint32_t sources, uint32_t workers,
                                        LoadEstimatorPtr estimator,
@@ -41,6 +98,23 @@ WorkerId PartialKeyGrouping::Route(SourceId source, Key key) {
   }
   estimator_->OnSend(source, best);
   return best;
+}
+
+void PartialKeyGrouping::RouteBatch(SourceId source, const Key* keys,
+                                    WorkerId* out, size_t n) {
+  PKGSTREAM_DCHECK(source < sources_);
+  // One concrete-type resolution per batch buys a virtual-free inner loop.
+  LoadEstimator* estimator = estimator_.get();
+  if (auto* local = dynamic_cast<LocalLoadEstimator*>(estimator)) {
+    FusedGreedyRoute(hash_, local->MakeRoutingFrame(source), keys, out, n);
+  } else if (auto* global = dynamic_cast<GlobalLoadEstimator*>(estimator)) {
+    FusedGreedyRoute(hash_, global->MakeRoutingFrame(source), keys, out, n);
+  } else if (auto* probing =
+                 dynamic_cast<ProbingLoadEstimator*>(estimator)) {
+    FusedGreedyRoute(hash_, probing->MakeRoutingFrame(source), keys, out, n);
+  } else {
+    Partitioner::RouteBatch(source, keys, out, n);
+  }
 }
 
 std::string PartialKeyGrouping::Name() const {

@@ -52,6 +52,14 @@ class PartialKeyGrouping final : public Partitioner {
   /// pick argmin_{i in 1..d} load(H_i(key)) and update the estimate.
   WorkerId Route(SourceId source, Key key) override;
 
+  /// Fused batch routing: resolves the estimator's concrete type once per
+  /// batch and runs a straight-line argmin loop over its RoutingFrame (no
+  /// per-message virtual calls; see load_estimator.h "Routing frames").
+  /// Decisions and estimator state are byte-identical to n scalar Route
+  /// calls; unknown estimator types fall back to the scalar loop.
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
+
   uint32_t workers() const override { return hash_.buckets(); }
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return hash_.d(); }

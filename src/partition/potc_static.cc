@@ -18,6 +18,17 @@ StaticPoTC::StaticPoTC(uint32_t sources, uint32_t workers, uint64_t seed,
 WorkerId StaticPoTC::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
   (void)source;
+  return RouteOne(key);
+}
+
+void StaticPoTC::RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                            size_t n) {
+  PKGSTREAM_DCHECK(source < sources_);
+  (void)source;
+  for (size_t i = 0; i < n; ++i) out[i] = RouteOne(keys[i]);
+}
+
+WorkerId StaticPoTC::RouteOne(Key key) {
   auto it = table_.find(key);
   if (it == table_.end()) {
     // First occurrence: least loaded among the d candidates, then frozen.

@@ -35,6 +35,11 @@ class StaticPoTC final : public Partitioner {
              uint32_t num_choices = 2);
 
   WorkerId Route(SourceId source, Key key) override;
+  /// Batch form: one virtual entry for the whole batch; the per-message
+  /// body (table lookup, first-occurrence argmin) runs as a direct loop
+  /// over the inlined integer hash.
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
   uint32_t workers() const override { return hash_.buckets(); }
   uint32_t sources() const override { return sources_; }
   uint32_t MaxWorkersPerKey() const override { return 1; }
@@ -47,6 +52,9 @@ class StaticPoTC final : public Partitioner {
   size_t RoutingTableSize() const { return table_.size(); }
 
  private:
+  /// The shared per-message body of Route / RouteBatch.
+  WorkerId RouteOne(Key key);
+
   HashFamily hash_;
   uint32_t sources_;
   std::vector<uint64_t> loads_;

@@ -25,6 +25,19 @@ WorkerId ShuffleGrouping::Route(SourceId source, Key /*key*/) {
   return w;
 }
 
+void ShuffleGrouping::RouteBatch(SourceId source, const Key* /*keys*/,
+                                 WorkerId* out, size_t n) {
+  PKGSTREAM_DCHECK(source < next_.size());
+  uint32_t cursor = next_[source];
+  const uint32_t workers = workers_;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = cursor;
+    ++cursor;
+    if (cursor == workers) cursor = 0;
+  }
+  next_[source] = cursor;
+}
+
 RandomGrouping::RandomGrouping(uint32_t sources, uint32_t workers,
                                uint64_t seed)
     : workers_(workers), sources_(sources), seed_(seed), rng_(seed) {

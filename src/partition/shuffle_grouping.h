@@ -24,6 +24,10 @@ class ShuffleGrouping final : public Partitioner {
   ShuffleGrouping(uint32_t sources, uint32_t workers, uint64_t seed);
 
   WorkerId Route(SourceId source, Key key) override;
+  /// Batch form: the cursor walks in a register for the whole batch and is
+  /// written back once.
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
   uint32_t workers() const override { return workers_; }
   uint32_t sources() const override {
     return static_cast<uint32_t>(next_.size());

@@ -75,14 +75,12 @@ Result<std::vector<Table2Cell>> RunTable2(const Table2Options& options) {
       // Off-Greedy needs the exact frequencies: one extra pass.
       PKGSTREAM_ASSIGN_OR_RETURN(
           auto freq_stream, workload::MakeKeyStream(spec, scale, options.seed));
-      Feed freq_feed = MakeKeyFeed(freq_stream.get());
       stats::FrequencyTable frequencies =
-          ComputeFrequencies(freq_feed, messages);
+          ComputeFrequencies(freq_stream.get(), messages);
 
       for (partition::Technique technique : options.techniques) {
         PKGSTREAM_ASSIGN_OR_RETURN(
             auto stream, workload::MakeKeyStream(spec, scale, options.seed));
-        Feed feed = MakeKeyFeed(stream.get());
         RoutingConfig config;
         config.partitioner.technique = technique;
         config.partitioner.sources = 1;  // Table II studies the algorithms
@@ -91,7 +89,8 @@ Result<std::vector<Table2Cell>> RunTable2(const Table2Options& options) {
         config.partitioner.frequencies = &frequencies;
         config.messages = messages;
         config.seed = options.seed;
-        PKGSTREAM_ASSIGN_OR_RETURN(auto result, RunRouting(config, feed));
+        PKGSTREAM_ASSIGN_OR_RETURN(auto result,
+                                   RunRouting(config, stream.get()));
         Table2Cell cell;
         cell.dataset = spec.symbol;
         cell.technique = partition::TechniqueName(technique);
@@ -119,7 +118,6 @@ Result<std::vector<Fig2Cell>> RunFig2(const Fig2Options& options) {
                      const std::string& label) -> Status {
         PKGSTREAM_ASSIGN_OR_RETURN(
             auto stream, workload::MakeKeyStream(spec, scale, options.seed));
-        Feed feed = MakeKeyFeed(stream.get());
         RoutingConfig config;
         config.partitioner.technique = technique;
         config.partitioner.sources = sources;
@@ -127,7 +125,8 @@ Result<std::vector<Fig2Cell>> RunFig2(const Fig2Options& options) {
         config.partitioner.seed = options.seed;
         config.messages = messages;
         config.seed = options.seed;
-        PKGSTREAM_ASSIGN_OR_RETURN(auto result, RunRouting(config, feed));
+        PKGSTREAM_ASSIGN_OR_RETURN(auto result,
+                                   RunRouting(config, stream.get()));
         Fig2Cell cell;
         cell.dataset = spec.symbol;
         cell.series = label;

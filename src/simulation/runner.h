@@ -74,9 +74,24 @@ struct RoutingResult {
 /// \brief Runs one configuration over `config.messages` items of `feed`.
 Result<RoutingResult> RunRouting(const RoutingConfig& config, const Feed& feed);
 
+/// \brief Batched overload: consumes `stream` directly (same message
+/// sequence and source split as RunRouting over MakeKeyFeed(stream)) but
+/// pulls keys through KeyStream::NextBatch and, when the run has a single
+/// source, routes whole chunks through Partitioner::RouteBatch. Results
+/// are bit-identical to the Feed path — both batch hooks contractually
+/// replay the scalar sequence — so the golden baselines do not move; the
+/// per-message std::function and virtual Route/Next dispatch do.
+Result<RoutingResult> RunRouting(const RoutingConfig& config,
+                                 workload::KeyStream* stream);
+
 /// \brief First pass helper: exact key frequencies of a feed prefix
 /// (Off-Greedy needs them; callers recreate the feed for the real run).
 stats::FrequencyTable ComputeFrequencies(const Feed& feed, uint64_t messages);
+
+/// \brief Batched overload of ComputeFrequencies (NextBatch consumption;
+/// identical table).
+stats::FrequencyTable ComputeFrequencies(workload::KeyStream* stream,
+                                         uint64_t messages);
 
 /// \brief Result of a two-strategy agreement run (the Q2 Jaccard check).
 struct AgreementResult {

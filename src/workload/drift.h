@@ -42,6 +42,12 @@ class DriftingKeyStream final : public KeyStream {
                     DriftOptions options, uint64_t seed);
 
   Key Next() override;
+  /// Batch form: the scalar body (drift check + sample + permute) run
+  /// non-virtually per key; drift events fire at exactly the same stream
+  /// positions as under repeated Next().
+  void NextBatch(Key* out, size_t n) override {
+    for (size_t i = 0; i < n; ++i) out[i] = Next();
+  }
   uint64_t KeySpace() const override { return dist_->K(); }
   std::string Name() const override;
 

@@ -8,6 +8,7 @@
 #ifndef PKGSTREAM_WORKLOAD_KEY_STREAM_H_
 #define PKGSTREAM_WORKLOAD_KEY_STREAM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -28,6 +29,17 @@ class KeyStream {
 
   /// Returns the next message key.
   virtual Key Next() = 0;
+
+  /// Fills `out[0..n)` with the next n keys — exactly the sequence n
+  /// Next() calls would yield, and the stream ends up in the identical
+  /// state, so batch and scalar consumption are freely interchangeable
+  /// mid-stream (tests/workload_test.cc pins the replay equivalence).
+  /// Overrides exist where the per-key virtual dispatch is measurable
+  /// (i.i.d. sampling, trace replay); the base implementation is the
+  /// scalar loop.
+  virtual void NextBatch(Key* out, size_t n) {
+    for (size_t i = 0; i < n; ++i) out[i] = Next();
+  }
 
   /// Upper bound on the number of distinct keys this stream can emit
   /// (the paper's K). Used for sizing routing tables in baselines.

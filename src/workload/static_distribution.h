@@ -59,6 +59,12 @@ class IidKeyStream final : public KeyStream {
       : dist_(std::move(dist)), rng_(seed) {}
 
   Key Next() override { return dist_->Sample(&rng_); }
+  /// Batch draws devirtualize the sampler: one distribution pointer load
+  /// for the whole batch, the alias-table walk inlined per key.
+  void NextBatch(Key* out, size_t n) override {
+    const StaticDistribution& dist = *dist_;
+    for (size_t i = 0; i < n; ++i) out[i] = dist.Sample(&rng_);
+  }
   uint64_t KeySpace() const override { return dist_->K(); }
   std::string Name() const override { return dist_->name(); }
 

@@ -64,6 +64,18 @@ Key VectorKeyStream::Next() {
   return k;
 }
 
+void VectorKeyStream::NextBatch(Key* out, size_t n) {
+  const size_t size = keys_.size();
+  size_t done = 0;
+  while (done < n) {
+    const size_t offset = static_cast<size_t>(position_ % size);
+    const size_t span = std::min(n - done, size - offset);
+    std::memcpy(out + done, keys_.data() + offset, span * sizeof(Key));
+    position_ += span;
+    done += span;
+  }
+}
+
 Result<std::unique_ptr<TraceKeyStream>> TraceKeyStream::Open(
     const std::string& path) {
   std::ifstream f(path, std::ios::binary);
@@ -91,6 +103,15 @@ Key TraceKeyStream::Next() {
   PKGSTREAM_CHECK(static_cast<bool>(file_)) << "trace read failed: " << path_;
   ++read_;
   return k;
+}
+
+void TraceKeyStream::NextBatch(Key* out, size_t n) {
+  PKGSTREAM_CHECK(n <= count_ - read_)
+      << "read past end of trace " << path_;
+  file_.read(reinterpret_cast<char*>(out),
+             static_cast<std::streamsize>(n * sizeof(Key)));
+  PKGSTREAM_CHECK(static_cast<bool>(file_)) << "trace read failed: " << path_;
+  read_ += n;
 }
 
 }  // namespace workload

@@ -38,6 +38,8 @@ class VectorKeyStream final : public KeyStream {
   explicit VectorKeyStream(std::vector<Key> keys, std::string name = "vector");
 
   Key Next() override;
+  /// Batch form: wrap-aware memcpy spans instead of per-key modulo.
+  void NextBatch(Key* out, size_t n) override;
   uint64_t KeySpace() const override { return key_space_; }
   std::string Name() const override { return name_; }
 
@@ -60,6 +62,9 @@ class TraceKeyStream final : public KeyStream {
   static Result<std::unique_ptr<TraceKeyStream>> Open(const std::string& path);
 
   Key Next() override;
+  /// Batch form: one file_.read for the whole span (CHECKs like Next that
+  /// the trace holds at least n more keys).
+  void NextBatch(Key* out, size_t n) override;
   uint64_t KeySpace() const override { return count_; }
   std::string Name() const override { return "trace:" + path_; }
 

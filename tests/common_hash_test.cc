@@ -137,6 +137,88 @@ TEST(HashFamilyTest, StringKeysRouteConsistently) {
   EXPECT_LT(family.Bucket(1, "wordcount"), 8u);
 }
 
+TEST(Murmur3Test, FixedWidthSpecializationMatchesGenericPath) {
+  // The straight-line Murmur3_64(uint64_t) must be bit-identical to
+  // hashing the key's 8 little-endian bytes through the generic
+  // variable-length implementation — routing decisions ride on these
+  // exact bits. Adversarial corners plus sequential and random coverage.
+  std::vector<uint64_t> keys = {0,
+                               1,
+                               ~0ULL,
+                               ~0ULL - 1,
+                               0x8000000000000000ULL,
+                               0x7fffffffffffffffULL,
+                               0x0123456789abcdefULL,
+                               0x00000000ffffffffULL,
+                               0xffffffff00000000ULL};
+  for (uint64_t k = 0; k < 1024; ++k) keys.push_back(k);
+  uint64_t r = 0x243f6a8885a308d3ULL;
+  for (int i = 0; i < 4096; ++i) keys.push_back(r = Fmix64(r + i));
+  const uint32_t seeds[] = {0, 1, 42, 0xdeadbeef, 0xffffffff};
+  for (uint32_t seed : seeds) {
+    for (uint64_t key : keys) {
+      ASSERT_EQ(Murmur3_64(key, seed), Murmur3_64(&key, sizeof(key), seed))
+          << "key=" << key << " seed=" << seed;
+    }
+  }
+}
+
+TEST(FastModTest, MatchesHardwareRemainderExhaustivelyOverSmallDivisors) {
+  std::vector<uint64_t> numerators = {0, 1, 2, ~0ULL, ~0ULL - 1,
+                                      0x8000000000000000ULL};
+  uint64_t r = 0x13198a2e03707344ULL;
+  for (int i = 0; i < 512; ++i) numerators.push_back(r = Fmix64(r + i));
+  for (uint64_t d = 1; d <= 2048; ++d) {
+    FastMod mod(d);
+    for (uint64_t n : numerators) {
+      ASSERT_EQ(mod.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    // Multiples and near-multiples of d are the carry corners.
+    for (uint64_t q : {1ULL, 3ULL, (~0ULL / d)}) {
+      const uint64_t m = d * q;
+      ASSERT_EQ(mod.Mod(m), 0u) << "d=" << d << " q=" << q;
+      if (m > 0) ASSERT_EQ(mod.Mod(m - 1), (m - 1) % d);
+      if (m < ~0ULL) ASSERT_EQ(mod.Mod(m + 1), (m + 1) % d);
+    }
+  }
+}
+
+TEST(FastModTest, MatchesHardwareRemainderForLargeDivisors) {
+  std::vector<uint64_t> divisors = {
+      (1ULL << 31) - 1, 1ULL << 31,       (1ULL << 32) - 1, 1ULL << 32,
+      (1ULL << 63) - 1, 1ULL << 63,       ~0ULL,            ~0ULL - 1,
+      1000000007ULL,    0x9e3779b97f4a7c15ULL};
+  uint64_t r = 0xa4093822299f31d0ULL;
+  for (int i = 0; i < 64; ++i) divisors.push_back(Fmix64(r + i) | 1);
+  for (uint64_t d : divisors) {
+    FastMod mod(d);
+    uint64_t n = 0x452821e638d01377ULL;
+    for (int i = 0; i < 512; ++i) {
+      n = Fmix64(n + i);
+      ASSERT_EQ(mod.Mod(n), n % d) << "n=" << n << " d=" << d;
+    }
+    for (uint64_t n2 : {uint64_t{0}, d - 1, d, d + 1, ~uint64_t{0}}) {
+      ASSERT_EQ(mod.Mod(n2), n2 % d) << "n=" << n2 << " d=" << d;
+    }
+  }
+}
+
+TEST(HashFamilyTest, BucketBatchMatchesBucket) {
+  for (uint32_t buckets : {1u, 5u, 16u, 100u, 1023u}) {
+    HashFamily family(3, buckets, 1234);
+    std::vector<uint64_t> keys(257);
+    for (size_t i = 0; i < keys.size(); ++i) keys[i] = Fmix64(i * 2654435761);
+    std::vector<uint32_t> out(keys.size());
+    for (uint32_t member = 0; member < family.d(); ++member) {
+      family.BucketBatch(member, keys.data(), out.data(), keys.size());
+      for (size_t i = 0; i < keys.size(); ++i) {
+        ASSERT_EQ(out[i], family.Bucket(member, keys[i]))
+            << "member=" << member << " i=" << i << " buckets=" << buckets;
+      }
+    }
+  }
+}
+
 TEST(HashFamilyTest, UniformityAcrossBuckets) {
   // Chi-squared style sanity check: no bucket should be grossly over- or
   // under-loaded when hashing distinct keys.

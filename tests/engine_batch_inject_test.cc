@@ -1,0 +1,236 @@
+// Copyright 2026 The pkgstream Authors.
+// InjectBatch ≡ Inject: batch injection must be observationally identical
+// to per-message injection — same routing decisions (RouteBatch's
+// bit-equivalence contract), same timestamps and tick firings
+// (LogicalRuntime), same per-key totals (both runtimes).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/logical_runtime.h"
+#include "engine/threaded_runtime.h"
+
+namespace pkgstream {
+namespace engine {
+namespace {
+
+/// Counts per-key messages and Tick calls; emits (key, count) on Close.
+class CountAndTickOp final : public Operator {
+ public:
+  void Process(const Message& msg, Emitter*) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counts_[msg.key];
+  }
+  void Tick(uint64_t, Emitter*) override { ++ticks_; }
+  void Close(Emitter* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [key, count] : counts_) {
+      Message m;
+      m.key = key;
+      m.i64 = static_cast<int64_t>(count);
+      out->Emit(m);
+    }
+  }
+
+  std::map<Key, uint64_t> counts() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counts_;
+  }
+  uint64_t ticks() const { return ticks_; }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, uint64_t> counts_;
+  uint64_t ticks_ = 0;
+};
+
+/// Aggregates the Close-time (key, count) records.
+class TotalsSink final : public Operator {
+ public:
+  void Process(const Message& msg, Emitter*) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    totals_[msg.key] += static_cast<uint64_t>(msg.i64);
+  }
+  std::map<Key, uint64_t> totals() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return totals_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, uint64_t> totals_;
+};
+
+constexpr uint32_t kSources = 2;
+constexpr uint32_t kWorkers = 4;
+constexpr size_t kMessages = 1200;
+
+Key FeedKey(size_t i) { return Fmix64(0xfeed ^ i) % 97; }
+
+struct Built {
+  Topology topology;
+  NodeId spout;
+  NodeId counter;
+  NodeId sink;
+  std::vector<CountAndTickOp*> counters;
+  TotalsSink* sink_op = nullptr;
+};
+
+std::unique_ptr<Built> Build(partition::Technique technique,
+                             uint64_t tick_period) {
+  auto b = std::make_unique<Built>();
+  b->spout = b->topology.AddSpout("src", kSources);
+  b->counters.resize(kWorkers, nullptr);
+  auto* counters = &b->counters;
+  b->counter = b->topology.AddOperator(
+      "count",
+      [counters](uint32_t i) {
+        auto op = std::make_unique<CountAndTickOp>();
+        (*counters)[i] = op.get();
+        return op;
+      },
+      kWorkers);
+  TotalsSink** sink_slot = &b->sink_op;
+  b->sink = b->topology.AddOperator(
+      "sink",
+      [sink_slot](uint32_t) {
+        auto op = std::make_unique<TotalsSink>();
+        *sink_slot = op.get();
+        return op;
+      },
+      1);
+  if (tick_period > 0) b->topology.SetTickPeriod(b->counter, tick_period);
+  EXPECT_TRUE(b->topology.Connect(b->spout, b->counter, technique).ok());
+  EXPECT_TRUE(
+      b->topology
+          .Connect(b->counter, b->sink, partition::Technique::kHashing)
+          .ok());
+  return b;
+}
+
+/// The injection schedule both drivers replay: alternating per-source
+/// chunks of varying size (1, 7, 64, ragged remainder).
+struct Chunk {
+  SourceId source;
+  size_t begin;
+  size_t len;
+};
+
+std::vector<Chunk> Schedule() {
+  const size_t sizes[] = {1, 7, 64, 29};
+  std::vector<Chunk> chunks;
+  size_t pos = 0;
+  size_t i = 0;
+  while (pos < kMessages) {
+    const size_t len = std::min(sizes[i % 4], kMessages - pos);
+    chunks.push_back(
+        Chunk{static_cast<SourceId>(i % kSources), pos, len});
+    pos += len;
+    ++i;
+  }
+  return chunks;
+}
+
+class BatchInjectEquivalenceTest
+    : public testing::TestWithParam<partition::Technique> {};
+
+TEST_P(BatchInjectEquivalenceTest, LogicalRuntimeMatchesScalarInjection) {
+  auto scalar_build = Build(GetParam(), /*tick_period=*/64);
+  auto batch_build = Build(GetParam(), /*tick_period=*/64);
+  auto scalar_rt = LogicalRuntime::Create(&scalar_build->topology);
+  auto batch_rt = LogicalRuntime::Create(&batch_build->topology);
+  ASSERT_TRUE(scalar_rt.ok() && batch_rt.ok());
+
+  for (const Chunk& chunk : Schedule()) {
+    std::vector<Message> msgs(chunk.len);
+    for (size_t j = 0; j < chunk.len; ++j) {
+      msgs[j].key = FeedKey(chunk.begin + j);
+      msgs[j].i64 = static_cast<int64_t>(chunk.begin + j);
+    }
+    for (const Message& m : msgs) {
+      (*scalar_rt)->Inject(scalar_build->spout, chunk.source, m);
+    }
+    (*batch_rt)->InjectBatch(batch_build->spout, chunk.source, msgs.data(),
+                             msgs.size());
+  }
+  (*scalar_rt)->Finish();
+  (*batch_rt)->Finish();
+
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(batch_build->counters[w]->counts(),
+              scalar_build->counters[w]->counts())
+        << "per-key counts diverged on worker " << w;
+    EXPECT_GT(scalar_build->counters[w]->ticks(), 0u);
+    EXPECT_EQ(batch_build->counters[w]->ticks(),
+              scalar_build->counters[w]->ticks())
+        << "tick firings diverged on worker " << w;
+  }
+  EXPECT_EQ(batch_build->sink_op->totals(), scalar_build->sink_op->totals());
+
+  const auto scalar_metrics = (*scalar_rt)->Metrics();
+  const auto batch_metrics = (*batch_rt)->Metrics();
+  ASSERT_EQ(scalar_metrics.size(), batch_metrics.size());
+  for (size_t n = 0; n < scalar_metrics.size(); ++n) {
+    EXPECT_EQ(batch_metrics[n].processed, scalar_metrics[n].processed);
+  }
+}
+
+TEST_P(BatchInjectEquivalenceTest, ThreadedRuntimeMatchesScalarInjection) {
+  auto scalar_build = Build(GetParam(), /*tick_period=*/0);
+  auto batch_build = Build(GetParam(), /*tick_period=*/0);
+  ThreadedRuntimeOptions options;
+  options.emit_batch = 8;
+  options.queue_capacity = 64;
+  auto scalar_rt = ThreadedRuntime::Create(&scalar_build->topology, options);
+  auto batch_rt = ThreadedRuntime::Create(&batch_build->topology, options);
+  ASSERT_TRUE(scalar_rt.ok() && batch_rt.ok());
+
+  for (const Chunk& chunk : Schedule()) {
+    std::vector<Message> msgs(chunk.len);
+    for (size_t j = 0; j < chunk.len; ++j) {
+      msgs[j].key = FeedKey(chunk.begin + j);
+    }
+    for (const Message& m : msgs) {
+      (*scalar_rt)->Inject(scalar_build->spout, chunk.source, m);
+    }
+    (*batch_rt)->InjectBatch(batch_build->spout, chunk.source, msgs.data(),
+                             msgs.size());
+  }
+  (*scalar_rt)->Finish();
+  (*batch_rt)->Finish();
+
+  for (uint32_t w = 0; w < kWorkers; ++w) {
+    EXPECT_EQ(batch_build->counters[w]->counts(),
+              scalar_build->counters[w]->counts())
+        << "per-key counts diverged on worker " << w;
+  }
+  EXPECT_EQ(batch_build->sink_op->totals(), scalar_build->sink_op->totals());
+  EXPECT_EQ((*batch_rt)->Processed(batch_build->counter),
+            (*scalar_rt)->Processed(scalar_build->counter));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Techniques, BatchInjectEquivalenceTest,
+    testing::Values(partition::Technique::kHashing,
+                    partition::Technique::kShuffle,
+                    partition::Technique::kPkgLocal,
+                    partition::Technique::kPkgGlobal),
+    [](const testing::TestParamInfo<partition::Technique>& info) {
+      std::string name = partition::TechniqueName(info.param);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace engine
+}  // namespace pkgstream

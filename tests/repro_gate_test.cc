@@ -245,6 +245,7 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_ablation_probing", 7},
     {"bench_ablation_rebalance", 8},
     {"bench_threaded_scaling", 7},
+    {"bench_micro_route", 12},
 };
 
 class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};

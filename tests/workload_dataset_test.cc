@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
+#include <vector>
 
 #include "stats/frequency.h"
 #include "workload/dataset.h"
@@ -163,6 +165,65 @@ TEST(TraceTest, StreamingReader) {
   EXPECT_EQ((*reader)->count(), 1000u);
   for (Key k = 0; k < 1000; ++k) EXPECT_EQ((*reader)->Next(), k * 3);
   EXPECT_EQ((*reader)->remaining(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, VectorKeyStreamNextBatchReplaysScalarAcrossWrap) {
+  std::vector<Key> keys;
+  for (Key k = 0; k < 100; ++k) keys.push_back(k * 7 + 1);
+  VectorKeyStream scalar(keys, "v");
+  VectorKeyStream batch(keys, "v");
+  // 64-key batches over a 100-key vector: every batch position relative to
+  // the wrap point gets exercised, including batches spanning it.
+  const size_t chunk_sizes[] = {1, 7, 64, 29};
+  std::vector<Key> buf;
+  for (size_t chunk = 0; chunk < 40; ++chunk) {
+    const size_t len = chunk_sizes[chunk % 4];
+    buf.assign(len, 0);
+    batch.NextBatch(buf.data(), len);
+    for (size_t j = 0; j < len; ++j) {
+      ASSERT_EQ(buf[j], scalar.Next()) << "chunk " << chunk << " pos " << j;
+    }
+  }
+  EXPECT_EQ(batch.ExhaustedOnce(), scalar.ExhaustedOnce());
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(batch.Next(), scalar.Next());
+}
+
+TEST(TraceTest, TraceKeyStreamNextBatchReplaysScalar) {
+  std::string path = testing::TempDir() + "/pkgstream_trace_batch.bin";
+  std::vector<Key> keys;
+  for (Key k = 0; k < 500; ++k) keys.push_back(k * 11 + 3);
+  ASSERT_TRUE(WriteTrace(path, keys).ok());
+  auto scalar = TraceKeyStream::Open(path);
+  auto batch = TraceKeyStream::Open(path);
+  ASSERT_TRUE(scalar.ok() && batch.ok());
+  const size_t chunk_sizes[] = {1, 7, 64, 29};
+  std::vector<Key> buf;
+  size_t pos = 0;
+  size_t chunk = 0;
+  while (pos < keys.size()) {
+    const size_t len =
+        std::min(chunk_sizes[chunk % 4], keys.size() - pos);
+    buf.assign(len, 0);
+    (*batch)->NextBatch(buf.data(), len);
+    for (size_t j = 0; j < len; ++j) {
+      ASSERT_EQ(buf[j], (*scalar)->Next());
+      ASSERT_EQ(buf[j], keys[pos + j]);
+    }
+    pos += len;
+    ++chunk;
+  }
+  EXPECT_EQ((*batch)->remaining(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(TraceDeathTest, TraceNextBatchPastEndChecks) {
+  std::string path = testing::TempDir() + "/pkgstream_trace_overrun.bin";
+  ASSERT_TRUE(WriteTrace(path, std::vector<Key>{1, 2, 3}).ok());
+  auto reader = TraceKeyStream::Open(path);
+  ASSERT_TRUE(reader.ok());
+  Key buf[4];
+  EXPECT_DEATH((*reader)->NextBatch(buf, 4), "past end of trace");
   std::remove(path.c_str());
 }
 

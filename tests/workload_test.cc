@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <vector>
 
 #include "common/random.h"
 #include "stats/frequency.h"
@@ -201,6 +203,66 @@ TEST(DriftingKeyStreamTest, PermutationStaysBijective) {
     EXPECT_FALSE(seen[id]) << "duplicate identity " << id;
     seen[id] = true;
   }
+}
+
+// ---------------------------------------------------------------------------
+// NextBatch replay contract (key_stream.h): batch consumption must yield
+// exactly the sequence repeated Next() calls would, with the stream ending
+// in the identical state, for every stream type and any interleaving of
+// batch sizes.
+// ---------------------------------------------------------------------------
+
+/// Drives `batch` through interleaved NextBatch sizes (1, 7, 64, ragged
+/// 29, and one zero-length call) and `scalar` through Next(), comparing
+/// element by element; then confirms both streams continue in lockstep.
+void ExpectBatchReplaysScalar(KeyStream* scalar, KeyStream* batch,
+                              size_t total) {
+  const size_t chunk_sizes[] = {1, 7, 64, 29};
+  std::vector<Key> buf;
+  size_t pos = 0;
+  size_t chunk = 0;
+  while (pos < total) {
+    if (chunk % 5 == 4) {
+      buf.clear();
+      batch->NextBatch(buf.data(), 0);  // zero-length: must be a no-op
+      ++chunk;
+      continue;
+    }
+    const size_t len = std::min(chunk_sizes[chunk % 4], total - pos);
+    buf.assign(len, 0);
+    batch->NextBatch(buf.data(), len);
+    for (size_t j = 0; j < len; ++j) {
+      ASSERT_EQ(buf[j], scalar->Next())
+          << "diverged at key " << pos + j << " (chunk " << chunk << ")";
+    }
+    pos += len;
+    ++chunk;
+  }
+  for (size_t i = 0; i < 64; ++i) {
+    ASSERT_EQ(batch->Next(), scalar->Next())
+        << "post-batch stream state diverged at " << i;
+  }
+}
+
+TEST(NextBatchTest, IidKeyStreamReplaysScalar) {
+  auto dist = std::make_shared<const StaticDistribution>(
+      ZipfWeights(1000, 1.2), "zipf");
+  IidKeyStream scalar(dist, 99);
+  IidKeyStream batch(dist, 99);
+  ExpectBatchReplaysScalar(&scalar, &batch, 5000);
+}
+
+TEST(NextBatchTest, DriftingKeyStreamReplaysScalarAcrossDriftEvents) {
+  auto dist = std::make_shared<const StaticDistribution>(
+      ZipfWeights(500, 1.0), "zipf");
+  DriftOptions options;
+  options.period = 700;  // several drift events inside the run
+  options.rotate_top = 8;
+  DriftingKeyStream scalar(dist, options, 7);
+  DriftingKeyStream batch(dist, options, 7);
+  ExpectBatchReplaysScalar(&scalar, &batch, 5000);
+  EXPECT_GT(batch.drift_events(), 0u);
+  EXPECT_EQ(batch.drift_events(), scalar.drift_events());
 }
 
 }  // namespace

@@ -38,6 +38,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/random.h"
+#include "common/simd.h"
 #include "partition/factory.h"
 #include "stats/frequency.h"
 #include "workload/static_distribution.h"
@@ -154,6 +155,34 @@ void RouteBatched(benchmark::State& state, partition::Technique technique) {
                           static_cast<int64_t>(kRouteBatchSize));
 }
 
+/// The SIMD-vs-scalar A/B of the multi-key hashing primitive itself:
+/// HashFamily::BucketBatch through the runtime dispatch (AVX-512/AVX2 on
+/// capable hosts) against the pinned scalar reference loop, same family,
+/// same keys, same batch size. On a host where dispatch selects scalar the
+/// two cases time identical code — the ratio then hovers at 1.
+void HashBucketBatch(benchmark::State& state, bool force_scalar) {
+  const HashFamily family(2, kWorkers, g_seed);
+  const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
+  uint32_t out[kRouteBatchSize];
+  size_t i = 0;
+  uint32_t member = 0;
+  for (auto _ : state) {
+    const Key* slice = keys.data() + (i & mask);
+    if (force_scalar) {
+      family.BucketBatchScalar(member, slice, out, kRouteBatchSize);
+    } else {
+      family.BucketBatch(member, slice, out, kRouteBatchSize);
+    }
+    benchmark::DoNotOptimize(out[0]);
+    benchmark::ClobberMemory();
+    i += kRouteBatchSize;
+    member ^= 1;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kRouteBatchSize));
+}
+
 /// PKG with more choices: cost grows linearly in d.
 void RouteChoices(benchmark::State& state, uint32_t num_choices) {
   auto partitioner = partition::MakePartitioner(
@@ -185,6 +214,10 @@ void RegisterAllBenchmarks() {
     benchmark::RegisterBenchmark(
         ("choices/d=" + std::to_string(d)).c_str(), RouteChoices, d);
   }
+  benchmark::RegisterBenchmark("hash/BucketBatch/simd", HashBucketBatch,
+                               /*force_scalar=*/false);
+  benchmark::RegisterBenchmark("hash/BucketBatch/scalar", HashBucketBatch,
+                               /*force_scalar=*/true);
 }
 
 /// 32-bit routing checksum: fits a double exactly, so it round-trips
@@ -244,6 +277,50 @@ void AddEquivalenceMetrics(bench::Report* report) {
                     static_cast<double>(kEquivalenceMessages));
   report->AddMetric("workers", kWorkers);
   report->AddMetric("sources", kSources);
+}
+
+/// The SIMD bit-compatibility half of the deterministic metrics: runs the
+/// identical key sequence through HashFamily::BucketBatch (whatever level
+/// the runtime dispatch selected) and through the pinned scalar reference,
+/// in the same ragged chunk pattern the routing equivalence uses, CHECKs
+/// bucket-for-bucket equality, and records one checksum per path. The
+/// committed baseline pins both values, so the gate fails if either the
+/// dispatch or the scalar reference ever changes a routed bit — on any
+/// host, with SIMD active or force-disabled (the checksums are the same
+/// number either way; that is the contract).
+void AddSimdEquivalenceMetrics(bench::Report* report) {
+  const auto& keys = KeySequence();
+  const size_t mask = keys.size() - 1;
+  const size_t chunk_sizes[] = {1, 7, 64, kRouteBatchSize};
+  const HashFamily family(2, kWorkers, g_seed);
+  Key key_buf[kRouteBatchSize];
+  uint32_t simd_buf[kRouteBatchSize];
+  uint32_t scalar_buf[kRouteBatchSize];
+  uint64_t simd_acc = 0xcbf29ce484222325ULL;
+  uint64_t scalar_acc = 0xcbf29ce484222325ULL;
+  size_t pos = 0;
+  size_t chunk = 0;
+  uint32_t member = 0;
+  while (pos < kEquivalenceMessages) {
+    const size_t len =
+        std::min(chunk_sizes[chunk++ % 4], kEquivalenceMessages - pos);
+    for (size_t j = 0; j < len; ++j) key_buf[j] = keys[(pos + j) & mask];
+    family.BucketBatch(member, key_buf, simd_buf, len);
+    family.BucketBatchScalar(member, key_buf, scalar_buf, len);
+    for (size_t j = 0; j < len; ++j) {
+      PKGSTREAM_CHECK(simd_buf[j] == scalar_buf[j])
+          << "BucketBatch (" << simd::SimdLevelName(simd::ActiveSimdLevel())
+          << ") diverged from the scalar reference at message " << pos + j;
+      simd_acc = Fmix64(simd_acc ^ simd_buf[j]);
+      scalar_acc = Fmix64(scalar_acc ^ scalar_buf[j]);
+    }
+    pos += len;
+    member ^= 1;
+  }
+  report->AddMetric("equiv/hash/simd_checksum",
+                    static_cast<uint32_t>(simd_acc));
+  report->AddMetric("equiv/hash/scalar_checksum",
+                    static_cast<uint32_t>(scalar_acc));
 }
 
 /// ConsoleReporter that additionally lands every per-iteration run's
@@ -317,6 +394,20 @@ void AddSummary(bench::Report* report) {
                   kg_scalar > 0 ? kg_batch / kg_scalar : 0.0);
     report->AddText(line);
   }
+  const double hash_simd = rate("hash/BucketBatch/simd/items_per_sec");
+  const double hash_scalar = rate("hash/BucketBatch/scalar/items_per_sec");
+  if (hash_simd > 0 && hash_scalar > 0) {
+    report->AddHostMetric("summary/hash_bucket_batch/simd_speedup",
+                          hash_simd / hash_scalar);
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "simd-vs-scalar msgs/sec: BucketBatch %s -> %s (%.2fx) at "
+                  "dispatch level '%s'",
+                  FormatMps(hash_scalar).c_str(), FormatMps(hash_simd).c_str(),
+                  hash_simd / hash_scalar,
+                  simd::SimdLevelName(simd::ActiveSimdLevel()));
+    report->AddText(line);
+  }
 }
 
 }  // namespace
@@ -335,8 +426,16 @@ int main(int argc, char** argv) {
   bench::Report report("bench_micro_route", title, paper_ref, args);
 
   // Deterministic metrics first: aborts (and fails the gate) on any
-  // scalar-vs-batch divergence.
+  // scalar-vs-batch or SIMD-vs-scalar divergence.
   AddEquivalenceMetrics(&report);
+  AddSimdEquivalenceMetrics(&report);
+
+  // The CPU feature level the dispatch selected on this host (0 scalar,
+  // 1 AVX2, 2 AVX-512) — host-dependent by nature, so a host metric; the
+  // checksums above prove the level cannot change the routed bits.
+  report.AddHostMetric(
+      "simd/level", static_cast<double>(static_cast<int>(
+                        simd::ActiveSimdLevel())));
 
   RegisterAllBenchmarks();
 

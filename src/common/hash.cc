@@ -132,10 +132,12 @@ uint32_t HashFamily::Bucket(uint32_t i, std::string_view key) const {
 }
 
 void HashFamily::Candidates(uint64_t key, std::vector<uint32_t>* out) const {
-  out->clear();
-  out->reserve(seeds_.size());
+  // Overwrite in place rather than clear-then-push: resize is a no-op once
+  // the caller's vector has been through one call, and the assignment loop
+  // carries no per-element capacity check.
+  out->resize(seeds_.size());
   for (uint32_t i = 0; i < seeds_.size(); ++i) {
-    out->push_back(Bucket(i, key));
+    (*out)[i] = Bucket(i, key);
   }
 }
 

@@ -15,7 +15,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash_simd.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace pkgstream {
 
@@ -126,6 +128,25 @@ class FastMod {
 
   uint64_t divisor() const { return d_; }
 
+  /// The 128-bit magic as 64-bit halves, for vector kernels that replay the
+  /// Mod arithmetic lane-wise from 32x32 partial products (hash_avx2.cc).
+  /// Zero when __int128 is unavailable — exactly the builds where the SIMD
+  /// lane is compiled out too.
+  uint64_t magic_hi() const {
+#ifdef __SIZEOF_INT128__
+    return static_cast<uint64_t>(magic_ >> 64);
+#else
+    return 0;
+#endif
+  }
+  uint64_t magic_lo() const {
+#ifdef __SIZEOF_INT128__
+    return static_cast<uint64_t>(magic_);
+#else
+    return 0;
+#endif
+  }
+
  private:
 #ifdef __SIZEOF_INT128__
   unsigned __int128 magic_;
@@ -151,6 +172,15 @@ class HashFamily {
   /// Number of buckets (the paper's n = number of workers).
   uint32_t buckets() const { return buckets_; }
 
+  /// The derived Murmur3 seed of member function `i` — what Bucket(i, ·)
+  /// actually hashes with. Exposed so kernel-level tests and benchmarks can
+  /// drive the SIMD primitives with the member's true seed instead of
+  /// re-deriving the (private) seed-mixing formula.
+  uint32_t member_seed(uint32_t i) const {
+    PKGSTREAM_DCHECK(i < seeds_.size());
+    return seeds_[i];
+  }
+
   /// Value of member function `i` on an integer key. Inline (and backed by
   /// the fixed-width Murmur3_64 specialization) so routing loops compile to
   /// straight-line code; bit-identical to the string overload on the key's
@@ -163,7 +193,9 @@ class HashFamily {
   /// Value of member function `i` on a string key.
   uint32_t Bucket(uint32_t i, std::string_view key) const;
 
-  /// Appends the d candidate buckets for `key` into `out` (cleared first).
+  /// Writes the d candidate buckets for `key` into `out`, resizing it to
+  /// exactly d and overwriting in place — a hot-loop caller that reuses one
+  /// vector never reallocates after the first call (resize keeps capacity).
   /// Candidates may collide for small bucket counts; callers that need
   /// distinct candidates should deduplicate (PKG keeps duplicates, matching
   /// the theoretical Greedy-d process where H1(k) may equal H2(k)).
@@ -171,10 +203,36 @@ class HashFamily {
 
   /// Batch form of Bucket: member function `i` over `keys[0..n)`, written
   /// to `out[0..n)` (column-major across a RouteBatch: one member, many
-  /// keys). Hoists the seed and bucket-count loads out of the loop so the
-  /// specialized hash is the whole body.
+  /// keys). Dispatches through simd::ActiveBucketBatchKernel() — the
+  /// function pointer resolved once per process from cpuid and the
+  /// PKGSTREAM_FORCE_SCALAR override: batches of at least one vector go
+  /// through the active multi-key kernel (AVX-512 or AVX2; ragged tail
+  /// peeled to the scalar loop); everything else — short batches, scalar
+  /// hosts, forced-scalar runs — takes BucketBatchScalar. All paths
+  /// produce identical bits for every input (the SIMD contract in
+  /// hash_simd.h), so the dispatch decision is invisible to routing.
   void BucketBatch(uint32_t i, const uint64_t* keys, uint32_t* out,
                    size_t n) const {
+    PKGSTREAM_DCHECK(i < seeds_.size());
+    if (n >= simd::kMinSimdBatch) {
+      if (const simd::BucketBatchKernel kernel =
+              simd::ActiveBucketBatchKernel()) {
+        const size_t vec = n & ~static_cast<size_t>(7);
+        kernel(keys, out, vec, seeds_[i], mod_.magic_hi(), mod_.magic_lo(),
+               buckets_);
+        if (vec != n) BucketBatchScalar(i, keys + vec, out + vec, n - vec);
+        return;
+      }
+    }
+    BucketBatchScalar(i, keys, out, n);
+  }
+
+  /// The scalar reference loop behind BucketBatch: seed and divisor hoisted,
+  /// the fixed-width hash as the whole body. Public so the SIMD-vs-scalar
+  /// equality tests and the micro-route A/B benchmark can pin both paths in
+  /// one process regardless of the active dispatch level.
+  void BucketBatchScalar(uint32_t i, const uint64_t* keys, uint32_t* out,
+                         size_t n) const {
     PKGSTREAM_DCHECK(i < seeds_.size());
     const uint32_t seed = seeds_[i];
     const FastMod mod = mod_;

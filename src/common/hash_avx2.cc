@@ -1,0 +1,217 @@
+// Copyright 2026 The pkgstream Authors.
+// AVX2 kernels for the batched routing hot path (see common/hash_simd.h for
+// the contract, common/hash_simd_avx2_inl.h for the shared building
+// blocks). This TU is compiled with -mavx2; when the toolchain or build
+// configuration rules AVX2 out, it degrades to aborting stubs and
+// HasAvx2Kernels() == false, and the dispatch layer (simd::ActiveSimdLevel)
+// never routes here.
+//
+// AVX2 has no 64x64-bit multiply, which is the whole reason a vector
+// Murmur3 is nontrivial: both the hash (k*c, fmix64) and the Lemire bucket
+// reduction are multiply chains. The saving grace is that *every* multiply
+// on this path is by a loop constant (the Murmur block constants, the
+// fmix64 mixers, the divisor's FastMod magic), so each 64-bit low product
+// splits into three 32x32->64 _mm256_mul_epu32 partial products against
+// pre-splatted constant halves — all single-uop instructions, no
+// _mm256_mullo_epi32. rotl/xor/shift/add are native 4x64 operations. Each
+// key is still one serial multiply chain, so the batch loop keeps four
+// independent vectors (16 keys) in flight to cover the chain latency; that
+// interleaving is what actually buys the measured speedup over the
+// (already multiply-throughput-bound) scalar loop.
+//
+// The bucket reduction replays FastMod's 128-bit-magic arithmetic limb by
+// limb (the magic is *the same value* FastMod computed, passed in as two
+// 64-bit halves), so equality with `n % d` is inherited from FastMod's
+// proof rather than re-derived — and then pinned exhaustively by
+// tests/common_simd_test.cc. Power-of-two divisors short-circuit to a
+// mask, which is the same bits by definition.
+
+#include "common/hash_simd.h"
+
+#include "common/simd.h"
+
+#if defined(__AVX2__) && defined(__SIZEOF_INT128__) && \
+    !defined(PKGSTREAM_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+#include "common/hash_simd_avx2_inl.h"
+
+namespace pkgstream {
+namespace simd {
+
+namespace {
+using avx2::ConstMul;
+using avx2::FastModx4;
+using avx2::HashConstants;
+using avx2::LoadKeys4;
+using avx2::ModConstants;
+using avx2::Murmur3x4;
+using avx2::PackLowDwords;
+}  // namespace
+
+bool HasAvx2Kernels() { return true; }
+
+void Murmur3_64x4Avx2(const uint64_t* keys, uint32_t seed, uint64_t* out) {
+  const HashConstants c(seed);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      Murmur3x4(LoadKeys4(keys), c));
+}
+
+void Murmur3_64x8Avx2(const uint64_t* keys, uint32_t seed, uint64_t* out) {
+  const HashConstants c(seed);
+  const __m256i h0 = Murmur3x4(LoadKeys4(keys), c);
+  const __m256i h1 = Murmur3x4(LoadKeys4(keys + 4), c);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), h0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4), h1);
+}
+
+void FastModX4Avx2(const uint64_t* n, uint64_t magic_hi, uint64_t magic_lo,
+                   uint32_t d, uint64_t* out) {
+  const ModConstants m(magic_hi, magic_lo, d);
+  const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(n));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), FastModx4(v, m));
+}
+
+void BucketBatchAvx2(const uint64_t* keys, uint32_t* out, size_t n,
+                     uint32_t seed, uint64_t magic_hi, uint64_t magic_lo,
+                     uint32_t d) {
+  const HashConstants c(seed);
+  if ((d & (d - 1)) == 0) {
+    // Power-of-two divisor: n % d == n & (d-1) bit for bit, so the whole
+    // reduction chain folds into one AND per vector.
+    const __m256i mask = _mm256_set1_epi64x(
+        static_cast<long long>(static_cast<uint64_t>(d) - 1));
+    size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const __m256i r0 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j), c), mask);
+      const __m256i r1 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j + 4), c), mask);
+      const __m256i r2 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j + 8), c), mask);
+      const __m256i r3 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j + 12), c), mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                          PackLowDwords(r0, r1));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j + 8),
+                          PackLowDwords(r2, r3));
+    }
+    if (j < n) {  // n is a multiple of 8: exactly one half-block remains
+      const __m256i r0 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j), c), mask);
+      const __m256i r1 =
+          _mm256_and_si256(Murmur3x4(LoadKeys4(keys + j + 4), c), mask);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                          PackLowDwords(r0, r1));
+    }
+    return;
+  }
+  const ModConstants m(magic_hi, magic_lo, d);
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    const __m256i h0 = Murmur3x4(LoadKeys4(keys + j), c);
+    const __m256i h1 = Murmur3x4(LoadKeys4(keys + j + 4), c);
+    const __m256i h2 = Murmur3x4(LoadKeys4(keys + j + 8), c);
+    const __m256i h3 = Murmur3x4(LoadKeys4(keys + j + 12), c);
+    const __m256i r0 = FastModx4(h0, m);
+    const __m256i r1 = FastModx4(h1, m);
+    const __m256i r2 = FastModx4(h2, m);
+    const __m256i r3 = FastModx4(h3, m);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        PackLowDwords(r0, r1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j + 8),
+                        PackLowDwords(r2, r3));
+  }
+  if (j < n) {  // n is a multiple of 8: exactly one half-block remains
+    const __m256i h0 = Murmur3x4(LoadKeys4(keys + j), c);
+    const __m256i h1 = Murmur3x4(LoadKeys4(keys + j + 4), c);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j),
+                        PackLowDwords(FastModx4(h0, m), FastModx4(h1, m)));
+  }
+}
+
+bool ArgminX4Avx2(const uint32_t* c0, const uint32_t* c1,
+                  const uint64_t* loads, uint32_t* out) {
+  const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(c0));
+  const __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(c1));
+  // Cross-lane distinctness of the 8 candidates. In the concatenated
+  // vector v = [c0[0..3], c1[0..3]], rotations by 1, 2 and 3 pair every
+  // element with every other *except* its distance-4 partner — which is
+  // exactly the same-lane (c0[j], c1[j]) pair the contract permits.
+  const __m256i v = _mm256_set_m128i(b, a);
+  const __m256i rot1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  const __m256i rot2 = _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1);
+  const __m256i rot3 = _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2);
+  __m256i eq = _mm256_cmpeq_epi32(v, _mm256_permutevar8x32_epi32(v, rot1));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(v, _mm256_permutevar8x32_epi32(v, rot2)));
+  eq = _mm256_or_si256(
+      eq, _mm256_cmpeq_epi32(v, _mm256_permutevar8x32_epi32(v, rot3)));
+  if (_mm256_movemask_epi8(eq) != 0) return false;
+
+  const __m256i l0 =
+      _mm256_i32gather_epi64(reinterpret_cast<const long long*>(loads), a, 8);
+  const __m256i l1 =
+      _mm256_i32gather_epi64(reinterpret_cast<const long long*>(loads), b, 8);
+  // Unsigned 64-bit l1 < l0 via the sign-flip trick (cmpgt is signed);
+  // strict <, so ties keep the first candidate like the scalar loop.
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i second_wins = _mm256_cmpgt_epi64(
+      _mm256_xor_si256(l0, bias), _mm256_xor_si256(l1, bias));
+  // Narrow the 4x64 mask to 4x32 (lanes are all-ones/all-zero, so taking
+  // the low dwords preserves it), then blend the candidate columns.
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m128i mask32 =
+      _mm256_castsi256_si128(_mm256_permutevar8x32_epi32(second_wins, idx));
+  const __m128i best = _mm_blendv_epi8(a, b, mask32);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), best);
+  return true;
+}
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#else  // !(__AVX2__ && __SIZEOF_INT128__ && !PKGSTREAM_DISABLE_SIMD)
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace simd {
+
+namespace {
+[[noreturn]] void Unavailable(const char* kernel) {
+  PKGSTREAM_CHECK(false) << kernel
+                         << " called in a build without AVX2 kernels — the "
+                            "caller must gate on simd::ActiveSimdLevel()";
+  std::abort();  // unreachable: the failed CHECK aborts first
+}
+}  // namespace
+
+bool HasAvx2Kernels() { return false; }
+
+void Murmur3_64x4Avx2(const uint64_t*, uint32_t, uint64_t*) {
+  Unavailable("Murmur3_64x4Avx2");
+}
+void Murmur3_64x8Avx2(const uint64_t*, uint32_t, uint64_t*) {
+  Unavailable("Murmur3_64x8Avx2");
+}
+void FastModX4Avx2(const uint64_t*, uint64_t, uint64_t, uint32_t, uint64_t*) {
+  Unavailable("FastModX4Avx2");
+}
+void BucketBatchAvx2(const uint64_t*, uint32_t*, size_t, uint32_t, uint64_t,
+                     uint64_t, uint32_t) {
+  Unavailable("BucketBatchAvx2");
+}
+bool ArgminX4Avx2(const uint32_t*, const uint32_t*, const uint64_t*,
+                  uint32_t*) {
+  Unavailable("ArgminX4Avx2");
+}
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#endif

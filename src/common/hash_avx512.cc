@@ -1,0 +1,225 @@
+// Copyright 2026 The pkgstream Authors.
+// AVX-512 kernels for the batched routing hot path — the third dispatch
+// level above the AVX2 lane (hash_avx2.cc), selected at runtime when the
+// host reports AVX-512F + DQ. Where AVX2 assembles every 64-bit product
+// from three 32x32 partial products, AVX-512DQ has the real thing
+// (VPMULLQ) plus a native 64-bit rotate (VPROLQ) and a one-instruction
+// 8x64 -> 8x32 pack (VPMOVQD), so the whole hash collapses to six
+// multiplies and a handful of xors/adds per eight keys. Only the *high*
+// half of the reduction's 128-bit products still needs VPMULUDQ partial
+// products (there is no 64-bit mulhi at any width).
+//
+// The same bit-compatibility contract as the AVX2 lane applies (see
+// hash_simd.h): every kernel equals the scalar reference exactly, for
+// every input, so the dispatch level can never change a routing decision.
+
+#include "common/hash_simd.h"
+
+#include "common/simd.h"
+
+#if defined(__AVX512F__) && defined(__AVX512DQ__) && \
+    defined(__SIZEOF_INT128__) && !defined(PKGSTREAM_DISABLE_SIMD)
+
+#include <immintrin.h>
+
+namespace pkgstream {
+namespace simd {
+
+namespace {
+
+/// Loop-invariant constants of the fixed-width hash, splatted once.
+struct HashConstants {
+  __m512i c1 = _mm512_set1_epi64(static_cast<long long>(0x87c37b91114253d5ULL));
+  __m512i c2 = _mm512_set1_epi64(static_cast<long long>(0x4cf5ad432745937fULL));
+  __m512i f1 = _mm512_set1_epi64(static_cast<long long>(0xff51afd7ed558ccdULL));
+  __m512i f2 = _mm512_set1_epi64(static_cast<long long>(0xc4ceb9fe1a85ec53ULL));
+  __m512i seed_len;  // seed ^ 8 (the fixed length word)
+  explicit HashConstants(uint32_t seed)
+      : seed_len(_mm512_xor_si512(
+            _mm512_set1_epi64(
+                static_cast<long long>(static_cast<uint64_t>(seed))),
+            _mm512_set1_epi64(8))) {}
+};
+
+inline __m512i Fmix64x8(__m512i k, const HashConstants& c) {
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, c.f1);
+  k = _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+  k = _mm512_mullo_epi64(k, c.f2);
+  return _mm512_xor_si512(k, _mm512_srli_epi64(k, 33));
+}
+
+/// Eight lanes of the fixed-width Murmur3_64(uint64_t) from common/hash.h.
+inline __m512i Murmur3x8(__m512i key, const HashConstants& c) {
+  __m512i k1 = _mm512_mullo_epi64(key, c.c1);
+  k1 = _mm512_rol_epi64(k1, 31);
+  k1 = _mm512_mullo_epi64(k1, c.c2);
+  __m512i h1 = _mm512_xor_si512(c.seed_len, k1);
+  __m512i h2 = c.seed_len;
+  h1 = _mm512_add_epi64(h1, h2);
+  h2 = _mm512_add_epi64(h2, h1);
+  return _mm512_add_epi64(Fmix64x8(h1, c), Fmix64x8(h2, c));
+}
+
+/// Loop-invariant state of the vector FastMod.
+struct ModConstants {
+  __m512i magic_lo;
+  __m512i magic_lo_hi32;  // magic_lo >> 32, for VPMULUDQ partial products
+  __m512i magic_hi;
+  __m512i d;
+  ModConstants(uint64_t hi, uint64_t lo, uint32_t divisor)
+      : magic_lo(_mm512_set1_epi64(static_cast<long long>(lo))),
+        magic_lo_hi32(_mm512_set1_epi64(static_cast<long long>(lo >> 32))),
+        magic_hi(_mm512_set1_epi64(static_cast<long long>(hi))),
+        d(_mm512_set1_epi64(
+              static_cast<long long>(static_cast<uint64_t>(divisor)))) {}
+};
+
+/// `a` with each lane's high dword duplicated into the low dword — a valid
+/// VPMULUDQ operand standing in for (a >> 32); the multiplier ignores the
+/// odd-dword garbage and the shuffle stays off the shift port.
+inline __m512i HiForMul(__m512i a) {
+  return _mm512_shuffle_epi32(a, _MM_PERM_DDBB);
+}
+
+/// ((x * d) >> 64) for the 32-bit d: (x_hi*d + (x_lo*d >> 32)) >> 32.
+inline __m512i MulShift64By32(__m512i x, __m512i dv) {
+  const __m512i lo_prod = _mm512_mul_epu32(x, dv);
+  const __m512i hi_prod = _mm512_mul_epu32(HiForMul(x), dv);
+  const __m512i sum =
+      _mm512_add_epi64(hi_prod, _mm512_srli_epi64(lo_prod, 32));
+  return _mm512_srli_epi64(sum, 32);
+}
+
+/// FastMod::Mod, lane-wise. The low 64 bits of magic_lo * n come straight
+/// from VPMULLQ; the high 64 still need the four partial products (their
+/// carry structure, not their low word). Exactness is FastMod's.
+inline __m512i FastModx8(__m512i n, const ModConstants& m) {
+  const __m512i n_hi = HiForMul(n);
+  const __m512i a_lo = _mm512_mullo_epi64(n, m.magic_lo);
+  const __m512i p00 = _mm512_mul_epu32(n, m.magic_lo);
+  const __m512i p01 = _mm512_mul_epu32(n, m.magic_lo_hi32);
+  const __m512i p10 = _mm512_mul_epu32(n_hi, m.magic_lo);
+  const __m512i p11 = _mm512_mul_epu32(n_hi, m.magic_lo_hi32);
+  const __m512i low32_mask = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i mid = _mm512_add_epi64(p10, _mm512_srli_epi64(p00, 32));
+  const __m512i mid2 =
+      _mm512_add_epi64(p01, _mm512_and_si512(mid, low32_mask));
+  const __m512i a_hi =
+      _mm512_add_epi64(p11, _mm512_add_epi64(_mm512_srli_epi64(mid, 32),
+                                             _mm512_srli_epi64(mid2, 32)));
+  // lowbits = {a_hi + low64(magic_hi * n), a_lo} (mod 2^128).
+  const __m512i l_hi =
+      _mm512_add_epi64(a_hi, _mm512_mullo_epi64(n, m.magic_hi));
+  // result = (l_hi*d + ((a_lo*d) >> 64)) >> 64, all by 32-bit-d chains.
+  const __m512i s = MulShift64By32(a_lo, m.d);
+  const __m512i t_lo = _mm512_mul_epu32(l_hi, m.d);
+  const __m512i t_hi = _mm512_mul_epu32(HiForMul(l_hi), m.d);
+  const __m512i inner = _mm512_srli_epi64(_mm512_add_epi64(t_lo, s), 32);
+  return _mm512_srli_epi64(_mm512_add_epi64(t_hi, inner), 32);
+}
+
+inline __m512i LoadKeys(const uint64_t* keys) {
+  return _mm512_loadu_si512(keys);
+}
+
+inline void StoreBuckets(uint32_t* out, __m512i r) {
+  // 8x64 -> 8x32 pack: every bucket fits 32 bits.
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out),
+                      _mm512_cvtepi64_epi32(r));
+}
+
+}  // namespace
+
+bool HasAvx512Kernels() { return true; }
+
+void Murmur3_64x8Avx512(const uint64_t* keys, uint32_t seed, uint64_t* out) {
+  const HashConstants c(seed);
+  _mm512_storeu_si512(out, Murmur3x8(LoadKeys(keys), c));
+}
+
+void FastModX8Avx512(const uint64_t* n, uint64_t magic_hi, uint64_t magic_lo,
+                     uint32_t d, uint64_t* out) {
+  const ModConstants m(magic_hi, magic_lo, d);
+  _mm512_storeu_si512(out, FastModx8(_mm512_loadu_si512(n), m));
+}
+
+void BucketBatchAvx512(const uint64_t* keys, uint32_t* out, size_t n,
+                       uint32_t seed, uint64_t magic_hi, uint64_t magic_lo,
+                       uint32_t d) {
+  const HashConstants c(seed);
+  // Each vector is one serial VPMULLQ chain (~15-cycle latency each
+  // multiply), so single-vector code runs at chain latency. Four
+  // independent vectors (32 keys) per iteration keep the multiplier
+  // saturated; the 8/16-key remainders run narrower.
+  if ((d & (d - 1)) == 0) {
+    // Power-of-two divisor: n % d == n & (d-1) bit for bit, so the whole
+    // reduction chain folds into one AND.
+    const __m512i mask = _mm512_set1_epi64(
+        static_cast<long long>(static_cast<uint64_t>(d) - 1));
+    size_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      const __m512i h0 = Murmur3x8(LoadKeys(keys + j), c);
+      const __m512i h1 = Murmur3x8(LoadKeys(keys + j + 8), c);
+      const __m512i h2 = Murmur3x8(LoadKeys(keys + j + 16), c);
+      const __m512i h3 = Murmur3x8(LoadKeys(keys + j + 24), c);
+      StoreBuckets(out + j, _mm512_and_si512(h0, mask));
+      StoreBuckets(out + j + 8, _mm512_and_si512(h1, mask));
+      StoreBuckets(out + j + 16, _mm512_and_si512(h2, mask));
+      StoreBuckets(out + j + 24, _mm512_and_si512(h3, mask));
+    }
+    for (; j + 8 <= n; j += 8) {  // n is a multiple of 8
+      StoreBuckets(out + j,
+                   _mm512_and_si512(Murmur3x8(LoadKeys(keys + j), c), mask));
+    }
+    return;
+  }
+  // General divisor: delegate to the AVX2 kernel. The zmm Lemire chain
+  // (FastModx8 above, kept for the test surface) lands every multiply and
+  // shift on port 0 and measures slower than the AVX2 reduction, which
+  // spreads its single-uop partial products over two ports; a zmm-hash /
+  // ymm-reduce hybrid loses again to VEX/EVEX register-file friction
+  // without AVX-512VL. Measured on the reference host: AVX2 ~1.2x the
+  // scalar loop here, both zmm variants below it.
+  BucketBatchAvx2(keys, out, n, seed, magic_hi, magic_lo, d);
+}
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#else  // !(__AVX512F__ && __AVX512DQ__ && __SIZEOF_INT128__ && !DISABLE)
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace simd {
+
+namespace {
+[[noreturn]] void Unavailable(const char* kernel) {
+  PKGSTREAM_CHECK(false) << kernel
+                         << " called in a build without AVX-512 kernels — "
+                            "the caller must gate on simd::ActiveSimdLevel()";
+  std::abort();  // unreachable: the failed CHECK aborts first
+}
+}  // namespace
+
+bool HasAvx512Kernels() { return false; }
+
+void Murmur3_64x8Avx512(const uint64_t*, uint32_t, uint64_t*) {
+  Unavailable("Murmur3_64x8Avx512");
+}
+void FastModX8Avx512(const uint64_t*, uint64_t, uint64_t, uint32_t,
+                     uint64_t*) {
+  Unavailable("FastModX8Avx512");
+}
+void BucketBatchAvx512(const uint64_t*, uint32_t*, size_t, uint32_t, uint64_t,
+                       uint64_t, uint32_t) {
+  Unavailable("BucketBatchAvx512");
+}
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#endif

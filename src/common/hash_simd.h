@@ -1,0 +1,98 @@
+// Copyright 2026 The pkgstream Authors.
+// AVX2 kernel surface of the routing hot path. Everything declared here is
+// defined in hash_avx2.cc — the only translation unit built with -mavx2 —
+// and must only be *called* after a runtime gate (simd::ActiveSimdLevel()
+// == kAvx2, or HasAvx2Kernels() && CpuSupportsAvx2() in tests); on builds
+// without the kernels the definitions are aborting stubs.
+//
+// The bit-compatibility contract: every kernel equals its scalar reference
+// exactly, for every input —
+//   Murmur3_64x{4,8}Avx2,
+//   Murmur3_64x8Avx512    == Murmur3_64(uint64_t key, uint32_t seed)
+//   FastModX4Avx2,
+//   FastModX8Avx512       == FastMod(d).Mod(n)        for d < 2^32
+//   BucketBatchAvx2/512   == HashFamily::BucketBatchScalar
+//   ArgminX4Avx2          == the scalar two-choice argmin (ties pick the
+//                            first candidate), valid only when it reports
+//                            the four rows cross-lane conflict-free
+// tests/common_simd_test.cc pins each equality over adversarial inputs;
+// routing decisions ride on these bits, so any divergence invalidates every
+// committed baseline.
+
+#ifndef PKGSTREAM_COMMON_HASH_SIMD_H_
+#define PKGSTREAM_COMMON_HASH_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pkgstream {
+namespace simd {
+
+/// \brief Batches shorter than this stay on the scalar path: below one
+/// 8-wide vector the dispatch + tail handling costs more than it saves.
+inline constexpr size_t kMinSimdBatch = 8;
+
+/// \brief Signature shared by the BucketBatch kernels of every dispatch
+/// level: hash `keys[0..n)` with `seed`, reduce by the divisor behind
+/// (magic_hi, magic_lo, d), write 32-bit buckets. `n` must be a multiple
+/// of 8 (the dispatch layer peels the ragged tail to the scalar loop).
+/// Power-of-two divisors short-circuit the reduction to a mask — `n % d`
+/// and `n & (d-1)` are the same bits there.
+using BucketBatchKernel = void (*)(const uint64_t* keys, uint32_t* out,
+                                   size_t n, uint32_t seed, uint64_t magic_hi,
+                                   uint64_t magic_lo, uint32_t d);
+
+/// \brief The fixed-width integer Murmur3 over 4 keys (one 4x64 vector).
+/// `out[j]` is bit-identical to Murmur3_64(keys[j], seed).
+void Murmur3_64x4Avx2(const uint64_t* keys, uint32_t seed, uint64_t* out);
+
+/// \brief 8 keys per call: two interleaved 4-wide lanes, so the multiply
+/// chains of independent keys overlap. Bit-identical to the scalar hash.
+void Murmur3_64x8Avx2(const uint64_t* keys, uint32_t seed, uint64_t* out);
+
+/// \brief 8 keys in one 8x64 vector via AVX-512DQ's native 64-bit multiply
+/// and rotate. Bit-identical to the scalar hash.
+void Murmur3_64x8Avx512(const uint64_t* keys, uint32_t seed, uint64_t* out);
+
+/// \brief Exact remainder of 4 numerators by one 32-bit divisor, from the
+/// divisor's 128-bit FastMod magic (FastMod::magic_hi()/magic_lo()).
+/// Bit-identical to FastMod::Mod for every n and every d in [1, 2^32).
+void FastModX4Avx2(const uint64_t* n, uint64_t magic_hi, uint64_t magic_lo,
+                   uint32_t d, uint64_t* out);
+
+/// \brief The 8-wide AVX-512 form of FastModX4Avx2, same contract.
+void FastModX8Avx512(const uint64_t* n, uint64_t magic_hi, uint64_t magic_lo,
+                     uint32_t d, uint64_t* out);
+
+/// \brief AVX2 BucketBatch kernel (BucketBatchKernel signature).
+void BucketBatchAvx2(const uint64_t* keys, uint32_t* out, size_t n,
+                     uint32_t seed, uint64_t magic_hi, uint64_t magic_lo,
+                     uint32_t d);
+
+/// \brief AVX-512 BucketBatch kernel (BucketBatchKernel signature).
+void BucketBatchAvx512(const uint64_t* keys, uint32_t* out, size_t n,
+                       uint32_t seed, uint64_t magic_hi, uint64_t magic_lo,
+                       uint32_t d);
+
+/// \brief The ifunc-style selection: the BucketBatch kernel for the active
+/// dispatch level, resolved once (first call) and pinned. nullptr when the
+/// active level is scalar — callers then run the scalar reference loop.
+BucketBatchKernel ActiveBucketBatchKernel();
+
+/// \brief Vectorized two-choice argmin over 4 rows of the (c0, c1) candidate
+/// columns against a contiguous load array. When the 8 candidate buckets are
+/// cross-lane distinct (same-lane c0==c1 collisions are fine — the tie picks
+/// c0, independent of other rows), the 4 decisions are independent of the
+/// in-between load increments, so the vector result equals the sequential
+/// scalar argmin; writes out[0..4) and returns true. On any cross-lane
+/// collision it writes nothing and returns false — the caller re-runs those
+/// rows through the sequential scalar protocol. Loads are compared as
+/// unsigned 64-bit, matching the scalar `<`. Buckets must be < 2^31 (the
+/// gather consumes signed 32-bit indices).
+bool ArgminX4Avx2(const uint32_t* c0, const uint32_t* c1,
+                  const uint64_t* loads, uint32_t* out);
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_HASH_SIMD_H_

@@ -1,0 +1,169 @@
+// Copyright 2026 The pkgstream Authors.
+// Internal: the AVX2 (ymm) building blocks of the SIMD routing kernels,
+// shared by the translation units that compile with AVX2 available —
+// hash_avx2.cc (-mavx2) and hash_avx512.cc (-mavx512f implies AVX2). The
+// AVX-512 kernel reuses the 4-wide Lemire reduction because the zmm form
+// of the same chain lands every multiply and shift on port 0, where the
+// ymm form spreads across two ports and wins despite half the lanes.
+//
+// Everything here follows the bit-compatibility contract of hash_simd.h:
+// Murmur3x4 == Murmur3_64(uint64_t), FastModx4 == FastMod::Mod for every
+// 32-bit divisor. Do not include outside an AVX2-enabled TU.
+
+#ifndef PKGSTREAM_COMMON_HASH_SIMD_AVX2_INL_H_
+#define PKGSTREAM_COMMON_HASH_SIMD_AVX2_INL_H_
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace pkgstream {
+namespace simd {
+namespace avx2 {
+
+/// A 64-bit constant multiplicand, pre-split into splatted 32-bit halves
+/// (each sitting in the low dword of every 64-bit lane, where
+/// _mm256_mul_epu32 reads its operands).
+struct ConstMul {
+  __m256i lo;
+  __m256i hi;
+  explicit ConstMul(uint64_t c)
+      : lo(_mm256_set1_epi64x(static_cast<long long>(c & 0xffffffffULL))),
+        hi(_mm256_set1_epi64x(static_cast<long long>(c >> 32))) {}
+};
+
+/// `a` with each lane's high dword duplicated into the low dword — a valid
+/// _mm256_mul_epu32 operand standing in for (a >> 32). The odd-dword
+/// garbage is ignored by the multiplier, and vpshufd runs on the shuffle
+/// port, off the shift/multiply ports this kernel is bound on (the reason
+/// it is used instead of _mm256_srli_epi64 wherever the result only feeds
+/// a multiply).
+inline __m256i HiForMul(__m256i a) {
+  return _mm256_shuffle_epi32(a, _MM_SHUFFLE(3, 3, 1, 1));
+}
+
+/// Low 64 bits of the lane-wise product a * C for the pre-split constant C:
+/// three partial products and one shift placing the cross terms. Carries
+/// above bit 63 fall off exactly as in scalar wraparound.
+inline __m256i Mul64Lo(__m256i a, const ConstMul& c) {
+  const __m256i w0 = _mm256_mul_epu32(a, c.lo);
+  const __m256i w1 = _mm256_mul_epu32(a, c.hi);
+  const __m256i w2 = _mm256_mul_epu32(HiForMul(a), c.lo);
+  const __m256i mid = _mm256_add_epi64(w1, w2);
+  return _mm256_add_epi64(w0, _mm256_slli_epi64(mid, 32));
+}
+
+inline __m256i Rotl64(__m256i x, int r) {
+  return _mm256_or_si256(_mm256_slli_epi64(x, r),
+                         _mm256_srli_epi64(x, 64 - r));
+}
+
+/// Loop-invariant constants of the fixed-width hash, splatted once.
+struct HashConstants {
+  ConstMul c1{0x87c37b91114253d5ULL};  // Murmur3 block constant 1
+  ConstMul c2{0x4cf5ad432745937fULL};  // Murmur3 block constant 2
+  ConstMul f1{0xff51afd7ed558ccdULL};  // fmix64 multiplier 1
+  ConstMul f2{0xc4ceb9fe1a85ec53ULL};  // fmix64 multiplier 2
+  __m256i seed_len;                    // seed ^ 8 (the fixed length word)
+  explicit HashConstants(uint32_t seed)
+      : seed_len(_mm256_xor_si256(
+            _mm256_set1_epi64x(
+                static_cast<long long>(static_cast<uint64_t>(seed))),
+            _mm256_set1_epi64x(8))) {}
+};
+
+inline __m256i Fmix64x4(__m256i k, const HashConstants& c) {
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64Lo(k, c.f1);
+  k = _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+  k = Mul64Lo(k, c.f2);
+  return _mm256_xor_si256(k, _mm256_srli_epi64(k, 33));
+}
+
+/// Four lanes of the fixed-width Murmur3_64(uint64_t) from common/hash.h,
+/// operation for operation (h2's pre-mix value seed^8 is the hoisted
+/// seed_len; h1 = (seed ^ k1) ^ 8 regrouped the same way).
+inline __m256i Murmur3x4(__m256i key, const HashConstants& c) {
+  __m256i k1 = Mul64Lo(key, c.c1);
+  k1 = Rotl64(k1, 31);
+  k1 = Mul64Lo(k1, c.c2);
+  __m256i h1 = _mm256_xor_si256(c.seed_len, k1);
+  __m256i h2 = c.seed_len;
+  h1 = _mm256_add_epi64(h1, h2);
+  h2 = _mm256_add_epi64(h2, h1);
+  return _mm256_add_epi64(Fmix64x4(h1, c), Fmix64x4(h2, c));
+}
+
+/// Loop-invariant state of the vector FastMod: the divisor's 128-bit magic
+/// halves as ConstMul splits plus the divisor in the low dword of every
+/// lane.
+struct ModConstants {
+  ConstMul magic_lo;
+  ConstMul magic_hi;
+  __m256i d;
+  ModConstants(uint64_t hi, uint64_t lo, uint32_t divisor)
+      : magic_lo(lo),
+        magic_hi(hi),
+        d(_mm256_set1_epi64x(
+              static_cast<long long>(static_cast<uint64_t>(divisor)))) {}
+};
+
+/// ((x * d) >> 64) for the 32-bit d in the low dword of each lane of `dv`:
+/// x*d = x_hi*d*2^32 + x_lo*d, so the top 64 bits reduce to two 32x32->64
+/// products — (x_hi*d + (x_lo*d >> 32)) >> 32, carries proven to fit 64
+/// bits since x_hi*d <= (2^32-1)^2.
+inline __m256i MulShift64By32(__m256i x, __m256i dv) {
+  const __m256i lo_prod = _mm256_mul_epu32(x, dv);
+  const __m256i hi_prod = _mm256_mul_epu32(HiForMul(x), dv);
+  const __m256i sum =
+      _mm256_add_epi64(hi_prod, _mm256_srli_epi64(lo_prod, 32));
+  return _mm256_srli_epi64(sum, 32);
+}
+
+/// FastMod::Mod, lane-wise: lowbits = magic * n mod 2^128 (limb
+/// arithmetic), result = (lowbits * d) >> 128. Exactness is FastMod's.
+inline __m256i FastModx4(__m256i n, const ModConstants& m) {
+  const __m256i n_hi = HiForMul(n);
+  // Full 128-bit product A = magic_lo * n via four partial products with
+  // explicit carry splitting (mid sums would overflow 64 bits otherwise).
+  const __m256i p00 = _mm256_mul_epu32(n, m.magic_lo.lo);
+  const __m256i p01 = _mm256_mul_epu32(n, m.magic_lo.hi);
+  const __m256i p10 = _mm256_mul_epu32(n_hi, m.magic_lo.lo);
+  const __m256i p11 = _mm256_mul_epu32(n_hi, m.magic_lo.hi);
+  const __m256i low32_mask = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i mid = _mm256_add_epi64(p10, _mm256_srli_epi64(p00, 32));
+  const __m256i mid2 =
+      _mm256_add_epi64(p01, _mm256_and_si256(mid, low32_mask));
+  const __m256i a_lo = _mm256_add_epi64(_mm256_slli_epi64(mid2, 32),
+                                        _mm256_and_si256(p00, low32_mask));
+  const __m256i a_hi =
+      _mm256_add_epi64(p11, _mm256_add_epi64(_mm256_srli_epi64(mid, 32),
+                                             _mm256_srli_epi64(mid2, 32)));
+  // lowbits = {a_hi + low64(magic_hi * n), a_lo} (mod 2^128).
+  const __m256i l_hi = _mm256_add_epi64(a_hi, Mul64Lo(n, m.magic_hi));
+  // result = (l_hi*d + ((a_lo*d) >> 64)) >> 64, all by 32-bit-d chains.
+  const __m256i s = MulShift64By32(a_lo, m.d);
+  const __m256i t_lo = _mm256_mul_epu32(l_hi, m.d);
+  const __m256i t_hi = _mm256_mul_epu32(HiForMul(l_hi), m.d);
+  const __m256i inner = _mm256_srli_epi64(_mm256_add_epi64(t_lo, s), 32);
+  return _mm256_srli_epi64(_mm256_add_epi64(t_hi, inner), 32);
+}
+
+/// Packs the low dwords of two 4x64 vectors into one 8x32 vector
+/// [a0 a1 a2 a3 b0 b1 b2 b3] (values must fit 32 bits — buckets do).
+inline __m256i PackLowDwords(__m256i a, __m256i b) {
+  const __m256i idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  const __m256i a_packed = _mm256_permutevar8x32_epi32(a, idx);  // low 128
+  const __m256i b_packed = _mm256_permutevar8x32_epi32(b, idx);  // low 128
+  return _mm256_permute2x128_si256(a_packed, b_packed, 0x20);
+}
+
+inline __m256i LoadKeys4(const uint64_t* keys) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys));
+}
+
+}  // namespace avx2
+}  // namespace simd
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_HASH_SIMD_AVX2_INL_H_

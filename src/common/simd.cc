@@ -1,0 +1,81 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "common/simd.h"
+
+#include <cstdlib>
+
+#include "common/hash_simd.h"
+
+namespace pkgstream {
+namespace simd {
+
+bool CpuSupportsAvx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx512() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalarRequested() {
+  const char* value = std::getenv("PKGSTREAM_FORCE_SCALAR");
+  if (value == nullptr || value[0] == '\0') return false;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+SimdLevel DetectSimdLevel() {
+  if (ForceScalarRequested()) return SimdLevel::kScalar;
+  // kAvx512 also requires the AVX2 kernels: the AVX-512 BucketBatch
+  // delegates general (non-power-of-two) divisors to the AVX2 reduction.
+  if (HasAvx512Kernels() && HasAvx2Kernels() && CpuSupportsAvx512()) {
+    return SimdLevel::kAvx512;
+  }
+  if (HasAvx2Kernels() && CpuSupportsAvx2()) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+SimdLevel ActiveSimdLevel() {
+  static const SimdLevel level = DetectSimdLevel();
+  return level;
+}
+
+BucketBatchKernel ActiveBucketBatchKernel() {
+  static const BucketBatchKernel kernel = [] {
+    switch (ActiveSimdLevel()) {
+      case SimdLevel::kAvx512:
+        return &BucketBatchAvx512;
+      case SimdLevel::kAvx2:
+        return &BucketBatchAvx2;
+      case SimdLevel::kScalar:
+        break;
+    }
+    return static_cast<BucketBatchKernel>(nullptr);
+  }();
+  return kernel;
+}
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kAvx512:
+      return "avx512";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+}  // namespace simd
+}  // namespace pkgstream

@@ -1,0 +1,77 @@
+// Copyright 2026 The pkgstream Authors.
+// Runtime CPU-feature dispatch for the SIMD routing hot path.
+//
+// The batched routing pipeline (HashFamily::BucketBatch, the fused PKG
+// RouteBatch) carries an optional AVX2 lane (common/hash_avx2.cc). Whether
+// that lane runs is decided *once per process* from three inputs:
+//
+//   1. build      — the AVX2 kernels exist only when the build compiled
+//                   src/common/hash_avx2.cc with -mavx2 (CMake does this
+//                   automatically on x86-64 unless -DPKGSTREAM_DISABLE_SIMD=ON);
+//   2. hardware   — cpuid must report AVX2 (checked via
+//                   __builtin_cpu_supports, i.e. one cpuid at startup);
+//   3. operator   — the environment variable PKGSTREAM_FORCE_SCALAR, when
+//                   set to anything but "0"/"", forces the scalar path at
+//                   runtime (the CI fallback leg and A/B measurements use
+//                   this).
+//
+// The scalar path is the mandatory fallback and the *reference semantics*:
+// every SIMD kernel is bit-for-bit identical to it (see the contract note
+// in common/hash.h and docs/ARCHITECTURE.md "The routing hot path"), so the
+// selected level can never change a routing decision — only its cost.
+
+#ifndef PKGSTREAM_COMMON_SIMD_H_
+#define PKGSTREAM_COMMON_SIMD_H_
+
+namespace pkgstream {
+namespace simd {
+
+/// \brief CPU feature level the batched hot path dispatches on. Ordered:
+/// higher levels strictly extend lower ones (an AVX-512 host also passes
+/// every AVX2 gate, so `level >= kAvx2` is the right test for AVX2-only
+/// kernels such as the gather-based argmin).
+enum class SimdLevel : int {
+  kScalar = 0,  ///< portable scalar code (always available, reference bits)
+  kAvx2 = 1,    ///< 4-wide 64-bit lanes, multiplies from 32x32 partials
+  kAvx512 = 2,  ///< 8-wide 64-bit lanes, native 64-bit multiply (AVX-512DQ)
+};
+
+/// \brief True when this binary contains the AVX2 kernels (compiled with
+/// -mavx2 and 128-bit integer support). Defined in hash_avx2.cc so the
+/// answer always matches the translation unit that holds the kernels.
+bool HasAvx2Kernels();
+
+/// \brief True when this binary contains the AVX-512 kernels (compiled
+/// with -mavx512f -mavx512dq). Defined in hash_avx512.cc.
+bool HasAvx512Kernels();
+
+/// \brief True when the host CPU reports AVX2 (one cpuid, unconditional —
+/// ignores the kernel-availability and force-scalar gates).
+bool CpuSupportsAvx2();
+
+/// \brief True when the host CPU reports AVX-512F and AVX-512DQ.
+bool CpuSupportsAvx512();
+
+/// \brief True when PKGSTREAM_FORCE_SCALAR is set (to anything but "0" or
+/// the empty string). Read from the environment on every call; tests use
+/// this to exercise the override without a cached global.
+bool ForceScalarRequested();
+
+/// \brief Computes the dispatch level from the three gates above. Uncached:
+/// re-reads the environment on every call (tests exercise the override this
+/// way). Hot paths use ActiveSimdLevel().
+SimdLevel DetectSimdLevel();
+
+/// \brief The level the hot paths dispatch on: DetectSimdLevel() evaluated
+/// once on first use and pinned for the process lifetime. Changing
+/// PKGSTREAM_FORCE_SCALAR after the first routed batch has no effect.
+SimdLevel ActiveSimdLevel();
+
+/// \brief Human-readable level name ("scalar", "avx2", "avx512") for
+/// reports/logs.
+const char* SimdLevelName(SimdLevel level);
+
+}  // namespace simd
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_COMMON_SIMD_H_

@@ -22,6 +22,9 @@ void KeyGrouping::RouteBatch(SourceId source, const Key* keys, WorkerId* out,
                              size_t n) {
   PKGSTREAM_DCHECK(source < sources_);
   (void)source;
+  // The whole batch is one BucketBatch sweep, which dispatches to the SIMD
+  // multi-key kernels on capable hosts (common/simd.h) — KG is the pure
+  // "two hashes minus one" case, so it rides the vector lane end to end.
   hash_.BucketBatch(0, keys, out, n);
 }
 

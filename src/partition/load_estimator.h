@@ -72,6 +72,12 @@ using LoadEstimatorPtr = std::unique_ptr<LoadEstimator>;
 // opaque calls. Frames are transient: bind, route one batch, discard
 // (pointers into the estimator do not survive estimator mutation from
 // anywhere else).
+//
+// Frames additionally declare kVectorArgmin: true when BeginRoute is a
+// no-op and Estimate reads straight out of a contiguous array the frame
+// exposes as estimates() — the preconditions under which the fused d=2
+// loop may run the conflict-checked SIMD argmin (pkg.cc) instead of the
+// strictly sequential per-message protocol.
 
 /// \brief The global oracle (the paper's G).
 class GlobalLoadEstimator final : public LoadEstimator {
@@ -92,11 +98,17 @@ class GlobalLoadEstimator final : public LoadEstimator {
   /// \brief Fused-routing view over the shared global load vector.
   class RoutingFrame {
    public:
+    /// BeginRoute is a no-op and Estimate reads straight out of
+    /// estimates() — the contract that lets the d=2 fused loop run the
+    /// vectorized argmin (pkg.cc) over this frame.
+    static constexpr bool kVectorArgmin = true;
+
     explicit RoutingFrame(GlobalLoadEstimator* estimator)
         : loads_(estimator->loads_.data()) {}
     void BeginRoute() {}
     uint64_t Estimate(WorkerId w) const { return loads_[w]; }
     void OnSend(WorkerId w) { ++loads_[w]; }
+    const uint64_t* estimates() const { return loads_; }
 
    private:
     uint64_t* loads_;
@@ -135,6 +147,12 @@ class LocalLoadEstimator final : public LoadEstimator {
   /// row and the ground-truth global vector as raw pointers.
   class RoutingFrame {
    public:
+    /// Estimate reads only the local row (estimates()); the extra global
+    /// increment in OnSend is order-independent bookkeeping, so the
+    /// vectorized argmin's conflict analysis over estimates() alone is
+    /// sound here too.
+    static constexpr bool kVectorArgmin = true;
+
     RoutingFrame(LocalLoadEstimator* estimator, SourceId source)
         : local_(estimator->local_[source].data()),
           global_(estimator->global_.data()) {}
@@ -144,6 +162,7 @@ class LocalLoadEstimator final : public LoadEstimator {
       ++local_[w];
       ++global_[w];
     }
+    const uint64_t* estimates() const { return local_; }
 
    private:
     uint64_t* local_;
@@ -196,6 +215,10 @@ class ProbingLoadEstimator final : public LoadEstimator {
   /// marks) advances exactly as under the scalar protocol.
   class RoutingFrame {
    public:
+    /// BeginRoute can rewrite the estimate row mid-batch (a probe), so the
+    /// protocol must stay strictly sequential — no vectorized argmin.
+    static constexpr bool kVectorArgmin = false;
+
     RoutingFrame(ProbingLoadEstimator* estimator, SourceId source)
         : estimator_(estimator), source_(source) {}
     void BeginRoute() { estimator_->BeginRoute(source_); }

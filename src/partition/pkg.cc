@@ -4,21 +4,44 @@
 
 #include <algorithm>
 
+#include "common/hash_simd.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace pkgstream {
 namespace partition {
 
 namespace {
 
+/// Buckets below this keep the d=2 argmin scalar even on SIMD hosts. The
+/// vector argmin commits four rows at once only when their eight candidate
+/// buckets are cross-lane distinct; with few workers (the paper's 5-50)
+/// nearly every group collides and the conflict check would be pure
+/// overhead, while from a few hundred buckets on conflicts are the rare
+/// case (expected ~24/buckets per group) and the gathers pay for
+/// themselves. Bounded above because the gather consumes signed 32-bit
+/// indices.
+constexpr uint32_t kVectorArgminMinBuckets = 256;
+constexpr uint32_t kVectorArgminMaxBuckets = 1u << 30;
+
 /// The fused Greedy-d inner loop, shared by all estimator frames. For the
 /// paper's d = 2 it hashes candidates in column-major chunks (both hash
-/// columns computed back to back over the specialized integer Murmur3, so
-/// the argmin loop is pure loads/compares); larger d keeps a per-message
-/// candidate loop with the same frame-devirtualized protocol. Call order —
+/// columns computed back to back over BucketBatch, which itself dispatches
+/// to the SIMD multi-key kernels); larger d keeps a per-message candidate
+/// loop with the same frame-devirtualized protocol. Call order —
 /// BeginRoute, Estimate(H1..Hd), OnSend — matches the scalar Route exactly,
 /// message by message, which is what makes batch and scalar routing
 /// decisions (and estimator state) byte-identical.
+///
+/// Frames with kVectorArgmin (G and L: trivial BeginRoute, estimates in a
+/// contiguous array) additionally run the d=2 argmin four rows at a time
+/// through simd::ArgminX4Avx2 on AVX2+ hosts with enough buckets. The
+/// kernel only commits a group whose eight candidates are cross-lane
+/// distinct — decisions then cannot depend on the in-between OnSend
+/// increments, so they equal the sequential protocol bit for bit; groups
+/// with any cross-lane collision are re-run through the exact scalar
+/// sequence. Either way OnSend is applied row by row afterwards, keeping
+/// estimator state byte-identical too.
 template <typename Frame>
 void FusedGreedyRoute(const HashFamily& hash, Frame frame, const Key* keys,
                       WorkerId* out, size_t n) {
@@ -27,20 +50,45 @@ void FusedGreedyRoute(const HashFamily& hash, Frame frame, const Key* keys,
     constexpr size_t kChunk = 256;
     uint32_t c0[kChunk];
     uint32_t c1[kChunk];
+    const bool vector_argmin =
+        Frame::kVectorArgmin &&
+        hash.buckets() >= kVectorArgminMinBuckets &&
+        hash.buckets() <= kVectorArgminMaxBuckets &&
+        simd::ActiveSimdLevel() >= simd::SimdLevel::kAvx2;
     size_t done = 0;
     while (done < n) {
       const size_t len = std::min(kChunk, n - done);
       hash.BucketBatch(0, keys + done, c0, len);
       hash.BucketBatch(1, keys + done, c1, len);
-      for (size_t j = 0; j < len; ++j) {
+      // The one copy of the sequential d=2 protocol; the vector path's
+      // conflict fallback and the chunk tail both replay exactly this —
+      // any change to the tie-break or estimator call order happens here
+      // or nowhere.
+      const auto route_row = [&](size_t row) {
         frame.BeginRoute();
-        WorkerId best = c0[j];
+        WorkerId best = c0[row];
         const uint64_t first_load = frame.Estimate(best);
-        const WorkerId other = c1[j];
+        const WorkerId other = c1[row];
         if (frame.Estimate(other) < first_load) best = other;
         frame.OnSend(best);
-        out[done + j] = best;
+        out[done + row] = best;
+      };
+      size_t j = 0;
+      if constexpr (Frame::kVectorArgmin) {
+        if (vector_argmin) {
+          for (; j + 4 <= len; j += 4) {
+            if (simd::ArgminX4Avx2(c0 + j, c1 + j, frame.estimates(),
+                                   out + done + j)) {
+              for (size_t t = j; t < j + 4; ++t) {
+                frame.OnSend(out[done + t]);
+              }
+            } else {
+              for (size_t t = j; t < j + 4; ++t) route_row(t);
+            }
+          }
+        }
       }
+      for (; j < len; ++j) route_row(j);
       done += len;
     }
     return;

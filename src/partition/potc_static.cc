@@ -2,6 +2,8 @@
 
 #include "partition/potc_static.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace pkgstream {
@@ -25,7 +27,65 @@ void StaticPoTC::RouteBatch(SourceId source, const Key* keys, WorkerId* out,
                             size_t n) {
   PKGSTREAM_DCHECK(source < sources_);
   (void)source;
-  for (size_t i = 0; i < n; ++i) out[i] = RouteOne(keys[i]);
+  // Per chunk: (1) a read-only lookup pass records each row's routed
+  // worker, or marks it first-sight; (2) the first-sight keys are hashed
+  // column-major through BucketBatch (the SIMD multi-key path) — their
+  // candidates depend only on the key, never on loads, so hashing out of
+  // stream order is safe; (3) a sequential merge replays the stream order
+  // exactly: table inserts, the least-loaded argmin against the *current*
+  // loads, and the per-message load increments. A key first seen at row i
+  // and repeated at row j > i is marked first-sight at both rows (pass 1
+  // mutates nothing), and the merge's try_emplace resolves row j to the
+  // row-i decision — matching the scalar sequence bit for bit.
+  constexpr size_t kChunk = 256;
+  const uint32_t d = hash_.d();
+  WorkerId found[kChunk];
+  size_t done = 0;
+  while (done < n) {
+    const size_t len = std::min(kChunk, n - done);
+    pending_keys_.clear();
+    for (size_t j = 0; j < len; ++j) {
+      const auto it = table_.find(keys[done + j]);
+      if (it != table_.end()) {
+        found[j] = it->second;
+      } else {
+        found[j] = kInvalidWorker;
+        pending_keys_.push_back(keys[done + j]);
+      }
+    }
+    const size_t pending = pending_keys_.size();
+    if (pending != 0) {
+      pending_candidates_.resize(d * pending);
+      for (uint32_t i = 0; i < d; ++i) {
+        hash_.BucketBatch(i, pending_keys_.data(),
+                          pending_candidates_.data() + i * pending, pending);
+      }
+    }
+    size_t next_pending = 0;
+    for (size_t j = 0; j < len; ++j) {
+      WorkerId w = found[j];
+      if (w == kInvalidWorker) {
+        const size_t m = next_pending++;
+        const auto [it, inserted] = table_.try_emplace(keys[done + j], 0);
+        if (inserted) {
+          WorkerId best = pending_candidates_[m];
+          uint64_t best_load = loads_[best];
+          for (uint32_t i = 1; i < d; ++i) {
+            const WorkerId candidate = pending_candidates_[i * pending + m];
+            if (loads_[candidate] < best_load) {
+              best = candidate;
+              best_load = loads_[candidate];
+            }
+          }
+          it->second = best;
+        }
+        w = it->second;
+      }
+      ++loads_[w];
+      out[done + j] = w;
+    }
+    done += len;
+  }
 }
 
 WorkerId StaticPoTC::RouteOne(Key key) {

@@ -35,9 +35,13 @@ class StaticPoTC final : public Partitioner {
              uint32_t num_choices = 2);
 
   WorkerId Route(SourceId source, Key key) override;
-  /// Batch form: one virtual entry for the whole batch; the per-message
-  /// body (table lookup, first-occurrence argmin) runs as a direct loop
-  /// over the inlined integer hash.
+  /// Batch form: one virtual entry for the whole batch. Runs in chunked
+  /// passes — a read-only lookup pass that splits the chunk into known
+  /// keys and first-sight keys, one HashFamily::BucketBatch per member
+  /// over just the first-sight keys (the SIMD multi-key path), then a
+  /// sequential merge that replays lookups, argmins and load counts in
+  /// exact stream order, so decisions and table/load state stay
+  /// byte-identical to n scalar Route calls.
   void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
                   size_t n) override;
   uint32_t workers() const override { return hash_.buckets(); }
@@ -52,13 +56,19 @@ class StaticPoTC final : public Partitioner {
   size_t RoutingTableSize() const { return table_.size(); }
 
  private:
-  /// The shared per-message body of Route / RouteBatch.
+  /// The shared per-message body of Route / the scalar RouteBatch tail.
   WorkerId RouteOne(Key key);
 
   HashFamily hash_;
   uint32_t sources_;
   std::vector<uint64_t> loads_;
   std::unordered_map<Key, WorkerId> table_;
+
+  // RouteBatch scratch (first-sight key gather + candidate columns),
+  // retained across batches so the hot path never reallocates. Copies
+  // carry the capacity but never live data (cleared per chunk).
+  std::vector<Key> pending_keys_;
+  std::vector<uint32_t> pending_candidates_;
 };
 
 }  // namespace partition

@@ -125,6 +125,32 @@ TEST(HashFamilyTest, CandidatesMatchBuckets) {
   }
 }
 
+TEST(HashFamilyTest, CandidatesOverwriteReusedVectorAndAgreeWithBucket) {
+  // Candidates resizes and overwrites in place (no clear-then-push), so a
+  // reused vector — even one arriving longer, shorter, or full of stale
+  // garbage — must come back holding exactly the d Bucket values.
+  HashFamily family(3, 17, 99);
+  std::vector<uint32_t> out(10, 0xdeadbeefu);  // longer than d, stale fill
+  for (uint64_t key : {0ull, 1ull, ~0ull, 123456789ull}) {
+    family.Candidates(key, &out);
+    ASSERT_EQ(out.size(), 3u);
+    for (uint32_t i = 0; i < 3; ++i) {
+      EXPECT_EQ(out[i], family.Bucket(i, key)) << "key=" << key;
+    }
+  }
+  // Growing case: a family with more members than the vector's capacity.
+  HashFamily wide(8, 64, 5);
+  std::vector<uint32_t> small;
+  wide.Candidates(42, &small);
+  ASSERT_EQ(small.size(), 8u);
+  for (uint32_t i = 0; i < 8; ++i) EXPECT_EQ(small[i], wide.Bucket(i, 42));
+  // Reuse must not reallocate once capacity covers d.
+  const uint32_t* data = small.data();
+  wide.Candidates(43, &small);
+  EXPECT_EQ(small.data(), data);
+  for (uint32_t i = 0; i < 8; ++i) EXPECT_EQ(small[i], wide.Bucket(i, 43));
+}
+
 TEST(HashFamilyTest, SingleBucketDegenerates) {
   HashFamily family(2, 1, 42);
   EXPECT_EQ(family.Bucket(0, 999), 0u);

@@ -1,0 +1,332 @@
+// Copyright 2026 The pkgstream Authors.
+// The SIMD lane's bit-compatibility contract (common/hash_simd.h): every
+// vector kernel must equal its scalar reference exactly, for every input —
+// routing decisions ride on these bits, so a single divergent lane
+// invalidates every committed baseline. Property tests sweep all member
+// seeds, ragged batch lengths and adversarial keys; the vector-mod sweep
+// mirrors FastModTest (exhaustive small divisors + adversarial large
+// 32-bit divisors). Kernel-level tests skip on hosts without the matching
+// ISA or in -DPKGSTREAM_DISABLE_SIMD builds; the dispatch-level tests
+// (BucketBatch vs BucketBatchScalar) run everywhere — on a scalar host
+// they degenerate to scalar-vs-scalar, which is exactly what the dispatch
+// contract promises.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/hash_simd.h"
+#include "common/simd.h"
+
+namespace pkgstream {
+namespace {
+
+/// Adversarial key material: corners, sequential runs, high-bit patterns,
+/// and fmix-decorrelated pseudo-random fill.
+std::vector<uint64_t> AdversarialKeys(size_t random_fill) {
+  std::vector<uint64_t> keys = {0,
+                                1,
+                                2,
+                                ~0ULL,
+                                ~0ULL - 1,
+                                0x8000000000000000ULL,
+                                0x7fffffffffffffffULL,
+                                0x0123456789abcdefULL,
+                                0x00000000ffffffffULL,
+                                0xffffffff00000000ULL,
+                                0xaaaaaaaaaaaaaaaaULL,
+                                0x5555555555555555ULL};
+  for (uint64_t k = 0; k < 256; ++k) keys.push_back(k);
+  for (uint64_t k = 0; k < 64; ++k) keys.push_back(~0ULL - k);
+  uint64_t r = 0x243f6a8885a308d3ULL;
+  for (size_t i = 0; i < random_fill; ++i) keys.push_back(r = Fmix64(r + i));
+  return keys;
+}
+
+constexpr uint32_t kSeeds[] = {0, 1, 42, 0xdeadbeefu, 0xffffffffu};
+
+bool Avx2KernelsRunnable() {
+  return simd::HasAvx2Kernels() && simd::CpuSupportsAvx2();
+}
+
+bool Avx512KernelsRunnable() {
+  return simd::HasAvx512Kernels() && simd::CpuSupportsAvx512() &&
+         simd::HasAvx2Kernels();  // the AVX-512 kernel delegates to AVX2
+}
+
+TEST(SimdDispatchTest, LevelIsConsistentWithGates) {
+  const simd::SimdLevel level = simd::DetectSimdLevel();
+  if (level == simd::SimdLevel::kAvx512) {
+    EXPECT_TRUE(Avx512KernelsRunnable());
+  } else if (level == simd::SimdLevel::kAvx2) {
+    EXPECT_TRUE(Avx2KernelsRunnable());
+  }
+  // The pinned level must be one of the named levels either way.
+  const char* name = simd::SimdLevelName(simd::ActiveSimdLevel());
+  EXPECT_TRUE(std::string(name) == "scalar" || std::string(name) == "avx2" ||
+              std::string(name) == "avx512");
+  // The kernel selection agrees with the pinned level.
+  if (simd::ActiveSimdLevel() == simd::SimdLevel::kScalar) {
+    EXPECT_EQ(simd::ActiveBucketBatchKernel(), nullptr);
+  } else {
+    EXPECT_NE(simd::ActiveBucketBatchKernel(), nullptr);
+  }
+}
+
+TEST(SimdDispatchTest, ForceScalarEnvironmentOverridesDetection) {
+  // DetectSimdLevel re-reads the environment on every call (only
+  // ActiveSimdLevel is pinned), so the override is directly testable.
+  ASSERT_EQ(setenv("PKGSTREAM_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_EQ(simd::DetectSimdLevel(), simd::SimdLevel::kScalar);
+  EXPECT_TRUE(simd::ForceScalarRequested());
+  ASSERT_EQ(setenv("PKGSTREAM_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_FALSE(simd::ForceScalarRequested());
+  ASSERT_EQ(unsetenv("PKGSTREAM_FORCE_SCALAR"), 0);
+  EXPECT_FALSE(simd::ForceScalarRequested());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-key Murmur3: SIMD == scalar, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(SimdMurmurTest, Avx2X4AndX8MatchScalarOnAdversarialKeys) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  const std::vector<uint64_t> keys = AdversarialKeys(4096);
+  uint64_t out[8];
+  for (uint32_t seed : kSeeds) {
+    for (size_t base = 0; base + 8 <= keys.size(); base += 8) {
+      simd::Murmur3_64x4Avx2(keys.data() + base, seed, out);
+      for (size_t j = 0; j < 4; ++j) {
+        ASSERT_EQ(out[j], Murmur3_64(keys[base + j], seed))
+            << "x4 key=" << keys[base + j] << " seed=" << seed;
+      }
+      simd::Murmur3_64x8Avx2(keys.data() + base, seed, out);
+      for (size_t j = 0; j < 8; ++j) {
+        ASSERT_EQ(out[j], Murmur3_64(keys[base + j], seed))
+            << "x8 key=" << keys[base + j] << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(SimdMurmurTest, Avx512X8MatchesScalarOnAdversarialKeys) {
+  if (!Avx512KernelsRunnable()) {
+    GTEST_SKIP() << "no AVX-512 kernels on this host";
+  }
+  const std::vector<uint64_t> keys = AdversarialKeys(4096);
+  uint64_t out[8];
+  for (uint32_t seed : kSeeds) {
+    for (size_t base = 0; base + 8 <= keys.size(); base += 8) {
+      simd::Murmur3_64x8Avx512(keys.data() + base, seed, out);
+      for (size_t j = 0; j < 8; ++j) {
+        ASSERT_EQ(out[j], Murmur3_64(keys[base + j], seed))
+            << "key=" << keys[base + j] << " seed=" << seed;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vector bucket reduction: == FastMod (== n % d) for every 32-bit divisor.
+// Mirrors FastModTest: exhaustive small divisors, adversarial large ones.
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> ModNumerators() {
+  std::vector<uint64_t> numerators = {0, 1, 2, ~0ULL, ~0ULL - 1,
+                                      0x8000000000000000ULL};
+  uint64_t r = 0x13198a2e03707344ULL;
+  for (int i = 0; i < 510; ++i) numerators.push_back(r = Fmix64(r + i));
+  numerators.resize(numerators.size() & ~size_t{7});  // whole x8 groups
+  return numerators;
+}
+
+void CheckVectorMod(uint64_t d, const std::vector<uint64_t>& numerators) {
+  const FastMod mod(d);
+  const uint32_t d32 = static_cast<uint32_t>(d);
+  uint64_t out[8];
+  for (size_t base = 0; base + 8 <= numerators.size(); base += 8) {
+    if (Avx2KernelsRunnable()) {
+      for (size_t half = 0; half < 8; half += 4) {
+        simd::FastModX4Avx2(numerators.data() + base + half, mod.magic_hi(),
+                            mod.magic_lo(), d32, out + half);
+      }
+      for (size_t j = 0; j < 8; ++j) {
+        ASSERT_EQ(out[j], numerators[base + j] % d)
+            << "avx2 n=" << numerators[base + j] << " d=" << d;
+      }
+    }
+    if (Avx512KernelsRunnable()) {
+      simd::FastModX8Avx512(numerators.data() + base, mod.magic_hi(),
+                            mod.magic_lo(), d32, out);
+      for (size_t j = 0; j < 8; ++j) {
+        ASSERT_EQ(out[j], numerators[base + j] % d)
+            << "avx512 n=" << numerators[base + j] << " d=" << d;
+      }
+    }
+  }
+  // Multiples and near-multiples of d are the carry corners.
+  uint64_t corner[8] = {d,     d - 1, d + 1,         2 * d,
+                        3 * d, ~0ULL, (~0ULL / d) * d, 0};
+  if (Avx2KernelsRunnable()) {
+    simd::FastModX4Avx2(corner, mod.magic_hi(), mod.magic_lo(), d32, out);
+    simd::FastModX4Avx2(corner + 4, mod.magic_hi(), mod.magic_lo(), d32,
+                        out + 4);
+    for (size_t j = 0; j < 8; ++j) {
+      ASSERT_EQ(out[j], corner[j] % d) << "avx2 corner n=" << corner[j]
+                                       << " d=" << d;
+    }
+  }
+}
+
+TEST(SimdFastModTest, MatchesRemainderExhaustivelyOverSmallDivisors) {
+  if (!Avx2KernelsRunnable() && !Avx512KernelsRunnable()) {
+    GTEST_SKIP() << "no SIMD kernels on this host";
+  }
+  const std::vector<uint64_t> numerators = ModNumerators();
+  for (uint64_t d = 1; d <= 2048; ++d) CheckVectorMod(d, numerators);
+}
+
+TEST(SimdFastModTest, MatchesRemainderForAdversarialLargeDivisors) {
+  if (!Avx2KernelsRunnable() && !Avx512KernelsRunnable()) {
+    GTEST_SKIP() << "no SIMD kernels on this host";
+  }
+  const std::vector<uint64_t> numerators = ModNumerators();
+  std::vector<uint64_t> divisors = {(1ULL << 31) - 1, 1ULL << 31,
+                                    (1ULL << 32) - 1, 1000000007ULL,
+                                    0xfffffffdULL,    0x80000001ULL};
+  uint64_t r = 0xa4093822299f31d0ULL;
+  for (int i = 0; i < 64; ++i) {
+    divisors.push_back((Fmix64(r + i) | 1) & 0xffffffffULL);  // odd, 32-bit
+  }
+  for (uint64_t d : divisors) {
+    ASSERT_GE(d, 1u);
+    CheckVectorMod(d, numerators);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BucketBatch through the dispatch layer: identical to the scalar reference
+// for ragged lengths, every member seed, pow2 and general bucket counts.
+// Runs on every host — the contract is level-independent.
+// ---------------------------------------------------------------------------
+
+TEST(SimdBucketBatchTest, DispatchMatchesScalarAcrossRaggedLengthsAndSeeds) {
+  const std::vector<uint64_t> keys = AdversarialKeys(512);
+  const size_t lengths[] = {1, 3, 4, 7, 8, 64, 511};
+  for (uint32_t buckets : {1u, 2u, 5u, 16u, 100u, 1023u, 1024u, 65536u}) {
+    HashFamily family(4, buckets, 0x9e3779b97f4a7c15ULL);
+    std::vector<uint32_t> simd_out(keys.size(), 0);
+    std::vector<uint32_t> scalar_out(keys.size(), 0);
+    for (size_t n : lengths) {
+      ASSERT_LE(n, keys.size());
+      for (uint32_t member = 0; member < family.d(); ++member) {
+        family.BucketBatch(member, keys.data(), simd_out.data(), n);
+        family.BucketBatchScalar(member, keys.data(), scalar_out.data(), n);
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(simd_out[j], scalar_out[j])
+              << "member=" << member << " n=" << n << " j=" << j
+              << " buckets=" << buckets;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBucketBatchTest, KernelsMatchScalarDirectlyWhenAvailable) {
+  const std::vector<uint64_t> keys = AdversarialKeys(1016);  // 1028 -> x8
+  const size_t n = keys.size() & ~size_t{7};
+  for (uint32_t buckets : {1u, 5u, 16u, 1000u, 4096u}) {
+    HashFamily family(2, buckets, 7);
+    std::vector<uint32_t> expected(n);
+    std::vector<uint32_t> got(n);
+    const FastMod mod(buckets);
+    for (uint32_t member = 0; member < family.d(); ++member) {
+      family.BucketBatchScalar(member, keys.data(), expected.data(), n);
+      const uint32_t seed = family.member_seed(member);
+      if (Avx2KernelsRunnable()) {
+        simd::BucketBatchAvx2(keys.data(), got.data(), n, seed,
+                              mod.magic_hi(), mod.magic_lo(), buckets);
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(got[j], expected[j]) << "avx2 member=" << member
+                                         << " buckets=" << buckets;
+        }
+      }
+      if (Avx512KernelsRunnable()) {
+        simd::BucketBatchAvx512(keys.data(), got.data(), n, seed,
+                                mod.magic_hi(), mod.magic_lo(), buckets);
+        for (size_t j = 0; j < n; ++j) {
+          ASSERT_EQ(got[j], expected[j]) << "avx512 member=" << member
+                                         << " buckets=" << buckets;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The vectorized two-choice argmin: agrees with the sequential argmin when
+// it commits, refuses on any cross-lane candidate collision.
+// ---------------------------------------------------------------------------
+
+TEST(SimdArgminTest, MatchesScalarSelectionOnConflictFreeRows) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  std::vector<uint64_t> loads(1024);
+  uint64_t r = 99;
+  for (auto& l : loads) l = Fmix64(++r) % 1000;
+  // Ties must pick the first candidate, and comparisons must be unsigned:
+  // plant equal loads and sign-bit loads.
+  loads[10] = loads[20];
+  loads[30] = 0x8000000000000001ULL;
+  loads[40] = 1;
+  const uint32_t c0[4] = {10, 30, 100, 200};
+  const uint32_t c1[4] = {20, 40, 101, 201};
+  uint32_t out[4] = {~0u, ~0u, ~0u, ~0u};
+  ASSERT_TRUE(simd::ArgminX4Avx2(c0, c1, loads.data(), out));
+  for (int j = 0; j < 4; ++j) {
+    const uint32_t expected =
+        loads[c1[j]] < loads[c0[j]] ? c1[j] : c0[j];  // tie -> c0
+    EXPECT_EQ(out[j], expected) << "row " << j;
+  }
+  EXPECT_EQ(out[0], c0[0]) << "equal loads must keep the first candidate";
+  EXPECT_EQ(out[1], c1[1]) << "unsigned compare: 1 < 2^63+1";
+}
+
+TEST(SimdArgminTest, RefusesOnAnyCrossLaneCollision) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  std::vector<uint64_t> loads(64, 5);
+  uint32_t out[4];
+  // Same-lane c0==c1 is allowed (the tie is row-local)...
+  {
+    const uint32_t c0[4] = {1, 2, 3, 4};
+    const uint32_t c1[4] = {1, 6, 7, 8};
+    EXPECT_TRUE(simd::ArgminX4Avx2(c0, c1, loads.data(), out));
+    EXPECT_EQ(out[0], 1u);
+  }
+  // ...but every cross-lane pairing must refuse: c0/c0, c1/c1 and c0/c1
+  // collisions at every lane distance.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      if (a == b) continue;
+      uint32_t c0[4] = {1, 2, 3, 4};
+      uint32_t c1[4] = {5, 6, 7, 8};
+      c0[a] = c0[b];
+      EXPECT_FALSE(simd::ArgminX4Avx2(c0, c1, loads.data(), out))
+          << "c0[" << a << "]==c0[" << b << "]";
+      uint32_t d0[4] = {1, 2, 3, 4};
+      uint32_t d1[4] = {5, 6, 7, 8};
+      d1[a] = d1[b];
+      EXPECT_FALSE(simd::ArgminX4Avx2(d0, d1, loads.data(), out))
+          << "c1[" << a << "]==c1[" << b << "]";
+      uint32_t e0[4] = {1, 2, 3, 4};
+      uint32_t e1[4] = {5, 6, 7, 8};
+      e1[a] = e0[b];
+      EXPECT_FALSE(simd::ArgminX4Avx2(e0, e1, loads.data(), out))
+          << "c1[" << a << "]==c0[" << b << "]";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pkgstream

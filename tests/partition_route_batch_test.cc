@@ -42,6 +42,7 @@ struct SweepCase {
   Technique technique;
   uint32_t num_choices;
   uint64_t seed;
+  uint32_t workers = kWorkers;
 };
 
 std::vector<SweepCase> AllCases() {
@@ -64,13 +65,39 @@ std::vector<SweepCase> AllCases() {
   return cases;
 }
 
+/// Wide-worker sweep: with >= 256 buckets the PKG d=2 fused loop takes the
+/// conflict-checked SIMD argmin (pkg.cc) on capable hosts, and the skewed
+/// key stream plants plenty of intra-group candidate collisions — so both
+/// the vector-committed groups and the scalar conflict fallback are pinned
+/// against the sequential protocol here. The other techniques ride along
+/// to cover wide-bucket BucketBatch dispatch generally.
+std::vector<SweepCase> WideWorkerCases() {
+  const Technique techniques[] = {
+      Technique::kHashing,    Technique::kPkgGlobal, Technique::kPkgLocal,
+      Technique::kPkgProbing, Technique::kPotcStatic,
+  };
+  std::vector<SweepCase> cases;
+  for (Technique t : techniques) {
+    for (uint32_t workers : {256u, 1024u}) {
+      for (uint64_t seed : {7ull, 42ull}) {
+        cases.push_back(SweepCase{t, 2u, seed, workers});
+      }
+    }
+  }
+  return cases;
+}
+
 std::string CaseName(const testing::TestParamInfo<SweepCase>& info) {
   std::string name = TechniqueName(info.param.technique);
   for (char& c : name) {
     if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
   }
-  return name + "_d" + std::to_string(info.param.num_choices) + "_seed" +
-         std::to_string(info.param.seed);
+  name += "_d" + std::to_string(info.param.num_choices) + "_seed" +
+          std::to_string(info.param.seed);
+  if (info.param.workers != kWorkers) {
+    name += "_w" + std::to_string(info.param.workers);
+  }
+  return name;
 }
 
 class RouteBatchEquivalenceTest : public testing::TestWithParam<SweepCase> {
@@ -79,7 +106,7 @@ class RouteBatchEquivalenceTest : public testing::TestWithParam<SweepCase> {
     PartitionerConfig config;
     config.technique = GetParam().technique;
     config.sources = kSources;
-    config.workers = kWorkers;
+    config.workers = GetParam().workers;
     config.seed = GetParam().seed;
     config.num_choices = GetParam().num_choices;
     config.probe_period_messages = 300;  // several probes inside the run
@@ -151,6 +178,9 @@ TEST_P(RouteBatchEquivalenceTest, InterleavedBatchesMatchScalarAndCloneAgrees) {
 
 INSTANTIATE_TEST_SUITE_P(AllTechniques, RouteBatchEquivalenceTest,
                          testing::ValuesIn(AllCases()), CaseName);
+
+INSTANTIATE_TEST_SUITE_P(WideWorkers, RouteBatchEquivalenceTest,
+                         testing::ValuesIn(WideWorkerCases()), CaseName);
 
 }  // namespace
 }  // namespace partition

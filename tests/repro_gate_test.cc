@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <map>
 #include <string>
 
@@ -145,6 +146,90 @@ TEST(BenchCheckTest, MonotoneInvariants) {
   }
 }
 
+TEST(BenchCheckTest, CrossBenchOperandsResolveFromSiblingBaselines) {
+  // A "<bench>::<metric>" operand reads the *captured metrics* of the named
+  // sibling baseline in the provided directory — never the fresh report.
+  const std::string dir = testing::TempDir() + "cross_bench_ok";
+  JsonValue sibling_captured = MakeReport({{"imbalance/kg", 600.0},
+                                           {"imbalance/pkg", 3.0}});
+  JsonValue sibling = MakeBaseline(
+      sibling_captured, R"([{"name": "kg positive", "type": "ge",
+                             "left": "imbalance/kg", "right_const": 0}])");
+  sibling.Set("bench", JsonValue::Str("bench_sibling"));
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteJsonFile(sibling, dir + "/bench_sibling.json").ok());
+
+  JsonValue report = MakeReport({{"gap", 150.0}});
+  // 150 >= 0.5 * (600/3) = 100 holds; at factor 1 it fails.
+  JsonValue holds = MakeBaseline(
+      report, R"([{"name": "gap consistent", "type": "ge", "left": "gap",
+                   "right": "bench_sibling::imbalance/kg",
+                   "right_div": "bench_sibling::imbalance/pkg",
+                   "factor": 0.5}])");
+  auto outcome = repro::CheckReport(report, holds, dir);
+  EXPECT_TRUE(outcome.ok()) << outcome.failures[0];
+  JsonValue tight = MakeBaseline(
+      report, R"([{"name": "gap too tight", "type": "ge", "left": "gap",
+                   "right": "bench_sibling::imbalance/kg",
+                   "right_div": "bench_sibling::imbalance/pkg"}])");
+  EXPECT_FALSE(repro::CheckReport(report, tight, dir).ok());
+}
+
+TEST(BenchCheckTest, CrossBenchReadsCapturedMetricsNotHostMetrics) {
+  const std::string dir = testing::TempDir() + "cross_bench_host";
+  JsonValue sibling_captured =
+      MakeReport({{"det", 2.0}}, {{"wall_clock", 777.0}});
+  JsonValue sibling = MakeBaseline(
+      sibling_captured, R"([{"name": "p", "type": "ge", "left": "det",
+                             "right_const": 0}])");
+  sibling.Set("bench", JsonValue::Str("bench_sibling"));
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteJsonFile(sibling, dir + "/bench_sibling.json").ok());
+
+  JsonValue report = MakeReport({{"a", 1.0}});
+  // Deterministic captured metric: resolvable.
+  JsonValue det = MakeBaseline(
+      report, R"([{"name": "det readable", "type": "ge",
+                   "left": "bench_sibling::det", "right_const": 1}])");
+  EXPECT_TRUE(repro::CheckReport(report, det, dir).ok());
+  // Captured *host* metric: deliberately not resolvable (another host's
+  // wall clock is not a reproducible operand).
+  JsonValue host = MakeBaseline(
+      report, R"([{"name": "wall clock off limits", "type": "ge",
+                   "left": "bench_sibling::wall_clock", "right_const": 0}])");
+  EXPECT_FALSE(repro::CheckReport(report, host, dir).ok());
+}
+
+TEST(BenchCheckTest, CrossBenchFailsClosedWithoutDirectoryOrSibling) {
+  JsonValue report = MakeReport({{"a", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      report, R"([{"name": "x", "type": "ge",
+                   "left": "bench_missing::metric", "right_const": 0}])");
+  // No directory: red, with a message naming the problem.
+  auto no_dir = repro::CheckReport(report, baseline);
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_NE(no_dir.failures[0].find("no baseline directory"),
+            std::string::npos);
+  // Directory without the sibling file: red too.
+  const std::string dir = testing::TempDir() + "cross_bench_empty";
+  std::filesystem::create_directories(dir);
+  auto no_file = repro::CheckReport(report, baseline, dir);
+  ASSERT_FALSE(no_file.ok());
+  EXPECT_NE(no_file.failures[0].find("bench_missing"), std::string::npos);
+  // A sibling file whose document identifies as a *different* bench (a
+  // misnamed or miscopied baseline): red, not another bench's numbers.
+  JsonValue imposter = MakeBaseline(
+      MakeReport({{"metric", 1.0}}), R"([{"name": "p", "type": "ge",
+                                          "left": "metric",
+                                          "right_const": 0}])");
+  imposter.Set("bench", JsonValue::Str("bench_other"));
+  ASSERT_TRUE(WriteJsonFile(imposter, dir + "/bench_missing.json").ok());
+  auto misnamed = repro::CheckReport(report, baseline, dir);
+  ASSERT_FALSE(misnamed.ok());
+  EXPECT_NE(misnamed.failures[0].find("declares bench 'bench_other'"),
+            std::string::npos);
+}
+
 TEST(BenchCheckTest, HostMetricsResolvableInInvariantsButNotDiffed) {
   JsonValue captured = MakeReport({{"det", 1.0}}, {{"mps", 100.0}});
   JsonValue report = MakeReport({{"det", 1.0}}, {{"mps", 977.0}});
@@ -236,7 +321,7 @@ struct BaselineSpec {
 constexpr BaselineSpec kBaselines[] = {
     {"bench_table1_datasets", 16},
     {"bench_table2_imbalance", 16},
-    {"bench_fig2_local_vs_global", 16},
+    {"bench_fig2_local_vs_global", 18},
     {"bench_fig3_time_series", 6},
     {"bench_fig4_skewed_sources", 7},
     {"bench_fig5a_throughput", 12},
@@ -245,7 +330,7 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_ablation_probing", 7},
     {"bench_ablation_rebalance", 8},
     {"bench_threaded_scaling", 7},
-    {"bench_micro_route", 12},
+    {"bench_micro_route", 14},
 };
 
 class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};
@@ -277,8 +362,10 @@ TEST_P(BaselineAuditTest, CommittedBaselineIsSelfConsistent) {
   EXPECT_GT(metrics->members().size(), 0u);
 
   // The captured report must satisfy its own invariants: a baseline that
-  // fails itself can only ever go red, which hides real regressions.
-  auto outcome = repro::CheckReport(*captured, *baseline);
+  // fails itself can only ever go red, which hides real regressions. The
+  // committed baseline directory doubles as the cross-bench sibling root.
+  auto outcome =
+      repro::CheckReport(*captured, *baseline, PKGSTREAM_BASELINE_DIR);
   EXPECT_TRUE(outcome.ok())
       << spec.bench << " self-check: " << outcome.failures[0];
 }

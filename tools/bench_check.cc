@@ -17,6 +17,7 @@
 // re-capture that breaks a shape invariant fails and leaves the committed
 // baseline untouched.
 
+#include <filesystem>
 #include <iostream>
 
 #include "common/flags.h"
@@ -36,8 +37,17 @@ int main(int argc, char** argv) {
   const bool update_captured = flags.GetBool("update-captured", false);
   if (report_path.empty() || baseline_path.empty()) {
     std::cerr << "usage: bench_check --report=PATH --baseline=PATH "
-                 "[--quiet] [--update-captured]\n";
+                 "[--baseline-dir=DIR] [--quiet] [--update-captured]\n";
     return 2;
+  }
+  // Cross-bench invariants ("<bench>::<metric>") resolve sibling baselines
+  // from --baseline-dir; by default, from wherever the baseline itself
+  // lives — which for the committed gate is bench/baselines/.
+  std::string baseline_dir = flags.GetString("baseline-dir", "");
+  if (baseline_dir.empty()) {
+    const auto parent =
+        std::filesystem::path(baseline_path).parent_path().string();
+    baseline_dir = parent.empty() ? std::string(".") : parent;
   }
 
   auto report = ReadJsonFile(report_path);
@@ -87,7 +97,8 @@ int main(int argc, char** argv) {
     baseline->Set("captured", *report);
   }
 
-  repro::CheckOutcome outcome = repro::CheckReport(*report, *baseline);
+  repro::CheckOutcome outcome =
+      repro::CheckReport(*report, *baseline, baseline_dir);
 
   // The re-capture lands on disk only after every check held against the
   // updated document — a capture that violates a declared shape invariant

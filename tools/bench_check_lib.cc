@@ -3,6 +3,7 @@
 #include "tools/bench_check_lib.h"
 
 #include <cmath>
+#include <map>
 #include <sstream>
 
 #include "bench/report.h"
@@ -35,8 +36,9 @@ bool LookupMetric(const JsonValue& report, const std::string& key,
 
 class Checker {
  public:
-  Checker(const JsonValue& report, const JsonValue& baseline)
-      : report_(report), baseline_(baseline) {}
+  Checker(const JsonValue& report, const JsonValue& baseline,
+          const std::string& baseline_dir)
+      : report_(report), baseline_(baseline), baseline_dir_(baseline_dir) {}
 
   CheckOutcome Run() {
     CheckDocuments();
@@ -142,17 +144,91 @@ class Checker {
          " metrics within rel tolerance " + FormatJsonNumber(tolerance));
   }
 
+  /// Resolves a metric key against the fresh report, or — for keys of the
+  /// form "<bench>::<metric>" — against the committed captured metrics of
+  /// the named sibling baseline (deterministic section only; see the
+  /// header comment). Emits a failure line and returns false when the key
+  /// cannot be resolved.
+  bool LookupOperand(const std::string& key, const std::string& name,
+                     double* out) {
+    const size_t sep = key.find("::");
+    if (sep == std::string::npos) {
+      if (!LookupMetric(report_, key, out)) {
+        Fail("invariant '" + name + "': metric '" + key +
+             "' not found in the report");
+        return false;
+      }
+      return true;
+    }
+    const std::string bench = key.substr(0, sep);
+    const std::string metric = key.substr(sep + 2);
+    if (bench.empty() || metric.empty()) {
+      Fail("invariant '" + name + "': malformed cross-bench key '" + key +
+           "'");
+      return false;
+    }
+    if (baseline_dir_.empty()) {
+      Fail("invariant '" + name + "': cross-bench reference '" + key +
+           "' but no baseline directory was provided");
+      return false;
+    }
+    const JsonValue* sibling = LoadSibling(bench, name);
+    if (sibling == nullptr) return false;
+    const JsonValue* captured = sibling->FindObject("captured");
+    const JsonValue* metrics =
+        captured != nullptr ? captured->FindObject("metrics") : nullptr;
+    const JsonValue* v = metrics != nullptr ? metrics->Find(metric) : nullptr;
+    if (v == nullptr || !v->is_number()) {
+      Fail("invariant '" + name + "': metric '" + metric +
+           "' not found in the captured metrics of baseline '" + bench +
+           "'");
+      return false;
+    }
+    *out = v->number();
+    return true;
+  }
+
+  /// Loads (and memoizes) the committed baseline of a sibling bench.
+  const JsonValue* LoadSibling(const std::string& bench,
+                               const std::string& name) {
+    auto it = siblings_.find(bench);
+    if (it == siblings_.end()) {
+      auto loaded = ReadJsonFile(baseline_dir_ + "/" + bench + ".json");
+      if (!loaded.ok()) {
+        Fail("invariant '" + name + "': cannot load sibling baseline '" +
+             bench + "': " + loaded.status().ToString());
+        siblings_.emplace(bench, JsonValue());  // memoize the miss
+        return nullptr;
+      }
+      // The filename is just a lookup key; the document must identify
+      // itself as the referenced bench, or a misnamed/miscopied baseline
+      // would silently feed another bench's metrics into the invariant.
+      if (loaded->StringOr("bench", "") != bench) {
+        Fail("invariant '" + name + "': sibling baseline file '" + bench +
+             ".json' declares bench '" + loaded->StringOr("bench", "?") +
+             "'");
+        siblings_.emplace(bench, JsonValue());  // memoize the miss
+        return nullptr;
+      }
+      it = siblings_.emplace(bench, std::move(*loaded)).first;
+    }
+    if (!it->second.is_object()) {
+      // A memoized earlier miss: the failure line was already emitted once;
+      // repeat a short form so every referencing invariant is accounted.
+      Fail("invariant '" + name + "': sibling baseline '" + bench +
+           "' is unavailable");
+      return nullptr;
+    }
+    return &it->second;
+  }
+
   bool Resolve(const JsonValue& inv, const std::string& key_field,
                const std::string& const_field, const std::string& div_field,
                const std::string& name, double* out) {
     double value = 0.0;
     const JsonValue* key = inv.Find(key_field);
     if (key != nullptr && key->is_string()) {
-      if (!LookupMetric(report_, key->string_value(), &value)) {
-        Fail("invariant '" + name + "': metric '" + key->string_value() +
-             "' not found in the report");
-        return false;
-      }
+      if (!LookupOperand(key->string_value(), name, &value)) return false;
     } else if (const JsonValue* c = inv.Find(const_field);
                !const_field.empty() && c != nullptr && c->is_number()) {
       value = c->number();
@@ -163,11 +239,7 @@ class Checker {
     const JsonValue* div = inv.Find(div_field);
     if (div != nullptr && div->is_string()) {
       double d = 0.0;
-      if (!LookupMetric(report_, div->string_value(), &d)) {
-        Fail("invariant '" + name + "': metric '" + div->string_value() +
-             "' not found in the report");
-        return false;
-      }
+      if (!LookupOperand(div->string_value(), name, &d)) return false;
       if (d == 0.0) {
         Fail("invariant '" + name + "': divisor '" + div->string_value() +
              "' is zero");
@@ -235,11 +307,7 @@ class Checker {
       }
       const std::string& key = keys->at(i).string_value();
       double value = 0.0;
-      if (!LookupMetric(report_, key, &value)) {
-        Fail("invariant '" + name + "': metric '" + key +
-             "' not found in the report");
-        return;
-      }
+      if (!LookupOperand(key, name, &value)) return;
       if (i > 0) {
         // Slack loosens the bound by a fraction of the previous value's
         // magnitude, so it loosens for negative values too (prev * slack
@@ -296,13 +364,16 @@ class Checker {
 
   const JsonValue& report_;
   const JsonValue& baseline_;
+  const std::string baseline_dir_;
+  std::map<std::string, JsonValue> siblings_;  // memoized cross-bench loads
   CheckOutcome outcome_;
 };
 
 }  // namespace
 
-CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline) {
-  return Checker(report, baseline).Run();
+CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline,
+                         const std::string& baseline_dir) {
+  return Checker(report, baseline, baseline_dir).Run();
 }
 
 }  // namespace repro

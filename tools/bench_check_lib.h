@@ -36,6 +36,17 @@
 // nondecreasing with slack S: v[i+1] >= v[i] - (S-1)*|v[i]| — the slack
 // loosens by a fraction of the previous magnitude, sign-safe
 // (nonincreasing mirrored: v[i+1] <= v[i] + (S-1)*|v[i]|).
+//
+// Cross-bench operands: a key of the form "<bench>::<metric>" resolves
+// <metric> from the *committed baseline* of <bench> — specifically its
+// captured report's deterministic "metrics" section (never host_metrics:
+// wall clocks from another capture are a different host and a different
+// day). Sibling baselines are loaded from the directory passed to
+// CheckReport (the CLI defaults it to the --baseline file's directory), so
+// one bench's gate can pin consistency claims that span two figures — e.g.
+// Figure 2's hashing-vs-PKG imbalance ratio against Table II's. A
+// cross-bench reference with no baseline directory, an unloadable sibling
+// file, or an unknown metric is a failure, not an error.
 
 #ifndef PKGSTREAM_TOOLS_BENCH_CHECK_LIB_H_
 #define PKGSTREAM_TOOLS_BENCH_CHECK_LIB_H_
@@ -64,7 +75,13 @@ struct CheckOutcome {
 /// documents (wrong bench, missing invariants, unknown invariant types,
 /// missing metric keys) are failures, not errors: the gate must go red, not
 /// crash, when a baseline rots.
-CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline);
+///
+/// `baseline_dir` is where "<bench>::<metric>" cross-bench operands load
+/// sibling baselines from ("<baseline_dir>/<bench>.json"); when empty, any
+/// cross-bench reference fails with a message saying the directory is
+/// missing.
+CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline,
+                         const std::string& baseline_dir = "");
 
 }  // namespace repro
 }  // namespace pkgstream

@@ -1,0 +1,197 @@
+// Copyright 2026 The pkgstream Authors.
+// The sequel's headline experiment ("When Two Choices Are Not Enough",
+// Nasir et al. 2016): at 100-1000 workers the head key's share exceeds
+// 2/W, so plain PKG's two candidates must each absorb p1/2 of the stream
+// and the relative max load blows up linearly in W — while D-Choices
+// (adaptive per-heavy-key choice counts) and W-Choices (full choice for
+// the head) stay within an epsilon of shuffle grouping, at a replication
+// (memory / aggregation) overhead close to plain PKG's instead of SG's
+// everything-everywhere. This bench sweeps PKG vs D-Choices vs W-Choices
+// vs SG vs KG at W in {50, 100, 500, 1000} on WP and on a high-skew Zipf
+// (s = 1.5, p1 ~ 0.39) and reports, per cell:
+//   rel_max_load  = max worker load * W / messages  (SG -> ~1.0)
+//   replication   = mean distinct workers per key   (KG == 1)
+// The committed baseline encodes the sequel's shape as invariants.
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/report.h"
+#include "partition/factory.h"
+#include "simulation/experiments.h"
+#include "workload/dataset.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace {
+
+struct SweepCell {
+  double rel_max_load = 0.0;
+  double replication = 0.0;
+};
+
+/// Routes `messages` keys of `stream` through one partitioner built from
+/// `config` (single source: the per-source sketch shares are then exactly
+/// the global shares the sequel's analysis is stated in), tracking the
+/// final load vector and the distinct (key, worker) placement pairs.
+Result<SweepCell> RunSweep(const partition::PartitionerConfig& config,
+                           workload::KeyStream* stream, uint64_t messages) {
+  PKGSTREAM_ASSIGN_OR_RETURN(auto partitioner,
+                             partition::MakePartitioner(config));
+  std::vector<uint64_t> loads(config.workers, 0);
+  std::unordered_set<uint64_t> pairs;  // key * 2048 + worker (W <= 1024)
+  std::unordered_set<Key> keys_seen;
+  constexpr size_t kChunk = 1024;
+  std::vector<Key> keys(kChunk);
+  std::vector<WorkerId> out(kChunk);
+  uint64_t done = 0;
+  while (done < messages) {
+    const size_t len =
+        static_cast<size_t>(std::min<uint64_t>(kChunk, messages - done));
+    stream->NextBatch(keys.data(), len);
+    partitioner->RouteBatch(0, keys.data(), out.data(), len);
+    for (size_t i = 0; i < len; ++i) {
+      ++loads[out[i]];
+      keys_seen.insert(keys[i]);
+      pairs.insert(keys[i] * 2048 + out[i]);
+    }
+    done += len;
+  }
+  uint64_t max_load = 0;
+  for (uint64_t l : loads) max_load = std::max(max_load, l);
+  SweepCell cell;
+  cell.rel_max_load = static_cast<double>(max_load) *
+                      static_cast<double>(config.workers) /
+                      static_cast<double>(messages);
+  cell.replication = static_cast<double>(pairs.size()) /
+                     static_cast<double>(std::max<size_t>(keys_seen.size(), 1));
+  return cell;
+}
+
+}  // namespace
+}  // namespace pkgstream
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  bench::PrintBanner(
+      "Sequel: D-Choices / W-Choices vs PKG at 100-1000 workers",
+      "Nasir et al. 2016 (When Two Choices Are Not Enough), Figs. 5-7",
+      args);
+  bench::Report report(
+      "bench_seq_dchoices",
+      "Sequel: D-Choices / W-Choices vs PKG at 100-1000 workers",
+      "Nasir et al. 2016 (When Two Choices Are Not Enough), Figs. 5-7",
+      args);
+
+  const std::vector<uint32_t> worker_counts = {50, 100, 500, 1000};
+  const partition::Technique techniques[] = {
+      partition::Technique::kPkgLocal, partition::Technique::kDChoices,
+      partition::Technique::kWChoices, partition::Technique::kShuffle,
+      partition::Technique::kHashing,
+  };
+
+  // Two streams: the paper's WP (p1 ~ 9%, past the wall from W ~ 50) and a
+  // harsher synthetic Zipf s = 1.5 (p1 ~ 39%, past the wall everywhere).
+  struct StreamSpec {
+    const char* symbol;
+    bool is_wp;
+  };
+  const StreamSpec stream_specs[] = {{"WP", true}, {"ZF15", false}};
+
+  for (const StreamSpec& spec : stream_specs) {
+    uint64_t messages;
+    double wp_scale = 0.0;
+    std::shared_ptr<const workload::StaticDistribution> zipf_dist;
+    if (spec.is_wp) {
+      const auto& wp = workload::GetDataset(workload::DatasetId::kWP);
+      wp_scale = simulation::DefaultScale(wp.id, args.full) *
+                 (args.quick ? 0.2 : 1.0);
+      messages = workload::ScaledMessages(wp, wp_scale);
+    } else {
+      zipf_dist = std::make_shared<const workload::StaticDistribution>(
+          workload::ZipfWeights(10000, 1.5), "zipf-1.5");
+      messages = args.quick ? 200000 : 1000000;
+    }
+
+    std::vector<std::string> header = {std::string(spec.symbol) +
+                                       " technique / W"};
+    for (uint32_t w : worker_counts) {
+      header.push_back("W=" + std::to_string(w) + " max*W/m");
+    }
+    for (uint32_t w : worker_counts) {
+      header.push_back("W=" + std::to_string(w) + " repl");
+    }
+    Table table(header);
+    for (auto technique : techniques) {
+      const std::string name = partition::TechniqueName(technique);
+      std::vector<std::string> row = {name};
+      std::vector<std::string> repl_cells;
+      for (uint32_t w : worker_counts) {
+        workload::KeyStreamPtr wp_stream;
+        std::unique_ptr<workload::KeyStream> stream;
+        if (spec.is_wp) {
+          auto made = workload::MakeKeyStream(
+              workload::GetDataset(workload::DatasetId::kWP), wp_scale,
+              args.seed);
+          if (!made.ok()) {
+            std::cerr << made.status() << "\n";
+            return 1;
+          }
+          wp_stream = std::move(*made);
+        } else {
+          stream = std::make_unique<workload::IidKeyStream>(zipf_dist,
+                                                            args.seed);
+        }
+        partition::PartitionerConfig config;
+        config.technique = technique;
+        config.sources = 1;
+        config.workers = w;
+        config.seed = args.seed;
+        // Flag heavy from share > 1/W (half the Section IV wall): a key
+        // just under the threshold keeps only base_choices candidates,
+        // and when those two hashes collide its whole share lands on ONE
+        // worker — flagging from the average share caps that worst case
+        // at ~1x the mean. Capacity 2W guarantees every key above 1/W a
+        // SPACESAVING counter.
+        if (technique == partition::Technique::kDChoices) {
+          config.heavy_threshold_factor = 0.5;
+        }
+        config.sketch_capacity = 2 * w;
+        auto cell = RunSweep(
+            config, spec.is_wp ? wp_stream.get() : stream.get(), messages);
+        if (!cell.ok()) {
+          std::cerr << cell.status() << "\n";
+          return 1;
+        }
+        const std::string prefix = std::string(spec.symbol) + "/" + name +
+                                   "/W=" + std::to_string(w);
+        report.AddMetric(prefix + "/rel_max_load", cell->rel_max_load);
+        report.AddMetric(prefix + "/replication", cell->replication);
+        row.push_back(FormatCompact(cell->rel_max_load));
+        repl_cells.push_back(FormatCompact(cell->replication));
+      }
+      row.insert(row.end(), repl_cells.begin(), repl_cells.end());
+      table.AddRow(row);
+    }
+    report.AddTable(std::move(table));
+  }
+
+  report.AddText(
+      "Expected shape (the sequel's claim): PKG's relative max load grows\n"
+      "~ p1*W/2 once p1 > 2/W — past ~100 workers it leaves the balanced\n"
+      "regime entirely — while D-Choices and W-Choices stay within the\n"
+      "epsilon slack of shuffle grouping at every W, and their replication\n"
+      "stays a small multiple of plain PKG's (vs SG's every-worker\n"
+      "spread). KG replicates nothing and balances nothing.");
+
+  // One greppable line for the CI reproduction-gate job.
+  std::cout << "[bench_seq_dchoices] sequel-sweep-complete:"
+            << " techniques=5 workers=50..1000 datasets=WP,ZF15\n";
+  return bench::Finish(report, args);
+}

@@ -81,7 +81,8 @@ std::vector<WorkerId> DistributedNaiveBayes::ProbeSet(uint32_t feature) const {
     case partition::Technique::kOffGreedy:
     case partition::Technique::kRebalancing:
     case partition::Technique::kConsistent:
-    case partition::Technique::kWChoices: {
+    case partition::Technique::kWChoices:
+    case partition::Technique::kDChoices: {
       // Table-based single placement: the placement was fixed the first
       // time the feature was routed; we recorded it during Train.
       probes.assign(placements_[feature].begin(), placements_[feature].end());

@@ -35,6 +35,8 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+
 #include "common/hash_simd_avx2_inl.h"
 
 namespace pkgstream {
@@ -170,6 +172,82 @@ bool ArgminX4Avx2(const uint32_t* c0, const uint32_t* c1,
   return true;
 }
 
+bool ArgminX4WideAvx2(const uint32_t* const* cols, uint32_t d,
+                      const uint64_t* loads, uint32_t* out) {
+  // Pack the d columns pairwise into ceil(d/2) vectors of the same
+  // [col_even(4), col_odd(4)] shape ArgminX4Avx2 uses. Odd d duplicates the
+  // last column into the upper half: the duplicate's distance-4 self-pairs
+  // land on the skipped same-row offsets, and its cross-row pairs repeat
+  // checks the real half already makes — no false accepts, no new rejects.
+  __m128i col[kMaxWideArgminChoices] = {};  // zero-init: quiets GCC's
+                                            // may-be-uninitialized on the
+                                            // d-bounded odd-pad access
+  for (uint32_t c = 0; c < d; ++c) {
+    col[c] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(cols[c]));
+  }
+  const uint32_t nv = (d + 1) / 2;
+  __m256i vec[kMaxWideArgminChoices / 2];
+  for (uint32_t v = 0; v < nv; ++v) {
+    const __m128i hi = col[std::min(2 * v + 1, d - 1)];
+    vec[v] = _mm256_set_m128i(hi, col[2 * v]);
+  }
+
+  // Cross-row distinctness of all 4*d candidates. Within one packed vector,
+  // rotations 1..3 pair every lane with every other except its distance-4
+  // partner — the same-row pair the contract permits (exactly ArgminX4Avx2's
+  // check). Between two packed vectors, lanes i and j hold the same row iff
+  // j - i == 0 (mod 4), so offsets {1, 2, 3, 5, 6, 7} cover precisely the
+  // cross-row pairs and skip precisely the same-row ones.
+  const __m256i rot[7] = {
+      _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0),
+      _mm256_setr_epi32(2, 3, 4, 5, 6, 7, 0, 1),
+      _mm256_setr_epi32(3, 4, 5, 6, 7, 0, 1, 2),
+      _mm256_setr_epi32(4, 5, 6, 7, 0, 1, 2, 3),
+      _mm256_setr_epi32(5, 6, 7, 0, 1, 2, 3, 4),
+      _mm256_setr_epi32(6, 7, 0, 1, 2, 3, 4, 5),
+      _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6),
+  };
+  __m256i eq = _mm256_setzero_si256();
+  for (uint32_t v = 0; v < nv; ++v) {
+    for (uint32_t k = 1; k <= 3; ++k) {
+      eq = _mm256_or_si256(
+          eq, _mm256_cmpeq_epi32(
+                  vec[v], _mm256_permutevar8x32_epi32(vec[v], rot[k - 1])));
+    }
+    for (uint32_t w = v + 1; w < nv; ++w) {
+      for (uint32_t k = 1; k < 8; ++k) {
+        if (k == 4) continue;  // same-row offset
+        eq = _mm256_or_si256(
+            eq, _mm256_cmpeq_epi32(
+                    vec[v], _mm256_permutevar8x32_epi32(vec[w], rot[k - 1])));
+      }
+    }
+  }
+  if (_mm256_movemask_epi8(eq) != 0) return false;
+
+  // Running unsigned min across columns; strict <, so ties keep the lowest
+  // column index like the scalar loop. Same sign-flip compare and 64->32
+  // mask narrowing as ArgminX4Avx2.
+  const __m256i bias =
+      _mm256_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m256i narrow_idx = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  __m256i best_load = _mm256_i32gather_epi64(
+      reinterpret_cast<const long long*>(loads), col[0], 8);
+  __m128i best = col[0];
+  for (uint32_t c = 1; c < d; ++c) {
+    const __m256i load = _mm256_i32gather_epi64(
+        reinterpret_cast<const long long*>(loads), col[c], 8);
+    const __m256i wins = _mm256_cmpgt_epi64(_mm256_xor_si256(best_load, bias),
+                                            _mm256_xor_si256(load, bias));
+    best_load = _mm256_blendv_epi8(best_load, load, wins);
+    const __m128i mask32 = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(wins, narrow_idx));
+    best = _mm_blendv_epi8(best, col[c], mask32);
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), best);
+  return true;
+}
+
 }  // namespace simd
 }  // namespace pkgstream
 
@@ -209,6 +287,10 @@ void BucketBatchAvx2(const uint64_t*, uint32_t*, size_t, uint32_t, uint64_t,
 bool ArgminX4Avx2(const uint32_t*, const uint32_t*, const uint64_t*,
                   uint32_t*) {
   Unavailable("ArgminX4Avx2");
+}
+bool ArgminX4WideAvx2(const uint32_t* const*, uint32_t, const uint64_t*,
+                      uint32_t*) {
+  Unavailable("ArgminX4WideAvx2");
 }
 
 }  // namespace simd

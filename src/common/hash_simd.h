@@ -15,6 +15,9 @@
 //   ArgminX4Avx2          == the scalar two-choice argmin (ties pick the
 //                            first candidate), valid only when it reports
 //                            the four rows cross-lane conflict-free
+//   ArgminX4WideAvx2      == the scalar d-choice argmin over d candidate
+//                            columns (2 <= d <= 8), same tie-break and
+//                            same conflict-refusal contract
 // tests/common_simd_test.cc pins each equality over adversarial inputs;
 // routing decisions ride on these bits, so any divergence invalidates every
 // committed baseline.
@@ -91,6 +94,26 @@ BucketBatchKernel ActiveBucketBatchKernel();
 /// gather consumes signed 32-bit indices).
 bool ArgminX4Avx2(const uint32_t* c0, const uint32_t* c1,
                   const uint64_t* loads, uint32_t* out);
+
+/// \brief Largest d ArgminX4WideAvx2 accepts: 8 columns pack into four
+/// 8-lane candidate vectors, the point where the all-pairs conflict check
+/// stops paying for itself against the per-row scalar loop.
+inline constexpr uint32_t kMaxWideArgminChoices = 8;
+
+/// \brief The d-wide generalization of ArgminX4Avx2: greedy-d argmin over 4
+/// rows of d candidate columns (2 <= d <= kMaxWideArgminChoices), where
+/// `cols[c]` points at 4 consecutive buckets of column c. When all 4*d
+/// candidates are cross-ROW distinct (same-row duplicates across columns are
+/// fine — the row's argmin is still independent of the other rows), the 4
+/// decisions cannot see the in-between OnSend increments, so the vector
+/// result equals the sequential scalar protocol; writes out[0..4) and
+/// returns true. On any cross-row collision it writes nothing and returns
+/// false, and the caller re-runs those rows through the sequential scalar
+/// protocol. Ties keep the lowest column index, loads compare as unsigned
+/// 64-bit, buckets must be < 2^31 — all exactly as ArgminX4Avx2 (which is
+/// the d = 2 instance of this contract).
+bool ArgminX4WideAvx2(const uint32_t* const* cols, uint32_t d,
+                      const uint64_t* loads, uint32_t* out);
 
 }  // namespace simd
 }  // namespace pkgstream

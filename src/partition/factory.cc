@@ -2,6 +2,7 @@
 
 #include "partition/factory.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "partition/consistent_hashing.h"
@@ -43,6 +44,8 @@ std::string TechniqueName(Technique technique) {
       return "CH";
     case Technique::kWChoices:
       return "W-Choices";
+    case Technique::kDChoices:
+      return "D-Choices";
   }
   return "?";
 }
@@ -71,6 +74,9 @@ Result<Technique> ParseTechnique(const std::string& name) {
   }
   if (name == "W-Choices" || name == "WChoices") {
     return Technique::kWChoices;
+  }
+  if (name == "D-Choices" || name == "DChoices") {
+    return Technique::kDChoices;
   }
   return Status::NotFound("unknown technique: " + name);
 }
@@ -152,6 +158,39 @@ Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config) {
       options.head_choices = 0;  // all workers for the head keys
       options.sketch_capacity = config.sketch_capacity;
       options.threshold_factor = config.heavy_threshold_factor;
+      options.hash_seed = config.seed;
+      return PartitionerPtr(std::make_unique<HeavyHitterAwarePkg>(
+          config.sources, config.workers,
+          std::make_unique<LocalLoadEstimator>(config.sources,
+                                               config.workers),
+          options));
+    }
+    case Technique::kDChoices: {
+      if (config.sketch_capacity < 1) {
+        return Status::InvalidArgument("sketch capacity must be >= 1");
+      }
+      if (config.head_choices > config.workers) {
+        return Status::InvalidArgument("head choices must be <= workers");
+      }
+      if (config.head_epsilon <= 0.0) {
+        return Status::InvalidArgument("head epsilon must be > 0");
+      }
+      HeavyHitterPkgOptions options;
+      options.base_choices = config.num_choices < 1 ? 2 : config.num_choices;
+      options.head_choices = config.head_choices;
+      options.adaptive_head = true;
+      options.epsilon = config.head_epsilon;
+      // Threshold derived from the worker count: a key outgrows its
+      // base_choices candidates once its share crosses base_choices/W
+      // (the Section IV wall), scaled by the configured factor.
+      options.threshold_factor =
+          config.heavy_threshold_factor *
+          static_cast<double>(options.base_choices);
+      // Detection guarantee: SPACESAVING tracks every key with share >
+      // 1/capacity, so capacity >= workers covers everything at or above
+      // the ~base_choices/workers threshold with room to spare.
+      options.sketch_capacity =
+          std::max<size_t>(config.sketch_capacity, config.workers);
       options.hash_seed = config.seed;
       return PartitionerPtr(std::make_unique<HeavyHitterAwarePkg>(
           config.sources, config.workers,

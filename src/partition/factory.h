@@ -33,6 +33,7 @@ enum class Technique {
   kRebalancing,  ///< KG + periodic hot-key migration (§II-B / §VIII)
   kConsistent,   ///< consistent-hashing ring; replicas>=2 = PKG-over-ring
   kWChoices,     ///< PKG + all-worker choice for detected heavy hitters
+  kDChoices,     ///< PKG + adaptive per-heavy-key d (the sequel's policy)
 };
 
 /// \brief Parameters shared by all techniques (plus technique-specific ones).
@@ -57,10 +58,21 @@ struct PartitionerConfig {
   /// kRebalancing: relative window imbalance that triggers migration.
   double rebalance_threshold = 0.10;
 
-  /// kWChoices: per-source heavy-hitter sketch capacity.
+  /// kWChoices / kDChoices: per-source heavy-hitter sketch capacity
+  /// (kDChoices raises it to >= workers so detection is guaranteed at the
+  /// derived threshold).
   uint32_t sketch_capacity = 256;
-  /// kWChoices: heavy threshold as a multiple of 1/workers.
+  /// kWChoices: heavy threshold as a multiple of 1/workers. kDChoices: a
+  /// multiplier on its derived threshold num_choices/workers — the Section
+  /// IV wall where num_choices stop sufficing.
   double heavy_threshold_factor = 1.0;
+  /// kDChoices: cap on per-heavy-key candidates; 0 = no cap (a key may
+  /// escalate all the way to the all-workers W-Choices path).
+  uint32_t head_choices = 0;
+  /// kDChoices: balance slack of the epsilon-derived policy (> 0) — a
+  /// heavy key of share p gets ceil(p*W/eps) candidates, keeping any
+  /// single worker's total share within (1+eps)/W.
+  double head_epsilon = 0.05;
 
   /// kConsistent: virtual nodes per worker.
   uint32_t virtual_nodes = 64;

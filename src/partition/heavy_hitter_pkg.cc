@@ -2,10 +2,34 @@
 
 #include "partition/heavy_hitter_pkg.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash_simd.h"
 #include "common/logging.h"
+#include "common/simd.h"
 
 namespace pkgstream {
 namespace partition {
+
+namespace {
+
+// Same vector-argmin gate as pkg.cc: below a few hundred buckets the
+// cross-row conflict check refuses nearly every group; above 2^30 the
+// gather's signed 32-bit indices run out.
+constexpr uint32_t kVectorArgminMinBuckets = 256;
+constexpr uint32_t kVectorArgminMaxBuckets = 1u << 30;
+
+/// Members the head hash family needs: the D-Choices cap (adaptive or
+/// fixed). Plain W-Choices never hashes head keys, so one member suffices.
+uint32_t HeadFamilySize(const HeavyHitterPkgOptions& options,
+                        uint32_t workers) {
+  uint32_t cap = options.head_choices;
+  if (cap == 0) cap = options.adaptive_head ? workers : 1;
+  return std::max(1u, std::min(cap, workers));
+}
+
+}  // namespace
 
 HeavyHitterAwarePkg::HeavyHitterAwarePkg(uint32_t sources, uint32_t workers,
                                          LoadEstimatorPtr estimator,
@@ -13,14 +37,15 @@ HeavyHitterAwarePkg::HeavyHitterAwarePkg(uint32_t sources, uint32_t workers,
     : sources_(sources),
       workers_(workers),
       tail_hash_(options.base_choices, workers, options.hash_seed),
-      head_hash_(options.head_choices == 0 ? 1 : options.head_choices,
-                 workers, Fmix64(options.hash_seed) | 1),
+      head_hash_(HeadFamilySize(options, workers), workers,
+                 Fmix64(options.hash_seed) | 1),
       estimator_(std::move(estimator)),
       options_(options) {
   PKGSTREAM_CHECK(sources >= 1 && workers >= 1);
   PKGSTREAM_CHECK(options_.base_choices >= 1);
   PKGSTREAM_CHECK(options_.head_choices <= workers);
   PKGSTREAM_CHECK(options_.sketch_capacity >= 1);
+  PKGSTREAM_CHECK(!options_.adaptive_head || options_.epsilon > 0.0);
   PKGSTREAM_CHECK(estimator_ != nullptr);
   sketches_.reserve(sources);
   for (uint32_t s = 0; s < sources; ++s) {
@@ -54,6 +79,33 @@ bool HeavyHitterAwarePkg::IsHeavy(SourceId source, Key key) const {
   return share > options_.threshold_factor / static_cast<double>(workers_);
 }
 
+uint32_t HeavyHitterAwarePkg::HeadChoicesFor(SourceId source, Key key) const {
+  if (!options_.adaptive_head) {
+    return options_.head_choices == 0 ? workers_ : options_.head_choices;
+  }
+  // The sequel's rule: a candidate of a share-p key carries p/d_k of the
+  // stream from that key ON TOP of its ~1/W background share, so keeping
+  // the total within (1+eps)/W needs p/d_k <= eps/W, i.e.
+  // d_k >= p*W/eps. (Dividing by (1+eps) instead — just enough slots for
+  // the key's own mass — leaves zero redundancy: random candidate sets
+  // collide, the union covers a fraction of the cluster, and the heavy
+  // mass piles onto the covered part.) SPACESAVING only overestimates, so
+  // d_k errs toward more spread, never less; the very head escalates past
+  // workers() into the full-scan W-Choices path.
+  const double share =
+      static_cast<double>(sketches_[source].Estimate(key)) /
+      static_cast<double>(source_messages_[source]);
+  const double spread =
+      share * static_cast<double>(workers_) / options_.epsilon;
+  uint32_t dk = spread >= static_cast<double>(workers_)
+                    ? workers_
+                    : static_cast<uint32_t>(std::ceil(spread));
+  const uint32_t cap = options_.head_choices == 0
+                           ? workers_
+                           : std::min(options_.head_choices, workers_);
+  return std::min(std::max(dk, options_.base_choices), cap);
+}
+
 WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
   sketches_[source].Add(key);
@@ -63,7 +115,8 @@ WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
   WorkerId best;
   if (IsHeavy(source, key)) {
     ++heavy_routings_;
-    if (options_.head_choices == 0) {
+    const uint32_t dk = HeadChoicesFor(source, key);
+    if (dk >= workers_) {
       // W-Choices: full choice among all workers for the head keys.
       best = 0;
       uint64_t best_load = estimator_->Estimate(source, 0);
@@ -75,10 +128,12 @@ WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
         }
       }
     } else {
-      // D-Choices: head_choices hash candidates.
+      // D-Choices: the first d_k members of the head hash family — a
+      // growing prefix, so a key keeps its earlier candidates as its
+      // estimated share (and with it d_k) rises.
       best = head_hash_.Bucket(0, key);
       uint64_t best_load = estimator_->Estimate(source, best);
-      for (uint32_t i = 1; i < head_hash_.d(); ++i) {
+      for (uint32_t i = 1; i < dk; ++i) {
         WorkerId candidate = head_hash_.Bucket(i, key);
         uint64_t load = estimator_->Estimate(source, candidate);
         if (load < best_load) {
@@ -104,7 +159,161 @@ WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
   return best;
 }
 
+template <typename Frame>
+void HeavyHitterAwarePkg::FusedRoute(SourceId source, Frame frame,
+                                     const Key* keys, WorkerId* out,
+                                     size_t n) {
+  constexpr size_t kChunk = 256;
+  const uint32_t b = tail_hash_.d();
+  const bool columns = b >= 2 && b <= simd::kMaxWideArgminChoices;
+  uint32_t cand[simd::kMaxWideArgminChoices][kChunk];
+  uint8_t heavy[kChunk];
+  uint32_t dk[kChunk];
+  const bool vector_argmin =
+      Frame::kVectorArgmin && columns &&
+      workers_ >= kVectorArgminMinBuckets &&
+      workers_ <= kVectorArgminMaxBuckets &&
+      simd::ActiveSimdLevel() >= simd::SimdLevel::kAvx2;
+  stats::SpaceSaving& sketch = sketches_[source];
+  uint64_t& seen = source_messages_[source];
+  size_t done = 0;
+  while (done < n) {
+    const size_t len = std::min(kChunk, n - done);
+    // Classification pre-pass. Sketch state depends only on the key
+    // sequence, never on routing decisions, so feeding the whole chunk
+    // ahead of the estimator protocol classifies message i against exactly
+    // the sketch state the scalar Route would see — the heavy flags, the
+    // d_k values, and heavy_routings_ all match bit for bit.
+    for (size_t j = 0; j < len; ++j) {
+      const Key key = keys[done + j];
+      sketch.Add(key);
+      ++seen;
+      const bool is_heavy = IsHeavy(source, key);
+      heavy[j] = is_heavy ? 1 : 0;
+      if (is_heavy) {
+        ++heavy_routings_;
+        dk[j] = HeadChoicesFor(source, key);
+      }
+    }
+    if (columns) {
+      for (uint32_t c = 0; c < b; ++c) {
+        tail_hash_.BucketBatch(c, keys + done, cand[c], len);
+      }
+    }
+    // The one copy of the sequential protocol (cf. pkg.cc): BeginRoute,
+    // Estimate over the row's candidate set, OnSend — identical to the
+    // scalar Route for every class of row.
+    const auto route_row = [&](size_t j) {
+      const Key key = keys[done + j];
+      frame.BeginRoute();
+      WorkerId best;
+      uint64_t best_load;
+      if (heavy[j]) {
+        if (dk[j] >= workers_) {
+          best = 0;
+          best_load = frame.Estimate(0);
+          for (WorkerId w = 1; w < workers_; ++w) {
+            const uint64_t load = frame.Estimate(w);
+            if (load < best_load) {
+              best = w;
+              best_load = load;
+            }
+          }
+        } else {
+          best = head_hash_.Bucket(0, key);
+          best_load = frame.Estimate(best);
+          for (uint32_t i = 1; i < dk[j]; ++i) {
+            const WorkerId candidate = head_hash_.Bucket(i, key);
+            const uint64_t load = frame.Estimate(candidate);
+            if (load < best_load) {
+              best = candidate;
+              best_load = load;
+            }
+          }
+        }
+      } else if (columns) {
+        best = cand[0][j];
+        best_load = frame.Estimate(best);
+        for (uint32_t c = 1; c < b; ++c) {
+          const WorkerId candidate = cand[c][j];
+          const uint64_t load = frame.Estimate(candidate);
+          if (load < best_load) {
+            best = candidate;
+            best_load = load;
+          }
+        }
+      } else {
+        best = tail_hash_.Bucket(0, key);
+        best_load = frame.Estimate(best);
+        for (uint32_t i = 1; i < b; ++i) {
+          const WorkerId candidate = tail_hash_.Bucket(i, key);
+          const uint64_t load = frame.Estimate(candidate);
+          if (load < best_load) {
+            best = candidate;
+            best_load = load;
+          }
+        }
+      }
+      frame.OnSend(best);
+      out[done + j] = best;
+    };
+    size_t j = 0;
+    if constexpr (Frame::kVectorArgmin) {
+      if (vector_argmin) {
+        const uint32_t* group_cols[simd::kMaxWideArgminChoices];
+        while (j + 4 <= len) {
+          // Vector groups need four consecutive all-tail rows; any heavy
+          // row routes scalar and the group window slides past it.
+          if (heavy[j] | heavy[j + 1] | heavy[j + 2] | heavy[j + 3]) {
+            route_row(j);
+            ++j;
+            continue;
+          }
+          bool committed;
+          if (b == 2) {
+            committed = simd::ArgminX4Avx2(cand[0] + j, cand[1] + j,
+                                           frame.estimates(), out + done + j);
+          } else {
+            for (uint32_t c = 0; c < b; ++c) group_cols[c] = cand[c] + j;
+            committed = simd::ArgminX4WideAvx2(group_cols, b,
+                                               frame.estimates(),
+                                               out + done + j);
+          }
+          if (committed) {
+            for (size_t t = j; t < j + 4; ++t) frame.OnSend(out[done + t]);
+          } else {
+            for (size_t t = j; t < j + 4; ++t) route_row(t);
+          }
+          j += 4;
+        }
+      }
+    }
+    for (; j < len; ++j) route_row(j);
+    done += len;
+  }
+}
+
+void HeavyHitterAwarePkg::RouteBatch(SourceId source, const Key* keys,
+                                     WorkerId* out, size_t n) {
+  PKGSTREAM_DCHECK(source < sources_);
+  // One concrete-type resolution per batch buys a virtual-free inner loop
+  // (same dispatch as PartialKeyGrouping::RouteBatch).
+  LoadEstimator* estimator = estimator_.get();
+  if (auto* local = dynamic_cast<LocalLoadEstimator*>(estimator)) {
+    FusedRoute(source, local->MakeRoutingFrame(source), keys, out, n);
+  } else if (auto* global = dynamic_cast<GlobalLoadEstimator*>(estimator)) {
+    FusedRoute(source, global->MakeRoutingFrame(source), keys, out, n);
+  } else if (auto* probing = dynamic_cast<ProbingLoadEstimator*>(estimator)) {
+    FusedRoute(source, probing->MakeRoutingFrame(source), keys, out, n);
+  } else {
+    Partitioner::RouteBatch(source, keys, out, n);
+  }
+}
+
 std::string HeavyHitterAwarePkg::Name() const {
+  if (options_.adaptive_head) {
+    return "D-Choices-" + estimator_->Name();
+  }
   if (options_.head_choices == 0) {
     return "W-Choices-" + estimator_->Name();
   }

@@ -2,17 +2,31 @@
 // Heavy-hitter-aware PKG — the extension the paper's analysis begs for and
 // its conclusions point at ("is it possible to achieve good load balance
 // ... which other primitives can a DSPE offer?", Section VIII; the idea
-// became the authors' follow-up work on D-Choices/W-Choices).
+// became the authors' follow-up "When Two Choices Are not Enough":
+// D-Choices / W-Choices, Nasir et al. 2016).
 //
 // Section IV shows two choices cannot balance once the head probability
 // exceeds ~2/n: the hot key's two candidate workers must absorb p1/2 of the
 // stream each, above the 1/n average. The fix: give *only the heavy keys*
 // more choices. Each source detects heavy hitters in its own sub-stream
 // with a SPACESAVING sketch (no coordination — the same philosophy as local
-// load estimation) and routes them among `head_choices` candidates (or all
+// load estimation) and routes them among d_head candidates (or all
 // workers); the long tail keeps plain two-choice key splitting, so the
 // per-key state blow-up stays confined to the handful of keys that already
 // need aggregation everywhere.
+//
+// The follow-up's policy is adaptive: the threshold and each heavy key's
+// choice count are *derived* from the worker count and the key's measured
+// share, not fixed a priori. A candidate of a share-p key carries p/d_k of
+// the stream from that key on top of its ~1/W background share, so keeping
+// every worker within (1+eps) of the average needs p/d_k <= eps/W: the
+// adaptive policy gives the key d_k = ceil(p·W / eps) candidates — a
+// prefix of one fixed head hash family, so the set only grows as the
+// estimate sharpens — escalating smoothly from plain PKG through D-Choices
+// to all-workers W-Choices for the very head. eps is the balance slack:
+// it bounds the relative overload any one heavy key can force, and the
+// 1/eps inflation also buys the candidate-set redundancy greedy needs
+// once the heavy mass claims a sizable fraction of the cluster.
 
 #ifndef PKGSTREAM_PARTITION_HEAVY_HITTER_PKG_H_
 #define PKGSTREAM_PARTITION_HEAVY_HITTER_PKG_H_
@@ -33,18 +47,36 @@ namespace partition {
 struct HeavyHitterPkgOptions {
   /// Choices for ordinary (tail) keys; 2 = plain PKG.
   uint32_t base_choices = 2;
-  /// Choices for detected heavy hitters; 0 means all workers (the
-  /// "W-Choices" policy), otherwise d_head hash candidates ("D-Choices").
+  /// Cap on choices for detected heavy hitters; 0 means all workers (the
+  /// "W-Choices" policy), otherwise up to d_head hash candidates
+  /// ("D-Choices"). With adaptive_head this is the *cap*; without it, every
+  /// heavy key uses exactly this many candidates.
   uint32_t head_choices = 0;
-  /// Per-source SPACESAVING capacity for the detector.
+  /// Per-source SPACESAVING capacity for the detector. Must be large enough
+  /// that every key above the heavy threshold owns a counter: capacity >=
+  /// workers / threshold_factor guarantees detection (SPACESAVING tracks
+  /// every key with share > 1/capacity).
   size_t sketch_capacity = 256;
   /// A key is heavy when its estimated share of the source's sub-stream
   /// exceeds threshold_factor / workers (theory: 2 choices suffice only
-  /// below ~2/n, so factor 1 flags everything near the danger zone).
+  /// below ~2/n, so factor 1 flags everything near the danger zone and
+  /// factor base_choices flags exactly the keys beyond the Section IV
+  /// wall).
   double threshold_factor = 1.0;
   /// Detection warm-up: no key is considered heavy before this many
   /// messages from the source (estimates are noise at the very start).
   uint64_t min_messages = 1000;
+  /// The sequel's epsilon-derived per-key policy: each heavy key of
+  /// estimated share p gets d_k = ceil(p * workers / epsilon) candidates
+  /// (clamped to [base_choices, head cap]), all workers once d_k reaches
+  /// the worker count. When false, every heavy key uses the fixed
+  /// head_choices policy above.
+  bool adaptive_head = false;
+  /// Balance slack for adaptive_head (must be > 0 there): a candidate of a
+  /// share-p key carries p/d_k from that key on top of its ~1/workers
+  /// background, so d_k = p*workers/epsilon keeps every worker within
+  /// (1 + epsilon) of the average. Smaller = more candidates.
+  double epsilon = 0.05;
   uint64_t hash_seed = 0x9E3779B97F4A7C15ULL;
 };
 
@@ -56,6 +88,8 @@ class HeavyHitterAwarePkg final : public Partitioner {
                       HeavyHitterPkgOptions options = {});
 
   WorkerId Route(SourceId source, Key key) override;
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
   uint32_t workers() const override { return workers_; }
   uint32_t sources() const override { return sources_; }
   /// Heavy keys may touch all workers (W-Choices) or head_choices of them.
@@ -68,6 +102,11 @@ class HeavyHitterAwarePkg final : public Partitioner {
   /// Whether `source`'s detector currently classifies `key` as heavy.
   bool IsHeavy(SourceId source, Key key) const;
 
+  /// The choice count a heavy `key` gets *right now* (>= workers() means
+  /// the full-scan W-Choices path). Deterministic in the sketch state, so
+  /// batch classification can precompute it without touching the estimator.
+  uint32_t HeadChoicesFor(SourceId source, Key key) const;
+
   /// Messages routed through the expanded-choice path (diagnostics).
   uint64_t heavy_routings() const { return heavy_routings_; }
 
@@ -75,10 +114,16 @@ class HeavyHitterAwarePkg final : public Partitioner {
   /// Deep copy (clones the estimator); only Clone() uses it.
   HeavyHitterAwarePkg(const HeavyHitterAwarePkg& other);
 
+  /// The fused batch loop behind RouteBatch, devirtualized over the
+  /// estimator's routing frame (same pattern as pkg.cc).
+  template <typename Frame>
+  void FusedRoute(SourceId source, Frame frame, const Key* keys,
+                  WorkerId* out, size_t n);
+
   uint32_t sources_;
   uint32_t workers_;
   HashFamily tail_hash_;  // base_choices functions
-  HashFamily head_hash_;  // head_choices functions (unused for W-Choices)
+  HashFamily head_hash_;  // up to head-cap functions (unused for W-Choices)
   LoadEstimatorPtr estimator_;
   HeavyHitterPkgOptions options_;
   std::vector<stats::SpaceSaving> sketches_;  // one per source

@@ -24,32 +24,32 @@ namespace {
 constexpr uint32_t kVectorArgminMinBuckets = 256;
 constexpr uint32_t kVectorArgminMaxBuckets = 1u << 30;
 
-/// The fused Greedy-d inner loop, shared by all estimator frames. For the
-/// paper's d = 2 it hashes candidates in column-major chunks (both hash
-/// columns computed back to back over BucketBatch, which itself dispatches
-/// to the SIMD multi-key kernels); larger d keeps a per-message candidate
-/// loop with the same frame-devirtualized protocol. Call order —
-/// BeginRoute, Estimate(H1..Hd), OnSend — matches the scalar Route exactly,
-/// message by message, which is what makes batch and scalar routing
-/// decisions (and estimator state) byte-identical.
+/// The fused Greedy-d inner loop, shared by all estimator frames. For
+/// d <= 8 it hashes candidates in column-major chunks (each hash column
+/// computed back to back over BucketBatch, which itself dispatches to the
+/// SIMD multi-key kernels); larger d keeps a per-message candidate loop
+/// with the same frame-devirtualized protocol. Call order — BeginRoute,
+/// Estimate(H1..Hd), OnSend — matches the scalar Route exactly, message by
+/// message, which is what makes batch and scalar routing decisions (and
+/// estimator state) byte-identical.
 ///
 /// Frames with kVectorArgmin (G and L: trivial BeginRoute, estimates in a
-/// contiguous array) additionally run the d=2 argmin four rows at a time
-/// through simd::ArgminX4Avx2 on AVX2+ hosts with enough buckets. The
-/// kernel only commits a group whose eight candidates are cross-lane
-/// distinct — decisions then cannot depend on the in-between OnSend
-/// increments, so they equal the sequential protocol bit for bit; groups
-/// with any cross-lane collision are re-run through the exact scalar
-/// sequence. Either way OnSend is applied row by row afterwards, keeping
-/// estimator state byte-identical too.
+/// contiguous array) additionally run the argmin four rows at a time
+/// through simd::ArgminX4Avx2 (d = 2) or simd::ArgminX4WideAvx2 (d <= 8)
+/// on AVX2+ hosts with enough buckets. The kernels only commit a group
+/// whose 4*d candidates are cross-row distinct — decisions then cannot
+/// depend on the in-between OnSend increments, so they equal the
+/// sequential protocol bit for bit; groups with any cross-row collision
+/// are re-run through the exact scalar sequence. Either way OnSend is
+/// applied row by row afterwards, keeping estimator state byte-identical
+/// too.
 template <typename Frame>
 void FusedGreedyRoute(const HashFamily& hash, Frame frame, const Key* keys,
                       WorkerId* out, size_t n) {
   const uint32_t d = hash.d();
-  if (d == 2) {
+  if (d >= 2 && d <= simd::kMaxWideArgminChoices) {
     constexpr size_t kChunk = 256;
-    uint32_t c0[kChunk];
-    uint32_t c1[kChunk];
+    uint32_t cand[simd::kMaxWideArgminChoices][kChunk];
     const bool vector_argmin =
         Frame::kVectorArgmin &&
         hash.buckets() >= kVectorArgminMinBuckets &&
@@ -58,27 +58,45 @@ void FusedGreedyRoute(const HashFamily& hash, Frame frame, const Key* keys,
     size_t done = 0;
     while (done < n) {
       const size_t len = std::min(kChunk, n - done);
-      hash.BucketBatch(0, keys + done, c0, len);
-      hash.BucketBatch(1, keys + done, c1, len);
-      // The one copy of the sequential d=2 protocol; the vector path's
-      // conflict fallback and the chunk tail both replay exactly this —
-      // any change to the tie-break or estimator call order happens here
-      // or nowhere.
+      for (uint32_t c = 0; c < d; ++c) {
+        hash.BucketBatch(c, keys + done, cand[c], len);
+      }
+      // The one copy of the sequential greedy-d protocol; the vector
+      // path's conflict fallback and the chunk tail both replay exactly
+      // this — any change to the tie-break or estimator call order
+      // happens here or nowhere.
       const auto route_row = [&](size_t row) {
         frame.BeginRoute();
-        WorkerId best = c0[row];
-        const uint64_t first_load = frame.Estimate(best);
-        const WorkerId other = c1[row];
-        if (frame.Estimate(other) < first_load) best = other;
+        WorkerId best = cand[0][row];
+        uint64_t best_load = frame.Estimate(best);
+        for (uint32_t c = 1; c < d; ++c) {
+          const WorkerId candidate = cand[c][row];
+          const uint64_t load = frame.Estimate(candidate);
+          if (load < best_load) {
+            best = candidate;
+            best_load = load;
+          }
+        }
         frame.OnSend(best);
         out[done + row] = best;
       };
       size_t j = 0;
       if constexpr (Frame::kVectorArgmin) {
         if (vector_argmin) {
+          const uint32_t* group_cols[simd::kMaxWideArgminChoices];
           for (; j + 4 <= len; j += 4) {
-            if (simd::ArgminX4Avx2(c0 + j, c1 + j, frame.estimates(),
-                                   out + done + j)) {
+            bool committed;
+            if (d == 2) {
+              committed = simd::ArgminX4Avx2(cand[0] + j, cand[1] + j,
+                                             frame.estimates(),
+                                             out + done + j);
+            } else {
+              for (uint32_t c = 0; c < d; ++c) group_cols[c] = cand[c] + j;
+              committed = simd::ArgminX4WideAvx2(group_cols, d,
+                                                 frame.estimates(),
+                                                 out + done + j);
+            }
+            if (committed) {
               for (size_t t = j; t < j + 4; ++t) {
                 frame.OnSend(out[done + t]);
               }

@@ -106,20 +106,28 @@ std::vector<SpaceSavingEntry> SpaceSaving::TopK(size_t k) const {
 }
 
 void SpaceSaving::Merge(const SpaceSaving& other) {
-  // Combine: estimates add, errors add; keys tracked in only one summary
-  // keep their single-summary bounds (the other summary contributes 0 when
-  // it has spare capacity, i.e. its MinCount() is 0).
+  // Combine (Berinde et al.): estimates add, errors add. A key tracked in
+  // only one summary may still have occurred up to MinCount() times in the
+  // other's stream (that is exactly what an absent key's Estimate() says),
+  // so the absent summary contributes its MinCount() to both the count and
+  // the error — the upper bound survives the merge, and the contribution
+  // degenerates to 0 while the absent summary has spare capacity.
+  const uint64_t this_floor = MinCount();
+  const uint64_t other_floor = other.MinCount();
   std::unordered_map<Key, SpaceSavingEntry> combined;
   combined.reserve(heap_.size() + other.heap_.size());
   for (const auto& n : heap_) {
-    combined[n.key] = SpaceSavingEntry{n.key, n.count, n.error};
+    combined[n.key] =
+        SpaceSavingEntry{n.key, n.count + other_floor, n.error + other_floor};
   }
   for (const auto& n : other.heap_) {
-    auto [it, inserted] =
-        combined.emplace(n.key, SpaceSavingEntry{n.key, n.count, n.error});
+    auto [it, inserted] = combined.emplace(
+        n.key,
+        SpaceSavingEntry{n.key, n.count + this_floor, n.error + this_floor});
     if (!inserted) {
-      it->second.count += n.count;
-      it->second.error += n.error;
+      // Tracked in both: undo the one-sided floor, add the real counter.
+      it->second.count += n.count - other_floor;
+      it->second.error += n.error - other_floor;
     }
   }
   // Keep the heaviest `capacity_` entries; the evicted mass is bounded by

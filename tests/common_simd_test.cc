@@ -328,5 +328,171 @@ TEST(SimdArgminTest, RefusesOnAnyCrossLaneCollision) {
   }
 }
 
+/// Scalar reference for one row of the wide argmin: the lowest-column
+/// candidate with the minimum (unsigned) load — exactly the sequential
+/// greedy-d selection when no OnSend lands between the rows.
+uint32_t ScalarRowArgmin(const uint32_t (*cand)[4], uint32_t d,
+                         const uint64_t* loads, int row) {
+  uint32_t best = cand[0][row];
+  for (uint32_t c = 1; c < d; ++c) {
+    if (loads[cand[c][row]] < loads[best]) best = cand[c][row];
+  }
+  return best;
+}
+
+constexpr uint32_t kWideChoices[] = {2, 3, 4, 5, 6, 7, 8};
+
+TEST(SimdWideArgminTest, MatchesScalarSelectionOnRandomConflictFreeRows) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  for (uint32_t d : kWideChoices) {
+    for (uint32_t seed : kSeeds) {
+      std::vector<uint64_t> loads(4096);
+      uint64_t r = seed;
+      for (auto& l : loads) l = Fmix64(++r);
+      for (int trial = 0; trial < 64; ++trial) {
+        // 4*d cross-row-distinct buckets via a keyed injection of the
+        // (row, col) grid into [0, 4096).
+        uint32_t cand[simd::kMaxWideArgminChoices][4];
+        const uint32_t* cols[simd::kMaxWideArgminChoices];
+        for (uint32_t c = 0; c < d; ++c) {
+          for (int row = 0; row < 4; ++row) {
+            cand[c][row] = static_cast<uint32_t>(
+                (Fmix64(seed * 8191 + trial) + 97 * (4 * c + row)) % 4096);
+          }
+          cols[c] = cand[c];
+        }
+        uint32_t out[4] = {~0u, ~0u, ~0u, ~0u};
+        // 97 is coprime to 4096 and 4*d*97 < 4096: all candidates distinct.
+        ASSERT_TRUE(simd::ArgminX4WideAvx2(cols, d, loads.data(), out));
+        for (int row = 0; row < 4; ++row) {
+          EXPECT_EQ(out[row], ScalarRowArgmin(cand, d, loads.data(), row))
+              << "d=" << d << " seed=" << seed << " trial=" << trial
+              << " row=" << row;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdWideArgminTest, TiesKeepLowestColumnAndCompareUnsigned) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  for (uint32_t d : kWideChoices) {
+    std::vector<uint64_t> loads(256, 7);
+    // Row 0: all-equal loads -> column 0 must win.
+    // Row 1: strictly decreasing over columns -> last column must win.
+    // Row 2: sign-bit load in column 0, small load in the last column ->
+    //        unsigned compare must prefer the small one.
+    // Row 3: minimum planted mid-row, later column re-ties it -> the
+    //        earlier column keeps the win.
+    uint32_t cand[simd::kMaxWideArgminChoices][4];
+    const uint32_t* cols[simd::kMaxWideArgminChoices];
+    for (uint32_t c = 0; c < d; ++c) {
+      for (int row = 0; row < 4; ++row) cand[c][row] = 4 * c + row;
+      cols[c] = cand[c];
+      loads[cand[c][1]] = 100 - c;
+      loads[cand[c][3]] = (c == d / 2 || c == d - 1) ? 1 : 50;
+    }
+    loads[cand[0][2]] = 0x8000000000000001ULL;
+    loads[cand[d - 1][2]] = 2;
+    uint32_t out[4] = {~0u, ~0u, ~0u, ~0u};
+    ASSERT_TRUE(simd::ArgminX4WideAvx2(cols, d, loads.data(), out));
+    EXPECT_EQ(out[0], cand[0][0]) << "d=" << d << ": all-tie keeps column 0";
+    EXPECT_EQ(out[1], cand[d - 1][1]) << "d=" << d << ": strict min wins";
+    EXPECT_EQ(out[2], cand[d == 2 ? 1 : d - 1][2])
+        << "d=" << d << ": unsigned compare, 2 < 2^63+1";
+    EXPECT_EQ(out[3], cand[d / 2 == 0 ? d - 1 : d / 2][3])
+        << "d=" << d << ": re-tie keeps the earlier column";
+  }
+}
+
+TEST(SimdWideArgminTest, SameRowDuplicatesAcrossColumnsAreAllowed) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  // A row whose d candidates collide with each other (but with no other
+  // row) is still independent of the other rows: must commit, and the
+  // duplicate must not confuse the tie-break. Exercises every d including
+  // the odd ones, whose upper-half padding duplicates the last column.
+  for (uint32_t d : kWideChoices) {
+    std::vector<uint64_t> loads(64, 9);
+    uint32_t cand[simd::kMaxWideArgminChoices][4];
+    const uint32_t* cols[simd::kMaxWideArgminChoices];
+    for (uint32_t c = 0; c < d; ++c) {
+      // Row 1: every column holds bucket 33. Other rows: distinct.
+      cand[c][0] = 4 * c + 0;
+      cand[c][1] = 33;
+      cand[c][2] = 4 * c + 2;
+      cand[c][3] = 4 * c + 3;
+      cols[c] = cand[c];
+    }
+    loads[33] = 1;
+    uint32_t out[4] = {~0u, ~0u, ~0u, ~0u};
+    ASSERT_TRUE(simd::ArgminX4WideAvx2(cols, d, loads.data(), out))
+        << "d=" << d << ": same-row duplicates must not refuse";
+    EXPECT_EQ(out[1], 33u);
+    EXPECT_EQ(out[0], cand[0][0]) << "d=" << d;
+    EXPECT_EQ(out[2], cand[0][2]) << "d=" << d;
+  }
+}
+
+TEST(SimdWideArgminTest, RefusesOnEveryCrossRowCollision) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  std::vector<uint64_t> loads(512, 5);
+  for (uint32_t d : kWideChoices) {
+    // Exhaustive: for every pair of grid positions in different rows,
+    // plant exactly one collision and demand a refusal.
+    for (uint32_t ca = 0; ca < d; ++ca) {
+      for (int ra = 0; ra < 4; ++ra) {
+        for (uint32_t cb = 0; cb < d; ++cb) {
+          for (int rb = 0; rb < 4; ++rb) {
+            if (ra == rb) continue;
+            uint32_t cand[simd::kMaxWideArgminChoices][4];
+            const uint32_t* cols[simd::kMaxWideArgminChoices];
+            for (uint32_t c = 0; c < d; ++c) {
+              for (int row = 0; row < 4; ++row) cand[c][row] = 4 * c + row;
+              cols[c] = cand[c];
+            }
+            cand[ca][ra] = cand[cb][rb];
+            uint32_t out[4];
+            EXPECT_FALSE(simd::ArgminX4WideAvx2(cols, d, loads.data(), out))
+                << "d=" << d << ": col" << ca << "[" << ra << "]==col" << cb
+                << "[" << rb << "]";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdWideArgminTest, DTwoAgreesWithArgminX4Avx2) {
+  if (!Avx2KernelsRunnable()) GTEST_SKIP() << "no AVX2 kernels on this host";
+  // ArgminX4Avx2 is the d = 2 instance of the wide contract: both kernels
+  // must agree on accept/refuse AND on every committed decision, for
+  // conflict-free, same-row-duplicate, and colliding inputs alike.
+  std::vector<uint64_t> loads(1024);
+  uint64_t r = 17;
+  for (auto& l : loads) l = Fmix64(++r) % 64;  // dense ties
+  for (int trial = 0; trial < 512; ++trial) {
+    uint32_t c0[4];
+    uint32_t c1[4];
+    uint64_t s = Fmix64(0xabcd + trial);
+    for (int row = 0; row < 4; ++row) {
+      // Small modulus so collisions (same-row and cross-row) are common.
+      c0[row] = static_cast<uint32_t>(Fmix64(s + row) % 11);
+      c1[row] = static_cast<uint32_t>(Fmix64(s + 8 + row) % 11);
+    }
+    const uint32_t* cols[2] = {c0, c1};
+    uint32_t narrow_out[4] = {~0u, ~0u, ~0u, ~0u};
+    uint32_t wide_out[4] = {~0u, ~0u, ~0u, ~0u};
+    const bool narrow = simd::ArgminX4Avx2(c0, c1, loads.data(), narrow_out);
+    const bool wide = simd::ArgminX4WideAvx2(cols, 2, loads.data(), wide_out);
+    ASSERT_EQ(narrow, wide) << "trial " << trial;
+    if (narrow) {
+      for (int row = 0; row < 4; ++row) {
+        EXPECT_EQ(narrow_out[row], wide_out[row])
+            << "trial " << trial << " row " << row;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace pkgstream

@@ -1,0 +1,325 @@
+// Copyright 2026 The pkgstream Authors.
+// Property suite for HeavyHitterAwarePkg (D-Choices / W-Choices): the
+// sequel's contract, stated as invariants over adversarial streams.
+//
+//  * Containment: a tail key's decision never leaves its base_choices tail
+//    candidates; a heavy key's decision never leaves the first-d_k prefix
+//    of the head hash family (or, >= workers, the full worker set). The
+//    oracle exploits that Route classifies AFTER feeding the sketch, so
+//    IsHeavy/HeadChoicesFor queried right after Route(key) returns reflect
+//    exactly the state that decision used.
+//  * Warm-up: nothing routes through the expanded-choice path before
+//    min_messages per source, no matter how hot the key.
+//  * Bit-equality: RouteBatch == n scalar Routes (decisions AND state),
+//    and Clone() == original, across policies x workers {16, 256, 1024} x
+//    seeds x ragged interleaved batches with a rotating source — the same
+//    matrix partition_route_batch_test.cc pins for the other techniques,
+//    here driven through direct construction so every estimator frame
+//    (L, G, LP) and every head policy is covered, including the fused
+//    SIMD tail path at wide worker counts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "partition/heavy_hitter_pkg.h"
+#include "partition/load_estimator.h"
+
+namespace pkgstream {
+namespace partition {
+namespace {
+
+constexpr uint32_t kSources = 3;
+constexpr size_t kMessages = 4096;
+constexpr size_t kStateProbeMessages = 512;
+
+/// Deterministic head-heavy key sequence (squared-uniform skew), same
+/// construction as partition_route_batch_test.cc.
+Key TestKey(uint64_t seed, size_t i) {
+  const uint64_t r = Fmix64(seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  const uint64_t u = r % 1024;
+  return (u * u) / 1024;
+}
+
+/// The property stream: the squared-skew tail plus one red-hot key at ~25%
+/// of messages, so every worker count in the matrix (threshold 2/W, W up
+/// to 1024... down to 16) produces both genuine heavy and tail routings.
+Key PropertyKey(uint64_t seed, size_t i) {
+  const uint64_t r = Fmix64(seed ^ (0x51ed270b35a4c1e9ULL * (i + 1)));
+  if ((r & 7) < 2) return 5;
+  return TestKey(seed, i);
+}
+
+enum class HeadPolicy {
+  kWChoices,         // head_choices = 0, fixed: full scan for heavy keys
+  kFixedD,           // head_choices = 4, fixed d for every heavy key
+  kAdaptive,         // the sequel's epsilon policy, uncapped
+  kAdaptiveCapped,   // epsilon policy capped at 8 candidates
+};
+
+enum class EstimatorKind { kLocal, kGlobal, kProbing };
+
+struct PropertyCase {
+  HeadPolicy policy;
+  EstimatorKind estimator;
+  uint32_t workers;
+  uint64_t seed;
+};
+
+HeavyHitterPkgOptions OptionsFor(const PropertyCase& c) {
+  HeavyHitterPkgOptions options;
+  options.base_choices = 2;
+  options.sketch_capacity = 256;
+  // share > 2/W: the Section IV wall, so the squared-skew stream always
+  // produces genuine heavy keys at every worker count in the matrix.
+  options.threshold_factor = 2.0;
+  options.min_messages = 256;
+  options.hash_seed = c.seed;
+  switch (c.policy) {
+    case HeadPolicy::kWChoices:
+      options.head_choices = 0;
+      break;
+    case HeadPolicy::kFixedD:
+      options.head_choices = 4;
+      break;
+    case HeadPolicy::kAdaptive:
+      options.adaptive_head = true;
+      options.head_choices = 0;
+      options.epsilon = 0.05;
+      break;
+    case HeadPolicy::kAdaptiveCapped:
+      options.adaptive_head = true;
+      options.head_choices = 8;
+      options.epsilon = 0.05;
+      break;
+  }
+  return options;
+}
+
+LoadEstimatorPtr MakeEstimator(EstimatorKind kind, uint32_t workers) {
+  switch (kind) {
+    case EstimatorKind::kLocal:
+      return std::make_unique<LocalLoadEstimator>(kSources, workers);
+    case EstimatorKind::kGlobal:
+      return std::make_unique<GlobalLoadEstimator>(kSources, workers);
+    case EstimatorKind::kProbing:
+      return std::make_unique<ProbingLoadEstimator>(kSources, workers, 300);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<HeavyHitterAwarePkg> MakePkg(const PropertyCase& c) {
+  return std::make_unique<HeavyHitterAwarePkg>(
+      kSources, c.workers, MakeEstimator(c.estimator, c.workers),
+      OptionsFor(c));
+}
+
+const char* PolicyName(HeadPolicy p) {
+  switch (p) {
+    case HeadPolicy::kWChoices:
+      return "WChoices";
+    case HeadPolicy::kFixedD:
+      return "FixedD4";
+    case HeadPolicy::kAdaptive:
+      return "Adaptive";
+    case HeadPolicy::kAdaptiveCapped:
+      return "AdaptiveCap8";
+  }
+  return "?";
+}
+
+const char* EstimatorName(EstimatorKind e) {
+  switch (e) {
+    case EstimatorKind::kLocal:
+      return "L";
+    case EstimatorKind::kGlobal:
+      return "G";
+    case EstimatorKind::kProbing:
+      return "LP";
+  }
+  return "?";
+}
+
+std::string CaseName(const testing::TestParamInfo<PropertyCase>& info) {
+  return std::string(PolicyName(info.param.policy)) + "_" +
+         EstimatorName(info.param.estimator) + "_w" +
+         std::to_string(info.param.workers) + "_seed" +
+         std::to_string(info.param.seed);
+}
+
+std::vector<PropertyCase> AllCases() {
+  std::vector<PropertyCase> cases;
+  for (HeadPolicy policy :
+       {HeadPolicy::kWChoices, HeadPolicy::kFixedD, HeadPolicy::kAdaptive,
+        HeadPolicy::kAdaptiveCapped}) {
+    for (uint32_t workers : {16u, 256u, 1024u}) {
+      for (uint64_t seed : {7ull, 42ull}) {
+        cases.push_back(
+            PropertyCase{policy, EstimatorKind::kLocal, workers, seed});
+      }
+    }
+    // The non-local frames take the same fused loop through different
+    // estimator protocols; one wide configuration each pins them.
+    cases.push_back(
+        PropertyCase{policy, EstimatorKind::kGlobal, 256u, 42ull});
+    cases.push_back(
+        PropertyCase{policy, EstimatorKind::kProbing, 256u, 42ull});
+  }
+  return cases;
+}
+
+class HeavyHitterPkgPropertyTest
+    : public testing::TestWithParam<PropertyCase> {};
+
+TEST_P(HeavyHitterPkgPropertyTest, DecisionsStayInTheirCandidateSets) {
+  const PropertyCase& c = GetParam();
+  auto pkg = MakePkg(c);
+  const HeavyHitterPkgOptions options = OptionsFor(c);
+  // Twin hash families, rebuilt from the documented construction: tail =
+  // (base_choices, W, seed); head = (head cap, W, Fmix64(seed) | 1).
+  const HashFamily tail(options.base_choices, c.workers, options.hash_seed);
+  const uint32_t head_cap =
+      options.head_choices == 0
+          ? (options.adaptive_head ? c.workers : 1)
+          : std::min(options.head_choices, c.workers);
+  const HashFamily head(std::max(1u, head_cap), c.workers,
+                        Fmix64(options.hash_seed) | 1);
+
+  uint64_t heavy_seen = 0;
+  uint64_t tail_seen = 0;
+  for (size_t i = 0; i < kMessages; ++i) {
+    const Key key = PropertyKey(c.seed, i);
+    const SourceId source = static_cast<SourceId>(i % kSources);
+    const WorkerId w = pkg->Route(source, key);
+    ASSERT_LT(w, c.workers);
+    // Route classifies after feeding the sketch; nothing has touched the
+    // sketch since, so this is the classification the decision used.
+    if (pkg->IsHeavy(source, key)) {
+      ++heavy_seen;
+      const uint32_t dk = pkg->HeadChoicesFor(source, key);
+      EXPECT_GE(dk, options.base_choices);
+      if (options.adaptive_head) {
+        EXPECT_LE(dk, head_cap) << "adaptive d_k above the configured cap";
+      }
+      if (dk < c.workers) {
+        bool in_prefix = false;
+        for (uint32_t m = 0; m < dk && !in_prefix; ++m) {
+          in_prefix = head.Bucket(m, key) == w;
+        }
+        EXPECT_TRUE(in_prefix)
+            << "message " << i << ": heavy key " << key << " routed to " << w
+            << " outside its d_k=" << dk << " head prefix";
+      }
+    } else {
+      ++tail_seen;
+      bool in_tail = false;
+      for (uint32_t m = 0; m < tail.d() && !in_tail; ++m) {
+        in_tail = tail.Bucket(m, key) == w;
+      }
+      EXPECT_TRUE(in_tail) << "message " << i << ": tail key " << key
+                           << " routed to " << w
+                           << " outside its base candidates";
+    }
+    if (HasFailure()) return;
+  }
+  // The stream is skewed past the threshold by construction: both classes
+  // must actually occur or the test proves nothing.
+  EXPECT_GT(heavy_seen, 0u) << "stream produced no heavy routings";
+  EXPECT_GT(tail_seen, 0u) << "stream produced no tail routings";
+  EXPECT_EQ(pkg->heavy_routings(), heavy_seen);
+}
+
+TEST_P(HeavyHitterPkgPropertyTest, WarmUpKeepsEverythingOnTheTailPath) {
+  const PropertyCase& c = GetParam();
+  auto pkg = MakePkg(c);
+  const HeavyHitterPkgOptions options = OptionsFor(c);
+  const HashFamily tail(options.base_choices, c.workers, options.hash_seed);
+  // One source, a single red-hot key (share ~ 1): the most adversarial
+  // warm-up stream there is. Until min_messages the expanded path must
+  // stay cold and every decision must sit in the tail candidates.
+  const SourceId source = 0;
+  for (uint64_t i = 0; i + 1 < options.min_messages; ++i) {
+    const Key key = (i % 4 == 3) ? TestKey(c.seed, i) : 99;
+    const WorkerId w = pkg->Route(source, key);
+    bool in_tail = false;
+    for (uint32_t m = 0; m < tail.d() && !in_tail; ++m) {
+      in_tail = tail.Bucket(m, key) == w;
+    }
+    ASSERT_TRUE(in_tail) << "warm-up message " << i
+                         << " left the tail candidates";
+  }
+  EXPECT_EQ(pkg->heavy_routings(), 0u)
+      << "expanded-choice path used during warm-up";
+  // And immediately after warm-up the hot key flips heavy.
+  pkg->Route(source, 99);
+  EXPECT_TRUE(pkg->IsHeavy(source, 99));
+  EXPECT_GT(pkg->heavy_routings(), 0u);
+}
+
+TEST_P(HeavyHitterPkgPropertyTest, RouteBatchAndCloneAreBitIdentical) {
+  const PropertyCase& c = GetParam();
+  auto scalar = MakePkg(c);
+  auto batch = MakePkg(c);
+
+  const size_t chunk_sizes[] = {1, 7, 64, 29};  // ragged, non-power-of-2 mix
+  std::vector<Key> key_buf;
+  std::vector<WorkerId> batch_out;
+  size_t pos = 0;
+  size_t chunk = 0;
+  SourceId source = 0;
+  while (pos < kMessages) {
+    const size_t len = std::min(chunk_sizes[chunk % 4], kMessages - pos);
+    key_buf.resize(len);
+    batch_out.assign(len, kInvalidWorker);
+    for (size_t j = 0; j < len; ++j) key_buf[j] = PropertyKey(c.seed, pos + j);
+    batch->RouteBatch(source, key_buf.data(), batch_out.data(), len);
+    for (size_t j = 0; j < len; ++j) {
+      const WorkerId expected = scalar->Route(source, key_buf[j]);
+      ASSERT_EQ(batch_out[j], expected)
+          << "diverged at message " << pos + j << " (chunk " << chunk
+          << ", source " << source << ")";
+    }
+    pos += len;
+    ++chunk;
+    source = static_cast<SourceId>(chunk % kSources);
+  }
+  // Sketch-visible state must agree too, not just the decisions.
+  EXPECT_EQ(batch->heavy_routings(), scalar->heavy_routings());
+
+  // Clone() lockstep: clones continue scalar and must walk identically —
+  // including identical heavy classifications.
+  auto scalar_clone = scalar->Clone();
+  auto batch_clone = batch->Clone();
+  auto* batch_clone_hh = static_cast<HeavyHitterAwarePkg*>(batch_clone.get());
+  auto* scalar_clone_hh =
+      static_cast<HeavyHitterAwarePkg*>(scalar_clone.get());
+  for (size_t i = 0; i < kStateProbeMessages; ++i) {
+    const Key key = PropertyKey(c.seed ^ 0xabcdef, i);
+    const SourceId s = static_cast<SourceId>(i % kSources);
+    ASSERT_EQ(batch_clone->Route(s, key), scalar_clone->Route(s, key))
+        << "clone state diverged at probe message " << i;
+    ASSERT_EQ(batch_clone_hh->IsHeavy(s, key),
+              scalar_clone_hh->IsHeavy(s, key))
+        << "clone sketch diverged at probe message " << i;
+  }
+  // ... and on the originals.
+  for (size_t i = 0; i < kStateProbeMessages; ++i) {
+    const Key key = PropertyKey(c.seed ^ 0x123457, i);
+    const SourceId s = static_cast<SourceId>(i % kSources);
+    ASSERT_EQ(batch->Route(s, key), scalar->Route(s, key))
+        << "post-batch state diverged at probe message " << i;
+  }
+  EXPECT_EQ(batch->heavy_routings(), scalar->heavy_routings());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, HeavyHitterPkgPropertyTest,
+                         testing::ValuesIn(AllCases()), CaseName);
+
+}  // namespace
+}  // namespace partition
+}  // namespace pkgstream

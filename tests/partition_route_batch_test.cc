@@ -53,6 +53,7 @@ std::vector<SweepCase> AllCases() {
       Technique::kPotcStatic, Technique::kOnGreedy,
       Technique::kOffGreedy,  Technique::kRebalancing,
       Technique::kConsistent, Technique::kWChoices,
+      Technique::kDChoices,
   };
   std::vector<SweepCase> cases;
   for (Technique t : techniques) {
@@ -75,6 +76,7 @@ std::vector<SweepCase> WideWorkerCases() {
   const Technique techniques[] = {
       Technique::kHashing,    Technique::kPkgGlobal, Technique::kPkgLocal,
       Technique::kPkgProbing, Technique::kPotcStatic,
+      Technique::kWChoices,   Technique::kDChoices,
   };
   std::vector<SweepCase> cases;
   for (Technique t : techniques) {

@@ -326,10 +326,11 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_fig4_skewed_sources", 7},
     {"bench_fig5a_throughput", 12},
     {"bench_fig5b_memory", 11},
-    {"bench_ablation_choices", 7},
+    {"bench_ablation_choices", 14},
     {"bench_ablation_probing", 7},
     {"bench_ablation_rebalance", 8},
     {"bench_threaded_scaling", 7},
+    {"bench_seq_dchoices", 24},
     {"bench_micro_route", 14},
 };
 

@@ -138,8 +138,8 @@ class EventSimulator {
   };
 
   struct Event {
-    uint64_t time;
-    uint64_t seq;  // tie-breaker for determinism
+    uint64_t time = 0;
+    uint64_t seq = 0;  // tie-breaker for determinism; stamped by Push()
     EventType type;
     uint32_t node = 0;
     uint32_t instance = 0;

@@ -87,6 +87,8 @@ class SpscRing {
   explicit SpscRing(size_t min_capacity)
       : capacity_(static_cast<size_t>(BitCeil(min_capacity ? min_capacity : 1))),
         mask_(capacity_ - 1),
+        // lint:allow(hotpath-tokens): the one-time slot allocation at ring
+        // construction; push/pop never allocate.
         slots_(new T[capacity_]) {}
 
   size_t capacity() const { return capacity_; }

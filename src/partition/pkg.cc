@@ -146,6 +146,8 @@ PartialKeyGrouping::PartialKeyGrouping(const PartialKeyGrouping& other)
       estimator_(other.estimator_->Clone()) {}
 
 PartitionerPtr PartialKeyGrouping::Clone() const {
+  // lint:allow(hotpath-tokens): Clone() runs once per replica at runtime
+  // setup, never on the per-message path.
   return PartitionerPtr(new PartialKeyGrouping(*this));
 }
 

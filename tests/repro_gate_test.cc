@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <map>
 #include <string>
 
@@ -228,6 +229,81 @@ TEST(BenchCheckTest, CrossBenchFailsClosedWithoutDirectoryOrSibling) {
   ASSERT_FALSE(misnamed.ok());
   EXPECT_NE(misnamed.failures[0].find("declares bench 'bench_other'"),
             std::string::npos);
+}
+
+TEST(BenchCheckTest, MissingSiblingInputsAreDistinguishableFromMetricDrift) {
+  // A missing gate *input* (wrong --baseline-dir, never-committed sibling,
+  // corrupt file) must read as a configuration problem, not as metric
+  // drift — each case gets a distinct, self-diagnosing message.
+  JsonValue report = MakeReport({{"a", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      report, R"([{"name": "x", "type": "ge",
+                   "left": "bench_missing::metric", "right_const": 0}])");
+
+  // Directory itself absent: the message names the directory, not the file.
+  const std::string ghost_dir = testing::TempDir() + "cross_bench_ghost_dir";
+  std::filesystem::remove_all(ghost_dir);
+  auto no_dir = repro::CheckReport(report, baseline, ghost_dir);
+  ASSERT_FALSE(no_dir.ok());
+  EXPECT_NE(no_dir.failures[0].find("missing gate input"), std::string::npos);
+  EXPECT_NE(no_dir.failures[0].find(ghost_dir), std::string::npos);
+  EXPECT_NE(no_dir.failures[0].find("itself is missing"), std::string::npos);
+
+  // Directory present, sibling file absent: names the file, still flagged
+  // as a gate input problem.
+  const std::string dir = testing::TempDir() + "cross_bench_no_sibling";
+  std::filesystem::remove_all(dir);  // TempDir persists across runs
+  std::filesystem::create_directories(dir);
+  auto no_file = repro::CheckReport(report, baseline, dir);
+  ASSERT_FALSE(no_file.ok());
+  EXPECT_NE(no_file.failures[0].find("does not exist"), std::string::npos);
+  EXPECT_NE(no_file.failures[0].find("bench_missing.json"),
+            std::string::npos);
+  EXPECT_NE(no_file.failures[0].find("missing gate input"),
+            std::string::npos);
+
+  // File present but unparsable: "cannot parse", never "does not exist".
+  {
+    std::ofstream corrupt(dir + "/bench_missing.json");
+    corrupt << "{ not json";
+  }
+  auto bad_parse = repro::CheckReport(report, baseline, dir);
+  ASSERT_FALSE(bad_parse.ok());
+  EXPECT_NE(bad_parse.failures[0].find("cannot parse"), std::string::npos);
+  EXPECT_EQ(bad_parse.failures[0].find("does not exist"), std::string::npos);
+}
+
+TEST(BenchCheckTest, SkipHostInvariantsSkipsOnlyTimingClaims) {
+  // Sanitizer runs pass skip_host_invariants: a wall-clock ratio that
+  // would fail is skipped (and counted), while a violated deterministic
+  // invariant and metric drift still go red.
+  JsonValue captured = MakeReport({{"det", 5.0}}, {{"rate_a", 1.0}});
+  JsonValue report = MakeReport({{"det", 5.0}}, {{"rate_a", 1.0}});
+  JsonValue baseline = MakeBaseline(
+      captured, R"([{"name": "timing ratio", "type": "ge", "left": "rate_a",
+                     "right_const": 50},
+                    {"name": "det positive", "type": "ge", "left": "det",
+                     "right_const": 0}])");
+  // Without the option the timing claim fails...
+  EXPECT_FALSE(repro::CheckReport(report, baseline).ok());
+  // ...with it, it is skipped and everything else holds.
+  repro::CheckOptions skip;
+  skip.skip_host_invariants = true;
+  auto outcome = repro::CheckReport(report, baseline, "", skip);
+  EXPECT_TRUE(outcome.ok()) << outcome.failures[0];
+  EXPECT_EQ(outcome.skipped, 1u);
+
+  // A violated *deterministic* invariant is still a failure under skip.
+  JsonValue det_broken = MakeBaseline(
+      captured, R"([{"name": "det huge", "type": "ge", "left": "det",
+                     "right_const": 1000}])");
+  auto det_outcome = repro::CheckReport(report, det_broken, "", skip);
+  ASSERT_FALSE(det_outcome.ok());
+  EXPECT_EQ(det_outcome.skipped, 0u);
+
+  // Deterministic metric drift is still a failure under skip.
+  JsonValue drifted = MakeReport({{"det", 6.0}}, {{"rate_a", 1.0}});
+  EXPECT_FALSE(repro::CheckReport(drifted, baseline, "", skip).ok());
 }
 
 TEST(BenchCheckTest, HostMetricsResolvableInInvariantsButNotDiffed) {

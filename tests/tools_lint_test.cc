@@ -1,0 +1,353 @@
+// Copyright 2026 The pkgstream Authors.
+// Fixture-driven tests for tools/pkgstream_lint: every rule is proven to
+// fire by a minimal tree seeded with exactly one violation, a clean
+// fixture tree yields zero findings and byte-stable JSON, and the real
+// source tree (PKGSTREAM_SOURCE_DIR) must be lint-clean — the same
+// contract the pkgstream_lint_tree ctest and the CI lint job enforce.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "tools/pkgstream_lint_lib.h"
+
+namespace pkgstream {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A minimal tree that satisfies every rule. Each test mutates one file to
+/// seed one violation.
+class LintFixture {
+ public:
+  explicit LintFixture(const std::string& name)
+      : root_(fs::path(testing::TempDir()) / ("lint_fixture_" + name)) {
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "tools");
+    Write("tools/placeholder.cc", "// keeps tools/ present\n");
+    Write("src/partition/factory.h", R"(// fixture
+enum class Technique {
+  kAlpha,  ///< demo technique
+  kBeta,
+};
+)");
+    Write("src/partition/alpha.h", R"(// fixture
+class AlphaPartitioner final : public Partitioner {
+ public:
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
+  PartitionerPtr Clone() const override;
+};
+)");
+    Write("tests/partition_route_batch_test.cc", R"(// equivalence matrix
+//   Technique::kAlpha Technique::kBeta
+)");
+    Write("tests/repro_gate_test.cc", R"(// fixture manifest
+constexpr BaselineSpec kBaselines[] = {
+    {"bench_demo", 1},
+};
+)");
+    Write("CMakeLists.txt",
+          "set(PKGSTREAM_REPRO_BENCHES\n  bench_demo)\n");
+    Write("bench/baselines/README.md", "# fixture baselines\n");
+    Write("bench/baselines/bench_demo.json", ValidBaselineJson("bench_demo"));
+  }
+
+  static std::string ValidBaselineJson(const std::string& bench) {
+    return std::string("{\n  \"schema_version\": 1,\n  \"bench\": \"") +
+           bench +
+           "\",\n  \"tolerance\": 0.000001,\n"
+           "  \"captured\": {\"metrics\": {\"m\": 1}},\n"
+           "  \"invariants\": [{\"name\": \"m nonnegative\", \"type\": "
+           "\"ge\", \"left\": \"m\", \"right_const\": 0}]\n}\n";
+  }
+
+  void Write(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    ASSERT_TRUE(out.good()) << "cannot write fixture file " << path;
+  }
+
+  std::string Append(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << content;
+    return path.string();
+  }
+
+  std::string root() const { return root_.string(); }
+
+ private:
+  fs::path root_;
+};
+
+std::set<std::string> FiredRules(const Report& report) {
+  std::set<std::string> rules;
+  for (const Finding& f : report.findings) rules.insert(f.rule);
+  return rules;
+}
+
+TEST(LintFixtureTest, CleanTreeHasZeroFindingsAndStableJson) {
+  LintFixture fixture("clean");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->findings.size(), 0u)
+      << report->findings[0].file << ": " << report->findings[0].message;
+  EXPECT_GT(report->files_scanned, 0u);
+
+  // Machine-readable output: parses back, carries the rule catalog, and is
+  // byte-stable across runs (deterministic walk order + sorted findings).
+  const std::string json_a = ReportToJson(*report).ToString();
+  auto second = RunLint(fixture.root());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(json_a, ReportToJson(*second).ToString());
+  auto parsed = JsonValue::Parse(json_a);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* rules = parsed->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_EQ(rules->size(), Rules().size());
+}
+
+TEST(LintFixtureTest, FailsClosedOnNonCheckoutRoot) {
+  const fs::path empty = fs::path(testing::TempDir()) / "lint_not_a_repo";
+  fs::remove_all(empty);
+  fs::create_directories(empty);
+  auto report = RunLint(empty.string());
+  EXPECT_FALSE(report.ok())
+      << "an unrelated directory must be an error, not a clean pass";
+}
+
+TEST(LintFixtureTest, RouteBatchWithoutCloneFires) {
+  LintFixture fixture("route_batch_clone");
+  fixture.Write("src/partition/bad.h", R"(// seeded violation
+class BadPartitioner final : public Partitioner {
+ public:
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
+};
+)");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "route-batch-clone");
+  EXPECT_EQ(report->findings[0].file, "src/partition/bad.h");
+  EXPECT_NE(report->findings[0].message.find("BadPartitioner"),
+            std::string::npos);
+}
+
+TEST(LintFixtureTest, CloneOverridePacifiesRouteBatchRule) {
+  LintFixture fixture("route_batch_clone_ok");
+  // Same class, with Clone() — and a subclass with neither override, which
+  // must also pass (the base-class scalar loop needs no parity proof).
+  fixture.Write("src/partition/ok.h", R"(// fine
+class OkPartitioner final : public Partitioner {
+ public:
+  void RouteBatch(SourceId source, const Key* keys, WorkerId* out,
+                  size_t n) override;
+  PartitionerPtr Clone() const override;
+};
+class PlainPartitioner final : public Partitioner {
+ public:
+  WorkerId Route(SourceId source, Key key) override;
+};
+)");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->findings.size(), 0u);
+}
+
+TEST(LintFixtureTest, TechniqueMissingFromEquivalenceMatrixFires) {
+  LintFixture fixture("technique_matrix");
+  fixture.Write("src/partition/factory.h", R"(// fixture
+enum class Technique {
+  kAlpha,
+  kBeta,
+  kGamma,  ///< new technique, not yet in the matrix
+};
+)");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "technique-matrix");
+  EXPECT_NE(report->findings[0].message.find("kGamma"), std::string::npos);
+}
+
+TEST(LintFixtureTest, IntrinsicsOutsideDesignatedTusFire) {
+  LintFixture fixture("isa");
+  fixture.Write("src/engine/fast_path.cc",
+                "#include <immintrin.h>\nint f() { return 0; }\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "isa-confinement");
+  EXPECT_EQ(report->findings[0].file, "src/engine/fast_path.cc");
+  EXPECT_EQ(report->findings[0].line, 1u);
+}
+
+TEST(LintFixtureTest, IntrinsicsInDesignatedTuAndInCommentsAreFine) {
+  LintFixture fixture("isa_ok");
+  // The designated TU may use intrinsics; prose mentioning them may not
+  // trip the token scan.
+  fixture.Write("src/common/hash_avx2.cc",
+                "#include <immintrin.h>\n__m256i v;\n");
+  fixture.Write("src/engine/notes.cc",
+                "// the avx2 TU uses _mm256_mul_epu32 partial products\n"
+                "int g() { return 1; }\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->findings.size(), 0u);
+}
+
+TEST(LintFixtureTest, HotpathHeapTokenFires) {
+  LintFixture fixture("hotpath");
+  fixture.Write("src/partition/pkg.cc",
+                "int* leak() { return new int(7); }\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "hotpath-tokens");
+  EXPECT_EQ(report->findings[0].file, "src/partition/pkg.cc");
+  EXPECT_EQ(report->findings[0].line, 1u);
+}
+
+TEST(LintFixtureTest, JustifiedAllowMarkerPacifiesHotpathRule) {
+  LintFixture fixture("hotpath_allow");
+  const std::string marker = std::string("lint:") + "allow(hotpath-tokens)";
+  fixture.Write("src/partition/pkg.cc",
+                "// " + marker + ": one-time setup allocation\n" +
+                    "int* setup() { return new int(7); }\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->findings.size(), 0u);
+
+  // The same marker with no justification is itself a finding: every
+  // exemption must say why.
+  fixture.Write("src/partition/pkg.cc",
+                "// " + marker + "\n" + "int* setup() { return new int(7); }\n");
+  auto unjustified = RunLint(fixture.root());
+  ASSERT_TRUE(unjustified.ok());
+  ASSERT_FALSE(unjustified->findings.empty());
+  EXPECT_NE(unjustified->findings[0].message.find("justification"),
+            std::string::npos);
+}
+
+TEST(LintFixtureTest, UnknownRuleInAllowMarkerFires) {
+  LintFixture fixture("bad_marker");
+  const std::string marker = std::string("lint:") + "allow(bogus-rule)";
+  fixture.Write("src/engine/foo.cc",
+                "// " + marker + ": pacify nothing\nint h();\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_NE(report->findings[0].message.find("unknown rule"),
+            std::string::npos);
+}
+
+TEST(LintFixtureTest, MalformedBaselineSchemaFires) {
+  LintFixture fixture("baseline_schema");
+  // Empty invariants: a baseline that gates nothing.
+  fixture.Write("bench/baselines/bench_demo.json",
+                "{\n  \"schema_version\": 1,\n  \"bench\": \"bench_demo\",\n"
+                "  \"captured\": {\"metrics\": {\"m\": 1}},\n"
+                "  \"invariants\": []\n}\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "baseline-schema");
+  EXPECT_NE(report->findings[0].message.find("invariants"),
+            std::string::npos);
+}
+
+TEST(LintFixtureTest, BaselineBenchFieldMustMatchFilename) {
+  LintFixture fixture("baseline_misnamed");
+  fixture.Write("bench/baselines/bench_demo.json",
+                LintFixture::ValidBaselineJson("bench_other"));
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_FALSE(report->findings.empty());
+  EXPECT_EQ(report->findings[0].rule, "baseline-schema");
+  EXPECT_NE(report->findings[0].message.find("filename"), std::string::npos);
+}
+
+TEST(LintFixtureTest, StrayFileInBaselinesDirFires) {
+  LintFixture fixture("baseline_stray");
+  fixture.Write("bench/baselines/notes.txt", "scratch\n");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "baseline-schema");
+  EXPECT_EQ(report->findings[0].file, "bench/baselines/notes.txt");
+}
+
+TEST(LintFixtureTest, UnreferencedBaselineFires) {
+  LintFixture fixture("baseline_manifest");
+  fixture.Write("bench/baselines/bench_orphan.json",
+                LintFixture::ValidBaselineJson("bench_orphan"));
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Two findings: not in CMake's repro pipeline, not in the test manifest.
+  ASSERT_EQ(report->findings.size(), 2u);
+  for (const Finding& f : report->findings) {
+    EXPECT_EQ(f.rule, "baseline-manifest");
+    EXPECT_EQ(f.file, "bench/baselines/bench_orphan.json");
+  }
+}
+
+TEST(LintFixtureTest, ManifestEntryWithoutBaselineFileFires) {
+  LintFixture fixture("baseline_ghost");
+  fixture.Write("tests/repro_gate_test.cc", R"(// fixture manifest
+constexpr BaselineSpec kBaselines[] = {
+    {"bench_demo", 1},
+    {"bench_ghost", 2},
+};
+)");
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 1u);
+  EXPECT_EQ(report->findings[0].rule, "baseline-manifest");
+  EXPECT_NE(report->findings[0].message.find("bench_ghost"),
+            std::string::npos);
+}
+
+TEST(LintScrubTest, StripsCommentsStringsAndRawStrings) {
+  const std::string src =
+      "int a; // new mutex\n"
+      "/* rand() srand() */ int b = 1'000'000;\n"
+      "const char* s = \"new in a string\";\n"
+      "const char* r = R\"(malloc in a raw string)\";\n"
+      "char c = 'n';\n";
+  const std::string scrubbed = ScrubSource(src);
+  EXPECT_EQ(scrubbed.find("new"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("mutex"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("rand"), std::string::npos);
+  EXPECT_EQ(scrubbed.find("malloc"), std::string::npos);
+  // Code survives, newlines (line numbers) survive.
+  EXPECT_NE(scrubbed.find("int a;"), std::string::npos);
+  EXPECT_NE(scrubbed.find("1'000'000"), std::string::npos);
+  EXPECT_EQ(std::count(scrubbed.begin(), scrubbed.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+// The dogfood gate: this source tree is lint-clean. Mirrors the
+// pkgstream_lint_tree ctest (which runs the CLI) so the contract also
+// holds when only the gtest suites run.
+TEST(LintRealTreeTest, SourceTreeIsClean) {
+  auto report = RunLint(PKGSTREAM_SOURCE_DIR);
+  ASSERT_TRUE(report.ok()) << report.status();
+  for (const Finding& f : report->findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_GT(report->files_scanned, 100u)
+      << "suspiciously few files scanned — wrong PKGSTREAM_SOURCE_DIR?";
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace pkgstream

@@ -35,15 +35,36 @@ int main(int argc, char** argv) {
   const std::string baseline_path = flags.GetString("baseline", "");
   const bool quiet = flags.GetBool("quiet", false);
   const bool update_captured = flags.GetBool("update-captured", false);
+  repro::CheckOptions options;
+  // For sanitizer builds: instrumentation skews relative throughput, so
+  // wall-clock ratio invariants are skipped (reported as SKIP lines) while
+  // every deterministic check still runs against the untouched baselines.
+  options.skip_host_invariants = flags.GetBool("skip-host-invariants", false);
+  if (update_captured && options.skip_host_invariants) {
+    std::cerr << "--update-captured with --skip-host-invariants would bless "
+                 "a capture without its timing checks; run them separately\n";
+    return 2;
+  }
   if (report_path.empty() || baseline_path.empty()) {
     std::cerr << "usage: bench_check --report=PATH --baseline=PATH "
-                 "[--baseline-dir=DIR] [--quiet] [--update-captured]\n";
+                 "[--baseline-dir=DIR] [--quiet] [--update-captured] "
+                 "[--skip-host-invariants]\n";
     return 2;
   }
   // Cross-bench invariants ("<bench>::<metric>") resolve sibling baselines
   // from --baseline-dir; by default, from wherever the baseline itself
-  // lives — which for the committed gate is bench/baselines/.
+  // lives — which for the committed gate is bench/baselines/. An explicit
+  // --baseline-dir that does not exist is a usage error (exit 2) up front:
+  // otherwise every cross-bench invariant would go red one by one, which
+  // reads like mass metric drift instead of one bad flag.
   std::string baseline_dir = flags.GetString("baseline-dir", "");
+  if (!baseline_dir.empty() &&
+      !std::filesystem::is_directory(baseline_dir)) {
+    std::cerr << "--baseline-dir='" << baseline_dir
+              << "' is not a directory (expected the committed "
+                 "bench/baselines/); no checks were run\n";
+    return 2;
+  }
   if (baseline_dir.empty()) {
     const auto parent =
         std::filesystem::path(baseline_path).parent_path().string();
@@ -98,7 +119,7 @@ int main(int argc, char** argv) {
   }
 
   repro::CheckOutcome outcome =
-      repro::CheckReport(*report, *baseline, baseline_dir);
+      repro::CheckReport(*report, *baseline, baseline_dir, options);
 
   // The re-capture lands on disk only after every check held against the
   // updated document — a capture that violates a declared shape invariant
@@ -129,7 +150,10 @@ int main(int argc, char** argv) {
               << report_path << " vs " << baseline_path << "\n";
     return 1;
   }
-  std::cout << "OK: " << outcome.passed.size() << " check(s) hold ("
-            << report_path << " vs " << baseline_path << ")\n";
+  std::cout << "OK: " << outcome.passed.size() << " check(s) hold";
+  if (outcome.skipped > 0) {
+    std::cout << " (" << outcome.skipped << " host-timing skipped)";
+  }
+  std::cout << " (" << report_path << " vs " << baseline_path << ")\n";
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "tools/bench_check_lib.h"
 
 #include <cmath>
+#include <filesystem>
 #include <map>
 #include <sstream>
 
@@ -37,8 +38,11 @@ bool LookupMetric(const JsonValue& report, const std::string& key,
 class Checker {
  public:
   Checker(const JsonValue& report, const JsonValue& baseline,
-          const std::string& baseline_dir)
-      : report_(report), baseline_(baseline), baseline_dir_(baseline_dir) {}
+          const std::string& baseline_dir, const CheckOptions& options)
+      : report_(report),
+        baseline_(baseline),
+        baseline_dir_(baseline_dir),
+        options_(options) {}
 
   CheckOutcome Run() {
     CheckDocuments();
@@ -193,10 +197,31 @@ class Checker {
                                const std::string& name) {
     auto it = siblings_.find(bench);
     if (it == siblings_.end()) {
-      auto loaded = ReadJsonFile(baseline_dir_ + "/" + bench + ".json");
+      const std::string path = baseline_dir_ + "/" + bench + ".json";
+      // Distinguish the two fail-closed cases from a genuine metric
+      // mismatch: a missing directory / file is a gate-configuration
+      // problem (wrong --baseline-dir, baseline never committed), and the
+      // message must say so — "cannot load" reads like data drift.
+      if (!std::filesystem::exists(path)) {
+        const bool dir_exists = std::filesystem::is_directory(baseline_dir_);
+        Fail("invariant '" + name + "': sibling baseline file '" + path +
+             "' does not exist" +
+             (dir_exists
+                  ? std::string(" (missing gate input, not a metric "
+                                "mismatch: commit the baseline or fix the "
+                                "cross-bench reference)")
+                  : std::string(" — the baseline directory '") +
+                        baseline_dir_ +
+                        "' itself is missing (missing gate input, not a "
+                        "metric mismatch: point --baseline-dir at the "
+                        "committed bench/baselines/)"));
+        siblings_.emplace(bench, JsonValue());  // memoize the miss
+        return nullptr;
+      }
+      auto loaded = ReadJsonFile(path);
       if (!loaded.ok()) {
-        Fail("invariant '" + name + "': cannot load sibling baseline '" +
-             bench + "': " + loaded.status().ToString());
+        Fail("invariant '" + name + "': cannot parse sibling baseline '" +
+             path + "': " + loaded.status().ToString());
         siblings_.emplace(bench, JsonValue());  // memoize the miss
         return nullptr;
       }
@@ -220,6 +245,42 @@ class Checker {
       return nullptr;
     }
     return &it->second;
+  }
+
+  /// True when `key` names a fresh-report operand that lives only in the
+  /// wall-clock "host_metrics" section. Cross-bench ("<bench>::<metric>")
+  /// operands never do — they read a sibling's deterministic capture.
+  bool IsHostTimingKey(const std::string& key) const {
+    if (key.find("::") != std::string::npos) return false;
+    const JsonValue* metrics = report_.FindObject("metrics");
+    if (metrics != nullptr && metrics->Find(key) != nullptr) return false;
+    const JsonValue* host = report_.FindObject("host_metrics");
+    return host != nullptr && host->Find(key) != nullptr;
+  }
+
+  /// Scans every operand field an invariant can carry; sets `*host_key` to
+  /// the first host-timing one found.
+  bool HasHostTimingOperand(const JsonValue& inv,
+                            std::string* host_key) const {
+    for (const char* field : {"left", "left_div", "right", "right_div"}) {
+      const JsonValue* v = inv.Find(field);
+      if (v != nullptr && v->is_string() &&
+          IsHostTimingKey(v->string_value())) {
+        *host_key = v->string_value();
+        return true;
+      }
+    }
+    const JsonValue* keys = inv.Find("keys");
+    if (keys != nullptr && keys->is_array()) {
+      for (size_t i = 0; i < keys->size(); ++i) {
+        if (keys->at(i).is_string() &&
+            IsHostTimingKey(keys->at(i).string_value())) {
+          *host_key = keys->at(i).string_value();
+          return true;
+        }
+      }
+    }
+    return false;
   }
 
   bool Resolve(const JsonValue& inv, const std::string& key_field,
@@ -350,6 +411,16 @@ class Checker {
       const std::string name =
           inv.StringOr("name", "#" + std::to_string(i));
       const std::string type = inv.StringOr("type", "");
+      if (options_.skip_host_invariants) {
+        std::string host_key;
+        if (HasHostTimingOperand(inv, &host_key)) {
+          ++outcome_.skipped;
+          Pass("invariant '" + name + "': SKIPPED (operand '" + host_key +
+               "' is a host_metrics wall-clock; timing claims are not "
+               "checked in this run)");
+          continue;
+        }
+      }
       if (type == "le" || type == "ge" || type == "eq") {
         CheckComparison(inv, name, type);
       } else if (type == "monotone_nondecreasing") {
@@ -365,6 +436,7 @@ class Checker {
   const JsonValue& report_;
   const JsonValue& baseline_;
   const std::string baseline_dir_;
+  const CheckOptions options_;
   std::map<std::string, JsonValue> siblings_;  // memoized cross-bench loads
   CheckOutcome outcome_;
 };
@@ -372,8 +444,9 @@ class Checker {
 }  // namespace
 
 CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline,
-                         const std::string& baseline_dir) {
-  return Checker(report, baseline, baseline_dir).Run();
+                         const std::string& baseline_dir,
+                         const CheckOptions& options) {
+  return Checker(report, baseline, baseline_dir, options).Run();
 }
 
 }  // namespace repro

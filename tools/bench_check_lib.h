@@ -68,7 +68,22 @@ inline constexpr double kDefaultTolerance = 1e-6;
 struct CheckOutcome {
   std::vector<std::string> passed;    ///< one line per passing check
   std::vector<std::string> failures;  ///< one line per failing check
+  size_t skipped = 0;                 ///< host-timing invariants skipped
   bool ok() const { return failures.empty(); }
+};
+
+/// \brief Evaluation options for CheckReport.
+struct CheckOptions {
+  /// Skip invariants with an operand that resolves from the report's
+  /// "host_metrics" (wall-clock) section instead of the deterministic
+  /// "metrics" section. For sanitizer builds (ASan/UBSan/TSan), whose
+  /// instrumentation skews *relative* throughput between code paths:
+  /// timing-ratio claims are meaningless there, while every deterministic
+  /// check (metric agreement, shape invariants over "metrics") still runs
+  /// and the committed baselines stay untouched. Skipped invariants are
+  /// reported as explicit SKIP lines and counted in CheckOutcome::skipped,
+  /// never silently dropped.
+  bool skip_host_invariants = false;
 };
 
 /// \brief Runs every check of `baseline` against `report`. Malformed
@@ -81,7 +96,8 @@ struct CheckOutcome {
 /// cross-bench reference fails with a message saying the directory is
 /// missing.
 CheckOutcome CheckReport(const JsonValue& report, const JsonValue& baseline,
-                         const std::string& baseline_dir = "");
+                         const std::string& baseline_dir = "",
+                         const CheckOptions& options = CheckOptions());
 
 }  // namespace repro
 }  // namespace pkgstream

@@ -1,0 +1,64 @@
+// Copyright 2026 The pkgstream Authors.
+// pkgstream_lint: the project-invariant lint CLI (rules and rationale in
+// pkgstream_lint_lib.h, policy in docs/ANALYSIS.md).
+//
+//   ./build/pkgstream_lint --root=.            # human-readable findings
+//   ./build/pkgstream_lint --root=. --json     # machine-readable report
+//   ./build/pkgstream_lint --list-rules
+//
+// Exit codes: 0 tree is clean; 1 findings; 2 usage / unlintable tree.
+// On a clean run the last line is "lint-clean: <files> files, <rules>
+// rules, 0 findings" — CI greps it, mirroring the repro gate's summary
+// lines.
+
+#include <iostream>
+
+#include "common/flags.h"
+#include "tools/pkgstream_lint_lib.h"
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  Flags flags;
+  Status s = Flags::Parse(argc, argv, &flags);
+  if (!s.ok()) {
+    std::cerr << "flag error: " << s << "\n";
+    return 2;
+  }
+  if (flags.GetBool("list-rules", false)) {
+    for (const lint::RuleInfo& rule : lint::Rules()) {
+      std::cout << rule.name << "\n    " << rule.summary << "\n";
+    }
+    return 0;
+  }
+  const std::string root = flags.GetString("root", "");
+  const bool as_json = flags.GetBool("json", false);
+  if (root.empty()) {
+    std::cerr << "usage: pkgstream_lint --root=REPO_DIR [--json] "
+                 "[--list-rules]\n";
+    return 2;
+  }
+
+  auto report = lint::RunLint(root);
+  if (!report.ok()) {
+    std::cerr << "lint error: " << report.status() << "\n";
+    return 2;
+  }
+
+  if (as_json) {
+    lint::ReportToJson(*report).Write(std::cout);
+  } else {
+    for (const lint::Finding& f : report->findings) {
+      std::cerr << f.file;
+      if (f.line > 0) std::cerr << ":" << f.line;
+      std::cerr << ": [" << f.rule << "] " << f.message << "\n";
+    }
+    if (report->findings.empty()) {
+      std::cout << "lint-clean: " << report->files_scanned << " files, "
+                << lint::Rules().size() << " rules, 0 findings\n";
+    } else {
+      std::cerr << "lint: " << report->findings.size() << " finding(s) in "
+                << report->files_scanned << " scanned files\n";
+    }
+  }
+  return report->findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,737 @@
+// Copyright 2026 The pkgstream Authors.
+// Implementation of the project lint (see pkgstream_lint_lib.h for the
+// rule catalog). Everything here is a line/token scan over scrubbed
+// source text — no real C++ parsing — which is exactly enough for the
+// invariants being enforced: they are all "token X may only appear in
+// place Y" or "name X must appear in file Y" contracts, chosen so that a
+// cheap scanner checks them with no false positives once comments and
+// string literals are stripped.
+
+#include "tools/pkgstream_lint_lib.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace pkgstream {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule registry
+// ---------------------------------------------------------------------------
+
+constexpr RuleInfo kRules[] = {
+    {"route-batch-clone",
+     "a Partitioner subclass overriding RouteBatch must override Clone()"},
+    {"technique-matrix",
+     "every Technique enumerator must appear in the RouteBatch equivalence "
+     "matrix (tests/partition_route_batch_test.cc)"},
+    {"isa-confinement",
+     "vector-ISA tokens are confined to the designated -mavx2/-mavx512 TUs"},
+    {"hotpath-tokens",
+     "no heap/locking/libc-rand tokens in routing hot-path files outside "
+     "annotated allow sites"},
+    {"baseline-schema",
+     "every bench/baselines/*.json parses and matches the bench_check "
+     "baseline schema"},
+    {"baseline-manifest",
+     "every committed baseline is referenced by the CMake repro pipeline "
+     "and the repro_gate_test manifest, and vice versa"},
+};
+
+// The TUs CMake compiles with vector-ISA flags (plus the inline header
+// shared between them). Must stay in sync with the set_source_files_
+// properties calls in CMakeLists.txt.
+const char* const kIsaAllowedFiles[] = {
+    "src/common/hash_avx2.cc",
+    "src/common/hash_avx512.cc",
+    "src/common/hash_simd_avx2_inl.h",
+};
+
+// Vector-ISA tokens whose presence means "this TU must be compiled with
+// -mavx*": the intrinsics header plus intrinsic/vector-type prefixes.
+const char* const kIsaTokens[] = {
+    "immintrin.h", "_mm256_", "_mm512_", "__m256", "__m512",
+};
+
+// Identifier tokens banned from the hot-path files: heap allocation,
+// locking, and libc randomness. Matched on identifier boundaries in
+// scrubbed text; cold-path exceptions carry a lint:allow marker.
+const char* const kHotpathTokens[] = {
+    "new",        "malloc",      "calloc",      "realloc",
+    "rand",       "srand",       "mutex",       "lock_guard",
+    "unique_lock", "make_unique", "make_shared", "condition_variable",
+};
+
+bool IsHotpathFile(const std::string& rel) {
+  if (rel == "src/partition/pkg.cc") return true;
+  if (rel == "src/engine/spsc_ring.h") return true;
+  // src/common/hash*.cc — the scalar reference and every SIMD kernel TU.
+  if (rel.rfind("src/common/hash", 0) == 0 &&
+      rel.size() >= 3 && rel.compare(rel.size() - 3, 3, ".cc") == 0) {
+    return true;
+  }
+  return false;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+size_t LineOfOffset(const std::string& text, size_t offset) {
+  return static_cast<size_t>(
+             std::count(text.begin(), text.begin() + offset, '\n')) +
+         1;
+}
+
+/// Whole-identifier search: `token` at `pos` with no identifier characters
+/// adjacent on either side.
+bool IsWholeToken(const std::string& text, size_t pos, size_t len) {
+  if (pos > 0 && IsIdentChar(text[pos - 1])) return false;
+  const size_t end = pos + len;
+  if (end < text.size() && IsIdentChar(text[end])) return false;
+  return true;
+}
+
+struct SourceFile {
+  std::string rel;       ///< path relative to the linted root
+  std::string raw;       ///< file bytes
+  std::string scrubbed;  ///< comments + strings blanked
+  std::string no_strings;  ///< strings blanked, comments kept (markers)
+};
+
+Result<std::string> ReadFileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot read " + path.string());
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// One-pass comment/string scrubber. `keep_comments` keeps comment text
+/// (used for allow-marker detection, which must live in comments but must
+/// not fire on string literals that merely mention the marker syntax).
+std::string Scrub(const std::string& text, bool keep_comments) {
+  std::string out = text;
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar
+  } state = State::kCode;
+  char prev_code_char = '\0';  // last code character (digit-separator guard)
+  for (size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        // Raw string literal R"delim(...)delim": blank the whole body
+        // here (it can contain quotes, comment markers, anything).
+        if (c == 'R' && next == '"' &&
+            (i == 0 || !IsIdentChar(out[i - 1]))) {
+          const size_t open = out.find('(', i + 2);
+          if (open != std::string::npos && open - (i + 2) <= 16) {
+            const std::string delim = out.substr(i + 2, open - (i + 2));
+            const size_t close = out.find(")" + delim + "\"", open + 1);
+            const size_t end =
+                close == std::string::npos ? out.size()
+                                           : close + delim.size() + 2;
+            for (size_t j = i; j < end; ++j) {
+              if (out[j] != '\n') out[j] = ' ';
+            }
+            i = end - 1;
+            prev_code_char = '"';
+            break;
+          }
+        }
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          if (!keep_comments) out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          if (!keep_comments) out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;  // the quotes themselves stay
+        } else if (c == '\'' && IsIdentChar(prev_code_char)) {
+          // C++14 digit separator (1'000'000) or a prefixed char literal
+          // (u8'x'): stay in code. The separator must not open a literal,
+          // and a leaked one-char literal body can never match a banned
+          // token (all are >= 3 chars).
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        if (state == State::kCode && !std::isspace(static_cast<unsigned char>(c))) {
+          prev_code_char = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else if (!keep_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (!keep_comments) {
+            out[i] = ' ';
+            out[i + 1] = ' ';
+          }
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n' && !keep_comments) {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          prev_code_char = '"';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          prev_code_char = '\'';
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+class Linter {
+ public:
+  explicit Linter(std::string root) : root_(std::move(root)) {}
+
+  Result<Report> Run() {
+    // Fail closed on a wrong --root: a lint run over an empty or unrelated
+    // directory must be an error, never a clean pass.
+    if (!fs::is_directory(fs::path(root_) / "src") ||
+        !fs::is_directory(fs::path(root_) / "tools")) {
+      return Status::InvalidArgument(
+          "'" + root_ +
+          "' is not a pkgstream checkout (no src/ and tools/ directories)");
+    }
+    Status walked = WalkSources();
+    if (!walked.ok()) return walked;
+
+    CheckAllowMarkers();
+    CheckRouteBatchClone();
+    CheckTechniqueMatrix();
+    CheckIsaConfinement();
+    CheckHotpathTokens();
+    CheckBaselines();
+
+    std::sort(report_.findings.begin(), report_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.file, a.line, a.rule) <
+                       std::tie(b.file, b.line, b.rule);
+              });
+    return std::move(report_);
+  }
+
+ private:
+  void Fail(const std::string& rule, const std::string& file, size_t line,
+            const std::string& message) {
+    report_.findings.push_back(Finding{rule, file, line, message});
+  }
+
+  /// Collects every C++ source file under the scanned roots, sorted for
+  /// deterministic output. Unknown files are included, not skipped — a
+  /// brand-new TU is subject to every rule from its first commit.
+  Status WalkSources() {
+    const char* const roots[] = {"src", "tests", "bench", "tools",
+                                 "examples"};
+    std::vector<fs::path> paths;
+    for (const char* dir : roots) {
+      const fs::path base = fs::path(root_) / dir;
+      if (!fs::is_directory(base)) continue;  // examples/ may be absent
+      for (const auto& entry : fs::recursive_directory_iterator(base)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".inl") {
+          paths.push_back(entry.path());
+        }
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& p : paths) {
+      auto bytes = ReadFileBytes(p);
+      if (!bytes.ok()) return bytes.status();
+      SourceFile f;
+      f.rel = p.lexically_relative(root_).generic_string();
+      f.raw = std::move(*bytes);
+      f.scrubbed = Scrub(f.raw, /*keep_comments=*/false);
+      f.no_strings = Scrub(f.raw, /*keep_comments=*/true);
+      files_.push_back(std::move(f));
+    }
+    report_.files_scanned = files_.size();
+    return Status::OK();
+  }
+
+  const SourceFile* FindFile(const std::string& rel) const {
+    for (const SourceFile& f : files_) {
+      if (f.rel == rel) return &f;
+    }
+    return nullptr;
+  }
+
+  /// True when `line` (1-based) of `file` is covered by a well-formed
+  /// allow marker for `rule` (the syntax in kMarkerPrefix, e.g.
+  /// "lint:allow(hotpath-tokens): why"). A marker covers its own line and
+  /// the two lines below it — the comment-above-the-statement idiom.
+  /// Markers are detected on string-scrubbed text, so they must live in
+  /// comments.
+  bool HasAllowMarker(const SourceFile& file, size_t line,
+                      const std::string& rule) const {
+    const std::string needle = kMarkerPrefix + rule + ")";
+    const size_t first = line > 2 ? line - 2 : 1;
+    size_t pos = 0;
+    for (size_t l = 1; l < first; ++l) {
+      pos = file.no_strings.find('\n', pos);
+      if (pos == std::string::npos) return false;
+      ++pos;
+    }
+    for (size_t l = first; l <= line; ++l) {
+      const size_t eol = file.no_strings.find('\n', pos);
+      const std::string text = file.no_strings.substr(
+          pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      if (text.find(needle) != std::string::npos) return true;
+      if (eol == std::string::npos) break;
+      pos = eol + 1;
+    }
+    return false;
+  }
+
+  /// Every allow marker must name a registered rule and carry a
+  /// justification after the closing parenthesis. Anything else is a
+  /// finding: a typoed rule name would otherwise silently allow nothing
+  /// (or, worse, a future rule).
+  void CheckAllowMarkers() {
+    for (const SourceFile& f : files_) {
+      size_t pos = 0;
+      while ((pos = f.no_strings.find(kMarkerPrefix, pos)) !=
+             std::string::npos) {
+        const size_t line = LineOfOffset(f.no_strings, pos);
+        const size_t name_start = pos + kMarkerPrefix.size();
+        const size_t close = f.no_strings.find(')', name_start);
+        const size_t eol = f.no_strings.find('\n', name_start);
+        pos = name_start;
+        if (close == std::string::npos || (eol != std::string::npos && close > eol)) {
+          Fail("hotpath-tokens", f.rel, line,
+               "malformed lint:allow marker (no closing parenthesis)");
+          continue;
+        }
+        const std::string rule =
+            f.no_strings.substr(name_start, close - name_start);
+        bool known = false;
+        for (const RuleInfo& r : kRules) {
+          if (rule == r.name) known = true;
+        }
+        if (!known) {
+          Fail("hotpath-tokens", f.rel, line,
+               "lint:allow names unknown rule '" + rule + "'");
+          continue;
+        }
+        // Justification: "): " followed by non-space text on the line.
+        const size_t after = close + 1;
+        const std::string rest = f.no_strings.substr(
+            after, eol == std::string::npos ? std::string::npos : eol - after);
+        const size_t colon = rest.find(':');
+        bool justified = false;
+        if (colon != std::string::npos) {
+          for (size_t i = colon + 1; i < rest.size(); ++i) {
+            if (!std::isspace(static_cast<unsigned char>(rest[i]))) {
+              justified = true;
+              break;
+            }
+          }
+        }
+        if (!justified) {
+          Fail(rule, f.rel, line,
+               "lint:allow(" + rule +
+                   ") needs a justification: \"lint:allow(" + rule +
+                   "): <why this site is exempt>\"");
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // route-batch-clone
+  // -------------------------------------------------------------------------
+
+  void CheckRouteBatchClone() {
+    for (const SourceFile& f : files_) {
+      if (f.rel.rfind("src/", 0) != 0) continue;
+      const std::string& text = f.scrubbed;
+      const std::string base_marker = ": public Partitioner";
+      size_t pos = 0;
+      while ((pos = text.find(base_marker, pos)) != std::string::npos) {
+        const size_t head_end = pos;
+        pos += base_marker.size();
+        // Walk back to the introducing "class" keyword; a ';' or '}' in
+        // between means this occurrence is not a class head.
+        size_t head_start = text.rfind("class", head_end);
+        if (head_start == std::string::npos) continue;
+        const std::string between =
+            text.substr(head_start, head_end - head_start);
+        if (between.find(';') != std::string::npos ||
+            between.find('}') != std::string::npos) {
+          continue;
+        }
+        // Class name: first identifier after "class".
+        size_t name_start = head_start + 5;
+        while (name_start < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[name_start]))) {
+          ++name_start;
+        }
+        size_t name_end = name_start;
+        while (name_end < text.size() && IsIdentChar(text[name_end])) {
+          ++name_end;
+        }
+        const std::string class_name =
+            text.substr(name_start, name_end - name_start);
+        // Body: the brace block after the base-clause.
+        const size_t open = text.find('{', pos);
+        if (open == std::string::npos) continue;
+        size_t depth = 0;
+        size_t close = open;
+        for (; close < text.size(); ++close) {
+          if (text[close] == '{') ++depth;
+          if (text[close] == '}' && --depth == 0) break;
+        }
+        if (close >= text.size()) continue;  // unbalanced; other rules/compiler
+        const std::string body = text.substr(open, close - open);
+        const bool has_route_batch =
+            [&] {
+              size_t p = 0;
+              while ((p = body.find("RouteBatch", p)) != std::string::npos) {
+                if (IsWholeToken(body, p, 10)) return true;
+                p += 10;
+              }
+              return false;
+            }();
+        const bool has_clone = body.find("Clone(") != std::string::npos;
+        if (has_route_batch && !has_clone) {
+          Fail("route-batch-clone", f.rel, LineOfOffset(text, head_start),
+               "class " + class_name +
+                   " overrides RouteBatch but not Clone(): a fused batch "
+                   "loop without replica parity breaks ThreadedRuntime's "
+                   "per-source replicas (partitioner.h contract)");
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // technique-matrix
+  // -------------------------------------------------------------------------
+
+  void CheckTechniqueMatrix() {
+    const char* const factory = "src/partition/factory.h";
+    const char* const matrix = "tests/partition_route_batch_test.cc";
+    const SourceFile* factory_file = FindFile(factory);
+    const SourceFile* matrix_file = FindFile(matrix);
+    if (factory_file == nullptr) {
+      Fail("technique-matrix", factory, 0,
+           "anchor file missing: cannot enumerate Technique");
+      return;
+    }
+    if (matrix_file == nullptr) {
+      Fail("technique-matrix", matrix, 0,
+           "anchor file missing: the RouteBatch equivalence matrix is gone");
+      return;
+    }
+    const std::string& text = factory_file->scrubbed;
+    const size_t enum_pos = text.find("enum class Technique");
+    if (enum_pos == std::string::npos) {
+      Fail("technique-matrix", factory, 0,
+           "no 'enum class Technique' found");
+      return;
+    }
+    const size_t open = text.find('{', enum_pos);
+    const size_t close = text.find('}', open);
+    if (open == std::string::npos || close == std::string::npos) {
+      Fail("technique-matrix", factory, LineOfOffset(text, enum_pos),
+           "cannot parse the Technique enumerator block");
+      return;
+    }
+    size_t found = 0;
+    for (size_t i = open; i < close; ++i) {
+      if (text[i] == 'k' && IsIdentChar(text[i + 1]) &&
+          (i == 0 || !IsIdentChar(text[i - 1]))) {
+        size_t end = i;
+        while (end < close && IsIdentChar(text[end])) ++end;
+        const std::string name = text.substr(i, end - i);
+        ++found;
+        if (matrix_file->raw.find("Technique::" + name) == std::string::npos) {
+          Fail("technique-matrix", factory, LineOfOffset(text, i),
+               "Technique::" + name +
+                   " is not exercised by the scalar-vs-batch equivalence "
+                   "matrix in " + std::string(matrix) +
+                   " — add it to the technique sweep");
+        }
+        i = end;
+      }
+    }
+    if (found == 0) {
+      Fail("technique-matrix", factory, LineOfOffset(text, enum_pos),
+           "the Technique enum declares no enumerators — parse drift?");
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // isa-confinement
+  // -------------------------------------------------------------------------
+
+  void CheckIsaConfinement() {
+    for (const SourceFile& f : files_) {
+      bool allowed = false;
+      for (const char* ok : kIsaAllowedFiles) {
+        if (f.rel == ok) allowed = true;
+      }
+      if (allowed) continue;
+      for (const char* token : kIsaTokens) {
+        const size_t pos = f.scrubbed.find(token);
+        if (pos != std::string::npos) {
+          Fail("isa-confinement", f.rel, LineOfOffset(f.scrubbed, pos),
+               std::string("vector-ISA token '") + token +
+                   "' outside the designated SIMD TUs (" +
+                   "hash_avx2.cc / hash_avx512.cc / hash_simd_avx2_inl.h): "
+                   "only those are compiled with -mavx2/-mavx512*, anywhere "
+                   "else this SIGILLs on older hosts; route new kernels "
+                   "through the dispatch layer in common/simd.h");
+          break;  // one finding per file is enough signal
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // hotpath-tokens
+  // -------------------------------------------------------------------------
+
+  void CheckHotpathTokens() {
+    for (const SourceFile& f : files_) {
+      if (!IsHotpathFile(f.rel)) continue;
+      for (const char* token : kHotpathTokens) {
+        const size_t len = std::string(token).size();
+        size_t pos = 0;
+        while ((pos = f.scrubbed.find(token, pos)) != std::string::npos) {
+          if (!IsWholeToken(f.scrubbed, pos, len)) {
+            pos += len;
+            continue;
+          }
+          const size_t line = LineOfOffset(f.scrubbed, pos);
+          if (!HasAllowMarker(f, line, "hotpath-tokens")) {
+            Fail("hotpath-tokens", f.rel, line,
+                 std::string("'") + token +
+                     "' in a routing hot-path file: no heap allocation, "
+                     "locking, or libc randomness on the per-message path "
+                     "(annotate genuinely cold sites with "
+                     "\"lint:allow(hotpath-tokens): <why>\")");
+          }
+          pos += len;
+        }
+      }
+    }
+  }
+
+  // -------------------------------------------------------------------------
+  // baseline-schema + baseline-manifest
+  // -------------------------------------------------------------------------
+
+  void CheckBaselines() {
+    const fs::path dir = fs::path(root_) / "bench" / "baselines";
+    const std::string rel_dir = "bench/baselines";
+    if (!fs::is_directory(dir)) {
+      Fail("baseline-manifest", rel_dir, 0,
+           "bench/baselines/ is missing — the repro gate has nothing to "
+           "check against");
+      return;
+    }
+    std::vector<fs::path> entries;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      entries.push_back(entry.path());
+    }
+    std::sort(entries.begin(), entries.end());
+
+    std::set<std::string> stems;
+    for (const fs::path& p : entries) {
+      const std::string name = p.filename().string();
+      if (name == "README.md") continue;
+      if (p.extension() != ".json") {
+        // Fail closed: a stray file here is either a misplaced baseline
+        // (dead weight that looks like coverage) or clutter.
+        Fail("baseline-schema", rel_dir + "/" + name, 0,
+             "unknown file in bench/baselines/ (only <bench>.json and "
+             "README.md belong here)");
+        continue;
+      }
+      stems.insert(p.stem().string());
+      CheckBaselineSchema(p, rel_dir + "/" + name);
+    }
+
+    // Manifest wiring, both directions.
+    auto cmake = ReadFileBytes(fs::path(root_) / "CMakeLists.txt");
+    auto gate =
+        ReadFileBytes(fs::path(root_) / "tests" / "repro_gate_test.cc");
+    if (!cmake.ok()) {
+      Fail("baseline-manifest", "CMakeLists.txt", 0,
+           "anchor file missing: cannot verify the repro pipeline list");
+      return;
+    }
+    if (!gate.ok()) {
+      Fail("baseline-manifest", "tests/repro_gate_test.cc", 0,
+           "anchor file missing: cannot verify the kBaselines manifest");
+      return;
+    }
+    for (const std::string& stem : stems) {
+      if (cmake->find(stem) == std::string::npos) {
+        Fail("baseline-manifest", rel_dir + "/" + stem + ".json", 0,
+             "baseline is not referenced by CMakeLists.txt (add the bench "
+             "to PKGSTREAM_REPRO_BENCHES so `ctest -L repro` runs it)");
+      }
+      if (gate->find("\"" + stem + "\"") == std::string::npos) {
+        Fail("baseline-manifest", rel_dir + "/" + stem + ".json", 0,
+             "baseline is not in the kBaselines audit manifest of "
+             "tests/repro_gate_test.cc (its invariant count is unguarded)");
+      }
+    }
+    // Reverse: every manifest entry must have a committed file.
+    const std::string& gate_text = *gate;
+    size_t pos = 0;
+    while ((pos = gate_text.find("{\"bench_", pos)) != std::string::npos) {
+      const size_t name_start = pos + 2;
+      const size_t name_end = gate_text.find('"', name_start);
+      pos = name_end == std::string::npos ? gate_text.size() : name_end;
+      if (name_end == std::string::npos) break;
+      const std::string stem =
+          gate_text.substr(name_start, name_end - name_start);
+      if (stems.find(stem) == stems.end()) {
+        Fail("baseline-manifest", "tests/repro_gate_test.cc",
+             LineOfOffset(gate_text, name_start),
+             "manifest entry '" + stem +
+                 "' has no committed baseline file in bench/baselines/");
+      }
+    }
+  }
+
+  void CheckBaselineSchema(const fs::path& path, const std::string& rel) {
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      Fail("baseline-schema", rel, 0, "unreadable: " + bytes.status().ToString());
+      return;
+    }
+    auto doc = JsonValue::Parse(*bytes);
+    if (!doc.ok()) {
+      Fail("baseline-schema", rel, 0,
+           "does not parse as strict JSON: " + doc.status().ToString());
+      return;
+    }
+    const std::string stem = path.stem().string();
+    if (doc->StringOr("bench", "") != stem) {
+      Fail("baseline-schema", rel, 0,
+           "\"bench\" is '" + doc->StringOr("bench", "?") +
+               "' but the filename says '" + stem +
+               "' — bench_check resolves siblings by filename");
+    }
+    if (doc->NumberOr("schema_version", -1) != 1) {
+      Fail("baseline-schema", rel, 0,
+           "\"schema_version\" must be 1 (bench/report.h "
+           "kReportSchemaVersion)");
+    }
+    const JsonValue* invariants = doc->Find("invariants");
+    if (invariants == nullptr || !invariants->is_array() ||
+        invariants->size() == 0) {
+      Fail("baseline-schema", rel, 0,
+           "\"invariants\" must be a non-empty array — a baseline with no "
+           "declared shape claims gates nothing");
+    }
+    const JsonValue* captured = doc->FindObject("captured");
+    const JsonValue* metrics =
+        captured != nullptr ? captured->FindObject("metrics") : nullptr;
+    if (metrics == nullptr || metrics->members().empty()) {
+      Fail("baseline-schema", rel, 0,
+           "\"captured.metrics\" must be a non-empty object — metric "
+           "agreement is half of what the gate checks");
+    }
+    const JsonValue* tolerance = doc->Find("tolerance");
+    if (tolerance != nullptr && !tolerance->is_number()) {
+      Fail("baseline-schema", rel, 0, "\"tolerance\" must be a number");
+    }
+  }
+
+  const std::string kMarkerPrefix = std::string("lint:") + "allow(";
+
+  std::string root_;
+  std::vector<SourceFile> files_;
+  Report report_;
+};
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() {
+  static const std::vector<RuleInfo> rules(std::begin(kRules),
+                                           std::end(kRules));
+  return rules;
+}
+
+std::string ScrubSource(const std::string& text) {
+  return Scrub(text, /*keep_comments=*/false);
+}
+
+Result<Report> RunLint(const std::string& root) {
+  return Linter(root).Run();
+}
+
+JsonValue ReportToJson(const Report& report) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("files_scanned",
+          JsonValue::Number(static_cast<double>(report.files_scanned)));
+  JsonValue findings = JsonValue::Array();
+  for (const Finding& f : report.findings) {
+    JsonValue item = JsonValue::Object();
+    item.Set("file", JsonValue::Str(f.file));
+    item.Set("line", JsonValue::Number(static_cast<double>(f.line)));
+    item.Set("message", JsonValue::Str(f.message));
+    item.Set("rule", JsonValue::Str(f.rule));
+    findings.Append(std::move(item));
+  }
+  doc.Set("findings", std::move(findings));
+  JsonValue rules = JsonValue::Array();
+  for (const RuleInfo& r : Rules()) {
+    rules.Append(JsonValue::Str(r.name));
+  }
+  doc.Set("rules", std::move(rules));
+  return doc;
+}
+
+}  // namespace lint
+}  // namespace pkgstream

@@ -1,0 +1,98 @@
+// Copyright 2026 The pkgstream Authors.
+// pkgstream_lint: a project-specific static-analysis pass enforcing the
+// repo invariants that no compiler or generic linter can express. The
+// rules are the contracts the routing hot path rests on (see
+// docs/ANALYSIS.md "The project lint" for the rationale and the policy for
+// adding rules):
+//
+//   route-batch-clone      every Partitioner subclass that overrides
+//                          RouteBatch also overrides Clone() — a fused
+//                          batch loop without replica parity silently
+//                          breaks ThreadedRuntime's per-source replicas.
+//   technique-matrix       every Technique enumerator in factory.h appears
+//                          in tests/partition_route_batch_test.cc, the
+//                          scalar-vs-batch equivalence matrix — a new
+//                          technique cannot skip the bit-equality gate.
+//   isa-confinement        vector-ISA tokens (<immintrin.h>, _mm256_*,
+//                          _mm512_*, __m256*, __m512*) appear only in the
+//                          designated per-ISA TUs that CMake builds with
+//                          -mavx2 / -mavx512*; anywhere else they produce
+//                          illegal-instruction crashes on older hosts.
+//   hotpath-tokens         the routing hot-path files carry no heap
+//                          allocation, locking, or libc-rand tokens; known
+//                          cold-path exceptions are annotated in place with
+//                          "lint:allow(hotpath-tokens): <why>".
+//   baseline-schema        every bench/baselines/*.json parses strictly
+//                          and matches the bench_check baseline schema
+//                          (bench == filename, schema_version, non-empty
+//                          invariants, captured metrics).
+//   baseline-manifest      every committed baseline is wired into the
+//                          repro gate twice: the CMake PKGSTREAM_REPRO_
+//                          BENCHES pipeline and the repro_gate_test
+//                          kBaselines audit manifest (and every manifest
+//                          entry has a file) — a baseline outside the gate
+//                          is dead weight that looks like coverage.
+//
+// The lint fails closed: unknown files in scanned directories are scanned
+// (a brand-new TU with intrinsics fails isa-confinement), unknown files in
+// bench/baselines/ are findings, unreadable anchor files (factory.h, the
+// equivalence test, CMakeLists.txt) are findings, and a root that is not a
+// pkgstream checkout is a hard error, not a pass.
+
+#ifndef PKGSTREAM_TOOLS_PKGSTREAM_LINT_LIB_H_
+#define PKGSTREAM_TOOLS_PKGSTREAM_LINT_LIB_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace pkgstream {
+namespace lint {
+
+/// \brief One rule violation.
+struct Finding {
+  std::string rule;     ///< rule slug, e.g. "route-batch-clone"
+  std::string file;     ///< path relative to the linted root
+  size_t line = 0;      ///< 1-based; 0 = whole-file / tree-level finding
+  std::string message;  ///< what is wrong and how to fix it
+};
+
+/// \brief Static description of one registered rule.
+struct RuleInfo {
+  const char* name;
+  const char* summary;
+};
+
+/// \brief The registered rules, in the order they run.
+const std::vector<RuleInfo>& Rules();
+
+/// \brief Result of one lint run.
+struct Report {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  size_t files_scanned = 0;       ///< source files walked (not baselines)
+};
+
+/// \brief Runs every rule over the repository checkout at `root`.
+///
+/// A Status failure means the tree could not be linted at all (root is not
+/// a pkgstream checkout); rule violations and missing anchor files are
+/// findings in the returned report, never silent passes.
+Result<Report> RunLint(const std::string& root);
+
+/// \brief Machine-readable form, deterministic for a given report:
+/// {"files_scanned": N, "findings": [{"file","line","message","rule"}...],
+///  "rules": [names...]}.
+JsonValue ReportToJson(const Report& report);
+
+/// \brief Strips comments and string/char literal contents (replaced with
+/// spaces, newlines preserved) so token rules cannot fire on prose.
+/// Exposed for tests.
+std::string ScrubSource(const std::string& text);
+
+}  // namespace lint
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_TOOLS_PKGSTREAM_LINT_LIB_H_

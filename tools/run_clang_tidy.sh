@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Copyright 2026 The pkgstream Authors.
+# Runs the committed .clang-tidy gate over the first-party translation
+# units, against the compile_commands.json that CMake exports into the
+# build directory. Usage:
+#
+#   tools/run_clang_tidy.sh [BUILD_DIR]      # default: build
+#
+# Scope: src/, bench/, tools/ .cc files. tests/ is excluded on purpose —
+# gtest's macro expansion trips bugprone-* checks inside TEST() bodies that
+# no source change here can fix; the tests are covered by -Wall/-Wextra,
+# the sanitizer matrix, and pkgstream_lint instead.
+#
+# Exit codes: 0 clean; 1 findings (warnings-as-errors); 2 environment not
+# usable (no clang-tidy binary, no compile database) — distinct so CI and
+# humans can tell "the gate failed" from "the gate never ran".
+set -u
+
+BUILD_DIR="${1:-build}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$REPO_ROOT"
+
+TIDY_BIN="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY_BIN" >/dev/null 2>&1; then
+  echo "run_clang_tidy: '$TIDY_BIN' not found on PATH." >&2
+  echo "Install clang-tidy (e.g. 'apt-get install clang-tidy') or set" >&2
+  echo "CLANG_TIDY=/path/to/clang-tidy. The gate did NOT run." >&2
+  exit 2
+fi
+
+DB="$BUILD_DIR/compile_commands.json"
+if [ ! -f "$DB" ]; then
+  echo "run_clang_tidy: no compile database at '$DB'." >&2
+  echo "Configure first: cmake -B $BUILD_DIR -S . (the top-level" >&2
+  echo "CMakeLists.txt exports compile_commands.json unconditionally)." >&2
+  echo "The gate did NOT run." >&2
+  exit 2
+fi
+
+# Only TUs the compile database knows about: a file that never builds in
+# this configuration (e.g. hash_avx512.cc without PKGSTREAM_BUILD_AVX512)
+# has no flags to check it with.
+FILES=()
+while IFS= read -r f; do
+  case "$f" in
+    "$REPO_ROOT"/src/*|"$REPO_ROOT"/bench/*|"$REPO_ROOT"/tools/*)
+      FILES+=("$f") ;;
+  esac
+done < <(grep -o '"file": *"[^"]*"' "$DB" | sed 's/.*"file": *"//; s/"$//' |
+         sort -u)
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: compile database lists no src/bench/tools TUs." >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: checking ${#FILES[@]} translation units with" \
+     "$("$TIDY_BIN" --version | head -1)"
+
+STATUS=0
+for f in "${FILES[@]}"; do
+  if ! "$TIDY_BIN" --quiet -p "$BUILD_DIR" "$f"; then
+    STATUS=1
+  fi
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "run_clang_tidy: clean (${#FILES[@]} TUs, warnings-as-errors)"
+else
+  echo "run_clang_tidy: findings above — fix them or (rarely) add a" >&2
+  echo "NOLINT(check-name) with a justification comment." >&2
+fi
+exit "$STATUS"

@@ -1,0 +1,299 @@
+// Copyright 2026 The pkgstream Authors.
+// Tail latency under open-loop offered load (ROADMAP "latency under load";
+// the paper's Section V cluster experiment: "the average latency with KG is
+// up to 45% larger than with PKG" — and the *tail* is where the hot worker
+// really shows).
+//
+// Sweep: offered load (msgs/sec, Poisson arrivals) x technique in
+// {KG, SG, PKG-L}, Zipf(s=1.5, K=1000) keys, 1 source -> 4 workers.
+// Each cell replays the byte-identical arrival schedule and key sequence
+// (generated once per load, checksummed into the report), injected by the
+// engine::OpenLoopDriver: the offered load never adapts to the system
+// (open loop), and each message's latency is measured from its *scheduled*
+// arrival time stamped in Message::ts, so coordinated omission cannot
+// flatter the tail.
+//
+// Sinks run the kVirtualService model (engine/open_loop.h): each worker is
+// a deterministic single-server queue with service_us = 50us per message —
+// per-worker capacity exactly 20k msgs/sec, independent of host speed. With
+// a single source the per-sink arrival order equals the injection order, so
+// the merged latency histograms are bit-deterministic: p50/p95/p99/p999 land
+// in the report's "metrics" section and are exact-pinned by the committed
+// baseline (bench/baselines/bench_latency_under_load.json) on any host,
+// under any sanitizer. Wall-clock injection behaviour (duration, max
+// injector lag) lands in host_metrics.
+//
+// Why the techniques separate: at s=1.5, K=1000 the head key carries
+// p1 ~ 0.38 of the stream. KG sends all of it to one worker — the hot
+// worker's share (~0.54) exceeds per-worker capacity once the offered load
+// passes ~37k/s, its queue grows for the rest of the cell, and the tail
+// explodes. PKG-L splits the head across two workers (~0.27 share) and SG
+// spreads everything, so both stay far below capacity at the same load.
+// The baseline pins that shape: latency monotone in offered load per
+// technique, and KG's tail >> PKG-L's at the top load.
+//
+// --pace injects against the wall clock (sleep until each arrival is due)
+// instead of replaying the schedule flat out; the deterministic latency
+// metrics are identical either way (engine_threaded_openloop_test pins
+// this), so CI runs unpaced and a paced run can be compared directly.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <utility>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/report.h"
+#include "common/logging.h"
+#include "engine/open_loop.h"
+#include "engine/threaded_runtime.h"
+#include "partition/factory.h"
+#include "stats/latency_histogram.h"
+#include "workload/arrival_schedule.h"
+#include "workload/static_distribution.h"
+#include "workload/zipf.h"
+
+namespace pkgstream {
+namespace {
+
+/// Replays a pre-generated arrival-time vector (so every technique in a cell
+/// is offered the byte-identical schedule, and the checksum covers exactly
+/// what was injected).
+class VectorSchedule final : public workload::ArrivalSchedule {
+ public:
+  explicit VectorSchedule(const std::vector<uint64_t>* times)
+      : times_(times) {}
+
+  uint64_t NextMicros() override {
+    PKGSTREAM_CHECK(pos_ < times_->size());
+    return (*times_)[pos_++];
+  }
+
+  void NextBatchMicros(uint64_t* out, size_t n) override {
+    PKGSTREAM_CHECK(pos_ + n <= times_->size());
+    for (size_t i = 0; i < n; ++i) out[i] = (*times_)[pos_ + i];
+    pos_ += n;
+  }
+
+  std::string Name() const override { return "replay"; }
+
+ private:
+  const std::vector<uint64_t>* times_;
+  size_t pos_ = 0;
+};
+
+/// Replays a pre-generated key vector (same rationale as VectorSchedule).
+class VectorKeyStream final : public workload::KeyStream {
+ public:
+  VectorKeyStream(const std::vector<Key>* keys, uint64_t key_space)
+      : keys_(keys), key_space_(key_space) {}
+
+  Key Next() override {
+    PKGSTREAM_CHECK(pos_ < keys_->size());
+    return (*keys_)[pos_++];
+  }
+
+  void NextBatch(Key* out, size_t n) override {
+    PKGSTREAM_CHECK(pos_ + n <= keys_->size());
+    for (size_t i = 0; i < n; ++i) out[i] = (*keys_)[pos_ + i];
+    pos_ += n;
+  }
+
+  uint64_t KeySpace() const override { return key_space_; }
+  std::string Name() const override { return "replay"; }
+
+ private:
+  const std::vector<Key>* keys_;
+  uint64_t key_space_;
+  size_t pos_ = 0;
+};
+
+struct CellResult {
+  stats::LatencyHistogram hist{1ULL << 30, 32};
+  uint64_t processed = 0;
+  double wall_seconds = 0;
+  uint64_t max_lag_us = 0;
+};
+
+CellResult RunCell(partition::Technique technique, uint32_t workers,
+                   uint64_t service_us, const std::vector<uint64_t>& times,
+                   const std::vector<Key>& keys, uint64_t key_space,
+                   uint64_t seed, bool pace) {
+  engine::Topology topology;
+  engine::NodeId spout = topology.AddSpout("src", /*parallelism=*/1);
+  engine::LatencySink::Options sink_options;
+  sink_options.model = engine::LatencySink::ServiceModel::kVirtualService;
+  sink_options.service_us = service_us;
+  engine::NodeId sink = topology.AddOperator(
+      "sink", engine::LatencySink::MakeFactory(sink_options), workers);
+  PKGSTREAM_CHECK_OK(topology.Connect(spout, sink, technique, seed));
+  auto rt = engine::ThreadedRuntime::Create(&topology, {});
+  PKGSTREAM_CHECK_OK(rt.status());
+
+  engine::OpenLoopClock clock;
+  engine::OpenLoopOptions driver_options;
+  driver_options.pace = pace;
+  engine::OpenLoopDriver driver(rt->get(), spout, &clock, driver_options);
+  VectorSchedule schedule(&times);
+  VectorKeyStream key_stream(&keys, key_space);
+  engine::OpenLoopDriver::Source source;
+  source.source = 0;
+  source.schedule = &schedule;
+  source.keys = &key_stream;
+  source.messages = times.size();
+  auto reports = driver.Run({source});
+  (*rt)->Finish();
+
+  CellResult result;
+  result.hist = engine::LatencySink::MergedHistogram(rt->get(), sink, workers,
+                                                     sink_options);
+  for (uint64_t n : (*rt)->Processed(sink)) result.processed += n;
+  result.wall_seconds = static_cast<double>(clock.NowMicros()) / 1e6;
+  result.max_lag_us = reports[0].max_lag_us;
+  return result;
+}
+
+std::string FormatUs(uint64_t us) {
+  char buf[32];
+  if (us >= 10000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lluus",
+                  static_cast<unsigned long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+}  // namespace pkgstream
+
+int main(int argc, char** argv) {
+  using namespace pkgstream;
+  Flags flags;
+  Status s = Flags::Parse(argc, argv, &flags);
+  if (!s.ok()) {
+    std::cerr << "flag error: " << s << "\n";
+    return 2;
+  }
+  bench::BenchArgs args = bench::ParseBenchArgs(argc, argv);
+  const char* title =
+      "Tail latency under open-loop load: KG vs SG vs PKG-L on skewed keys";
+  const char* paper_ref =
+      "Nasir et al. 2015, Section V latency discussion (KG latency up to "
+      "45% above PKG); open-loop methodology avoids coordinated omission";
+  bench::PrintBanner(title, paper_ref, args);
+  bench::Report report("bench_latency_under_load", title, paper_ref, args);
+
+  // Each cell replays cell_ms milliseconds of Poisson arrivals at the
+  // offered load. 500ms cells keep the quick gate fast while the top load
+  // overdrives KG's hot worker long enough for an unambiguous tail.
+  uint64_t cell_ms = args.quick ? 500 : 2000;
+  if (args.full) cell_ms = 8000;
+  cell_ms = static_cast<uint64_t>(
+      flags.GetInt("cell_ms", static_cast<int64_t>(cell_ms)));
+  const uint64_t service_us =
+      static_cast<uint64_t>(flags.GetInt("service_us", 50));
+  const uint32_t workers =
+      static_cast<uint32_t>(flags.GetInt("workers", 4));
+  const bool pace = flags.GetBool("pace", false);
+  PKGSTREAM_CHECK(cell_ms > 0 && service_us > 0 && workers > 0);
+
+  // Per-worker capacity is 1e6/service_us = 20k msgs/sec (80k aggregate).
+  // 8k/s: everyone idle. 32k/s: KG's hot worker (~0.54 share -> ~17.3k/s)
+  // runs hot but stable. 48k/s: the hot worker is offered ~25.9k/s — over
+  // capacity, unbounded queue growth for the rest of the cell.
+  const std::vector<uint64_t> loads = {8000, 32000, 48000};
+  const std::vector<std::pair<partition::Technique, std::string>> techniques =
+      {{partition::Technique::kHashing, "KG"},
+       {partition::Technique::kShuffle, "SG"},
+       {partition::Technique::kPkgLocal, "PKG-L"}};
+
+  auto dist = std::make_shared<const workload::StaticDistribution>(
+      workload::ZipfWeights(1000, 1.5), "zipf(1.5,K=1000)");
+
+  report.AddMetric("cell_ms", static_cast<double>(cell_ms));
+  report.AddMetric("service_us", static_cast<double>(service_us));
+  report.AddMetric("workers", static_cast<double>(workers));
+
+  std::cout << "workers=" << workers << "  service_us=" << service_us
+            << "  cell_ms=" << cell_ms << "  pace=" << (pace ? "on" : "off")
+            << "  keys=" << dist->name() << " (p1=" << dist->P1() << ")\n\n";
+
+  Table table({"load msg/s", "technique", "count", "p50", "p95", "p99",
+               "p999", "max", "mean us"});
+  uint64_t worst_p999 = 0;
+  uint64_t saturated_total = 0;
+  for (uint64_t load : loads) {
+    // One schedule + key sequence per load, shared by every technique.
+    const uint64_t messages = load * cell_ms / 1000;
+    std::vector<uint64_t> times(messages);
+    std::vector<Key> keys(messages);
+    workload::PoissonSchedule schedule(static_cast<double>(load),
+                                       args.seed ^ load);
+    schedule.NextBatchMicros(times.data(), messages);
+    workload::IidKeyStream key_stream(dist, args.seed * 31 + load);
+    key_stream.NextBatch(keys.data(), messages);
+    // Checksums (mod 2^32: metrics are doubles and must stay exact) pin
+    // that every technique — and every future capture — was offered this
+    // exact load.
+    uint64_t sched_sum = 0, key_sum = 0;
+    for (uint64_t t : times) sched_sum += t;
+    for (Key k : keys) key_sum += k;
+    const std::string load_prefix = "load=" + std::to_string(load) + "/";
+    report.AddMetric(load_prefix + "messages",
+                     static_cast<double>(messages));
+    report.AddMetric(load_prefix + "sched_checksum",
+                     static_cast<double>(sched_sum & 0xffffffffULL));
+    report.AddMetric(load_prefix + "key_checksum",
+                     static_cast<double>(key_sum & 0xffffffffULL));
+
+    for (const auto& [technique, name] : techniques) {
+      CellResult cell = RunCell(technique, workers, service_us, times, keys,
+                                dist->K(), args.seed, pace);
+      const auto& h = cell.hist;
+      PKGSTREAM_CHECK(cell.processed == messages && h.count() == messages)
+          << "message loss: injected " << messages << ", processed "
+          << cell.processed << ", recorded " << h.count();
+      const std::string prefix = load_prefix + name + "/";
+      report.AddMetric(prefix + "count", static_cast<double>(h.count()));
+      report.AddMetric(prefix + "p50_us", static_cast<double>(h.P50()));
+      report.AddMetric(prefix + "p95_us", static_cast<double>(h.P95()));
+      report.AddMetric(prefix + "p99_us", static_cast<double>(h.P99()));
+      report.AddMetric(prefix + "p999_us", static_cast<double>(h.P999()));
+      report.AddMetric(prefix + "max_us", static_cast<double>(h.max()));
+      report.AddMetric(prefix + "mean_us", h.mean());
+      report.AddMetric(prefix + "saturated",
+                       static_cast<double>(h.saturated()));
+      report.AddHostMetric(prefix + "wall_seconds", cell.wall_seconds);
+      report.AddHostMetric(prefix + "max_inject_lag_us",
+                           static_cast<double>(cell.max_lag_us));
+      worst_p999 = std::max(worst_p999, h.P999());
+      saturated_total += h.saturated();
+      table.AddRow({std::to_string(load), name, std::to_string(h.count()),
+                    FormatUs(h.P50()), FormatUs(h.P95()), FormatUs(h.P99()),
+                    FormatUs(h.P999()), FormatUs(h.max()),
+                    std::to_string(static_cast<uint64_t>(h.mean()))});
+    }
+  }
+  report.AddTable(std::move(table));
+  report.AddText(
+      "Expected shape: per technique, every latency quantile is monotone\n"
+      "nondecreasing in the offered load; at the top load KG's hot worker\n"
+      "(head key p1~0.38 + its hash share) is offered more than its\n"
+      "capacity and the queue grows for the rest of the cell, while PKG-L\n"
+      "splits the head across two workers and stays far below capacity —\n"
+      "so PKG-L's p99/p999 sit orders of magnitude below KG's. Latency is\n"
+      "measured from each message's *scheduled* arrival (open loop): the\n"
+      "backlog counts against the tail instead of silently slowing the\n"
+      "injector (coordinated omission).");
+
+  // One greppable line for the CI reproduction-gate job.
+  std::cout << "[bench_latency_under_load] latency-under-load-complete:"
+            << " loads=" << loads.size() << " techniques=" << techniques.size()
+            << " worst_p999_us=" << worst_p999
+            << " saturated=" << saturated_total << "\n";
+  return bench::Finish(report, args);
+}

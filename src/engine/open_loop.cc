@@ -1,0 +1,158 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/open_loop.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+#include "engine/spsc_ring.h"
+
+namespace pkgstream {
+namespace engine {
+
+LatencySink::LatencySink(Options options)
+    : options_(options),
+      histogram_(options.histogram_max_us, options.histogram_sub_buckets) {
+  if (options_.model == ServiceModel::kWallClock) {
+    PKGSTREAM_CHECK(options_.clock != nullptr)
+        << "kWallClock LatencySink needs the run clock";
+  }
+}
+
+void LatencySink::Process(const Message& msg, Emitter* out) {
+  (void)out;
+  const uint64_t scheduled = msg.ts;
+  if (options_.model == ServiceModel::kVirtualService) {
+    if (options_.service_us == 0) {
+      histogram_.Record(0);
+      return;
+    }
+    // Lindley recursion: service starts when both the message has arrived
+    // (its scheduled time) and this worker is free.
+    const uint64_t start = std::max(scheduled, next_free_us_);
+    next_free_us_ = start + options_.service_us;
+    histogram_.Record(next_free_us_ - scheduled);
+    return;
+  }
+  if (options_.service_spin_us > 0) {
+    const uint64_t until = options_.clock->NowMicros() + options_.service_spin_us;
+    while (options_.clock->NowMicros() < until) Backoff::CpuRelax();
+  }
+  const uint64_t now = options_.clock->NowMicros();
+  histogram_.Record(now > scheduled ? now - scheduled : 0);
+}
+
+stats::LatencyHistogram LatencySink::MergedHistogram(ThreadedRuntime* rt,
+                                                     NodeId sink,
+                                                     uint32_t parallelism,
+                                                     const Options& options) {
+  stats::LatencyHistogram merged(options.histogram_max_us,
+                                 options.histogram_sub_buckets);
+  for (uint32_t i = 0; i < parallelism; ++i) {
+    auto* op = dynamic_cast<LatencySink*>(rt->GetOperator(sink, i));
+    PKGSTREAM_CHECK(op != nullptr) << "node is not a LatencySink";
+    merged.Merge(op->histogram());
+  }
+  return merged;
+}
+
+OperatorFactory LatencySink::MakeFactory(Options options) {
+  return [options](uint32_t) { return std::make_unique<LatencySink>(options); };
+}
+
+OpenLoopDriver::OpenLoopDriver(ThreadedRuntime* rt, NodeId spout,
+                               const OpenLoopClock* clock,
+                               OpenLoopOptions options)
+    : rt_(rt), spout_(spout), clock_(clock), options_(options) {
+  PKGSTREAM_CHECK(rt != nullptr && clock != nullptr);
+  PKGSTREAM_CHECK(options_.max_batch > 0);
+}
+
+void OpenLoopDriver::WaitUntil(uint64_t target_us) const {
+  for (;;) {
+    const uint64_t now = clock_->NowMicros();
+    if (now >= target_us) return;
+    const uint64_t wait = target_us - now;
+    if (wait > 2000) {
+      // Sleep most of it, leave ~1ms of slack for wakeup jitter.
+      std::this_thread::sleep_for(std::chrono::microseconds(wait - 1000));
+    } else if (wait > 200) {
+      std::this_thread::yield();
+    } else {
+      Backoff::CpuRelax();
+    }
+  }
+}
+
+OpenLoopSourceReport OpenLoopDriver::RunSource(const Source& source) {
+  PKGSTREAM_CHECK(source.schedule != nullptr && source.keys != nullptr);
+  OpenLoopSourceReport report;
+  const size_t max_batch = options_.max_batch;
+  std::vector<uint64_t> when(max_batch);
+  std::vector<Key> keys(max_batch);
+  std::vector<Message> msgs(max_batch);
+
+  uint64_t produced = 0;
+  size_t len = 0;  // filled portion of when/keys
+  size_t pos = 0;  // next unsent entry
+  while (produced < source.messages || pos < len) {
+    if (pos == len) {
+      len = static_cast<size_t>(
+          std::min<uint64_t>(max_batch, source.messages - produced));
+      source.schedule->NextBatchMicros(when.data(), len);
+      source.keys->NextBatch(keys.data(), len);
+      produced += len;
+      pos = 0;
+    }
+    if (options_.pace) {
+      const uint64_t before = clock_->NowMicros();
+      if (before < when[pos]) {
+        WaitUntil(when[pos]);
+      } else {
+        ++report.late_batches;
+      }
+    }
+    // Everything already due goes out in one batch; when not pacing, the
+    // whole buffered chunk is "due".
+    size_t count = 1;
+    if (options_.pace) {
+      const uint64_t now = clock_->NowMicros();
+      while (pos + count < len && when[pos + count] <= now) ++count;
+    } else {
+      count = len - pos;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      Message& m = msgs[i];
+      m.key = keys[pos + i];
+      m.ts = when[pos + i];  // latency is measured from the *scheduled* time
+    }
+    rt_->InjectBatch(spout_, source.source, msgs.data(), count);
+    const uint64_t after = clock_->NowMicros();
+    // The first message of the batch has the earliest schedule, so its lag
+    // bounds the batch.
+    if (after > when[pos]) {
+      report.max_lag_us = std::max(report.max_lag_us, after - when[pos]);
+    }
+    report.last_scheduled_us = when[pos + count - 1];
+    report.injected += count;
+    pos += count;
+  }
+  return report;
+}
+
+std::vector<OpenLoopSourceReport> OpenLoopDriver::Run(
+    const std::vector<Source>& sources) {
+  std::vector<OpenLoopSourceReport> reports(sources.size());
+  std::vector<std::thread> threads;
+  threads.reserve(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    threads.emplace_back(
+        [this, &sources, &reports, i] { reports[i] = RunSource(sources[i]); });
+  }
+  for (auto& t : threads) t.join();
+  return reports;
+}
+
+}  // namespace engine
+}  // namespace pkgstream

@@ -1,0 +1,184 @@
+// Copyright 2026 The pkgstream Authors.
+// Open-loop load generation for ThreadedRuntime, with coordinated-omission-
+// safe latency measurement (ROADMAP "sharded many-worker runtime with
+// latency under load"; the paper's Section V cluster experiment measures
+// latency, not just imbalance: "the average latency with KG is up to 45%
+// larger than with PKG").
+//
+// The closed-loop injectors used by the scaling benches inject as fast as
+// the system accepts: when a hot worker backs up, backpressure slows the
+// injector, the offered load silently adapts, and queueing delay never
+// shows up in the numbers (coordinated omission). The OpenLoopDriver is
+// the opposite: the offered load is fixed up front as a
+// workload::ArrivalSchedule — per-message scheduled arrival times — and
+// the driver injects against that schedule via InjectBatch, never
+// re-planning when the system falls behind. Every message is stamped with
+// its *scheduled* arrival time in Message::ts, and latency is measured
+// from that stamp, so time a message spent waiting to even be injected
+// (backpressure on a full ring, an injector running late) counts against
+// the tail instead of flattering it.
+//
+// Latency recording (LatencySink) supports two service models:
+//
+//  * kVirtualService — the sink advances a per-instance virtual completion
+//    clock: start = max(ts, next_free), next_free = start + service_us,
+//    latency = next_free - ts. This is the Lindley recursion of a
+//    single-server queue with deterministic service, driven by the
+//    *scheduled* arrivals — per-worker capacity is exactly 1e6/service_us
+//    msgs/sec by construction, independent of host speed, scheduler noise
+//    or sanitizer slowdown. With a single spout instance the per-sink
+//    arrival order equals injection order, so the recorded histograms are
+//    bit-deterministic: bench_latency_under_load commits its p50/p99/p999
+//    as baseline-gated deterministic metrics.
+//  * kWallClock — latency = (wall time at processing) - ts against the
+//    shared OpenLoopClock, optionally burning service_spin_us of real CPU
+//    per message. Host-dependent; used by the stress tests to exercise
+//    real backpressure end to end.
+//
+// Per-instance LatencyHistograms are merged after Finish() (the runtime's
+// thread joins order the sink state before GetOperator access).
+
+#ifndef PKGSTREAM_ENGINE_OPEN_LOOP_H_
+#define PKGSTREAM_ENGINE_OPEN_LOOP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/threaded_runtime.h"
+#include "stats/latency_histogram.h"
+#include "workload/arrival_schedule.h"
+#include "workload/key_stream.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief Monotonic run clock shared by the driver and wall-clock sinks.
+/// Microseconds since construction (the run epoch, schedule time 0).
+class OpenLoopClock {
+ public:
+  OpenLoopClock() : epoch_(std::chrono::steady_clock::now()) {}
+
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// \brief Latency-recording sink operator (see file comment for the two
+/// service models).
+class LatencySink final : public Operator {
+ public:
+  enum class ServiceModel {
+    kVirtualService,  ///< deterministic Lindley recursion on Message::ts
+    kWallClock,       ///< wall-clock latency against the run clock
+  };
+
+  struct Options {
+    ServiceModel model = ServiceModel::kVirtualService;
+    /// kVirtualService: deterministic service time per message; the
+    /// instance's capacity is exactly 1e6/service_us msgs/sec (0 = infinite
+    /// capacity, latency 0 — useful to isolate schedule replay).
+    uint64_t service_us = 0;
+    /// kWallClock: real CPU burned per message (0 = none).
+    uint64_t service_spin_us = 0;
+    /// kWallClock: the run clock (required; must outlive the sink).
+    const OpenLoopClock* clock = nullptr;
+    /// Histogram geometry (all instances must agree for Merge).
+    uint64_t histogram_max_us = 1ULL << 30;
+    uint32_t histogram_sub_buckets = 32;
+  };
+
+  explicit LatencySink(Options options);
+
+  void Process(const Message& msg, Emitter* out) override;
+  uint64_t MemoryCounters() const override { return 0; }
+
+  /// Valid after ThreadedRuntime::Finish().
+  const stats::LatencyHistogram& histogram() const { return histogram_; }
+
+  /// Merges the histograms of all `parallelism` LatencySink instances of
+  /// `sink` (must be the runtime's operator node built from MakeFactory).
+  static stats::LatencyHistogram MergedHistogram(ThreadedRuntime* rt,
+                                                 NodeId sink,
+                                                 uint32_t parallelism,
+                                                 const Options& options);
+
+  /// OperatorFactory building one LatencySink per instance.
+  static OperatorFactory MakeFactory(Options options);
+
+ private:
+  Options options_;
+  stats::LatencyHistogram histogram_;
+  uint64_t next_free_us_ = 0;  // kVirtualService completion clock
+};
+
+/// \brief Options for the open-loop driver.
+struct OpenLoopOptions {
+  /// Follow the schedule on the wall clock (sleep until each arrival is
+  /// due; messages already due are injected together). When false, the
+  /// whole schedule is replayed as fast as possible — arrival stamps and
+  /// kVirtualService latencies are identical either way; only the wall
+  /// metrics differ.
+  bool pace = true;
+  /// Max messages per InjectBatch call (and schedule/key lookahead).
+  size_t max_batch = 256;
+};
+
+/// \brief Per-source result of an open-loop run.
+struct OpenLoopSourceReport {
+  uint64_t injected = 0;           ///< messages injected (== spec.messages)
+  uint64_t last_scheduled_us = 0;  ///< schedule time of the final message
+  /// Max (inject completion wall time - scheduled time) over all batches:
+  /// how far the injector fell behind its schedule (backpressure or an
+  /// overloaded host). Meaningful when pacing; unpaced runs report the
+  /// trivially large replay lead/lag.
+  uint64_t max_lag_us = 0;
+  /// Batches that were already past their scheduled time before injection
+  /// started (the open-loop "never slow down" path was exercised).
+  uint64_t late_batches = 0;
+};
+
+/// \brief Drives one spout of a ThreadedRuntime from per-source arrival
+/// schedules and key streams, one injector thread per source.
+class OpenLoopDriver {
+ public:
+  /// One spout instance's load: `messages` keys from `keys`, arriving at
+  /// `schedule`'s times. Both pointers must outlive Run().
+  struct Source {
+    SourceId source = 0;
+    workload::ArrivalSchedule* schedule = nullptr;
+    workload::KeyStream* keys = nullptr;
+    uint64_t messages = 0;
+  };
+
+  /// `clock` is the shared run epoch (schedule time 0 = clock construction;
+  /// build the clock, then the runtime, then Run soon after).
+  OpenLoopDriver(ThreadedRuntime* rt, NodeId spout, const OpenLoopClock* clock,
+                 OpenLoopOptions options = {});
+
+  /// Runs every source to completion (one thread each; blocks until all
+  /// schedules are fully injected). Does not call Finish() — callers may
+  /// run several waves, then Finish.
+  std::vector<OpenLoopSourceReport> Run(const std::vector<Source>& sources);
+
+ private:
+  OpenLoopSourceReport RunSource(const Source& source);
+  void WaitUntil(uint64_t target_us) const;
+
+  ThreadedRuntime* rt_;
+  NodeId spout_;
+  const OpenLoopClock* clock_;
+  OpenLoopOptions options_;
+};
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_OPEN_LOOP_H_

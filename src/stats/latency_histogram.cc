@@ -2,6 +2,7 @@
 
 #include "stats/latency_histogram.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/bits.h"
@@ -16,9 +17,15 @@ LatencyHistogram::LatencyHistogram(uint64_t max_value, uint32_t sub_buckets)
   PKGSTREAM_CHECK(sub_buckets >= 2 && HasSingleBit(sub_buckets))
       << "sub_buckets must be a power of two";
   sub_bucket_shift_ = static_cast<uint32_t>(CountrZero(sub_buckets_));
-  // One log2 super-bucket per bit of max_value, each with sub_buckets cells.
-  uint32_t super = 64 - static_cast<uint32_t>(CountlZero(max_value_));
-  counts_.assign(static_cast<size_t>(super + 1) * sub_buckets_, 0);
+  // Record() clamps every value to max_value_, so the largest cell ever
+  // touched is BucketIndex(max_value_): allocate exactly through it (one
+  // super-bucket per bit of max_value would waste ~20% of cells — the top
+  // super-bucket only ever uses the sub-cells below max_value's position).
+  const uint32_t top = BucketIndex(max_value_);
+  counts_.assign(static_cast<size_t>(top) + 1, 0);
+  // The top cell must really cover max_value_, or clamped values would be
+  // misfiled (BucketIndex and BucketUpperBound agree on the geometry).
+  PKGSTREAM_CHECK(BucketUpperBound(top) >= max_value_);
 }
 
 uint32_t LatencyHistogram::BucketIndex(uint64_t value) const {
@@ -66,16 +73,25 @@ uint64_t LatencyHistogram::Quantile(double q) const {
   uint64_t rank = static_cast<uint64_t>(std::ceil(exact));
   if (rank > 0) --rank;
   if (rank >= stats_.count()) rank = stats_.count() - 1;
+  // The bucket upper bound can exceed the true recorded maximum by up to the
+  // bucket width (Quantile(1.0) must not invent values nobody observed);
+  // RunningStats tracks the exact max, so clamp against it.
+  const uint64_t recorded_max = static_cast<uint64_t>(stats_.max());
   uint64_t seen = 0;
   for (uint32_t i = 0; i < counts_.size(); ++i) {
     seen += counts_[i];
-    if (seen > rank) return BucketUpperBound(i);
+    if (seen > rank) return std::min(BucketUpperBound(i), recorded_max);
   }
-  return static_cast<uint64_t>(stats_.max());
+  return recorded_max;
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  PKGSTREAM_CHECK(counts_.size() == other.counts_.size() &&
+  // max_value_ must be compared explicitly: two histograms whose max values
+  // share a top sub-bucket cell (e.g. 1010 and 1023 at 32 sub-buckets) have
+  // identical counts_ sizes yet different saturation thresholds — merging
+  // them would silently mix clamp points.
+  PKGSTREAM_CHECK(max_value_ == other.max_value_ &&
+                  counts_.size() == other.counts_.size() &&
                   sub_buckets_ == other.sub_buckets_)
       << "histogram geometries differ";
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];

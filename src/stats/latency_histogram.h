@@ -42,11 +42,13 @@ class LatencyHistogram {
   /// Observations clamped at max_value.
   uint64_t saturated() const { return saturated_; }
 
-  /// Value at quantile q in [0,1] (bucket upper bound; ~3% relative error).
+  /// Value at quantile q in [0,1] (bucket upper bound, clamped to the exact
+  /// recorded max; ~3% relative error).
   uint64_t Quantile(double q) const;
   uint64_t P50() const { return Quantile(0.50); }
   uint64_t P95() const { return Quantile(0.95); }
   uint64_t P99() const { return Quantile(0.99); }
+  uint64_t P999() const { return Quantile(0.999); }
 
   /// Merges another histogram with identical geometry.
   void Merge(const LatencyHistogram& other);

@@ -1,0 +1,119 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "workload/arrival_schedule.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace pkgstream {
+namespace workload {
+
+namespace {
+
+std::string FormatRate(double rate_per_sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", rate_per_sec);
+  return buf;
+}
+
+}  // namespace
+
+ConstantRateSchedule::ConstantRateSchedule(double rate_per_sec)
+    : rate_per_sec_(rate_per_sec) {
+  PKGSTREAM_CHECK(rate_per_sec > 0);
+}
+
+uint64_t ConstantRateSchedule::NextMicros() {
+  const uint64_t us = static_cast<uint64_t>(
+      std::floor(static_cast<double>(index_) * 1e6 / rate_per_sec_));
+  ++index_;
+  return us;
+}
+
+void ConstantRateSchedule::NextBatchMicros(uint64_t* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint64_t>(
+        std::floor(static_cast<double>(index_ + i) * 1e6 / rate_per_sec_));
+  }
+  index_ += n;
+}
+
+std::string ConstantRateSchedule::Name() const {
+  return "constant(rate=" + FormatRate(rate_per_sec_) + "/s)";
+}
+
+PoissonSchedule::PoissonSchedule(double rate_per_sec, uint64_t seed)
+    : rate_per_sec_(rate_per_sec), rng_(seed) {
+  PKGSTREAM_CHECK(rate_per_sec > 0);
+}
+
+uint64_t PoissonSchedule::NextMicros() {
+  const uint64_t us = static_cast<uint64_t>(std::floor(next_us_));
+  next_us_ += rng_.Exponential(rate_per_sec_ / 1e6);
+  return us;
+}
+
+std::string PoissonSchedule::Name() const {
+  return "poisson(rate=" + FormatRate(rate_per_sec_) + "/s)";
+}
+
+OnOffSchedule::OnOffSchedule(double rate_on_per_sec, double rate_off_per_sec,
+                             uint64_t on_micros, uint64_t off_micros,
+                             uint64_t seed)
+    : rate_on_per_sec_(rate_on_per_sec),
+      rate_off_per_sec_(rate_off_per_sec),
+      on_micros_(on_micros),
+      off_micros_(off_micros),
+      rng_(seed) {
+  PKGSTREAM_CHECK(rate_on_per_sec > 0);
+  PKGSTREAM_CHECK(rate_off_per_sec >= 0);
+  PKGSTREAM_CHECK(on_micros > 0 && off_micros > 0);
+}
+
+void OnOffSchedule::WindowAt(double t_us, double* rate_per_us,
+                             double* window_end) const {
+  const double period =
+      static_cast<double>(on_micros_) + static_cast<double>(off_micros_);
+  const double cycles = std::floor(t_us / period);
+  const double phase = t_us - cycles * period;
+  if (phase < static_cast<double>(on_micros_)) {
+    *rate_per_us = rate_on_per_sec_ / 1e6;
+    *window_end = cycles * period + static_cast<double>(on_micros_);
+  } else {
+    *rate_per_us = rate_off_per_sec_ / 1e6;
+    *window_end = (cycles + 1.0) * period;
+  }
+}
+
+uint64_t OnOffSchedule::NextMicros() {
+  // Inversion through the piecewise-constant rate profile: spend a
+  // unit-rate exponential deadline walking forward; a window at local rate
+  // r consumes r * dt of it per microsecond (an OFF window at rate 0
+  // consumes nothing and is skipped whole).
+  double remaining = rng_.Exponential(1.0);
+  for (;;) {
+    double rate_per_us, window_end;
+    WindowAt(t_us_, &rate_per_us, &window_end);
+    if (rate_per_us > 0) {
+      const double dt = remaining / rate_per_us;
+      if (t_us_ + dt < window_end) {
+        t_us_ += dt;
+        return static_cast<uint64_t>(std::floor(t_us_));
+      }
+      remaining -= (window_end - t_us_) * rate_per_us;
+    }
+    t_us_ = window_end;
+  }
+}
+
+std::string OnOffSchedule::Name() const {
+  return "onoff(on=" + FormatRate(rate_on_per_sec_) + "/s x " +
+         std::to_string(on_micros_) + "us, off=" +
+         FormatRate(rate_off_per_sec_) + "/s x " +
+         std::to_string(off_micros_) + "us)";
+}
+
+}  // namespace workload
+}  // namespace pkgstream

@@ -33,7 +33,7 @@ const char* kPaperBenches[] = {
     "bench_fig4_skewed_sources",  "bench_fig5a_throughput",
     "bench_fig5b_memory",         "bench_ablation_choices",
     "bench_ablation_probing",     "bench_ablation_rebalance",
-    "bench_threaded_scaling",
+    "bench_threaded_scaling",    "bench_latency_under_load",
 };
 
 std::string BenchDir() {
@@ -65,6 +65,7 @@ std::string ReadFileOrDie(const std::string& path) {
 std::string QuickFlags(const std::string& bench) {
   std::string flags = "--quick --seed=42";
   if (bench == "bench_threaded_scaling") flags += " --messages=2000";
+  if (bench == "bench_latency_under_load") flags += " --cell_ms=100";
   return flags;
 }
 
@@ -81,9 +82,10 @@ TEST_P(BenchDeterminismTest, SameSeedSameQuickScaleByteIdenticalReport) {
   }
   const std::string text1 = ReadFileOrDie(out1);
   const std::string text2 = ReadFileOrDie(out2);
-  if (bench == "bench_threaded_scaling") {
-    // The scaling sweep measures wall-clock rates; everything *outside*
-    // host_metrics must still be byte-identical.
+  if (bench == "bench_threaded_scaling" ||
+      bench == "bench_latency_under_load") {
+    // These benches measure wall-clock rates / injection lag; everything
+    // *outside* host_metrics must still be byte-identical.
     auto doc1 = JsonValue::Parse(text1);
     auto doc2 = JsonValue::Parse(text2);
     ASSERT_TRUE(doc1.ok() && doc2.ok());

@@ -408,6 +408,7 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_threaded_scaling", 7},
     {"bench_seq_dchoices", 24},
     {"bench_micro_route", 14},
+    {"bench_latency_under_load", 21},
 };
 
 class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};

@@ -112,6 +112,133 @@ TEST(LatencyHistogramTest, MonotoneQuantiles) {
   }
 }
 
+TEST(LatencyHistogramTest, MergeRejectsDifferentMaxValueSameCellCount) {
+  // 1010 and 1023 land in the same top cell at 32 sub-buckets, so both
+  // histograms allocate identical counts_ arrays — only an explicit
+  // max_value comparison can tell them apart (they clamp differently).
+  LatencyHistogram a(/*max_value=*/1010, /*sub_buckets=*/32);
+  LatencyHistogram b(/*max_value=*/1023, /*sub_buckets=*/32);
+  EXPECT_DEATH(a.Merge(b), "geometries differ");
+}
+
+TEST(LatencyHistogramTest, MergeRejectsDifferentSubBuckets) {
+  LatencyHistogram a(1 << 20, 16);
+  LatencyHistogram b(1 << 20, 32);
+  EXPECT_DEATH(a.Merge(b), "geometries differ");
+}
+
+TEST(LatencyHistogramTest, TopQuantileNeverExceedsRecordedMax) {
+  // The bucket upper bound overshoots the largest recorded value by up to
+  // the bucket width; Quantile must clamp to the exact max instead of
+  // inventing an observation nobody made.
+  LatencyHistogram h;
+  h.Record(1000);  // bucket [993, 1024] at 32 sub-buckets
+  EXPECT_EQ(h.Quantile(1.0), 1000u);
+  EXPECT_EQ(h.P999(), 1000u);
+  h.Record(3);
+  EXPECT_EQ(h.Quantile(1.0), 1000u);
+}
+
+TEST(LatencyHistogramTest, PowerOfTwoBoundaries) {
+  // Exercise values at 2^k - 1, 2^k, 2^k + 1 around every super-bucket
+  // transition: each must be recorded, never lost, and quantile lookups
+  // must bound them within one sub-bucket width.
+  LatencyHistogram h(1ULL << 30, 32);
+  std::vector<uint64_t> values;
+  for (uint32_t k = 1; k < 30; ++k) {
+    const uint64_t p = 1ULL << k;
+    values.push_back(p - 1);
+    values.push_back(p);
+    values.push_back(p + 1);
+  }
+  for (uint64_t v : values) h.Record(v);
+  EXPECT_EQ(h.count(), values.size());
+  EXPECT_EQ(h.saturated(), 0u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), (1ULL << 29) + 1);
+  EXPECT_EQ(h.Quantile(1.0), (1ULL << 29) + 1);
+}
+
+TEST(LatencyHistogramTest, MaxValueAtBucketBoundaryIsRepresentable) {
+  // max_value exactly a power of two starts a fresh super-bucket; the
+  // constructor's right-sizing must still cover it (and the assert that
+  // the top cell spans max_value must hold).
+  for (uint64_t max : {1ULL << 10, (1ULL << 10) + 1, (1ULL << 10) - 1}) {
+    LatencyHistogram h(max, 32);
+    h.Record(max);
+    h.Record(max + 5);  // clamps
+    EXPECT_EQ(h.saturated(), 1u);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.Quantile(1.0), max);
+  }
+}
+
+TEST(LatencyHistogramTest, SaturatedMergePreservesClampAndCounts) {
+  LatencyHistogram a(/*max_value=*/1024, /*sub_buckets=*/16);
+  LatencyHistogram b(/*max_value=*/1024, /*sub_buckets=*/16);
+  a.Record(1u << 20);
+  b.Record(1u << 25);
+  b.Record(512);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.saturated(), 2u);
+  // Both saturated observations were clamped to 1024 before recording.
+  EXPECT_EQ(a.max(), 1024u);
+  EXPECT_EQ(a.Quantile(1.0), 1024u);
+}
+
+TEST(LatencyHistogramTest, QuantilesTrackExactSortedReference) {
+  // Random streams over several magnitudes: every quantile must stay
+  // within one bucket width (~1/sub_buckets relative) of the exact
+  // order statistic from the sorted reference.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    LatencyHistogram h(1ULL << 30, 32);
+    Rng rng(seed);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 20000; ++i) {
+      // Log-uniform: magnitudes from 1 to ~2^28.
+      const uint32_t bits = static_cast<uint32_t>(rng.UniformInt(28));
+      const uint64_t v = 1 + rng.UniformInt((1ULL << bits) + 1);
+      values.push_back(v);
+      h.Record(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999}) {
+      const uint64_t exact =
+          values[static_cast<size_t>(q * (values.size() - 1))];
+      const double approx = static_cast<double>(h.Quantile(q));
+      EXPECT_NEAR(approx, static_cast<double>(exact),
+                  static_cast<double>(exact) * (1.0 / 32) + 2.0)
+          << "seed=" << seed << " q=" << q;
+    }
+  }
+}
+
+TEST(LatencyHistogramTest, ClearThenMergeRoundTrips) {
+  // h2 = clone of h1 via Merge-into-empty must agree on every statistic;
+  // Clear must make the target reusable as a Merge destination.
+  LatencyHistogram h1(1 << 20, 32);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) h1.Record(1 + rng.UniformInt(1 << 19));
+  LatencyHistogram h2(1 << 20, 32);
+  h2.Record(7);  // stale content, then reset
+  h2.Clear();
+  h2.Merge(h1);
+  EXPECT_EQ(h2.count(), h1.count());
+  EXPECT_EQ(h2.min(), h1.min());
+  EXPECT_EQ(h2.max(), h1.max());
+  EXPECT_DOUBLE_EQ(h2.mean(), h1.mean());
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_EQ(h2.Quantile(q), h1.Quantile(q)) << "q=" << q;
+  }
+  // Merging the clone back doubles every count but moves no quantile.
+  h1.Merge(h2);
+  EXPECT_EQ(h1.count(), 2 * h2.count());
+  for (double q = 0.0; q <= 1.0; q += 0.1) {
+    EXPECT_EQ(h1.Quantile(q), h2.Quantile(q)) << "q=" << q;
+  }
+}
+
 }  // namespace
 }  // namespace stats
 }  // namespace pkgstream

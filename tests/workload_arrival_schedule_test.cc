@@ -1,0 +1,163 @@
+// Copyright 2026 The pkgstream Authors.
+// Unit tests for the open-loop arrival schedules (workload/arrival_schedule.h):
+// determinism/replayability, batch==scalar equivalence, rate correctness,
+// and the on-off process's window structure.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "workload/arrival_schedule.h"
+
+namespace pkgstream {
+namespace workload {
+namespace {
+
+std::vector<uint64_t> Take(ArrivalSchedule* s, size_t n) {
+  std::vector<uint64_t> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = s->NextMicros();
+  return out;
+}
+
+TEST(ConstantRateScheduleTest, ExactIndexBasedTimes) {
+  ConstantRateSchedule s(/*rate_per_sec=*/1000.0);  // 1 msg per ms
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(s.NextMicros(), i * 1000);
+  }
+}
+
+TEST(ConstantRateScheduleTest, NonIntegerRateNeverDrifts) {
+  // 3 msgs/sec -> gaps of 333333/333334us; message i must sit at exactly
+  // floor(i * 1e6 / 3) no matter how far the stream runs (indexed, not
+  // accumulated).
+  ConstantRateSchedule s(3.0);
+  uint64_t last = 0;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    last = s.NextMicros();
+  }
+  EXPECT_EQ(last, static_cast<uint64_t>(9999ull * 1000000 / 3));
+}
+
+TEST(ConstantRateScheduleTest, BatchMatchesScalarMidStream) {
+  ConstantRateSchedule a(12345.0);
+  ConstantRateSchedule b(12345.0);
+  (void)Take(&a, 7);  // desynchronize the starting index
+  std::vector<uint64_t> scalar = Take(&a, 100);
+  (void)Take(&b, 7);
+  std::vector<uint64_t> batch(100);
+  b.NextBatchMicros(batch.data(), batch.size());
+  EXPECT_EQ(scalar, batch);
+}
+
+TEST(PoissonScheduleTest, SameSeedReplaysExactly) {
+  PoissonSchedule a(50000.0, /*seed=*/7);
+  PoissonSchedule b(50000.0, /*seed=*/7);
+  EXPECT_EQ(Take(&a, 1000), Take(&b, 1000));
+}
+
+TEST(PoissonScheduleTest, DifferentSeedsDiffer) {
+  PoissonSchedule a(50000.0, 7);
+  PoissonSchedule b(50000.0, 8);
+  EXPECT_NE(Take(&a, 100), Take(&b, 100));
+}
+
+TEST(PoissonScheduleTest, NondecreasingFromZero) {
+  PoissonSchedule s(100000.0, 3);
+  uint64_t prev = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t t = s.NextMicros();
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(PoissonScheduleTest, MeanGapMatchesRate) {
+  // 20k/s -> mean gap 50us; over 100k arrivals the sample mean must land
+  // within a few percent (fixed seed: no flakiness).
+  const double rate = 20000.0;
+  PoissonSchedule s(rate, 42);
+  const size_t n = 100000;
+  uint64_t last = 0;
+  for (size_t i = 0; i < n; ++i) last = s.NextMicros();
+  const double mean_gap = static_cast<double>(last) / static_cast<double>(n);
+  EXPECT_NEAR(mean_gap, 1e6 / rate, 0.05 * (1e6 / rate));
+}
+
+TEST(PoissonScheduleTest, BatchMatchesScalarMidStream) {
+  PoissonSchedule a(30000.0, 11);
+  PoissonSchedule b(30000.0, 11);
+  (void)Take(&a, 13);
+  std::vector<uint64_t> scalar = Take(&a, 500);
+  (void)Take(&b, 13);
+  std::vector<uint64_t> batch(500);
+  b.NextBatchMicros(batch.data(), batch.size());
+  EXPECT_EQ(scalar, batch);
+}
+
+TEST(OnOffScheduleTest, SameSeedReplaysExactly) {
+  OnOffSchedule a(80000.0, 2000.0, 10000, 40000, 5);
+  OnOffSchedule b(80000.0, 2000.0, 10000, 40000, 5);
+  EXPECT_EQ(Take(&a, 2000), Take(&b, 2000));
+}
+
+TEST(OnOffScheduleTest, SilentOffWindowsHaveNoArrivals) {
+  // rate_off = 0: every arrival must land inside an ON window.
+  const uint64_t on = 10000, off = 40000;
+  OnOffSchedule s(100000.0, 0.0, on, off, 17);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t t = s.NextMicros();
+    EXPECT_LT(t % (on + off), on) << "arrival at " << t << " in OFF window";
+  }
+}
+
+TEST(OnOffScheduleTest, BurstsConcentrateInOnWindows) {
+  // ON at 100k/s for 10ms, OFF at 1k/s for 40ms: ~99.6% of arrivals belong
+  // to ON windows even though ON covers only 20% of the time.
+  const uint64_t on = 10000, off = 40000;
+  OnOffSchedule s(100000.0, 1000.0, on, off, 23);
+  size_t in_on = 0;
+  const size_t n = 20000;
+  for (size_t i = 0; i < n; ++i) {
+    if (s.NextMicros() % (on + off) < on) ++in_on;
+  }
+  EXPECT_GT(static_cast<double>(in_on) / static_cast<double>(n), 0.9);
+}
+
+TEST(OnOffScheduleTest, LongRunRateMatchesDutyCycle) {
+  // Average rate = (r_on * t_on + r_off * t_off) / (t_on + t_off).
+  const double r_on = 50000.0, r_off = 5000.0;
+  const uint64_t on = 20000, off = 30000;
+  OnOffSchedule s(r_on, r_off, on, off, 9);
+  const size_t n = 100000;
+  uint64_t last = 0;
+  for (size_t i = 0; i < n; ++i) last = s.NextMicros();
+  const double expected_rate =
+      (r_on * static_cast<double>(on) + r_off * static_cast<double>(off)) /
+      (static_cast<double>(on + off) * 1e6);
+  const double observed_rate =
+      static_cast<double>(n) / static_cast<double>(last);
+  EXPECT_NEAR(observed_rate, expected_rate, 0.05 * expected_rate);
+}
+
+TEST(ArrivalScheduleTest, DefaultBatchForwardsToScalar) {
+  // OnOffSchedule does not override NextBatchMicros; the base default must
+  // yield exactly the scalar sequence.
+  OnOffSchedule a(60000.0, 1000.0, 5000, 5000, 31);
+  OnOffSchedule b(60000.0, 1000.0, 5000, 5000, 31);
+  std::vector<uint64_t> scalar = Take(&a, 300);
+  std::vector<uint64_t> batch(300);
+  b.NextBatchMicros(batch.data(), batch.size());
+  EXPECT_EQ(scalar, batch);
+}
+
+TEST(ArrivalScheduleTest, NamesAreDescriptive) {
+  EXPECT_EQ(ConstantRateSchedule(8000.0).Name(), "constant(rate=8000/s)");
+  EXPECT_EQ(PoissonSchedule(32000.0, 1).Name(), "poisson(rate=32000/s)");
+  EXPECT_NE(OnOffSchedule(1000.0, 10.0, 5, 5, 1).Name().find("onoff"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace pkgstream

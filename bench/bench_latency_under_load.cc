@@ -116,6 +116,7 @@ struct CellResult {
   uint64_t processed = 0;
   double wall_seconds = 0;
   uint64_t max_lag_us = 0;
+  stats::LatencyHistogram lag_hist{1ULL << 30, 32};
 };
 
 CellResult RunCell(partition::Technique technique, uint32_t workers,
@@ -153,6 +154,7 @@ CellResult RunCell(partition::Technique technique, uint32_t workers,
   for (uint64_t n : (*rt)->Processed(sink)) result.processed += n;
   result.wall_seconds = static_cast<double>(clock.NowMicros()) / 1e6;
   result.max_lag_us = reports[0].max_lag_us;
+  result.lag_hist = reports[0].lag_histogram;
   return result;
 }
 
@@ -270,6 +272,15 @@ int main(int argc, char** argv) {
       report.AddHostMetric(prefix + "wall_seconds", cell.wall_seconds);
       report.AddHostMetric(prefix + "max_inject_lag_us",
                            static_cast<double>(cell.max_lag_us));
+      // Inject-lag quantiles (per message, from the driver's lag
+      // histogram): p99 near zero with a large max means one scheduling
+      // spike; p99 near the max means sustained injector backpressure.
+      report.AddHostMetric(prefix + "inject_lag_p50_us",
+                           static_cast<double>(cell.lag_hist.P50()));
+      report.AddHostMetric(prefix + "inject_lag_p99_us",
+                           static_cast<double>(cell.lag_hist.P99()));
+      report.AddHostMetric(prefix + "inject_lag_p999_us",
+                           static_cast<double>(cell.lag_hist.P999()));
       worst_p999 = std::max(worst_p999, h.P999());
       saturated_total += h.saturated();
       table.AddRow({std::to_string(load), name, std::to_string(h.count()),

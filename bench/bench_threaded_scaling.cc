@@ -30,7 +30,27 @@
 // enough for scheduler noise to swamp the ratio.
 //
 // Sweep: parallelism P in {1,2,4,8,16} (P sources x P workers) x
-// technique in {KG, SG, PKG-L}.
+// technique in {KG, SG, PKG-L}. Override with --parallelisms=1,8,1000.
+// Large-P knobs (all default-off, so the committed baseline is unchanged):
+//   --parallelisms=CSV        replace the sweep (e.g. a single 1000 cell);
+//   --shards=N                run the lock-free side on N shard threads
+//                             instead of one thread per instance;
+//   --injectors=N             cap injector threads (sources are split into
+//                             N contiguous slices, one thread per slice —
+//                             per-source injection order is unchanged, so
+//                             routed counts stay deterministic);
+//   --legacy_max_parallelism  skip the mutex pipeline above this P (its
+//                             one-thread-per-worker + condvar design is
+//                             the very thing that cannot scale; without
+//                             the cap a P=1000 cell would try to build
+//                             1000 legacy consumer threads). Default 64,
+//                             comfortably above every default sweep.
+//   --queue_capacity=N        per producer->consumer ring slots (default
+//                             1024, the historical value). The all-to-all
+//                             P sources x P workers topology allocates
+//                             P^2 rings, so a P=1000 cell at the default
+//                             is ~P^2*1024*sizeof(Message) of ring memory
+//                             alone — pass e.g. 16 at large P.
 
 #include <algorithm>
 #include <atomic>
@@ -197,22 +217,43 @@ struct RunResult {
   uint64_t processed = 0;
 };
 
+/// Contiguous source slices for a capped injector-thread count: thread t
+/// of `threads` handles sources [bounds[t], bounds[t+1]). One thread per
+/// source when the cap is 0 or >= parallelism (the historical layout).
+std::vector<uint32_t> InjectorBounds(uint32_t parallelism,
+                                     uint32_t injector_cap) {
+  const uint32_t threads =
+      (injector_cap == 0 || injector_cap > parallelism) ? parallelism
+                                                        : injector_cap;
+  std::vector<uint32_t> bounds(threads + 1);
+  for (uint32_t t = 0; t <= threads; ++t) {
+    bounds[t] = static_cast<uint32_t>(
+        static_cast<uint64_t>(t) * parallelism / threads);
+  }
+  return bounds;
+}
+
 RunResult RunLegacy(partition::Technique technique, uint32_t parallelism,
-                    uint64_t messages, uint64_t seed) {
+                    uint64_t messages, uint64_t seed, uint32_t injector_cap,
+                    size_t queue_capacity) {
   partition::PartitionerConfig config;
   config.technique = technique;
   config.sources = parallelism;
   config.workers = parallelism;
   config.seed = seed;
   LegacyMutexPipeline pipeline(config, parallelism, parallelism,
-                               /*queue_capacity=*/1024);
+                               queue_capacity);
   const uint64_t per_source = messages / parallelism;
+  const std::vector<uint32_t> bounds =
+      InjectorBounds(parallelism, injector_cap);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> injectors;
-  for (uint32_t s = 0; s < parallelism; ++s) {
-    injectors.emplace_back([&, s] {
-      for (uint64_t i = 0; i < per_source; ++i) {
-        pipeline.Inject(s, BenchKey(s, i, seed));
+  for (size_t t = 0; t + 1 < bounds.size(); ++t) {
+    injectors.emplace_back([&, t] {
+      for (uint32_t s = bounds[t]; s < bounds[t + 1]; ++s) {
+        for (uint64_t i = 0; i < per_source; ++i) {
+          pipeline.Inject(s, BenchKey(s, i, seed));
+        }
       }
     });
   }
@@ -227,7 +268,8 @@ RunResult RunLegacy(partition::Technique technique, uint32_t parallelism,
 }
 
 RunResult RunLockFree(partition::Technique technique, uint32_t parallelism,
-                      uint64_t messages, uint64_t seed) {
+                      uint64_t messages, uint64_t seed, size_t shards,
+                      uint32_t injector_cap, size_t queue_capacity) {
   engine::Topology topology;
   engine::NodeId spout = topology.AddSpout("src", parallelism);
   engine::NodeId sink = topology.AddOperator(
@@ -235,23 +277,28 @@ RunResult RunLockFree(partition::Technique technique, uint32_t parallelism,
       parallelism);
   PKGSTREAM_CHECK_OK(topology.Connect(spout, sink, technique, seed));
   engine::ThreadedRuntimeOptions options;
-  options.queue_capacity = 1024;
+  options.queue_capacity = queue_capacity;
+  options.shards = shards;
   auto rt = engine::ThreadedRuntime::Create(&topology, options);
   PKGSTREAM_CHECK_OK(rt.status());
   const uint64_t per_source = messages / parallelism;
+  const std::vector<uint32_t> bounds =
+      InjectorBounds(parallelism, injector_cap);
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> injectors;
-  for (uint32_t s = 0; s < parallelism; ++s) {
-    injectors.emplace_back([&, s] {
+  for (size_t t = 0; t + 1 < bounds.size(); ++t) {
+    injectors.emplace_back([&, t] {
       constexpr uint64_t kInjectBatch = 256;
       engine::Message batch[kInjectBatch];
-      for (uint64_t i = 0; i < per_source;) {
-        const uint64_t len = std::min(kInjectBatch, per_source - i);
-        for (uint64_t j = 0; j < len; ++j) {
-          batch[j].key = BenchKey(s, i + j, seed);
+      for (uint32_t s = bounds[t]; s < bounds[t + 1]; ++s) {
+        for (uint64_t i = 0; i < per_source;) {
+          const uint64_t len = std::min(kInjectBatch, per_source - i);
+          for (uint64_t j = 0; j < len; ++j) {
+            batch[j].key = BenchKey(s, i + j, seed);
+          }
+          (*rt)->InjectBatch(spout, s, batch, len);
+          i += len;
         }
-        (*rt)->InjectBatch(spout, s, batch, len);
-        i += len;
       }
     });
   }
@@ -273,6 +320,7 @@ struct Row {
   double mutex_mps;
   double lockfree_mps;
   double speedup;
+  bool has_legacy;  // false above --legacy_max_parallelism: no speedup cell
 };
 
 std::string FormatMps(double v) {
@@ -319,6 +367,31 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> parallelisms =
       args.quick ? std::vector<uint32_t>{1, 4, 8}
                  : std::vector<uint32_t>{1, 2, 4, 8, 16};
+  const std::string parallelisms_csv = flags.GetString("parallelisms", "");
+  if (!parallelisms_csv.empty()) {
+    parallelisms.clear();
+    size_t at = 0;
+    while (at < parallelisms_csv.size()) {
+      size_t comma = parallelisms_csv.find(',', at);
+      if (comma == std::string::npos) comma = parallelisms_csv.size();
+      const long v = std::stol(parallelisms_csv.substr(at, comma - at));
+      PKGSTREAM_CHECK(v >= 1) << "--parallelisms entries must be >= 1";
+      parallelisms.push_back(static_cast<uint32_t>(v));
+      at = comma + 1;
+    }
+  }
+  const size_t shards =
+      static_cast<size_t>(flags.GetInt("shards", 0));
+  const uint32_t injector_cap =
+      static_cast<uint32_t>(flags.GetInt("injectors", 0));
+  // The legacy pipeline builds one consumer thread per worker plus a
+  // condvar per inbox — the design under indictment. Past this cap it is
+  // skipped (mutex column "-") instead of silently capping the sweep or
+  // exhausting threads at P=1000.
+  const uint32_t legacy_max_parallelism = static_cast<uint32_t>(
+      flags.GetInt("legacy_max_parallelism", 64));
+  const size_t queue_capacity =
+      static_cast<size_t>(flags.GetInt("queue_capacity", 1024));
   const std::vector<std::pair<partition::Technique, std::string>> techniques =
       {{partition::Technique::kHashing, "KG"},
        {partition::Technique::kShuffle, "SG"},
@@ -337,17 +410,29 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (uint32_t p : parallelisms) {
     for (const auto& [technique, name] : techniques) {
-      RunResult mutex_result = RunLegacy(technique, p, messages, args.seed);
+      const bool run_legacy = p <= legacy_max_parallelism;
+      RunResult mutex_result;
+      if (run_legacy) {
+        mutex_result = RunLegacy(technique, p, messages, args.seed,
+                                 injector_cap, queue_capacity);
+      }
       RunResult lockfree_result =
-          RunLockFree(technique, p, messages, args.seed);
-      PKGSTREAM_CHECK(mutex_result.processed == lockfree_result.processed)
-          << "runtimes routed different message counts";
+          RunLockFree(technique, p, messages, args.seed, shards,
+                      injector_cap, queue_capacity);
+      if (run_legacy) {
+        PKGSTREAM_CHECK(mutex_result.processed == lockfree_result.processed)
+            << "runtimes routed different message counts";
+      }
       Row row;
       row.parallelism = p;
       row.technique = name;
       row.mutex_mps = mutex_result.msgs_per_sec;
       row.lockfree_mps = lockfree_result.msgs_per_sec;
-      row.speedup = lockfree_result.msgs_per_sec / mutex_result.msgs_per_sec;
+      row.speedup = run_legacy
+                        ? lockfree_result.msgs_per_sec /
+                              mutex_result.msgs_per_sec
+                        : 0.0;
+      row.has_legacy = run_legacy;
       rows.push_back(row);
       const std::string prefix =
           "P=" + std::to_string(p) + "/" + name + "/";
@@ -355,13 +440,18 @@ int main(int argc, char** argv) {
       // every injected message); wall-clock rates are host-dependent.
       report.AddMetric(prefix + "processed",
                        static_cast<double>(lockfree_result.processed));
-      report.AddHostMetric(prefix + "mutex_msgs_per_sec", row.mutex_mps);
+      if (run_legacy) {
+        report.AddHostMetric(prefix + "mutex_msgs_per_sec", row.mutex_mps);
+      }
       report.AddHostMetric(prefix + "lockfree_msgs_per_sec",
                            row.lockfree_mps);
-      report.AddHostMetric(prefix + "speedup", row.speedup);
-      table.AddRow({std::to_string(p), name, FormatMps(row.mutex_mps),
+      if (run_legacy) {
+        report.AddHostMetric(prefix + "speedup", row.speedup);
+      }
+      table.AddRow({std::to_string(p), name,
+                    run_legacy ? FormatMps(row.mutex_mps) : "-",
                     FormatMps(row.lockfree_mps),
-                    FormatSpeedup(row.speedup)});
+                    run_legacy ? FormatSpeedup(row.speedup) : "-"});
     }
   }
   report.AddTable(std::move(table));
@@ -370,7 +460,7 @@ int main(int argc, char** argv) {
   if (check) {
     bool ok = true;
     for (const Row& r : rows) {
-      if (r.parallelism >= 8 && r.speedup < 2.0) {
+      if (r.has_legacy && r.parallelism >= 8 && r.speedup < 2.0) {
         std::cerr << "CHECK FAILED: P=" << r.parallelism << " "
                   << r.technique << " speedup " << r.speedup << " < 2.0\n";
         ok = false;

@@ -1,0 +1,58 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/cpu_affinity.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace pkgstream {
+namespace engine {
+
+unsigned CpuAffinity::AvailableCpus() {
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int count = CPU_COUNT(&mask);
+    if (count > 0) return static_cast<unsigned>(count);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+bool CpuAffinity::PinCurrentThread(unsigned slot) {
+#if defined(__linux__)
+  cpu_set_t allowed;
+  CPU_ZERO(&allowed);
+  if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+  const int count = CPU_COUNT(&allowed);
+  if (count <= 0) return false;
+  // Pick the (slot % count)-th *allowed* CPU: under a restricted cpuset
+  // the usable CPU ids need not be contiguous or start at 0.
+  int want = static_cast<int>(slot % static_cast<unsigned>(count));
+  int cpu = -1;
+  for (int c = 0; c < CPU_SETSIZE; ++c) {
+    if (!CPU_ISSET(c, &allowed)) continue;
+    if (want-- == 0) {
+      cpu = c;
+      break;
+    }
+  }
+  if (cpu < 0) return false;
+  cpu_set_t target;
+  CPU_ZERO(&target);
+  CPU_SET(cpu, &target);
+  return pthread_setaffinity_np(pthread_self(), sizeof(target), &target) == 0;
+#else
+  (void)slot;
+  return false;
+#endif
+}
+
+}  // namespace engine
+}  // namespace pkgstream

@@ -134,6 +134,13 @@ OpenLoopSourceReport OpenLoopDriver::RunSource(const Source& source) {
     if (after > when[pos]) {
       report.max_lag_us = std::max(report.max_lag_us, after - when[pos]);
     }
+    // Per-message lag against the same completion stamp: a batch held up
+    // by backpressure charges every message it covered, so sustained
+    // delay shows up in the quantiles, not just the max.
+    for (size_t i = 0; i < count; ++i) {
+      const uint64_t scheduled = when[pos + i];
+      report.lag_histogram.Record(after > scheduled ? after - scheduled : 0);
+    }
     report.last_scheduled_us = when[pos + count - 1];
     report.injected += count;
     pos += count;

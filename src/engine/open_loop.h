@@ -143,6 +143,12 @@ struct OpenLoopSourceReport {
   /// Batches that were already past their scheduled time before injection
   /// started (the open-loop "never slow down" path was exercised).
   uint64_t late_batches = 0;
+  /// Per-message inject lag, max(0, inject completion wall time -
+  /// scheduled time): one Record per injected message, so the quantiles
+  /// distinguish a single spike (p99 near 0, max large) from sustained
+  /// backpressure (p99 comparable to max) — the max alone cannot. Wall-
+  /// clock derived, so host-dependent: report as host_metrics only.
+  stats::LatencyHistogram lag_histogram{1ULL << 30, 32};
 };
 
 /// \brief Drives one spout of a ThreadedRuntime from per-source arrival

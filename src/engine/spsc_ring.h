@@ -122,6 +122,18 @@ class SpscRing {
     return count;
   }
 
+  /// Any thread: approximate occupancy from relaxed loads of both indices.
+  /// Exact when producer and consumer are quiescent; under concurrency the
+  /// two loads may observe torn progress, so the result is clamped to
+  /// [0, capacity()]. For depth reporting and idle heuristics only — never
+  /// a correctness signal (use TryPop to actually test for items).
+  size_t SizeApprox() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t diff = tail - head;
+    return diff > capacity_ ? capacity_ : diff;
+  }
+
   /// Consumer: dequeues one item; returns false when empty.
   bool TryPop(T* out) { return TryPopBatch(out, 1) == 1; }
 

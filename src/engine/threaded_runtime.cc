@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "engine/cpu_affinity.h"
 #include "partition/factory.h"
 
 namespace pkgstream {
@@ -27,6 +28,42 @@ class ThreadedRuntime::InstanceEmitter final : public Emitter {
   uint32_t node_;
   uint32_t instance_;
 };
+
+/// One operator instance as scheduled by its owning shard. All fields are
+/// shard-thread-local (the owning thread is the instance's only consumer
+/// and only executor), so none need atomics — except `processed`, which
+/// points at the runtime-wide padded cell readers poll via Processed().
+struct ThreadedRuntime::ShardInstance {
+  uint32_t node = 0;
+  uint32_t instance = 0;
+  uint32_t expected_eos = 0;
+  uint32_t eos_seen = 0;
+  /// Mid-Process on this shard's call stack (drain or nested help-drain);
+  /// guards against re-entering a suspended instance.
+  bool active = false;
+  /// Closed and EOS forwarded; nothing left to do.
+  bool done = false;
+  Operator* op = nullptr;
+  Mailbox* mailbox = nullptr;
+  std::atomic<uint64_t>* processed = nullptr;
+  std::unique_ptr<InstanceEmitter> emitter;
+};
+
+/// One shard thread's contiguous, topology-ordered slice of instances,
+/// plus the gate every owned mailbox wakes.
+struct ThreadedRuntime::ShardState {
+  ThreadedRuntime* runtime = nullptr;
+  uint32_t index = 0;
+  std::vector<ShardInstance> instances;
+  /// Owned instances not yet done; the shard thread exits at 0.
+  size_t remaining = 0;
+  /// Sweep rotation (fairness: a different instance leads each sweep).
+  size_t cursor = 0;
+  ConsumerGate gate;
+};
+
+thread_local ThreadedRuntime::ShardState* ThreadedRuntime::tls_shard_ =
+    nullptr;
 
 Result<std::unique_ptr<ThreadedRuntime>> ThreadedRuntime::Create(
     const Topology* topology, ThreadedRuntimeOptions options) {
@@ -55,9 +92,28 @@ ThreadedRuntime::ThreadedRuntime(const Topology* topology,
                                  ThreadedRuntimeOptions options)
     : topology_(topology), options_(options) {}
 
+void ThreadedRuntime::ComputeTopoRanks() {
+  const auto& nodes = topology_->nodes();
+  const auto& edges = topology_->edges();
+  topo_rank_.assign(nodes.size(), 0);
+  // Longest-path layering by bounded relaxation: Validate() guaranteed
+  // acyclicity, node counts are tiny, and this runs once at Init.
+  for (size_t pass = 0; pass < nodes.size(); ++pass) {
+    bool changed = false;
+    for (const auto& edge : edges) {
+      if (topo_rank_[edge.to.index] < topo_rank_[edge.from.index] + 1) {
+        topo_rank_[edge.to.index] = topo_rank_[edge.from.index] + 1;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+}
+
 Status ThreadedRuntime::Init() {
   const auto& nodes = topology_->nodes();
   const auto& edges = topology_->edges();
+  ComputeTopoRanks();
 
   // Edge plumbing: one partitioner replica per upstream instance, and a
   // dense producer-ring numbering per downstream node (inbound edges in
@@ -97,6 +153,26 @@ Status ThreadedRuntime::Init() {
   processed_ =
       std::vector<CacheLinePadded<std::atomic<uint64_t>>>(total_instances);
 
+  // Shard plan: contiguous slices of the node-major operator-instance
+  // list (instance g of T goes to shard g*S/T — balanced within one, and
+  // same-stage instances pack together because the list is node-major).
+  // Built before the mailboxes so each mailbox can point at its
+  // consumer's gate: the owning shard's in sharded mode, its own in
+  // thread-per-instance mode.
+  size_t op_instances = 0;
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_spout) op_instances += nodes[n].parallelism;
+  }
+  const size_t shard_count =
+      options_.shards == 0 ? 0 : std::min(options_.shards, op_instances);
+  for (size_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<ShardState>());
+    shards_[s]->runtime = this;
+    shards_[s]->index = static_cast<uint32_t>(s);
+  }
+  instance_gates_.resize(shard_count == 0 ? total_instances : 0);
+
+  size_t next_op_instance = 0;  // node-major index into the shard plan
   for (uint32_t n = 0; n < nodes.size(); ++n) {
     if (nodes[n].is_spout) {
       for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
@@ -113,15 +189,53 @@ Status ThreadedRuntime::Init() {
       ctx.parallelism = nodes[n].parallelism;
       op->Open(ctx);
       ops_[n].push_back(std::move(op));
+      ConsumerGate* gate;
+      if (shard_count > 0) {
+        gate = &shards_[next_op_instance * shard_count / op_instances]->gate;
+      } else {
+        auto& slot = instance_gates_[processed_base_[n] + i];
+        slot = std::make_unique<ConsumerGate>();
+        gate = slot.get();
+      }
       mailboxes_[n].push_back(std::make_unique<Mailbox>(
-          upstream_counts_[n], options_.queue_capacity));
+          upstream_counts_[n], options_.queue_capacity, gate));
+      ++next_op_instance;
     }
   }
+
+  // Shard slices, same node-major order as the gate assignment above;
+  // every pointer a ShardInstance captures is in its final place now.
+  if (shard_count > 0) {
+    size_t g = 0;
+    for (uint32_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].is_spout) continue;
+      for (uint32_t i = 0; i < nodes[n].parallelism; ++i, ++g) {
+        ShardState& st = *shards_[g * shard_count / op_instances];
+        ShardInstance si;
+        si.node = n;
+        si.instance = i;
+        si.expected_eos = upstream_counts_[n];
+        si.op = ops_[n][i].get();
+        si.mailbox = mailboxes_[n][i].get();
+        si.processed = &processed_[processed_base_[n] + i].value;
+        si.emitter = std::make_unique<InstanceEmitter>(this, n, i);
+        st.instances.push_back(std::move(si));
+        ++st.remaining;
+      }
+    }
+  }
+
   // Threads last: everything they touch is in place.
-  for (uint32_t n = 0; n < nodes.size(); ++n) {
-    if (nodes[n].is_spout) continue;
-    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
-      threads_.emplace_back([this, n, i] { RunInstance(n, i); });
+  if (shard_count > 0) {
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      threads_.emplace_back([this, s] { RunShard(s); });
+    }
+  } else {
+    for (uint32_t n = 0; n < nodes.size(); ++n) {
+      if (nodes[n].is_spout) continue;
+      for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+        threads_.emplace_back([this, n, i] { RunInstance(n, i); });
+      }
     }
   }
   started_ = true;
@@ -158,6 +272,128 @@ void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
   op->Close(&emitter);
   FlushOutBuffers(node, instance);
   SendEos(node, instance);
+}
+
+bool ThreadedRuntime::DrainInstanceOnce(ShardState& st, ShardInstance& si) {
+  if (si.done || si.active) return false;
+  Item batch[kPopBatch];
+  const size_t n = si.mailbox->TryPopBatch(batch, kPopBatch);
+  if (n == 0 && si.eos_seen < si.expected_eos) return false;
+  // Mirrors one RunInstance round exactly: Process the batch, bump the
+  // per-instance counter once, flush this instance's out-buffers. `active`
+  // spans the whole round because Process may block pushing downstream and
+  // re-enter the shard loop through ShardHelpDrain.
+  si.active = true;
+  uint64_t handled = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (batch[i].eos) {
+      ++si.eos_seen;
+      continue;
+    }
+    ++handled;
+    si.op->Process(batch[i].msg, si.emitter.get());
+  }
+  if (handled > 0) {
+    si.processed->fetch_add(handled, std::memory_order_relaxed);
+  }
+  FlushOutBuffers(si.node, si.instance);
+  if (si.eos_seen >= si.expected_eos) {
+    // Last upstream EOS: every producer ring is fully drained (EOS is the
+    // final item of its ring), so close exactly as RunInstance would.
+    si.op->Close(si.emitter.get());
+    FlushOutBuffers(si.node, si.instance);
+    SendEos(si.node, si.instance);
+    si.done = true;
+    --st.remaining;
+  }
+  si.active = false;
+  return true;
+}
+
+bool ThreadedRuntime::ShardHelpDrain(ShardState& st, uint32_t from_rank) {
+  bool any = false;
+  for (ShardInstance& si : st.instances) {
+    // Strictly greater rank only: the nested active stack is strictly
+    // increasing in stage, so its depth is bounded by the stage count and
+    // a blocked producer can never be re-entered (see the header's file
+    // comment for the progress argument).
+    if (topo_rank_[si.node] <= from_rank) continue;
+    any |= DrainInstanceOnce(st, si);
+  }
+  return any;
+}
+
+void ThreadedRuntime::RunShard(uint32_t shard) {
+  ShardState& st = *shards_[shard];
+  if (options_.pin_shards) {
+    // Best-effort; a failed pin only costs locality, never correctness.
+    CpuAffinity::PinCurrentThread(st.index);
+  }
+  tls_shard_ = &st;
+  uint32_t idle_sweeps = 0;
+  while (st.remaining > 0) {
+    // Rotate the sweep start so no owned instance is systematically
+    // drained last (the instance-thread analogue is the mailbox cursor).
+    const size_t n = st.instances.size();
+    st.cursor = (st.cursor + 1) % n;
+    bool progress = false;
+    for (size_t i = 0; i < n && st.remaining > 0; ++i) {
+      progress |= DrainInstanceOnce(st, st.instances[(st.cursor + i) % n]);
+    }
+    if (progress) {
+      idle_sweeps = 0;
+      continue;
+    }
+    ++idle_sweeps;
+    if (idle_sweeps <= kShardRelaxSweeps) {
+      Backoff::CpuRelax();
+    } else if (idle_sweeps <= kShardSpinSweeps) {
+      std::this_thread::yield();
+    } else {
+      // Shard-granularity park: producers into any owned mailbox wake
+      // this gate. Re-check after BeginPark (SizeApprox suffices — a
+      // missed publication costs one bounded 200us wait, same contract as
+      // the instance-thread park).
+      st.gate.BeginPark();
+      bool pending = false;
+      for (const ShardInstance& si : st.instances) {
+        if (!si.done && si.mailbox->SizeApprox() > 0) {
+          pending = true;
+          break;
+        }
+      }
+      if (!pending) st.gate.WaitBriefly();
+      st.gate.EndPark();
+      idle_sweeps = 0;
+    }
+  }
+  tls_shard_ = nullptr;
+}
+
+void ThreadedRuntime::PushBlocking(uint32_t from_node, Mailbox& mailbox,
+                                   uint32_t producer, Item* items, size_t n) {
+  ShardState* shard = tls_shard_;
+  if (shard != nullptr && shard->runtime != this) shard = nullptr;
+  size_t done = 0;
+  Backoff backoff;
+  while (done < n) {
+    const size_t pushed = mailbox.TryPushBatch(producer, items + done,
+                                               n - done);
+    if (pushed > 0) {
+      done += pushed;
+      backoff.Reset();
+      continue;
+    }
+    // Full ring. A shard thread makes its own progress instead of pure
+    // waiting: drain owned instances strictly downstream of the blocked
+    // producer (they may be exactly what the full ring is waiting on).
+    // Instance threads and injectors keep the plain backoff.
+    if (shard != nullptr && ShardHelpDrain(*shard, topo_rank_[from_node])) {
+      backoff.Reset();
+      continue;
+    }
+    backoff.Pause();
+  }
 }
 
 void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
@@ -214,8 +450,10 @@ void ThreadedRuntime::EnqueueRouted(uint32_t edge, uint32_t instance,
     buf.items[buf.count++] = std::move(item);
     if (buf.count == options_.emit_batch) FlushBuffer(edge, instance, worker);
   } else {
-    mailboxes_[edges[edge].to.index][worker]->Push(
-        edge_producer_base_[edge] + instance, std::move(item));
+    Item one[1] = {std::move(item)};
+    PushBlocking(edges[edge].from.index,
+                 *mailboxes_[edges[edge].to.index][worker],
+                 edge_producer_base_[edge] + instance, one, 1);
   }
 }
 
@@ -229,8 +467,10 @@ void ThreadedRuntime::FlushBuffer(uint32_t edge, uint32_t instance,
                              downstream_parallelism +
                          worker];
   if (buf.count == 0) return;
-  mailboxes_[edges[edge].to.index][worker]->PushBatch(
-      edge_producer_base_[edge] + instance, buf.items.get(), buf.count);
+  PushBlocking(edges[edge].from.index,
+               *mailboxes_[edges[edge].to.index][worker],
+               edge_producer_base_[edge] + instance, buf.items.get(),
+               buf.count);
   buf.count = 0;
 }
 
@@ -251,10 +491,10 @@ void ThreadedRuntime::SendEos(uint32_t node, uint32_t instance) {
     const uint32_t downstream = edges[e].to.index;
     for (uint32_t w = 0; w < topology_->nodes()[downstream].parallelism;
          ++w) {
-      Item item;
-      item.eos = true;
-      mailboxes_[downstream][w]->Push(edge_producer_base_[e] + instance,
-                                      std::move(item));
+      Item item[1];
+      item[0].eos = true;
+      PushBlocking(node, *mailboxes_[downstream][w],
+                   edge_producer_base_[e] + instance, item, 1);
     }
   }
 }
@@ -335,6 +575,15 @@ std::vector<uint64_t> ThreadedRuntime::Processed(NodeId node) const {
         std::memory_order_relaxed));
   }
   return out;
+}
+
+size_t ThreadedRuntime::ApproxInboxDepth(NodeId node) const {
+  PKGSTREAM_CHECK(node.index < mailboxes_.size());
+  size_t total = 0;
+  for (const auto& mailbox : mailboxes_[node.index]) {
+    total += mailbox->SizeApprox();
+  }
+  return total;
 }
 
 Operator* ThreadedRuntime::GetOperator(NodeId node, uint32_t instance) {

@@ -34,6 +34,28 @@
 //    upstream EOS arrives, forwards EOS, and its thread exits. This is
 //    the classic dataflow termination protocol, deadlock-free on DAGs.
 //
+// Sharded execution (ThreadedRuntimeOptions::shards > 0): instead of one
+// thread per operator instance, all N instances are multiplexed onto M
+// shard threads. Each shard owns a contiguous, topology-ordered slice of
+// the instance list (same-stage instances pack together), drains its
+// instances' rings round-robin in batches, and parks on a shard-wide gate
+// when every owned ring stayed empty through a bounded spin — producers
+// wake the *shard*, not an instance, so there is still at most one wakeup
+// per published batch. Everything that determines results stays
+// per-instance exactly as in thread-per-instance mode: partitioner
+// replicas, per-(edge, destination) out-buffers, processed_ cells, and
+// per-ring FIFO order. Routing decisions are made producer-side, so
+// routed counts are byte-identical across modes, and with a single
+// source the per-sink arrival order (hence any order-sensitive sink
+// state, e.g. LatencySink histograms) is too — pinned by
+// engine_threaded_sharded_test. When a shard blocks pushing into a full
+// ring of another busy instance, it help-drains its own instances at
+// strictly greater topological rank; the strictly-increasing rank makes
+// the nested drain stack finite and keeps the maximal blocked producer's
+// destination always drainable, so backpressure cannot deadlock a shard
+// against itself. Optional CpuAffinity pinning keeps each shard's rings
+// and operator state on one core (no-op where unsupported).
+//
 // Ticks are not supported here (wall-clock timers would make runs
 // non-reproducible); operators flush via Close, or callers inject
 // app-level punctuation messages.
@@ -73,6 +95,19 @@ struct ThreadedRuntimeOptions {
   /// particular, messages injected at a spout may sit in its out-buffer
   /// until the batch fills or Finish() runs. Must be >= 1.
   size_t emit_batch = 16;
+
+  /// 0 = thread-per-instance (the default, unchanged). > 0 = sharded
+  /// execution: all operator instances run on min(shards, instance count)
+  /// shard threads, each owning a contiguous topology-ordered slice (see
+  /// the file comment). Results — routed counts, per-instance state,
+  /// single-source arrival orders — are identical across modes; only the
+  /// thread count and scheduling change.
+  size_t shards = 0;
+
+  /// Sharded mode only: pin shard thread k to the k-th allowed CPU
+  /// (modulo the CPU count) via CpuAffinity. Best-effort — silently a
+  /// no-op on platforms without thread affinity. Ignored when shards == 0.
+  bool pin_shards = false;
 };
 
 /// \brief Multi-threaded executor for a Topology (no ticks; see above).
@@ -114,6 +149,12 @@ class ThreadedRuntime {
   /// Valid after Finish(): operator access for result extraction.
   Operator* GetOperator(NodeId node, uint32_t instance);
 
+  /// Thread-safe, any time: approximate number of items queued across all
+  /// inbound rings of every instance of `node` (relaxed loads; see
+  /// SpscRing::SizeApprox). 0 for spouts. Monitoring only — the value may
+  /// be stale the moment it returns.
+  size_t ApproxInboxDepth(NodeId node) const;
+
  private:
   ThreadedRuntime(const Topology* topology, ThreadedRuntimeOptions options);
 
@@ -127,18 +168,65 @@ class ThreadedRuntime {
   /// wakeups over up to this many messages.
   static constexpr size_t kPopBatch = 64;
 
+  /// Idle shard sweeps before escalating from CPU-relax to yield, and from
+  /// yield to a gate park (the shard-loop analogue of the consumer spins).
+  static constexpr uint32_t kShardRelaxSweeps = 8;
+  static constexpr uint32_t kShardSpinSweeps = 32;
+
+  /// \brief Parked-consumer wakeup gate for one consumer execution
+  /// context: an instance thread (thread-per-instance mode) or a whole
+  /// shard (sharded mode — every owned mailbox shares the shard's gate,
+  /// so any producer push wakes the shard).
+  ///
+  /// Producers take the wake mutex only when the parked flag is visible,
+  /// so steady-state traffic pays no lock and no syscall. The park uses a
+  /// bounded wait: a lost wakeup in the flag race costs bounded latency,
+  /// never a hang.
+  class ConsumerGate {
+   public:
+    /// Producer side: nudges a parked consumer (cheap flag check first).
+    void MaybeWake() {
+      if (parked_.load(std::memory_order_seq_cst)) {
+        // Empty critical section: orders the notify after the consumer's
+        // decision to wait (it holds the mutex while deciding).
+        { std::lock_guard<std::mutex> lock(wake_mu_); }
+        wake_cv_.notify_one();
+      }
+    }
+
+    /// Consumer side: announce the intent to park. The caller must
+    /// re-check its rings *after* this store (seq_cst orders it against
+    /// producers' index publications) before calling WaitBriefly.
+    void BeginPark() { parked_.store(true, std::memory_order_seq_cst); }
+
+    /// Consumer side: bounded wait for a producer nudge (or timeout).
+    void WaitBriefly() {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_for(lock, std::chrono::microseconds(200));
+    }
+
+    /// Consumer side: leave the parked state (after WaitBriefly or a
+    /// successful re-check).
+    void EndPark() { parked_.store(false, std::memory_order_relaxed); }
+
+   private:
+    std::atomic<bool> parked_{false};
+    std::mutex wake_mu_;
+    std::condition_variable wake_cv_;
+  };
+
   /// \brief One operator instance's inbox: a bounded SPSC ring per
   /// upstream producer, drained round-robin in batches.
   ///
-  /// Producers push wait-free while their ring has space and spin/yield
-  /// while it is full. The consumer parks on a condition variable only
-  /// after all rings stayed empty through a bounded spin; producers take
-  /// the wake mutex only when the parked flag is visible, so steady-state
-  /// traffic pays no lock and no syscall. The park uses a bounded wait:
-  /// a lost wakeup in the flag race costs bounded latency, never a hang.
+  /// Producers push wait-free while their ring has space; blocking-on-full
+  /// policy lives in ThreadedRuntime::PushBlocking (which can help-drain
+  /// in sharded mode). The consumer gate is shared at shard granularity in
+  /// sharded mode; thread-per-instance mode gives every mailbox its own.
   class Mailbox {
    public:
-    Mailbox(uint32_t producers, size_t capacity_per_producer) {
+    Mailbox(uint32_t producers, size_t capacity_per_producer,
+            ConsumerGate* gate)
+        : gate_(gate) {
       rings_.reserve(producers);
       for (uint32_t p = 0; p < producers; ++p) {
         rings_.push_back(
@@ -147,37 +235,28 @@ class ThreadedRuntime {
     }
 
     /// Producer side; only producer `producer`'s owning thread may call.
-    /// Blocks (spin, then yield, then sleep) while the ring is full.
-    void Push(uint32_t producer, Item item) {
-      SpscRing<Item>& ring = *rings_[producer];
-      Backoff backoff;
-      while (!ring.TryPush(std::move(item))) backoff.Pause();
-      MaybeWakeConsumer();
+    /// Enqueues a prefix of `items[0..n)` with one index publication and
+    /// at most one consumer wakeup; returns how many were enqueued (0 when
+    /// the ring is full — blocking policy is the caller's).
+    size_t TryPushBatch(uint32_t producer, Item* items, size_t n) {
+      const size_t pushed = rings_[producer]->TryPushBatch(items, n);
+      // Wake after every partial publication so a tiny ring cannot strand
+      // the remainder behind a parked consumer.
+      if (pushed > 0) gate_->MaybeWake();
+      return pushed;
     }
 
-    /// Producer side: enqueues all `n` items with as few index
-    /// publications as the ring allows (one TryPushBatch per attempt).
-    /// Blocks while the ring is full; wakes the consumer after every
-    /// partial publication so a tiny ring cannot strand the remainder
-    /// behind a parked consumer.
-    void PushBatch(uint32_t producer, Item* items, size_t n) {
-      SpscRing<Item>& ring = *rings_[producer];
-      size_t done = 0;
-      Backoff backoff;
-      while (done < n) {
-        const size_t pushed = ring.TryPushBatch(items + done, n - done);
-        if (pushed > 0) {
-          done += pushed;
-          MaybeWakeConsumer();
-          backoff.Reset();
-        } else {
-          backoff.Pause();
-        }
-      }
+    /// Consumer side, non-blocking: pops up to `max_n` items (all from one
+    /// ring, round-robin across producers) into `out`; returns the count.
+    size_t TryPopBatch(Item* out, size_t max_n) {
+      return TryPopAnyRing(out, max_n);
     }
 
     /// Consumer side: blocks until at least one item is available, then
-    /// pops up to `max_n` items (all from one ring) into `out`.
+    /// pops up to `max_n` items (all from one ring) into `out`. Only for
+    /// thread-per-instance mode, where the gate is exclusively this
+    /// mailbox's; shards interleave TryPopBatch across instances and park
+    /// on the shared gate themselves.
     size_t PopBatch(Item* out, size_t max_n) {
       for (;;) {
         for (uint32_t spin = 0; spin < kConsumerSpins; ++spin) {
@@ -189,18 +268,23 @@ class ThreadedRuntime {
             std::this_thread::yield();
           }
         }
-        parked_.store(true, std::memory_order_seq_cst);
+        gate_->BeginPark();
         const size_t got = TryPopAnyRing(out, max_n);
         if (got > 0) {
-          parked_.store(false, std::memory_order_relaxed);
+          gate_->EndPark();
           return got;
         }
-        {
-          std::unique_lock<std::mutex> lock(wake_mu_);
-          wake_cv_.wait_for(lock, std::chrono::microseconds(200));
-        }
-        parked_.store(false, std::memory_order_relaxed);
+        gate_->WaitBriefly();
+        gate_->EndPark();
       }
+    }
+
+    /// Any thread: approximate queued items across all producer rings
+    /// (relaxed loads; monitoring and idle heuristics only).
+    size_t SizeApprox() const {
+      size_t total = 0;
+      for (const auto& ring : rings_) total += ring->SizeApprox();
+      return total;
     }
 
    private:
@@ -218,23 +302,17 @@ class ThreadedRuntime {
       return 0;
     }
 
-    void MaybeWakeConsumer() {
-      if (parked_.load(std::memory_order_seq_cst)) {
-        // Empty critical section: orders the notify after the consumer's
-        // decision to wait (it holds wake_mu_ while deciding).
-        { std::lock_guard<std::mutex> lock(wake_mu_); }
-        wake_cv_.notify_one();
-      }
-    }
-
     std::vector<std::unique_ptr<SpscRing<Item>>> rings_;
     size_t cursor_ = 0;  // consumer-local round-robin position
-    std::atomic<bool> parked_{false};
-    std::mutex wake_mu_;
-    std::condition_variable wake_cv_;
+    ConsumerGate* gate_;
   };
 
   class InstanceEmitter;
+
+  /// Sharded-mode state (defined in the .cc): one operator instance as
+  /// seen by its owning shard, and one shard thread's slice + gate.
+  struct ShardInstance;
+  struct ShardState;
 
   /// \brief Producer-side out-buffer for one (edge, upstream instance,
   /// destination worker): routed messages parked here until the batch
@@ -248,6 +326,27 @@ class ThreadedRuntime {
 
   Status Init();
   void RunInstance(uint32_t node, uint32_t instance);
+  /// Shard thread main loop: round-robin over the owned instances with
+  /// bounded spin, then park on the shard gate.
+  void RunShard(uint32_t shard);
+  /// Pops and processes at most one batch for `si` (non-blocking); closes
+  /// the instance when its last upstream EOS arrived. Returns whether any
+  /// progress (items or close) happened.
+  bool DrainInstanceOnce(ShardState& st, ShardInstance& si);
+  /// Called by a shard blocked pushing from a node of rank `from_rank`:
+  /// drains owned instances of strictly greater topological rank (never
+  /// an active one), unblocking downstream rings without ever re-entering
+  /// the blocked producer's stage. Returns whether anything progressed.
+  bool ShardHelpDrain(ShardState& st, uint32_t from_rank);
+  /// Longest-path layering of the (validated, acyclic) topology; spouts
+  /// are rank 0. Drives ShardHelpDrain's strictly-increasing recursion.
+  void ComputeTopoRanks();
+  /// Pushes all `n` items to `mailbox`, blocking (spin, then yield, then
+  /// sleep) while the ring is full. On a shard thread, blocked attempts
+  /// help-drain the shard's own higher-rank instances instead of pure
+  /// spinning — see ShardHelpDrain. `from_node` is the producing node.
+  void PushBlocking(uint32_t from_node, Mailbox& mailbox, uint32_t producer,
+                    Item* items, size_t n);
   /// Routes `msg` on every outbound edge of (node, instance), moving it
   /// into the last edge's item (true fan-out copies for the rest).
   void RouteFrom(uint32_t node, uint32_t instance, Message msg);
@@ -298,6 +397,18 @@ class ThreadedRuntime {
   /// instance (n, i) lives at processed_[processed_base_[n] + i].
   std::vector<CacheLinePadded<std::atomic<uint64_t>>> processed_;
   std::vector<size_t> processed_base_;
+  /// Longest-path rank per node (spouts 0); only ShardHelpDrain compares
+  /// them, but they are computed in every mode (cheap, one-time).
+  std::vector<uint32_t> topo_rank_;
+  /// Thread-per-instance mode: one gate per operator instance (indexed by
+  /// processed_base_[n] + i; spout slots stay null). Sharded mode: empty —
+  /// gates live in the ShardStates.
+  std::vector<std::unique_ptr<ConsumerGate>> instance_gates_;
+  /// Sharded mode: one state per shard thread; empty otherwise.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// The shard state owned by the calling thread, if it is one of *some*
+  /// runtime's shard threads (PushBlocking checks the runtime matches).
+  static thread_local ShardState* tls_shard_;
   std::vector<std::thread> threads_;
   /// Set once Init() fully succeeded; the destructor-invoked Finish()
   /// must not walk mailboxes/mutexes a failed Init() never built.

@@ -158,6 +158,7 @@ Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config) {
       options.head_choices = 0;  // all workers for the head keys
       options.sketch_capacity = config.sketch_capacity;
       options.threshold_factor = config.heavy_threshold_factor;
+      options.min_messages = config.heavy_min_messages;
       options.hash_seed = config.seed;
       return PartitionerPtr(std::make_unique<HeavyHitterAwarePkg>(
           config.sources, config.workers,
@@ -191,6 +192,7 @@ Result<PartitionerPtr> MakePartitioner(const PartitionerConfig& config) {
       // the ~base_choices/workers threshold with room to spare.
       options.sketch_capacity =
           std::max<size_t>(config.sketch_capacity, config.workers);
+      options.min_messages = config.heavy_min_messages;
       options.hash_seed = config.seed;
       return PartitionerPtr(std::make_unique<HeavyHitterAwarePkg>(
           config.sources, config.workers,

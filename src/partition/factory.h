@@ -66,6 +66,11 @@ struct PartitionerConfig {
   /// multiplier on its derived threshold num_choices/workers — the Section
   /// IV wall where num_choices stop sufficing.
   double heavy_threshold_factor = 1.0;
+  /// kWChoices / kDChoices: detection warm-up — no key is treated as heavy
+  /// before this many messages from a source (fresh estimates are noise).
+  /// Benches replaying short streams lower it so the warm-up transient
+  /// (heavy keys still on the 2-choice path) does not dominate the tail.
+  uint64_t heavy_min_messages = 1000;
   /// kDChoices: cap on per-heavy-key candidates; 0 = no cap (a key may
   /// escalate all the way to the all-workers W-Choices path).
   uint32_t head_choices = 0;

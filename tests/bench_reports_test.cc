@@ -34,6 +34,7 @@ const char* kPaperBenches[] = {
     "bench_fig5b_memory",         "bench_ablation_choices",
     "bench_ablation_probing",     "bench_ablation_rebalance",
     "bench_threaded_scaling",    "bench_latency_under_load",
+    "bench_threaded_manyworkers",
 };
 
 std::string BenchDir() {
@@ -66,6 +67,7 @@ std::string QuickFlags(const std::string& bench) {
   std::string flags = "--quick --seed=42";
   if (bench == "bench_threaded_scaling") flags += " --messages=2000";
   if (bench == "bench_latency_under_load") flags += " --cell_ms=100";
+  if (bench == "bench_threaded_manyworkers") flags += " --messages=4000";
   return flags;
 }
 
@@ -83,7 +85,8 @@ TEST_P(BenchDeterminismTest, SameSeedSameQuickScaleByteIdenticalReport) {
   const std::string text1 = ReadFileOrDie(out1);
   const std::string text2 = ReadFileOrDie(out2);
   if (bench == "bench_threaded_scaling" ||
-      bench == "bench_latency_under_load") {
+      bench == "bench_latency_under_load" ||
+      bench == "bench_threaded_manyworkers") {
     // These benches measure wall-clock rates / injection lag; everything
     // *outside* host_metrics must still be byte-identical.
     auto doc1 = JsonValue::Parse(text1);

@@ -68,6 +68,59 @@ TEST(SpscRingTest, BatchOpsMovePrefixes) {
   EXPECT_EQ(ring.TryPopBatch(out, 8), 0u);
 }
 
+TEST(SpscRingTest, SizeApproxTracksOccupancyWhenQuiescent) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.SizeApprox(), 0u);  // empty
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_EQ(ring.SizeApprox(), 1u);
+  int in[3] = {2, 3, 4};
+  EXPECT_EQ(ring.TryPushBatch(in, 3), 3u);
+  EXPECT_EQ(ring.SizeApprox(), 4u);  // full == capacity, never above
+  int out = 0;
+  ASSERT_TRUE(ring.TryPop(&out));
+  EXPECT_EQ(ring.SizeApprox(), 3u);
+  int buf[4];
+  EXPECT_EQ(ring.TryPopBatch(buf, 4), 3u);
+  EXPECT_EQ(ring.SizeApprox(), 0u);  // drained again
+}
+
+TEST(SpscRingTest, SizeApproxStaysBoundedUnderConcurrency) {
+  // The approximate size is read from a third thread while producer and
+  // consumer race: every observation must stay within [0, capacity] (the
+  // clamp absorbs torn index reads); exactness is not claimed.
+  SpscRing<uint64_t> ring(8);
+  constexpr uint64_t kCount = 100000;
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      EXPECT_LE(ring.SizeApprox(), ring.capacity());
+    }
+  });
+  std::thread producer([&] {
+    Backoff backoff;
+    for (uint64_t i = 0; i < kCount; ++i) {
+      while (!ring.TryPush(uint64_t{i})) backoff.Pause();
+      backoff.Reset();
+    }
+  });
+  uint64_t popped = 0;
+  uint64_t buf[4];
+  Backoff backoff;
+  while (popped < kCount) {
+    const size_t n = ring.TryPopBatch(buf, 4);
+    if (n == 0) {
+      backoff.Pause();
+      continue;
+    }
+    backoff.Reset();
+    popped += n;
+  }
+  producer.join();
+  done.store(true, std::memory_order_relaxed);
+  observer.join();
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
 TEST(SpscRingTest, TwoThreadTransferPreservesSequence) {
   SpscRing<uint64_t> ring(64);
   constexpr uint64_t kCount = 200000;

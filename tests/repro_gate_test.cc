@@ -409,6 +409,7 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_seq_dchoices", 24},
     {"bench_micro_route", 14},
     {"bench_latency_under_load", 21},
+    {"bench_threaded_manyworkers", 30},
 };
 
 class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};

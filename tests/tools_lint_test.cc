@@ -299,6 +299,34 @@ TEST(LintFixtureTest, UnreferencedBaselineFires) {
   }
 }
 
+TEST(LintFixtureTest, NewlyAddedBaselineIsCoveredWithZeroRuleEdits) {
+  // The baseline rules are directory-driven: committing a new
+  // <bench>.json and wiring it into PKGSTREAM_REPRO_BENCHES plus the
+  // kBaselines manifest must lint clean without touching the linter —
+  // and leaving either anchor stale must fire. This is the contract a
+  // new bench (e.g. bench_threaded_manyworkers) relies on.
+  LintFixture fixture("baseline_new_bench");
+  fixture.Write("bench/baselines/bench_manyworkers.json",
+                LintFixture::ValidBaselineJson("bench_manyworkers"));
+  auto report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->findings.size(), 2u);  // not yet wired anywhere
+
+  fixture.Write("CMakeLists.txt",
+                "set(PKGSTREAM_REPRO_BENCHES\n  bench_demo\n"
+                "  bench_manyworkers)\n");
+  fixture.Write("tests/repro_gate_test.cc", R"(// fixture manifest
+constexpr BaselineSpec kBaselines[] = {
+    {"bench_demo", 1},
+    {"bench_manyworkers", 30},
+};
+)");
+  report = RunLint(fixture.root());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->findings.empty())
+      << report->findings[0].rule << ": " << report->findings[0].message;
+}
+
 TEST(LintFixtureTest, ManifestEntryWithoutBaselineFileFires) {
   LintFixture fixture("baseline_ghost");
   fixture.Write("tests/repro_gate_test.cc", R"(// fixture manifest

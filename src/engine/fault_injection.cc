@@ -1,0 +1,180 @@
+// Copyright 2026 The pkgstream Authors.
+
+#include "engine/fault_injection.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace pkgstream {
+namespace engine {
+
+Result<FaultPlan> FaultPlan::Create(uint32_t workers,
+                                    std::vector<FaultEvent> events) {
+  if (workers < 1) {
+    return Status::InvalidArgument("fault plan needs >= 1 worker");
+  }
+  std::vector<bool> alive(workers, true);
+  uint32_t alive_count = workers;
+  // Per-worker end of the last accepted stall/slowdown window (overlap
+  // check); windows arrive sorted by at_us, so one cursor per worker
+  // suffices.
+  std::vector<uint64_t> window_end(workers, 0);
+  uint64_t last_at = 0;
+  FaultPlan plan;
+  plan.workers_ = workers;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.at_us < last_at) {
+      return Status::InvalidArgument(
+          "fault events out of order: event " + std::to_string(i) + " at t=" +
+          std::to_string(e.at_us) + "us precedes t=" + std::to_string(last_at) +
+          "us");
+    }
+    last_at = e.at_us;
+    if (e.worker >= workers) {
+      return Status::InvalidArgument(
+          "unknown worker id " + std::to_string(e.worker) + " (cluster has " +
+          std::to_string(workers) + " workers)");
+    }
+    switch (e.kind) {
+      case FaultKind::kCrash:
+        if (!alive[e.worker]) {
+          return Status::InvalidArgument(
+              "crash of already-crashed worker " + std::to_string(e.worker) +
+              " at t=" + std::to_string(e.at_us) + "us");
+        }
+        if (alive_count == 1) {
+          return Status::InvalidArgument(
+              "crash at t=" + std::to_string(e.at_us) +
+              "us would leave zero alive workers");
+        }
+        alive[e.worker] = false;
+        --alive_count;
+        plan.routing_events_.push_back(e);
+        plan.alive_after_.push_back(alive);
+        break;
+      case FaultKind::kRejoin:
+        if (alive[e.worker]) {
+          return Status::InvalidArgument(
+              "rejoin of live worker " + std::to_string(e.worker) + " at t=" +
+              std::to_string(e.at_us) + "us");
+        }
+        alive[e.worker] = true;
+        ++alive_count;
+        plan.routing_events_.push_back(e);
+        plan.alive_after_.push_back(alive);
+        break;
+      case FaultKind::kStall:
+      case FaultKind::kSlowdown:
+        if (e.duration_us == 0) {
+          return Status::InvalidArgument(
+              "stall/slowdown at t=" + std::to_string(e.at_us) +
+              "us has zero duration");
+        }
+        if (e.kind == FaultKind::kSlowdown && e.factor <= 0.0) {
+          return Status::InvalidArgument(
+              "slowdown at t=" + std::to_string(e.at_us) +
+              "us has non-positive factor");
+        }
+        if (e.at_us < window_end[e.worker]) {
+          return Status::InvalidArgument(
+              "overlapping stall/slowdown windows on worker " +
+              std::to_string(e.worker) + " at t=" + std::to_string(e.at_us) +
+              "us");
+        }
+        window_end[e.worker] = e.at_us + e.duration_us;
+        break;
+    }
+  }
+  plan.events_ = std::move(events);
+  return plan;
+}
+
+const std::vector<bool>& FaultPlan::AliveAfterEvent(size_t i) const {
+  PKGSTREAM_CHECK(i < alive_after_.size());
+  return alive_after_[i];
+}
+
+std::vector<bool> FaultPlan::AliveAt(uint64_t t_us) const {
+  std::vector<bool> alive(workers_, true);
+  for (size_t i = 0; i < routing_events_.size(); ++i) {
+    if (routing_events_[i].at_us > t_us) break;
+    alive = alive_after_[i];
+  }
+  return alive;
+}
+
+std::vector<FaultPlan::ServiceWindow> FaultPlan::ServiceTimeline(
+    uint32_t worker) const {
+  PKGSTREAM_CHECK(worker < workers_);
+  std::vector<ServiceWindow> windows;
+  for (const FaultEvent& e : events_) {
+    if (e.worker != worker) continue;
+    if (e.kind != FaultKind::kStall && e.kind != FaultKind::kSlowdown) {
+      continue;
+    }
+    ServiceWindow w;
+    w.begin_us = e.at_us;
+    w.end_us = e.at_us + e.duration_us;
+    w.stall = e.kind == FaultKind::kStall;
+    w.factor = e.factor;
+    windows.push_back(w);
+  }
+  return windows;
+}
+
+std::string FaultPlan::Name() const {
+  return "faults(events=" + std::to_string(events_.size()) +
+         ",workers=" + std::to_string(workers_) + ")";
+}
+
+Result<FaultPlan> MakeRandomFaultPlan(uint32_t workers, uint32_t rounds,
+                                      uint32_t max_kill, uint64_t horizon_us,
+                                      uint64_t seed) {
+  if (workers < 2) {
+    return Status::InvalidArgument("random fault plan needs >= 2 workers");
+  }
+  if (rounds < 1 || horizon_us < 4) {
+    return Status::InvalidArgument(
+        "random fault plan needs >= 1 round and a usable horizon");
+  }
+  max_kill = std::max(1u, std::min(max_kill, workers - 1));
+  Rng rng(seed);
+  std::vector<FaultEvent> events;
+  // Each round owns an equal slice of the horizon: kills at the first
+  // quarter of the slice, rejoins at the third quarter, so rounds never
+  // interleave and validation cannot fail.
+  const uint64_t slice = horizon_us / rounds;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    const uint64_t kill_at = r * slice + slice / 4;
+    const uint64_t rejoin_at = r * slice + (3 * slice) / 4;
+    const uint32_t kills = 1 + static_cast<uint32_t>(rng.UniformInt(max_kill));
+    std::vector<uint32_t> victims;
+    while (victims.size() < kills) {
+      const uint32_t w = static_cast<uint32_t>(rng.UniformInt(workers));
+      if (std::find(victims.begin(), victims.end(), w) == victims.end()) {
+        victims.push_back(w);
+      }
+    }
+    for (uint32_t w : victims) {
+      FaultEvent e;
+      e.kind = FaultKind::kCrash;
+      e.worker = w;
+      e.at_us = kill_at;
+      events.push_back(e);
+    }
+    for (uint32_t w : victims) {
+      FaultEvent e;
+      e.kind = FaultKind::kRejoin;
+      e.worker = w;
+      e.at_us = rejoin_at;
+      events.push_back(e);
+    }
+  }
+  return FaultPlan::Create(workers, std::move(events));
+}
+
+}  // namespace engine
+}  // namespace pkgstream

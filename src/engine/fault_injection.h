@@ -1,0 +1,129 @@
+// Copyright 2026 The pkgstream Authors.
+// Deterministic fault injection for the threaded engine (ROADMAP "Elastic
+// scaling and live key migration"): a FaultPlan is a replayable, validated
+// schedule of worker-level fault events — crash (the instance leaves the
+// routable worker set), rejoin (it returns), stall (the worker's virtual
+// server stops draining for a window) and slowdown (its service time is
+// multiplied for a window) — expressed in the same virtual-microsecond
+// timebase as workload::ArrivalSchedule.
+//
+// Determinism contract: a FaultPlan carries *times*, never wall-clock
+// triggers. Consumers apply it at deterministic stream positions:
+//  * the OpenLoopDriver splits injection batches exactly at crash/rejoin
+//    boundaries (comparing *scheduled* arrival times, so pacing and host
+//    speed are irrelevant) and broadcasts the new worker set through
+//    ThreadedRuntime::ReconfigureWorkers between batches;
+//  * LatencySink instances fold their own stall/slowdown windows into the
+//    virtual-service Lindley recursion (server vacations), so recorded
+//    latencies are a pure function of (schedule, keys, plan, seed).
+// Given one spout instance, a run with a FaultPlan is therefore
+// byte-deterministic — bench_reconfig pins its quantiles as exact
+// baseline-gated metrics, SIMD on or off, sanitizers on or off.
+//
+// Like every schedule in workload/, construction validates hostile input
+// up front (events out of order, unknown worker ids, crashing a dead
+// worker, rejoining a live one, emptying the cluster) and returns Status —
+// the runtime never sees an inconsistent plan.
+
+#ifndef PKGSTREAM_ENGINE_FAULT_INJECTION_H_
+#define PKGSTREAM_ENGINE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pkgstream {
+namespace engine {
+
+/// \brief The fault taxonomy (see docs/ARCHITECTURE.md "Fault model").
+enum class FaultKind {
+  kCrash,     ///< worker leaves the routable set (fail-stop, drains in-flight)
+  kRejoin,    ///< a crashed worker returns to the routable set
+  kStall,     ///< worker stops draining for duration_us (server vacation)
+  kSlowdown,  ///< worker's service time is multiplied by factor for a window
+};
+
+/// \brief One timed fault event.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  uint32_t worker = 0;  ///< target worker instance, < workers
+  uint64_t at_us = 0;   ///< virtual time the event takes effect
+  /// kStall / kSlowdown: window length (must be >= 1). Ignored for
+  /// crash/rejoin (routing events end at the matching rejoin/crash).
+  uint64_t duration_us = 0;
+  /// kSlowdown: service-time multiplier (> 0; 2.0 = half speed). Ignored
+  /// otherwise.
+  double factor = 1.0;
+};
+
+/// \brief A validated, replayable schedule of fault events.
+class FaultPlan {
+ public:
+  /// One stall/slowdown window of a single worker's service timeline.
+  struct ServiceWindow {
+    uint64_t begin_us = 0;
+    uint64_t end_us = 0;
+    double factor = 1.0;  ///< service multiplier (slowdown only)
+    bool stall = false;   ///< true: vacation (no draining) for the window
+  };
+
+  /// Validates and freezes `events` for a cluster of `workers` workers.
+  /// Rejected with InvalidArgument (the runtime must never see these):
+  ///  * events not sorted by at_us (ties allowed),
+  ///  * worker >= workers ("unknown worker id"),
+  ///  * crash of an already-crashed worker / rejoin of a live one,
+  ///  * a crash that would leave zero alive workers,
+  ///  * stall/slowdown with duration_us == 0 or factor <= 0,
+  ///  * overlapping stall/slowdown windows on the same worker (the sink's
+  ///    vacation cursor requires at most one active window at a time).
+  static Result<FaultPlan> Create(uint32_t workers,
+                                  std::vector<FaultEvent> events);
+
+  uint32_t workers() const { return workers_; }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// The crash/rejoin subsequence, in time order: the points where the
+  /// routable worker set changes (what the driver splits batches at).
+  const std::vector<FaultEvent>& routing_events() const {
+    return routing_events_;
+  }
+
+  /// Alive mask immediately *after* routing event `i` (i indexes
+  /// routing_events()). Precomputed at Create; always >= 1 worker alive.
+  const std::vector<bool>& AliveAfterEvent(size_t i) const;
+
+  /// Alive mask at time `t_us` (after every routing event with
+  /// at_us <= t_us). All-alive before the first event.
+  std::vector<bool> AliveAt(uint64_t t_us) const;
+
+  /// Worker `w`'s stall/slowdown windows, in time order (non-overlapping
+  /// by validation). Empty for workers with no service faults.
+  std::vector<ServiceWindow> ServiceTimeline(uint32_t worker) const;
+
+  /// Short description, e.g. "faults(events=4,workers=50)".
+  std::string Name() const;
+
+ private:
+  FaultPlan() = default;
+
+  uint32_t workers_ = 0;
+  std::vector<FaultEvent> events_;
+  std::vector<FaultEvent> routing_events_;
+  /// alive_after_[i]: alive mask after routing_events_[i].
+  std::vector<std::vector<bool>> alive_after_;
+};
+
+/// \brief Seeded random plan generator for stress tests: `rounds`
+/// crash-then-rejoin rounds (each killing 1..max_kill workers at a random
+/// time and rejoining them later), all inside [0, horizon_us]. Always
+/// valid by construction; deterministic given the seed.
+Result<FaultPlan> MakeRandomFaultPlan(uint32_t workers, uint32_t rounds,
+                                      uint32_t max_kill, uint64_t horizon_us,
+                                      uint64_t seed);
+
+}  // namespace engine
+}  // namespace pkgstream
+
+#endif  // PKGSTREAM_ENGINE_FAULT_INJECTION_H_

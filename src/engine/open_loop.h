@@ -46,6 +46,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/fault_injection.h"
 #include "engine/threaded_runtime.h"
 #include "stats/latency_histogram.h"
 #include "workload/arrival_schedule.h"
@@ -93,15 +94,36 @@ class LatencySink final : public Operator {
     /// Histogram geometry (all instances must agree for Merge).
     uint64_t histogram_max_us = 1ULL << 30;
     uint32_t histogram_sub_buckets = 32;
+    /// kVirtualService only: this instance's stall/slowdown windows from
+    /// the plan (instance index == worker id) are folded into the Lindley
+    /// recursion — a stall is a server vacation (service cannot start
+    /// inside the window), a slowdown multiplies the service time of
+    /// messages starting inside it. Virtual-time driven, so determinism is
+    /// preserved. Must outlive the sink.
+    const FaultPlan* fault_plan = nullptr;
+    /// Ascending virtual-time boundaries splitting the run into
+    /// boundaries+1 phases by *scheduled arrival* (e.g. steady / outage /
+    /// recovery). Every latency is additionally recorded into its phase's
+    /// histogram (same geometry), so per-phase quantiles — p99 during the
+    /// outage vs after recovery — are first-class metrics.
+    std::vector<uint64_t> phase_boundaries_us;
   };
 
   explicit LatencySink(Options options);
 
+  void Open(const OperatorContext& ctx) override;
   void Process(const Message& msg, Emitter* out) override;
   uint64_t MemoryCounters() const override { return 0; }
 
   /// Valid after ThreadedRuntime::Finish().
   const stats::LatencyHistogram& histogram() const { return histogram_; }
+
+  /// Number of phases (phase_boundaries_us.size() + 1; 1 when unset).
+  size_t phases() const { return options_.phase_boundaries_us.size() + 1; }
+
+  /// Valid after Finish(): the latency histogram of phase `p` (only when
+  /// phase_boundaries_us was set).
+  const stats::LatencyHistogram& phase_histogram(size_t p) const;
 
   /// Merges the histograms of all `parallelism` LatencySink instances of
   /// `sink` (must be the runtime's operator node built from MakeFactory).
@@ -110,13 +132,30 @@ class LatencySink final : public Operator {
                                                  uint32_t parallelism,
                                                  const Options& options);
 
+  /// Per-phase MergedHistogram (requires phase_boundaries_us).
+  static stats::LatencyHistogram MergedPhaseHistogram(ThreadedRuntime* rt,
+                                                      NodeId sink,
+                                                      uint32_t parallelism,
+                                                      const Options& options,
+                                                      size_t phase);
+
   /// OperatorFactory building one LatencySink per instance.
   static OperatorFactory MakeFactory(Options options);
 
  private:
+  /// Phase of a scheduled arrival time (linear scan; boundaries are few).
+  size_t PhaseOf(uint64_t scheduled_us) const;
+
   Options options_;
   stats::LatencyHistogram histogram_;
   uint64_t next_free_us_ = 0;  // kVirtualService completion clock
+  /// This instance's stall/slowdown windows (loaded at Open from the
+  /// plan), and the monotone cursor into them — service start times never
+  /// decrease, so one forward-only cursor visits each window once.
+  std::vector<FaultPlan::ServiceWindow> windows_;
+  size_t window_pos_ = 0;
+  /// Per-phase histograms (empty when phase_boundaries_us is unset).
+  std::vector<stats::LatencyHistogram> phase_hists_;
 };
 
 /// \brief Options for the open-loop driver.
@@ -149,6 +188,12 @@ struct OpenLoopSourceReport {
   /// backpressure (p99 comparable to max) — the max alone cannot. Wall-
   /// clock derived, so host-dependent: report as host_metrics only.
   stats::LatencyHistogram lag_histogram{1ULL << 30, 32};
+  /// The run was aborted (ThreadedRuntime::Abort) before the schedule
+  /// completed; `injected` counts only what went out before the abort.
+  bool aborted = false;
+  /// Crash/rejoin reconfigurations this injector applied from its fault
+  /// plan (== plan->routing_events().size() on a completed run).
+  uint64_t reconfigs_applied = 0;
 };
 
 /// \brief Drives one spout of a ThreadedRuntime from per-source arrival
@@ -162,6 +207,16 @@ class OpenLoopDriver {
     workload::ArrivalSchedule* schedule = nullptr;
     workload::KeyStream* keys = nullptr;
     uint64_t messages = 0;
+    /// Optional fault plan: the injector applies each crash/rejoin event
+    /// through ThreadedRuntime::ReconfigureWorkers(fault_target, ...)
+    /// exactly before the first message whose *scheduled* arrival is
+    /// >= the event time, and splits injection batches at those
+    /// boundaries — so the reconfiguration point in the message sequence
+    /// is a pure function of the schedule (byte-deterministic, paced or
+    /// not). Must outlive Run().
+    const FaultPlan* faults = nullptr;
+    /// The downstream node whose workers the plan crashes/rejoins.
+    NodeId fault_target{};
   };
 
   /// `clock` is the shared run epoch (schedule time 0 = clock construction;

@@ -3,6 +3,7 @@
 #include "engine/threaded_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "engine/cpu_affinity.h"
@@ -122,12 +123,15 @@ Status ThreadedRuntime::Init() {
   edge_producer_base_.resize(edges.size());
   out_edges_.resize(nodes.size());
   out_buffers_.resize(edges.size());
+  applied_epochs_.resize(edges.size());
   upstream_counts_.assign(nodes.size(), 0);
   for (uint32_t e = 0; e < edges.size(); ++e) {
     const uint32_t upstream = nodes[edges[e].from.index].parallelism;
     PKGSTREAM_ASSIGN_OR_RETURN(
         edge_replicas_[e],
         partition::MakePartitionerReplicas(edges[e].partitioner, upstream));
+    edge_reconfig_.push_back(std::make_unique<EdgeReconfig>());
+    applied_epochs_[e].assign(upstream, 0);
     edge_producer_base_[e] = upstream_counts_[edges[e].to.index];
     upstream_counts_[edges[e].to.index] += upstream;
     out_edges_[edges[e].from.index].push_back(e);
@@ -225,16 +229,24 @@ Status ThreadedRuntime::Init() {
     }
   }
 
-  // Threads last: everything they touch is in place.
+  // Threads last: everything they touch is in place. Each thread counts
+  // itself out on exit so the finish-deadline poll can tell a slow drain
+  // from a wedged one.
   if (shard_count > 0) {
     for (uint32_t s = 0; s < shard_count; ++s) {
-      threads_.emplace_back([this, s] { RunShard(s); });
+      threads_.emplace_back([this, s] {
+        RunShard(s);
+        threads_exited_.fetch_add(1, std::memory_order_release);
+      });
     }
   } else {
     for (uint32_t n = 0; n < nodes.size(); ++n) {
       if (nodes[n].is_spout) continue;
       for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
-        threads_.emplace_back([this, n, i] { RunInstance(n, i); });
+        threads_.emplace_back([this, n, i] {
+          RunInstance(n, i);
+          threads_exited_.fetch_add(1, std::memory_order_release);
+        });
       }
     }
   }
@@ -254,7 +266,12 @@ void ThreadedRuntime::RunInstance(uint32_t node, uint32_t instance) {
       processed_[processed_base_[node] + instance].value;
   Item batch[kPopBatch];
   while (eos_seen < expected_eos) {
-    const size_t n = mailbox.PopBatch(batch, kPopBatch);
+    const size_t n = mailbox.PopBatch(batch, kPopBatch, aborted_);
+    if (n == 0) {
+      // Abort while every ring was empty: exit without Close/EOS — an
+      // aborted run's downstream consumers may already be gone.
+      return;
+    }
     uint64_t handled = 0;
     for (size_t i = 0; i < n; ++i) {
       if (batch[i].eos) {
@@ -331,7 +348,8 @@ void ThreadedRuntime::RunShard(uint32_t shard) {
   }
   tls_shard_ = &st;
   uint32_t idle_sweeps = 0;
-  while (st.remaining > 0) {
+  while (st.remaining > 0 &&
+         !aborted_.load(std::memory_order_acquire)) {
     // Rotate the sweep start so no owned instance is systematically
     // drained last (the instance-thread analogue is the mailbox cursor).
     const size_t n = st.instances.size();
@@ -384,6 +402,9 @@ void ThreadedRuntime::PushBlocking(uint32_t from_node, Mailbox& mailbox,
       backoff.Reset();
       continue;
     }
+    // Aborted run: the consumer of this full ring may already have
+    // exited, so the push could never complete — drop the remainder.
+    if (aborted_.load(std::memory_order_acquire)) return;
     // Full ring. A shard thread makes its own progress instead of pure
     // waiting: drain owned instances strictly downstream of the blocked
     // producer (they may be exactly what the full ring is waiting on).
@@ -396,11 +417,32 @@ void ThreadedRuntime::PushBlocking(uint32_t from_node, Mailbox& mailbox,
   }
 }
 
+void ThreadedRuntime::MaybeApplyReconfig(uint32_t e, uint32_t instance) {
+  EdgeReconfig& rc = *edge_reconfig_[e];
+  const uint64_t epoch = rc.epoch.load(std::memory_order_acquire);
+  if (epoch == applied_epochs_[e][instance]) return;
+  std::vector<bool> alive;
+  uint64_t seen;
+  {
+    std::lock_guard<std::mutex> lock(rc.mu);
+    alive = rc.alive;
+    // Re-read under the lock: a newer epoch may have landed since the
+    // unlocked load, and its alive set is what we just copied. Recording
+    // the newer number with the newer set keeps the pair consistent.
+    seen = rc.epoch.load(std::memory_order_relaxed);
+  }
+  // ReconfigureWorkers validated the set against replica 0 of this edge;
+  // all replicas share a type, so application cannot fail.
+  PKGSTREAM_CHECK_OK(edge_replicas_[e][instance]->SetWorkerSet(alive));
+  applied_epochs_[e][instance] = seen;
+}
+
 void ThreadedRuntime::RouteFrom(uint32_t node, uint32_t instance,
                                 Message msg) {
   const std::vector<uint32_t>& out = out_edges_[node];
   for (size_t k = 0; k < out.size(); ++k) {
     const uint32_t e = out[k];
+    MaybeApplyReconfig(e, instance);
     const WorkerId w = edge_replicas_[e][instance]->Route(instance, msg.key);
     Item item;
     if (k + 1 == out.size()) {
@@ -418,6 +460,9 @@ void ThreadedRuntime::RouteBatchFrom(uint32_t node, uint32_t instance,
   Key keys[kChunk];
   WorkerId workers[kChunk];
   const std::vector<uint32_t>& out = out_edges_[node];
+  // Epoch check once per injected batch (the documented batch-boundary
+  // granularity), not per chunk: one batch routes under one worker set.
+  for (uint32_t e : out) MaybeApplyReconfig(e, instance);
   size_t done = 0;
   while (done < n) {
     const size_t len = std::min(kChunk, n - done);
@@ -541,6 +586,83 @@ void ThreadedRuntime::InjectBatch(NodeId spout, SourceId source,
   RouteBatchFrom(spout.index, source, msgs, n);
 }
 
+Status ThreadedRuntime::ReconfigureWorkers(NodeId downstream,
+                                           const std::vector<bool>& alive) {
+  const auto& nodes = topology_->nodes();
+  const auto& edges = topology_->edges();
+  if (downstream.index >= nodes.size()) {
+    return Status::InvalidArgument("reconfigure of unknown node " +
+                                   std::to_string(downstream.index));
+  }
+  if (alive.size() != nodes[downstream.index].parallelism) {
+    return Status::InvalidArgument(
+        "worker set size " + std::to_string(alive.size()) + " != " +
+        std::to_string(nodes[downstream.index].parallelism) +
+        " instances of '" + nodes[downstream.index].name + "'");
+  }
+  uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  if (alive_count == 0) {
+    return Status::InvalidArgument("worker set has zero alive workers");
+  }
+  if (finished_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("reconfigure after Finish");
+  }
+  // Validate every inbound edge before publishing to any: a partial
+  // reconfiguration (edge A degraded, edge B refused) would be worse than
+  // either outcome.
+  bool any_edge = false;
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].to.index != downstream.index) continue;
+    any_edge = true;
+    if (!edge_replicas_[e][0]->SupportsReconfiguration()) {
+      return Status::Unimplemented(
+          "partitioner '" + edge_replicas_[e][0]->Name() + "' on edge into '" +
+          nodes[downstream.index].name + "' does not support reconfiguration");
+    }
+  }
+  if (!any_edge) {
+    return Status::InvalidArgument("node '" + nodes[downstream.index].name +
+                                   "' has no inbound edges to reconfigure");
+  }
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].to.index != downstream.index) continue;
+    EdgeReconfig& rc = *edge_reconfig_[e];
+    std::lock_guard<std::mutex> lock(rc.mu);
+    rc.alive = alive;
+    rc.epoch.fetch_add(1, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+void ThreadedRuntime::Abort() {
+  aborted_.store(true, std::memory_order_release);
+  if (!started_) return;
+  // Nudge every parked consumer; unparked ones observe the flag in their
+  // spin loops, parked ones at worst on the 200us bounded wait.
+  for (const auto& gate : instance_gates_) {
+    if (gate != nullptr) gate->MaybeWake();
+  }
+  for (const auto& shard : shards_) shard->gate.MaybeWake();
+}
+
+void ThreadedRuntime::DumpStuckState() {
+  const auto& nodes = topology_->nodes();
+  for (uint32_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_spout) continue;
+    for (uint32_t i = 0; i < nodes[n].parallelism; ++i) {
+      PKGSTREAM_LOG(Error)
+          << "finish deadline: '" << nodes[n].name << "' instance " << i
+          << " ring occupancy ~" << mailboxes_[n][i]->SizeApprox()
+          << ", processed "
+          << processed_[processed_base_[n] + i].value.load(
+                 std::memory_order_relaxed);
+    }
+  }
+  PKGSTREAM_LOG(Error) << "finish deadline: " << threads_exited_.load()
+                       << "/" << threads_.size() << " executor threads exited";
+}
+
 void ThreadedRuntime::Finish() {
   std::call_once(finish_once_, [this] {
     finished_.store(true, std::memory_order_release);
@@ -557,6 +679,24 @@ void ThreadedRuntime::Finish() {
         std::lock_guard<std::mutex> lock(*inject_mutexes_[n][i]);
         FlushOutBuffers(n, i);
         SendEos(n, i);
+      }
+    }
+    if (options_.finish_deadline_ms > 0) {
+      // Poll the exit counter instead of joining blind: a wedged executor
+      // becomes a loud, diagnosable failure instead of a ctest timeout.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(options_.finish_deadline_ms);
+      while (threads_exited_.load(std::memory_order_acquire) <
+             threads_.size()) {
+        if (std::chrono::steady_clock::now() >= deadline) {
+          DumpStuckState();
+          PKGSTREAM_LOG(Fatal)
+              << "Finish() exceeded finish_deadline_ms="
+              << options_.finish_deadline_ms
+              << " — executor threads wedged (ring dump above)";
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
       }
     }
     for (auto& t : threads_) {
@@ -594,6 +734,24 @@ Operator* ThreadedRuntime::GetOperator(NodeId node, uint32_t instance) {
   PKGSTREAM_CHECK(node.index < ops_.size());
   PKGSTREAM_CHECK(instance < ops_[node.index].size());
   return ops_[node.index][instance].get();
+}
+
+const partition::Partitioner* ThreadedRuntime::GetPartitioner(
+    NodeId from, NodeId to, uint32_t source_instance) const {
+  // Same gate as GetOperator: replicas are mutated by producer threads
+  // (routing state, reconfig application) until the drain completes.
+  PKGSTREAM_CHECK(drained_.load(std::memory_order_acquire))
+      << "partitioner replicas are live until Finish() completes";
+  const auto& edges = topology_->edges();
+  for (uint32_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].from.index != from.index || edges[e].to.index != to.index) {
+      continue;
+    }
+    PKGSTREAM_CHECK(source_instance < edge_replicas_[e].size());
+    return edge_replicas_[e][source_instance].get();
+  }
+  PKGSTREAM_CHECK(false) << "no edge " << from.index << " -> " << to.index;
+  return nullptr;
 }
 
 }  // namespace engine

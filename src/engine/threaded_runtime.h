@@ -108,6 +108,14 @@ struct ThreadedRuntimeOptions {
   /// (modulo the CPU count) via CpuAffinity. Best-effort — silently a
   /// no-op on platforms without thread affinity. Ignored when shards == 0.
   bool pin_shards = false;
+
+  /// 0 = Finish() waits forever (the default, unchanged). > 0 = Finish()
+  /// that has not drained within this many milliseconds dumps every
+  /// instance's approximate ring occupancy and processed count (the
+  /// last-progress picture of the wedge) and aborts via a fatal log —
+  /// turning any future shutdown deadlock into a diagnosable failure
+  /// instead of a ctest timeout.
+  uint64_t finish_deadline_ms = 0;
 };
 
 /// \brief Multi-threaded executor for a Topology (no ticks; see above).
@@ -143,11 +151,40 @@ class ThreadedRuntime {
   /// every caller returns only after shutdown has completed.
   void Finish();
 
+  /// Live worker-set reconfiguration (the fault-injection control path):
+  /// restricts routing on every edge *into* `downstream` to the instances
+  /// with alive[w] == true. Thread-safe and non-blocking: the new set is
+  /// published as a versioned epoch per edge; each producing thread applies
+  /// it to its own partitioner replica at its next batch boundary (top of
+  /// RouteFrom / RouteBatchFrom), so replicas are only ever mutated by
+  /// their owning producer. Rejects unknown nodes, size mismatches, empty
+  /// alive sets, nodes without inbound edges, and — before applying
+  /// anything — edges whose partitioner does not SupportsReconfiguration()
+  /// (Unimplemented; e.g. plain hashing cannot drop a worker).
+  Status ReconfigureWorkers(NodeId downstream, const std::vector<bool>& alive);
+
+  /// Aborts the run: consumers stop draining once their rings are empty
+  /// (skipping Close/EOS), producers blocked on a full ring drop their
+  /// items and return, and Finish() still joins cleanly. For tests and
+  /// drivers that must tear down a wedged or no-longer-interesting run;
+  /// after Abort, processed counts and operator state are *not* the
+  /// completed-run values.
+  void Abort();
+
+  /// Whether Abort() was called (injector threads poll this to exit).
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+
   /// Valid after Finish(): messages processed per instance of `node`.
   std::vector<uint64_t> Processed(NodeId node) const;
 
   /// Valid after Finish(): operator access for result extraction.
   Operator* GetOperator(NodeId node, uint32_t instance);
+
+  /// Valid after Finish(): the partitioner replica owned by upstream
+  /// instance `source_instance` of the `from` -> `to` edge, for result
+  /// extraction (e.g. RebalancingKeyGrouping migration stats).
+  const partition::Partitioner* GetPartitioner(NodeId from, NodeId to,
+                                               uint32_t source_instance) const;
 
   /// Thread-safe, any time: approximate number of items queued across all
   /// inbound rings of every instance of `node` (relaxed loads; see
@@ -256,8 +293,10 @@ class ThreadedRuntime {
     /// pops up to `max_n` items (all from one ring) into `out`. Only for
     /// thread-per-instance mode, where the gate is exclusively this
     /// mailbox's; shards interleave TryPopBatch across instances and park
-    /// on the shared gate themselves.
-    size_t PopBatch(Item* out, size_t max_n) {
+    /// on the shared gate themselves. Returns 0 only when `aborted` rose
+    /// while every ring was empty — the consumer must exit, not retry.
+    size_t PopBatch(Item* out, size_t max_n,
+                    const std::atomic<bool>& aborted) {
       for (;;) {
         for (uint32_t spin = 0; spin < kConsumerSpins; ++spin) {
           const size_t got = TryPopAnyRing(out, max_n);
@@ -268,6 +307,9 @@ class ThreadedRuntime {
             std::this_thread::yield();
           }
         }
+        // Checked while empty, before parking: an aborted run's producers
+        // may never push again, so waiting on them would hang forever.
+        if (aborted.load(std::memory_order_acquire)) return 0;
         gate_->BeginPark();
         const size_t got = TryPopAnyRing(out, max_n);
         if (got > 0) {
@@ -324,7 +366,27 @@ class ThreadedRuntime {
     size_t count = 0;
   };
 
+  /// \brief One edge's published worker-set epoch. ReconfigureWorkers
+  /// writes `alive` under `mu` and then bumps `epoch`; each producing
+  /// thread compares `epoch` against its own applied counter at batch
+  /// boundaries and, when behind, copies `alive` (under `mu`) into its
+  /// replica via Partitioner::SetWorkerSet. Replicas are therefore only
+  /// ever touched by their owning producer, and the hot healthy path costs
+  /// one relaxed-acquire load per batch.
+  struct EdgeReconfig {
+    std::atomic<uint64_t> epoch{0};
+    std::mutex mu;
+    std::vector<bool> alive;
+  };
+
   Status Init();
+  /// Applies any pending worker-set epoch of edge `e` to upstream instance
+  /// `instance`'s replica; called by the producing thread at batch
+  /// boundaries (top of RouteFrom / RouteBatchFrom).
+  void MaybeApplyReconfig(uint32_t e, uint32_t instance);
+  /// The finish-deadline dump: every instance's approximate ring occupancy
+  /// and processed count, before the fatal abort.
+  void DumpStuckState();
   void RunInstance(uint32_t node, uint32_t instance);
   /// Shard thread main loop: round-robin over the owned instances with
   /// bounded spin, then park on the shard gate.
@@ -378,6 +440,11 @@ class ThreadedRuntime {
   /// edge_replicas_[e][s]: the partitioner replica owned by upstream
   /// instance `s` of edge `e`. Routing state is per-source; no locks.
   std::vector<std::vector<partition::PartitionerPtr>> edge_replicas_;
+  /// Per-edge published worker-set epoch (see EdgeReconfig).
+  std::vector<std::unique_ptr<EdgeReconfig>> edge_reconfig_;
+  /// applied_epochs_[e][s]: the epoch instance `s`'s replica last applied.
+  /// Owned exclusively by the producing thread (no atomics needed).
+  std::vector<std::vector<uint64_t>> applied_epochs_;
   /// First producer-ring index of edge `e` inside the downstream node's
   /// mailboxes (edge upstream instance s -> ring edge_producer_base_[e]+s).
   std::vector<uint32_t> edge_producer_base_;
@@ -418,6 +485,12 @@ class ThreadedRuntime {
   /// GetOperator — operators are mutable until then).
   std::atomic<bool> finished_{false};
   std::atomic<bool> drained_{false};
+  /// Abort flag (see Abort()): consumers exit on empty rings, blocked
+  /// producers drop their items.
+  std::atomic<bool> aborted_{false};
+  /// Executor threads that have returned from their main loop; the
+  /// finish-deadline poll compares it against threads_.size().
+  std::atomic<size_t> threads_exited_{0};
   std::once_flag finish_once_;
 };
 

@@ -63,7 +63,9 @@ HeavyHitterAwarePkg::HeavyHitterAwarePkg(const HeavyHitterAwarePkg& other)
       options_(other.options_),
       sketches_(other.sketches_),
       source_messages_(other.source_messages_),
-      heavy_routings_(other.heavy_routings_) {}
+      heavy_routings_(other.heavy_routings_),
+      alive_(other.alive_),
+      degraded_(other.degraded_) {}
 
 PartitionerPtr HeavyHitterAwarePkg::Clone() const {
   return PartitionerPtr(new HeavyHitterAwarePkg(*this));
@@ -106,8 +108,63 @@ uint32_t HeavyHitterAwarePkg::HeadChoicesFor(SourceId source, Key key) const {
   return std::min(std::max(dk, options_.base_choices), cap);
 }
 
+Status HeavyHitterAwarePkg::SetWorkerSet(const std::vector<bool>& alive) {
+  if (alive.size() != workers_) {
+    return Status::InvalidArgument(
+        "worker set size " + std::to_string(alive.size()) +
+        " != " + std::to_string(workers_) + " workers");
+  }
+  uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  if (alive_count == 0) {
+    return Status::InvalidArgument("worker set has zero alive workers");
+  }
+  alive_.assign(alive.begin(), alive.end());
+  degraded_ = alive_count != workers_;
+  return Status::OK();
+}
+
+WorkerId HeavyHitterAwarePkg::RouteDegraded(SourceId source, Key key) {
+  sketches_[source].Add(key);
+  ++source_messages_[source];
+  estimator_->BeginRoute(source);
+  bool found = false;
+  WorkerId best = 0;
+  uint64_t best_load = 0;
+  const auto consider = [&](WorkerId candidate) {
+    if (!alive_[candidate]) return;
+    const uint64_t load = estimator_->Estimate(source, candidate);
+    if (!found || load < best_load) {
+      found = true;
+      best = candidate;
+      best_load = load;
+    }
+  };
+  if (IsHeavy(source, key)) {
+    ++heavy_routings_;
+    const uint32_t dk = HeadChoicesFor(source, key);
+    if (dk >= workers_) {
+      for (WorkerId w = 0; w < workers_; ++w) consider(w);
+    } else {
+      for (uint32_t i = 0; i < dk; ++i) consider(head_hash_.Bucket(i, key));
+    }
+  } else {
+    for (uint32_t i = 0; i < tail_hash_.d(); ++i) {
+      consider(tail_hash_.Bucket(i, key));
+    }
+  }
+  if (!found) {
+    // Every candidate is dead: least-loaded alive worker, lowest index on
+    // ties (the W-Choices scan restricted to the alive set).
+    for (WorkerId w = 0; w < workers_; ++w) consider(w);
+  }
+  estimator_->OnSend(source, best);
+  return best;
+}
+
 WorkerId HeavyHitterAwarePkg::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
+  if (degraded_) return RouteDegraded(source, key);
   sketches_[source].Add(key);
   ++source_messages_[source];
 
@@ -296,6 +353,12 @@ void HeavyHitterAwarePkg::FusedRoute(SourceId source, Frame frame,
 void HeavyHitterAwarePkg::RouteBatch(SourceId source, const Key* keys,
                                      WorkerId* out, size_t n) {
   PKGSTREAM_DCHECK(source < sources_);
+  if (degraded_) {
+    // Degraded routing is the cold path: the scalar loop keeps batch and
+    // scalar decisions trivially identical while workers are down.
+    Partitioner::RouteBatch(source, keys, out, n);
+    return;
+  }
   // One concrete-type resolution per batch buys a virtual-free inner loop
   // (same dispatch as PartialKeyGrouping::RouteBatch).
   LoadEstimator* estimator = estimator_.get();

@@ -99,6 +99,13 @@ class HeavyHitterAwarePkg final : public Partitioner {
   std::string Name() const override;
   PartitionerPtr Clone() const override;
 
+  /// Live reconfiguration: dead workers drop out of every candidate scan
+  /// (tail prefix, D-Choices head prefix, and the W-Choices full scan);
+  /// a fully dead candidate set falls back to the least-loaded alive
+  /// worker. Healthy routing is byte-untouched.
+  bool SupportsReconfiguration() const override { return true; }
+  Status SetWorkerSet(const std::vector<bool>& alive) override;
+
   /// Whether `source`'s detector currently classifies `key` as heavy.
   bool IsHeavy(SourceId source, Key key) const;
 
@@ -113,6 +120,10 @@ class HeavyHitterAwarePkg final : public Partitioner {
  private:
   /// Deep copy (clones the estimator); only Clone() uses it.
   HeavyHitterAwarePkg(const HeavyHitterAwarePkg& other);
+
+  /// Route with dead workers filtered out of every candidate scan (the
+  /// degraded_ slow path; same sketch + estimator protocol as Route).
+  WorkerId RouteDegraded(SourceId source, Key key);
 
   /// The fused batch loop behind RouteBatch, devirtualized over the
   /// estimator's routing frame (same pattern as pkg.cc).
@@ -129,6 +140,9 @@ class HeavyHitterAwarePkg final : public Partitioner {
   std::vector<stats::SpaceSaving> sketches_;  // one per source
   std::vector<uint64_t> source_messages_;
   uint64_t heavy_routings_ = 0;
+  /// Alive mask; degraded_ == false guarantees the untouched healthy path.
+  std::vector<uint8_t> alive_;
+  bool degraded_ = false;
 };
 
 }  // namespace partition

@@ -15,7 +15,9 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "common/types.h"
 
 namespace pkgstream {
@@ -64,6 +66,31 @@ class Partitioner {
 
   /// Short technique name, e.g. "PKG-L" or "Hashing".
   virtual std::string Name() const = 0;
+
+  /// True when the technique implements SetWorkerSet (live worker-set
+  /// reconfiguration). ThreadedRuntime::ReconfigureWorkers refuses an edge
+  /// whose partitioner cannot reconfigure instead of silently routing to
+  /// dead workers.
+  virtual bool SupportsReconfiguration() const { return false; }
+
+  /// Live reconfiguration hook (ROADMAP "Elastic scaling and live key
+  /// migration"): restricts routing to the workers with alive[w] == true.
+  /// `alive` must have exactly workers() entries with at least one set —
+  /// a plan that empties the cluster is rejected at FaultPlan::Create, and
+  /// this validates again defensively. Contract for implementers:
+  ///  * with all workers alive, routing must stay byte-identical to a
+  ///    partitioner that never saw a SetWorkerSet call (the healthy path
+  ///    is the baseline-pinned path);
+  ///  * while degraded, Route never returns a dead worker;
+  ///  * internal state keeps updating through the same protocol as the
+  ///    healthy path, so replay determinism holds through fault windows.
+  /// Default: Unimplemented (technique cannot drop workers — e.g. plain
+  /// hashing has nowhere else to send a key without breaking KG semantics).
+  virtual Status SetWorkerSet(const std::vector<bool>& alive) {
+    (void)alive;
+    return Status::Unimplemented(Name() +
+                                 " does not support live reconfiguration");
+  }
 
   /// Creates an independent replica: identical configuration, a copy of
   /// the current routing state, and no sharing whatsoever afterwards.

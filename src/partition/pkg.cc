@@ -143,7 +143,9 @@ PartialKeyGrouping::PartialKeyGrouping(uint32_t sources, uint32_t workers,
 PartialKeyGrouping::PartialKeyGrouping(const PartialKeyGrouping& other)
     : hash_(other.hash_),
       sources_(other.sources_),
-      estimator_(other.estimator_->Clone()) {}
+      estimator_(other.estimator_->Clone()),
+      alive_(other.alive_),
+      degraded_(other.degraded_) {}
 
 PartitionerPtr PartialKeyGrouping::Clone() const {
   // lint:allow(hotpath-tokens): Clone() runs once per replica at runtime
@@ -151,8 +153,56 @@ PartitionerPtr PartialKeyGrouping::Clone() const {
   return PartitionerPtr(new PartialKeyGrouping(*this));
 }
 
+Status PartialKeyGrouping::SetWorkerSet(const std::vector<bool>& alive) {
+  if (alive.size() != workers()) {
+    return Status::InvalidArgument(
+        "worker set size " + std::to_string(alive.size()) +
+        " != " + std::to_string(workers()) + " workers");
+  }
+  uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  if (alive_count == 0) {
+    return Status::InvalidArgument("worker set has zero alive workers");
+  }
+  alive_.assign(alive.begin(), alive.end());
+  degraded_ = alive_count != workers();
+  return Status::OK();
+}
+
 WorkerId PartialKeyGrouping::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
+  if (degraded_) {
+    // Greedy-d over the *alive* candidates, same BeginRoute/Estimate/OnSend
+    // protocol as the healthy path; a fully dead candidate set falls back
+    // to the least-loaded alive worker (lowest index on ties).
+    estimator_->BeginRoute(source);
+    bool found = false;
+    WorkerId best = 0;
+    uint64_t best_load = 0;
+    for (uint32_t i = 0; i < hash_.d(); ++i) {
+      const WorkerId candidate = hash_.Bucket(i, key);
+      if (!alive_[candidate]) continue;
+      const uint64_t load = estimator_->Estimate(source, candidate);
+      if (!found || load < best_load) {
+        found = true;
+        best = candidate;
+        best_load = load;
+      }
+    }
+    if (!found) {
+      for (WorkerId w = 0; w < workers(); ++w) {
+        if (!alive_[w]) continue;
+        const uint64_t load = estimator_->Estimate(source, w);
+        if (!found || load < best_load) {
+          found = true;
+          best = w;
+          best_load = load;
+        }
+      }
+    }
+    estimator_->OnSend(source, best);
+    return best;
+  }
   estimator_->BeginRoute(source);
   WorkerId best = hash_.Bucket(0, key);
   uint64_t best_load = estimator_->Estimate(source, best);
@@ -171,6 +221,12 @@ WorkerId PartialKeyGrouping::Route(SourceId source, Key key) {
 void PartialKeyGrouping::RouteBatch(SourceId source, const Key* keys,
                                     WorkerId* out, size_t n) {
   PKGSTREAM_DCHECK(source < sources_);
+  if (degraded_) {
+    // Degraded routing is the cold path: the scalar loop keeps batch and
+    // scalar decisions trivially identical while workers are down.
+    Partitioner::RouteBatch(source, keys, out, n);
+    return;
+  }
   // One concrete-type resolution per batch buys a virtual-free inner loop.
   LoadEstimator* estimator = estimator_.get();
   if (auto* local = dynamic_cast<LocalLoadEstimator*>(estimator)) {

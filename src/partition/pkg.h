@@ -66,6 +66,13 @@ class PartialKeyGrouping final : public Partitioner {
   std::string Name() const override;
   PartitionerPtr Clone() const override;
 
+  /// Live reconfiguration: dead candidates drop out of the argmin; a key
+  /// whose candidate set is entirely dead falls back to the least-loaded
+  /// alive worker (lowest index on ties) through the same estimator
+  /// protocol. With every worker alive the hot path is byte-untouched.
+  bool SupportsReconfiguration() const override { return true; }
+  Status SetWorkerSet(const std::vector<bool>& alive) override;
+
   /// The candidate workers for `key` (H1..Hd), for tests and for
   /// applications that must know where a key's partial state can live
   /// (e.g. naive Bayes queries probe exactly these workers).
@@ -80,6 +87,10 @@ class PartialKeyGrouping final : public Partitioner {
   HashFamily hash_;
   uint32_t sources_;
   LoadEstimatorPtr estimator_;
+  /// Alive mask (uint8_t, not vector<bool>, for branch-cheap hot reads).
+  /// degraded_ == false guarantees the untouched healthy fast path.
+  std::vector<uint8_t> alive_;
+  bool degraded_ = false;
 };
 
 }  // namespace partition

@@ -27,10 +27,69 @@ WorkerId RebalancingKeyGrouping::Placement(Key key) const {
   return hash_.Bucket(0, key);
 }
 
+Status RebalancingKeyGrouping::SetWorkerSet(const std::vector<bool>& alive) {
+  if (alive.size() != workers()) {
+    return Status::InvalidArgument(
+        "worker set size " + std::to_string(alive.size()) +
+        " != " + std::to_string(workers()) + " workers");
+  }
+  uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  if (alive_count == 0) {
+    return Status::InvalidArgument("worker set has zero alive workers");
+  }
+  alive_.assign(alive.begin(), alive.end());
+  degraded_ = alive_count != workers();
+  // Rejoin: migrate failed-over keys straight back to the placement they
+  // held when their worker died. Key-sorted so the handoff order (and with
+  // it every stats counter) is deterministic regardless of map layout.
+  std::vector<Key> restored;
+  for (const auto& [key, origin] : failover_origin_) {
+    if (alive[origin]) restored.push_back(key);
+  }
+  std::sort(restored.begin(), restored.end());
+  for (Key key : restored) {
+    const WorkerId origin = failover_origin_[key];
+    if (origin == hash_.Bucket(0, key)) {
+      overrides_.erase(key);
+    } else {
+      overrides_[key] = origin;
+    }
+    ++stats_.keys_moved;
+    stats_.state_moved += state_size_[key];
+    failover_origin_.erase(key);
+  }
+  return Status::OK();
+}
+
 WorkerId RebalancingKeyGrouping::Route(SourceId source, Key key) {
   PKGSTREAM_DCHECK(source < sources_);
   (void)source;
   WorkerId w = Placement(key);
+  if (degraded_ && !alive_[w]) {
+    // Lazy failover on first touch: hand the key (and its state) to the
+    // least window-loaded alive worker, lowest index on ties. The origin
+    // is remembered so the rejoin path can undo exactly this move.
+    WorkerId target = 0;
+    bool found = false;
+    for (WorkerId c = 0; c < workers(); ++c) {
+      if (!alive_[c]) continue;
+      if (!found || window_loads_[c] < window_loads_[target]) {
+        found = true;
+        target = c;
+      }
+    }
+    failover_origin_.emplace(key, w);
+    if (target == hash_.Bucket(0, key)) {
+      overrides_.erase(key);
+    } else {
+      overrides_[key] = target;
+    }
+    ++stats_.failovers;
+    ++stats_.keys_moved;
+    stats_.state_moved += state_size_[key];
+    w = target;
+  }
   ++window_loads_[w];
   ++window_key_counts_[key];
   ++state_size_[key];
@@ -42,15 +101,28 @@ WorkerId RebalancingKeyGrouping::Route(SourceId source, Key key) {
 void RebalancingKeyGrouping::MaybeRebalance() {
   ++stats_.checks;
   const uint32_t n = hash_.buckets();
+  // During an outage the rebalancer only looks at (and migrates between)
+  // alive workers; dead workers' zero window load must not masquerade as
+  // "coldest" or every check would shovel keys onto a crashed worker.
   uint64_t total = 0;
+  uint32_t considered = 0;
+  bool have = false;
   WorkerId hottest = 0;
   WorkerId coldest = 0;
   for (WorkerId w = 0; w < n; ++w) {
+    if (degraded_ && !alive_[w]) continue;
     total += window_loads_[w];
+    ++considered;
+    if (!have) {
+      have = true;
+      hottest = w;
+      coldest = w;
+      continue;
+    }
     if (window_loads_[w] > window_loads_[hottest]) hottest = w;
     if (window_loads_[w] < window_loads_[coldest]) coldest = w;
   }
-  double avg = static_cast<double>(total) / n;
+  double avg = static_cast<double>(total) / considered;
   // hottest == coldest means every worker saw identical load (the argmax
   // and argmin differ whenever max > min): any "migration" would be a
   // no-op churning the override table, so skip.

@@ -50,6 +50,7 @@ struct RebalancingStats {
   uint64_t rebalances = 0;    ///< checks that triggered migration
   uint64_t keys_moved = 0;    ///< total key migrations
   uint64_t state_moved = 0;   ///< cumulative per-key counts migrated
+  uint64_t failovers = 0;     ///< keys moved because their worker crashed
 };
 
 /// \brief Hash routing + periodic hot-key migration.
@@ -75,6 +76,20 @@ class RebalancingKeyGrouping final : public Partitioner {
   /// Size of the override routing table (migrated keys).
   size_t RoutingTableSize() const { return overrides_.size(); }
 
+  /// Live reconfiguration — this is the routing-table technique's whole
+  /// pitch, so it gets the full migration treatment instead of a filter:
+  ///  * a key whose placement dies fails over lazily on first touch to the
+  ///    least-loaded alive worker (window rate, lowest index on ties), its
+  ///    origin recorded and the handoff charged to stats().failovers /
+  ///    keys_moved / state_moved;
+  ///  * when the origin worker rejoins, SetWorkerSet migrates the failed-
+  ///    over keys straight back (key-sorted for determinism), again
+  ///    charging the returned state to keys_moved / state_moved;
+  ///  * the periodic rebalancer restricts hottest/coldest scans to alive
+  ///    workers, so it keeps smoothing load *during* the outage.
+  bool SupportsReconfiguration() const override { return true; }
+  Status SetWorkerSet(const std::vector<bool>& alive) override;
+
  private:
   WorkerId Placement(Key key) const;
   void MaybeRebalance();
@@ -90,6 +105,12 @@ class RebalancingKeyGrouping final : public Partitioner {
   std::unordered_map<Key, uint64_t> state_size_;
   uint64_t messages_ = 0;
   RebalancingStats stats_;
+  /// Alive mask; degraded_ == false guarantees the untouched healthy path.
+  std::vector<uint8_t> alive_;
+  bool degraded_ = false;
+  /// Keys failed over off a crashed worker -> the placement they held when
+  /// it died (restored on rejoin).
+  std::unordered_map<Key, WorkerId> failover_origin_;
 };
 
 }  // namespace partition

@@ -18,16 +18,44 @@ ShuffleGrouping::ShuffleGrouping(uint32_t sources, uint32_t workers,
   }
 }
 
+Status ShuffleGrouping::SetWorkerSet(const std::vector<bool>& alive) {
+  if (alive.size() != workers_) {
+    return Status::InvalidArgument(
+        "worker set size " + std::to_string(alive.size()) +
+        " != " + std::to_string(workers_) + " workers");
+  }
+  uint32_t alive_count = 0;
+  for (bool a : alive) alive_count += a ? 1 : 0;
+  if (alive_count == 0) {
+    return Status::InvalidArgument("worker set has zero alive workers");
+  }
+  alive_.assign(alive.begin(), alive.end());
+  degraded_ = alive_count != workers_;
+  return Status::OK();
+}
+
 WorkerId ShuffleGrouping::Route(SourceId source, Key /*key*/) {
   PKGSTREAM_DCHECK(source < next_.size());
+  if (degraded_) {
+    // Advance the cycle past dead workers; validation guarantees at least
+    // one alive, so the walk terminates within workers_ steps.
+    WorkerId w = next_[source];
+    while (!alive_[w]) w = (w + 1) % workers_;
+    next_[source] = (w + 1) % workers_;
+    return w;
+  }
   WorkerId w = next_[source];
   next_[source] = (next_[source] + 1) % workers_;
   return w;
 }
 
-void ShuffleGrouping::RouteBatch(SourceId source, const Key* /*keys*/,
+void ShuffleGrouping::RouteBatch(SourceId source, const Key* keys,
                                  WorkerId* out, size_t n) {
   PKGSTREAM_DCHECK(source < next_.size());
+  if (degraded_) {
+    Partitioner::RouteBatch(source, keys, out, n);
+    return;
+  }
   uint32_t cursor = next_[source];
   const uint32_t workers = workers_;
   for (size_t i = 0; i < n; ++i) {

@@ -38,9 +38,17 @@ class ShuffleGrouping final : public Partitioner {
     return std::make_unique<ShuffleGrouping>(*this);
   }
 
+  /// Live reconfiguration: the cycle simply skips dead workers, so the
+  /// alive set still receives perfectly balanced round-robin traffic.
+  bool SupportsReconfiguration() const override { return true; }
+  Status SetWorkerSet(const std::vector<bool>& alive) override;
+
  private:
   uint32_t workers_;
   std::vector<uint32_t> next_;  // per-source cursor
+  /// Alive mask; degraded_ == false guarantees the untouched healthy path.
+  std::vector<uint8_t> alive_;
+  bool degraded_ = false;
 };
 
 /// \brief Uniform random routing: the "single choice at random" scheme from

@@ -34,7 +34,7 @@ const char* kPaperBenches[] = {
     "bench_fig5b_memory",         "bench_ablation_choices",
     "bench_ablation_probing",     "bench_ablation_rebalance",
     "bench_threaded_scaling",    "bench_latency_under_load",
-    "bench_threaded_manyworkers",
+    "bench_threaded_manyworkers",  "bench_reconfig",
 };
 
 std::string BenchDir() {
@@ -68,6 +68,7 @@ std::string QuickFlags(const std::string& bench) {
   if (bench == "bench_threaded_scaling") flags += " --messages=2000";
   if (bench == "bench_latency_under_load") flags += " --cell_ms=100";
   if (bench == "bench_threaded_manyworkers") flags += " --messages=4000";
+  if (bench == "bench_reconfig") flags += " --messages=4000";
   return flags;
 }
 

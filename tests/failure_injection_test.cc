@@ -5,14 +5,19 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <thread>
 
 #include "apps/heavy_hitters.h"
 #include "common/logging.h"
 #include "common/table.h"
 #include "engine/event_sim.h"
+#include "engine/fault_injection.h"
 #include "engine/logical_runtime.h"
+#include "engine/threaded_runtime.h"
 #include "partition/factory.h"
 #include "workload/dataset.h"
 #include "workload/trace.h"
@@ -153,6 +158,155 @@ TEST(FailureInjectionTest, EveryBadConfigIsRejectedNotCrashed) {
   for (const auto& test_case : cases) {
     auto result = MakePartitioner(test_case.config);
     EXPECT_FALSE(result.ok()) << test_case.what;
+  }
+}
+
+// --------------------- Threaded runtime hostile options -------------------
+
+/// Minimal valid spout -> operator topology for runtime-option tests.
+engine::Topology MakeNopTopology() {
+  engine::Topology topo;
+  engine::NodeId s = topo.AddSpout("s", 1);
+  class Nop final : public engine::Operator {
+   public:
+    void Process(const engine::Message&, engine::Emitter*) override {}
+  };
+  engine::NodeId o = topo.AddOperator(
+      "op", [](uint32_t) { return std::make_unique<Nop>(); }, 4);
+  EXPECT_TRUE(topo.Connect(s, o, partition::Technique::kShuffle).ok());
+  return topo;
+}
+
+TEST(FailureInjectionTest, ThreadedRuntimeRejectsHostileOptions) {
+  engine::Topology topo = MakeNopTopology();
+  {
+    engine::ThreadedRuntimeOptions options;
+    options.queue_capacity = 0;
+    auto rt = engine::ThreadedRuntime::Create(&topo, options);
+    EXPECT_TRUE(rt.status().IsInvalidArgument());
+  }
+  {
+    engine::ThreadedRuntimeOptions options;
+    options.emit_batch = 0;
+    auto rt = engine::ThreadedRuntime::Create(&topo, options);
+    EXPECT_TRUE(rt.status().IsInvalidArgument());
+  }
+  {
+    // More shards than operator instances is not an error: the shard count
+    // clamps to the instance count and the run completes normally.
+    engine::ThreadedRuntimeOptions options;
+    options.shards = 64;
+    auto rt = engine::ThreadedRuntime::Create(&topo, options);
+    ASSERT_TRUE(rt.ok()) << rt.status();
+    (*rt)->Finish();
+  }
+}
+
+TEST(FailureInjectionDeathTest, ThreadedInjectAfterFinishDies) {
+  engine::Topology topo = MakeNopTopology();
+  auto rt = engine::ThreadedRuntime::Create(&topo);
+  ASSERT_TRUE(rt.ok());
+  (*rt)->Finish();
+  engine::Message m;
+  EXPECT_DEATH((*rt)->Inject(engine::NodeId{0}, 0, m), "Finish");
+}
+
+TEST(FailureInjectionDeathTest, FinishDeadlineDumpsStateAndAborts) {
+  // A consumer wedged inside Process forever: Finish() with a deadline must
+  // dump the per-instance last-progress picture and abort loudly instead of
+  // hanging until the ctest timeout. Everything (threads included) is built
+  // inside the death-test child so the wedge is real.
+  EXPECT_DEATH(
+      {
+        engine::Topology topo;
+        engine::NodeId s = topo.AddSpout("s", 1);
+        class Wedged final : public engine::Operator {
+         public:
+          void Process(const engine::Message&, engine::Emitter*) override {
+            for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+          }
+        };
+        engine::NodeId o = topo.AddOperator(
+            "op", [](uint32_t) { return std::make_unique<Wedged>(); }, 1);
+        PKGSTREAM_CHECK_OK(topo.Connect(s, o, partition::Technique::kShuffle));
+        engine::ThreadedRuntimeOptions options;
+        options.emit_batch = 1;
+        options.finish_deadline_ms = 200;
+        auto rt = engine::ThreadedRuntime::Create(&topo, options);
+        PKGSTREAM_CHECK_OK(rt.status());
+        engine::Message m;
+        (*rt)->Inject(s, 0, m);
+        (*rt)->Finish();
+      },
+      "exceeded finish_deadline_ms");
+}
+
+// --------------------------- Fault plan validation ------------------------
+
+TEST(FailureInjectionTest, FaultPlanRejectsHostileSchedules) {
+  using engine::FaultEvent;
+  using engine::FaultKind;
+  using engine::FaultPlan;
+  // Zero-worker cluster.
+  EXPECT_TRUE(FaultPlan::Create(0, {}).status().IsInvalidArgument());
+  // Events out of time order.
+  EXPECT_TRUE(FaultPlan::Create(
+                  4, {{FaultKind::kCrash, 0, 2000, 0, 1.0},
+                      {FaultKind::kRejoin, 0, 1000, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Unknown worker id.
+  EXPECT_TRUE(FaultPlan::Create(4, {{FaultKind::kCrash, 9, 0, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Crash of an already-dead worker.
+  EXPECT_TRUE(FaultPlan::Create(
+                  4, {{FaultKind::kCrash, 1, 0, 0, 1.0},
+                      {FaultKind::kCrash, 1, 100, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Rejoin of a live worker.
+  EXPECT_TRUE(FaultPlan::Create(4, {{FaultKind::kRejoin, 1, 0, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Crashing the whole cluster.
+  EXPECT_TRUE(FaultPlan::Create(
+                  2, {{FaultKind::kCrash, 0, 0, 0, 1.0},
+                      {FaultKind::kCrash, 1, 100, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Zero-length stall window and non-positive slowdown factor.
+  EXPECT_TRUE(FaultPlan::Create(4, {{FaultKind::kStall, 0, 0, 0, 1.0}})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(FaultPlan::Create(4, {{FaultKind::kSlowdown, 0, 0, 100, 0.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // Overlapping service windows on one worker.
+  EXPECT_TRUE(FaultPlan::Create(
+                  4, {{FaultKind::kStall, 2, 0, 1000, 1.0},
+                      {FaultKind::kSlowdown, 2, 500, 1000, 2.0}})
+                  .status()
+                  .IsInvalidArgument());
+  // The same windows on *different* workers are fine.
+  EXPECT_TRUE(FaultPlan::Create(
+                  4, {{FaultKind::kStall, 2, 0, 1000, 1.0},
+                      {FaultKind::kSlowdown, 3, 500, 1000, 2.0}})
+                  .ok());
+}
+
+TEST(FailureInjectionTest, RandomFaultPlanGeneratorValidatesItsInputs) {
+  EXPECT_TRUE(engine::MakeRandomFaultPlan(1, 1, 1, 10000, 42)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(engine::MakeRandomFaultPlan(8, 0, 1, 10000, 42)
+                  .status()
+                  .IsInvalidArgument());
+  // Valid inputs give a valid plan for every seed (spot-check a few).
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    auto plan = engine::MakeRandomFaultPlan(8, 2, 4, 100000, seed);
+    ASSERT_TRUE(plan.ok()) << plan.status();
+    EXPECT_GE(plan->routing_events().size(), 2u);
   }
 }
 

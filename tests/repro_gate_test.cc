@@ -410,6 +410,7 @@ constexpr BaselineSpec kBaselines[] = {
     {"bench_micro_route", 14},
     {"bench_latency_under_load", 21},
     {"bench_threaded_manyworkers", 30},
+    {"bench_reconfig", 44},
 };
 
 class BaselineAuditTest : public testing::TestWithParam<BaselineSpec> {};
